@@ -1,0 +1,263 @@
+// Go-native benchmarks, one family per experiment in DESIGN.md's index
+// (B1-B4). The printing harness with the same workloads lives in
+// cmd/benchharness; these versions integrate with `go test -bench`.
+package unidir_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"unidir/internal/harness"
+	"unidir/internal/rounds"
+	"unidir/internal/sig"
+	"unidir/internal/simnet"
+	"unidir/internal/trusted/swmr"
+	"unidir/internal/trusted/trinc"
+	"unidir/internal/types"
+)
+
+// --- B1: SRB broadcast cost by substrate and n ---
+
+func BenchmarkSRB(b *testing.B) {
+	type builder struct {
+		name  string
+		build func(types.Membership) (*harness.SRBCluster, error)
+		f     func(n int) int
+	}
+	builders := []builder{
+		{"trincsrb", harness.BuildTrincCluster, func(n int) int { return (n - 1) / 2 }},
+		{"a2msrb", harness.BuildA2MCluster, func(n int) int { return (n - 1) / 2 }},
+		{"uniround", harness.BuildUniroundCluster, func(n int) int { return (n - 1) / 2 }},
+		{"bracha", harness.BuildBrachaCluster, func(n int) int { return (n - 1) / 3 }},
+	}
+	for _, bl := range builders {
+		for _, n := range []int{4, 7, 10} {
+			b.Run(fmt.Sprintf("%s/n=%d", bl.name, n), func(b *testing.B) {
+				m := harness.MustMembership(n, bl.f(n))
+				c, err := bl.build(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Stop()
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+				defer cancel()
+				payload := make([]byte, 128)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Nodes[0].Broadcast(payload); err != nil {
+						b.Fatal(err)
+					}
+					// One full broadcast = delivered by every node.
+					for _, node := range c.Nodes {
+						if _, err := node.Deliver(ctx); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- B2: SMR commit cost, MinBFT vs PBFT ---
+
+func BenchmarkSMR(b *testing.B) {
+	for _, p := range []struct {
+		name  string
+		build func(int) (*harness.SMRCluster, error)
+	}{
+		{"minbft", harness.BuildMinBFT},
+		{"pbft", harness.BuildPBFT},
+	} {
+		for _, f := range []int{1, 2} {
+			b.Run(fmt.Sprintf("%s/f=%d", p.name, f), func(b *testing.B) {
+				c, err := p.build(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Stop()
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+				defer cancel()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := c.KV.Put(ctx, fmt.Sprintf("key-%d", i%64), []byte("value")); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- B3: trusted hardware and signature microbenchmarks ---
+
+func BenchmarkTrusted(b *testing.B) {
+	m := harness.MustMembership(4, 1)
+	msg := make([]byte, 128)
+
+	for _, scheme := range []sig.Scheme{sig.Ed25519, sig.HMAC} {
+		rings, err := sig.NewKeyrings(m, scheme, rand.New(rand.NewSource(1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("sign/"+scheme.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rings[0].Sign(msg)
+			}
+		})
+		s := rings[0].Sign(msg)
+		b.Run("verify/"+scheme.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := rings[1].Verify(0, msg, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	b.Run("trinc/attest", func(b *testing.B) {
+		tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(2)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tu.Devices[0].Attest(0, types.SeqNum(i+1), msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("trinc/check", func(b *testing.B) {
+		tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(3)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		att, err := tu.Devices[0].Attest(0, 1, msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tu.Verifier.CheckMessage(att, msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("swmr/write", func(b *testing.B) {
+		store, err := swmr.NewStore(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mem := swmr.NewLocal(store, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := mem.Write(msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("swmr/read", func(b *testing.B) {
+		store, err := swmr.NewStore(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mem := swmr.NewLocal(store, 0)
+		if err := mem.Write(msg); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := mem.Read(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- B4: one full round per system ---
+
+func BenchmarkRounds(b *testing.B) {
+	m := harness.MustMembership(5, 2)
+	run := func(b *testing.B, systems []rounds.System) {
+		b.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := types.Round(i + 1)
+			errCh := make(chan error, len(systems))
+			for j, sys := range systems {
+				go func(j int, sys rounds.System) {
+					if err := sys.Send(r, []byte{byte(j)}); err != nil {
+						errCh <- err
+						return
+					}
+					_, err := sys.WaitEnd(ctx, r)
+					errCh <- err
+				}(j, sys)
+			}
+			for range systems {
+				if err := <-errCh; err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	b.Run("swmr", func(b *testing.B) {
+		store, err := swmr.NewStore(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		systems := make([]rounds.System, m.N)
+		for i := 0; i < m.N; i++ {
+			systems[i], err = rounds.NewSWMR(swmr.NewLocal(store, types.ProcessID(i)), m)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		defer closeAll(systems)
+		run(b, systems)
+	})
+	b.Run("async", func(b *testing.B) {
+		net, err := simnet.New(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer net.Close()
+		systems := make([]rounds.System, m.N)
+		for i := 0; i < m.N; i++ {
+			systems[i], err = rounds.NewAsync(net.Endpoint(types.ProcessID(i)), m)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		defer closeAll(systems)
+		run(b, systems)
+	})
+	b.Run("lockstep", func(b *testing.B) {
+		net, err := simnet.New(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer net.Close()
+		systems := make([]rounds.System, m.N)
+		for i := 0; i < m.N; i++ {
+			systems[i], err = rounds.NewLockstep(net.Endpoint(types.ProcessID(i)), m)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		defer closeAll(systems)
+		run(b, systems)
+	})
+}
+
+func closeAll(systems []rounds.System) {
+	for _, s := range systems {
+		_ = s.Close()
+	}
+}

@@ -1,0 +1,72 @@
+// Command benchharness regenerates every experiment in DESIGN.md's
+// per-experiment index:
+//
+//	F1  the implication matrix of the paper's Figure 1, live-checked
+//	E1  the §4.1 separation experiment (three scenarios + SWMR control)
+//	B1  SRB broadcast cost by substrate (trincsrb / uniround / bracha) and n
+//	B2  BFT SMR: MinBFT (n=2f+1) vs PBFT (n=3f+1)
+//	B3  trusted hardware and signature microbenchmarks
+//	B4  round-system ablation (swmr / async / lockstep)
+//
+// Usage:
+//
+//	benchharness -exp all            # everything (default)
+//	benchharness -exp b2 -ops 2000   # one experiment, tuned workload
+//
+// The Go-native testing.B versions of B1-B4 live in bench_test.go at the
+// repository root (go test -bench=.).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: f1, e1, b1, b2, b3, b4, or all")
+	msgs := flag.Int("msgs", 200, "broadcasts per configuration (B1)")
+	ops := flag.Int("ops", 500, "client operations per configuration (B2)")
+	iters := flag.Int("iters", 5000, "iterations per microbenchmark (B3)")
+	roundsN := flag.Int("rounds", 500, "rounds per system (B4)")
+	flag.Parse()
+
+	if err := run(strings.ToLower(*exp), *msgs, *ops, *iters, *roundsN); err != nil {
+		fmt.Fprintln(os.Stderr, "benchharness:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, msgs, ops, iters, roundsN int) error {
+	type experiment struct {
+		id  string
+		fn  func() error
+		sep bool
+	}
+	all := []experiment{
+		{"f1", expF1, true},
+		{"e1", expE1, true},
+		{"b1", func() error { return expB1(msgs) }, true},
+		{"b2", func() error { return expB2(ops) }, true},
+		{"b3", func() error { return expB3(iters) }, true},
+		{"b4", func() error { return expB4(roundsN) }, false},
+	}
+	ran := false
+	for _, e := range all {
+		if exp != "all" && exp != e.id {
+			continue
+		}
+		ran = true
+		if err := e.fn(); err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		if e.sep && exp == "all" {
+			fmt.Println()
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+// Command minbft-kv runs a MinBFT-replicated key-value store over real TCP,
+// one OS process per role.
+//
+// Start a 3-replica cluster tolerating 1 Byzantine fault (four terminals):
+//
+//	minbft-kv -role replica -id 0 -n 3 -f 1 -config 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7010
+//	minbft-kv -role replica -id 1 -n 3 -f 1 -config 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7010
+//	minbft-kv -role replica -id 2 -n 3 -f 1 -config 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7010
+//	minbft-kv -role client  -id 3 -n 3 -f 1 -config 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7010 put greeting hello
+//	minbft-kv -role client  -id 3 -n 3 -f 1 -config ...                                                          get greeting
+//
+// The config lists one address per process ID, replicas first (IDs 0..n-1),
+// then client endpoints. Kill a backup replica and the cluster keeps
+// serving; kill the primary and a view change recovers it.
+//
+// Demo key provisioning: every process derives the same TrInc universe from
+// -seed, so trinkets and verifiers agree across OS processes. A production
+// deployment would provision real hardware or per-device keys instead.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"unidir/internal/kvstore"
+	"unidir/internal/minbft"
+	"unidir/internal/sig"
+	"unidir/internal/smr"
+	"unidir/internal/tcpnet"
+	"unidir/internal/trusted/trinc"
+	"unidir/internal/types"
+)
+
+func main() {
+	role := flag.String("role", "", "replica or client")
+	id := flag.Int("id", -1, "this process's ID (replicas: 0..n-1; clients: >= n)")
+	n := flag.Int("n", 3, "number of replicas")
+	f := flag.Int("f", 1, "failure threshold (n must be >= 2f+1)")
+	config := flag.String("config", "", "comma-separated host:port per process ID")
+	seed := flag.Int64("seed", 42, "deterministic key seed shared by the whole demo cluster")
+	timeout := flag.Duration("timeout", time.Second, "view-change request timeout (replicas)")
+	flag.Parse()
+
+	if err := run(*role, *id, *n, *f, *config, *seed, *timeout, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "minbft-kv:", err)
+		os.Exit(1)
+	}
+}
+
+func run(role string, id, n, f int, config string, seed int64, timeout time.Duration, args []string) error {
+	addrs := strings.Split(config, ",")
+	if config == "" || len(addrs) <= n {
+		return fmt.Errorf("-config must list at least n+1 addresses (replicas then clients)")
+	}
+	cfg := make(tcpnet.Config, len(addrs))
+	for i, addr := range addrs {
+		cfg[types.ProcessID(i)] = strings.TrimSpace(addr)
+	}
+	m, err := types.NewMembership(n, f)
+	if err != nil {
+		return err
+	}
+	self := types.ProcessID(id)
+	if _, ok := cfg[self]; !ok {
+		return fmt.Errorf("id %d has no address in -config", id)
+	}
+
+	switch role {
+	case "replica":
+		return runReplica(m, self, cfg, seed, timeout)
+	case "client":
+		return runClient(m, self, cfg, args)
+	default:
+		return fmt.Errorf("-role must be replica or client")
+	}
+}
+
+func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, seed int64, timeout time.Duration) error {
+	if !m.Contains(self) {
+		return fmt.Errorf("replica id %v out of range [0, %d)", self, m.N)
+	}
+	universe, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	tr, err := tcpnet.New(self, cfg)
+	if err != nil {
+		return err
+	}
+	rep, err := minbft.New(m, tr, universe.Devices[self], universe.Verifier, kvstore.New(),
+		minbft.WithRequestTimeout(timeout))
+	if err != nil {
+		_ = tr.Close()
+		return err
+	}
+	fmt.Printf("replica %v serving on %s (n=%d, f=%d)\n", self, tr.Addr(), m.N, m.F)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("shutting down")
+	return rep.Close()
+}
+
+func runClient(m types.Membership, self types.ProcessID, cfg tcpnet.Config, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: ... put KEY VALUE | get KEY | del KEY")
+	}
+	tr, err := tcpnet.New(self, cfg)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	base, err := smr.NewClient(tr, m.All(), m.FPlusOne(), uint64(self), 200*time.Millisecond,
+		smr.WithRequestEncoder(minbft.EncodeRequestEnvelope))
+	if err != nil {
+		return err
+	}
+	kv := kvstore.NewClient(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: put KEY VALUE")
+		}
+		if err := kv.Put(ctx, args[1], []byte(args[2])); err != nil {
+			return err
+		}
+		fmt.Println("OK")
+	case "get":
+		v, err := kv.Get(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(v))
+	case "del":
+		if err := kv.Del(ctx, args[1]); err != nil {
+			return err
+		}
+		fmt.Println("OK")
+	default:
+		return fmt.Errorf("unknown op %q", args[0])
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+// The paper's separation (§4.1), live.
+//
+// Runs the three-scenario indistinguishability argument against the best
+// possible "rounds from SRB" protocol and prints the unidirectionality
+// violation it is forced into, then the SWMR control arm showing shared
+// memory immune to the same adversary.
+//
+// Run: go run ./examples/separation
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"unidir/internal/separation"
+	"unidir/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "separation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	m, err := types.NewMembership(5, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("geometry for n=%d, f=%d:\n", m.N, m.F)
+	res, err := separation.Run(m, 10*time.Second, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  Q  = %v   (n-f processes)\n", res.Geometry.Q)
+	fmt.Printf("  C1 = %v        (1 process)\n", res.Geometry.C1)
+	fmt.Printf("  C2 = %v      (f-1 processes)\n", res.Geometry.C2)
+
+	show := func(name, desc string, out separation.ScenarioOutcome) {
+		done := make([]types.ProcessID, 0, len(out.Completed))
+		for id, ok := range out.Completed {
+			if ok {
+				done = append(done, id)
+			}
+		}
+		sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
+		fmt.Printf("%s — %s\n", name, desc)
+		fmt.Printf("  completed round 1: %v\n", done)
+		if len(out.Violations) == 0 {
+			fmt.Println("  unidirectionality violations: none")
+		} else {
+			for _, v := range out.Violations {
+				fmt.Printf("  VIOLATION: %v\n", v)
+			}
+		}
+	}
+	show("scenario 1", "C1 crashed, C2->Q delayed; liveness forces Q and C2 onward", res.Scenario1)
+	show("scenario 2", "C2 crashed, C1->Q delayed; liveness forces Q and C1 onward", res.Scenario2)
+	show("scenario 3", "nobody faulty, all links out of C1 and C2 delayed — indistinguishable from 1 and 2", res.Scenario3)
+
+	fmt.Printf("SWMR control arm: %d randomized adversarial schedules, %d violations\n",
+		res.SWMRSchedules, len(res.SWMRViolations))
+	fmt.Println("conclusion: SRB (trusted logs) cannot provide unidirectionality; shared memory can.")
+	return nil
+}

@@ -1,0 +1,134 @@
+// Tour of the trusted hardware modules and their equivalences.
+//
+// Exercises every non-equivocation mechanism the paper classifies — TrInc,
+// A2M (native and TrInc-backed), SWMR registers, sticky bits, and PEATS —
+// and demonstrates the property each contributes.
+//
+// Run: go run ./examples/trusted-hardware
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"unidir/internal/sig"
+	"unidir/internal/trusted/a2m"
+	"unidir/internal/trusted/peats"
+	"unidir/internal/trusted/sticky"
+	"unidir/internal/trusted/swmr"
+	"unidir/internal/trusted/trinc"
+	"unidir/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trusted-hardware:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	m, err := types.NewMembership(4, 1)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(11))
+
+	// --- TrInc: non-equivocation by monotonic counters ---
+	fmt.Println("== TrInc (trusted incrementer) ==")
+	tu, err := trinc.NewUniverse(m, sig.Ed25519, rng)
+	if err != nil {
+		return err
+	}
+	dev := tu.Devices[0]
+	att, err := dev.Attest(0, 1, []byte("transfer $100 to alice"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  p0 attested message at counter value %d (prev %d)\n", att.Seq, att.Prev)
+	if _, err := dev.Attest(0, 1, []byte("transfer $100 to bob")); errors.Is(err, trinc.ErrStaleSeq) {
+		fmt.Println("  equivocation attempt at the same counter value: rejected by hardware")
+	}
+	if err := tu.Verifier.CheckMessage(att, []byte("transfer $100 to alice")); err != nil {
+		return err
+	}
+	fmt.Println("  any process can verify the attestation (transferable)")
+
+	// --- A2M: attested append-only logs, native and from TrInc ---
+	fmt.Println("== A2M (attested append-only memory) ==")
+	au, err := a2m.NewUniverse(m, sig.Ed25519, rng, tu)
+	if err != nil {
+		return err
+	}
+	for name, log := range map[string]a2m.Log{
+		"native device":  au.Devices[1].NewLog(),
+		"built on TrInc": a2m.NewTrIncLog(tu.Devices[1], 1),
+	} {
+		if _, err := log.Append([]byte("epoch 1: leader=p2")); err != nil {
+			return err
+		}
+		if _, err := log.Append([]byte("epoch 2: leader=p3")); err != nil {
+			return err
+		}
+		proof, err := log.Lookup(1, []byte("challenge-nonce"))
+		if err != nil {
+			return err
+		}
+		if err := au.Verifier.Check(proof); err != nil {
+			return err
+		}
+		fmt.Printf("  %s: entry 1 certified as %q — past entries immutable\n", name, proof.Stmt.Value)
+	}
+
+	// --- SWMR registers with ACLs ---
+	fmt.Println("== SWMR registers (shared memory with ACLs) ==")
+	store, err := swmr.NewStore(m)
+	if err != nil {
+		return err
+	}
+	if err := store.Write(2, 2, []byte("p2's state")); err != nil {
+		return err
+	}
+	if err := store.Write(3, 2, []byte("intrusion")); errors.Is(err, swmr.ErrACL) {
+		fmt.Println("  p3 cannot write p2's register: ACL enforced")
+	}
+	v, _, err := store.Read(0, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  p0 reads p2's register: %q — single writer, many readers\n", v)
+
+	// --- Sticky bits ---
+	fmt.Println("== sticky bits (write-once registers) ==")
+	sb, err := sticky.NewStore(m)
+	if err != nil {
+		return err
+	}
+	if err := sb.SetOnce(1, 1, 0, []byte("commit")); err != nil {
+		return err
+	}
+	if err := sb.SetOnce(1, 1, 0, []byte("abort")); errors.Is(err, sticky.ErrAlreadySet) {
+		fmt.Println("  second write to a sticky slot rejected: first value is final")
+	}
+
+	// --- PEATS ---
+	fmt.Println("== PEATS (policy-enforced augmented tuple spaces) ==")
+	space := peats.NewSpace(peats.RoundPolicy())
+	if err := space.Out(2, peats.Tuple{peats.OwnerField(2), []byte("round-1 msg")}); err != nil {
+		return err
+	}
+	if err := space.Out(1, peats.Tuple{peats.OwnerField(2), []byte("forged")}); errors.Is(err, peats.ErrDenied) {
+		fmt.Println("  policy denies writing another process's tuples")
+	}
+	tuples, err := space.Rd(3, peats.Template{peats.OwnerField(2), nil})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  p3 reads p2's tuples: %d found — append-only objects via policy\n", len(tuples))
+
+	fmt.Println("done: all five mechanisms prevent equivocation; the shared-memory")
+	fmt.Println("ones additionally provide unidirectionality (see examples/separation).")
+	return nil
+}

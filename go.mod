@@ -1,0 +1,3 @@
+module unidir
+
+go 1.22

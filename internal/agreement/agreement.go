@@ -1,0 +1,154 @@
+// Package agreement implements the paper's round-based agreement protocols,
+// which calibrate what unidirectional communication buys *above* plain
+// asynchrony:
+//
+//   - VeryWeak: very weak Byzantine agreement with n > f from one
+//     unidirectional round (paper's claim and algorithm): send your input,
+//     wait for the round to end, commit your input unless you saw a
+//     different value, in which case commit ⊥. Unidirectionality ensures
+//     any two correct processes see at least one of each other's values, so
+//     two different non-⊥ commits are impossible.
+//
+//   - NonEquivocating: non-equivocating broadcast with n >= f+1 from one
+//     unidirectional round (paper's conjecture algorithm): the sender
+//     signs and sends its value; every process forwards the signed value it
+//     received, waits for the round to end, and commits ⊥ if it saw two
+//     differently signed values from the sender, its received value
+//     otherwise. Agreement again rides on unidirectionality; validity on
+//     signature unforgeability.
+//
+// Both protocols run over any rounds.System; run them over rounds.SWMR for
+// the shared-memory instantiation the paper intends. ⊥ is represented by
+// the (value, ok) pair: ok == false means ⊥.
+package agreement
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"unidir/internal/rounds"
+	"unidir/internal/sig"
+	"unidir/internal/types"
+	"unidir/internal/wire"
+)
+
+const nebDomain = "unidir/agreement/neb"
+
+// VeryWeak runs one instance of very weak Byzantine agreement for this
+// process with the given input, using round r of sys (r must be this
+// process's next round). It returns (value, true) for a non-⊥ commit and
+// (nil, false) for ⊥.
+func VeryWeak(ctx context.Context, sys rounds.System, r types.Round, input []byte) ([]byte, bool, error) {
+	if err := sys.Send(r, input); err != nil {
+		return nil, false, fmt.Errorf("agreement: very weak send: %w", err)
+	}
+	got, err := sys.WaitEnd(ctx, r)
+	if err != nil {
+		return nil, false, fmt.Errorf("agreement: very weak round end: %w", err)
+	}
+	for _, v := range got {
+		if !bytes.Equal(v, input) {
+			return nil, false, nil // saw a different value: commit ⊥
+		}
+	}
+	return input, true, nil
+}
+
+// NonEquivocating runs one instance of non-equivocating broadcast with the
+// designated sender, using round r of sys. If this process is the sender,
+// input is its broadcast value; otherwise input is ignored. It returns
+// (value, true) for a non-⊥ commit and (nil, false) for ⊥.
+//
+// Liveness note: a non-sender cannot enter the round until it holds the
+// sender's signed value (it has nothing to forward). If the sender is
+// faulty and silent toward everyone, the call blocks until ctx expires —
+// the protocol is a broadcast, not a consensus; termination is conditioned
+// on the round (and sender) being live, as in the paper.
+func NonEquivocating(ctx context.Context, sys rounds.System, ring *sig.Keyring, sender types.ProcessID, r types.Round, input []byte) ([]byte, bool, error) {
+	self := sys.Self()
+
+	var val []byte
+	var senderSig []byte
+	conflict := false
+
+	if self == sender {
+		val = input
+		senderSig = ring.Sign(nebBytes(sender, r, input))
+	} else {
+		// Wait for the sender's signed value, directly or forwarded.
+		for val == nil {
+			msg, err := sys.Recv(ctx)
+			if err != nil {
+				return nil, false, fmt.Errorf("agreement: neb await sender: %w", err)
+			}
+			v, s, ok := decodeNEB(ring, sender, r, msg)
+			if !ok {
+				continue
+			}
+			val, senderSig = v, s
+		}
+	}
+
+	if err := sys.Send(r, encodeNEB(val, senderSig)); err != nil {
+		return nil, false, fmt.Errorf("agreement: neb send: %w", err)
+	}
+	got, err := sys.WaitEnd(ctx, r)
+	if err != nil {
+		return nil, false, fmt.Errorf("agreement: neb round end: %w", err)
+	}
+	for from, raw := range got {
+		if from == self {
+			continue
+		}
+		v, _, ok := decodeNEB(ring, sender, r, rounds.Msg{From: from, Round: r, Data: raw})
+		if !ok {
+			continue // unsigned garbage cannot force ⊥
+		}
+		if !bytes.Equal(v, val) {
+			conflict = true
+		}
+	}
+	if conflict {
+		return nil, false, nil
+	}
+	return val, true, nil
+}
+
+// EncodeNEBForTest produces a signed NEB round-message body on behalf of
+// ring's process. Exported for Byzantine test harnesses that drive an
+// equivocating sender by raw injection.
+func EncodeNEBForTest(ring *sig.Keyring, sender types.ProcessID, r types.Round, v []byte) []byte {
+	return encodeNEB(v, ring.Sign(nebBytes(sender, r, v)))
+}
+
+func nebBytes(sender types.ProcessID, r types.Round, v []byte) []byte {
+	e := wire.NewEncoder(48 + len(v))
+	e.String(nebDomain)
+	e.Int(int(sender))
+	e.Uint64(uint64(r))
+	e.BytesField(v)
+	return e.Bytes()
+}
+
+func encodeNEB(v, senderSig []byte) []byte {
+	e := wire.NewEncoder(16 + len(v) + len(senderSig))
+	e.BytesField(v)
+	e.BytesField(senderSig)
+	return e.Bytes()
+}
+
+// decodeNEB parses and verifies a forwarded sender value; ok is false for
+// anything not validly signed by the sender for this round.
+func decodeNEB(ring *sig.Keyring, sender types.ProcessID, r types.Round, msg rounds.Msg) (v, senderSig []byte, ok bool) {
+	d := wire.NewDecoder(msg.Data)
+	v = append([]byte(nil), d.BytesField()...)
+	senderSig = append([]byte(nil), d.BytesField()...)
+	if d.Finish() != nil {
+		return nil, nil, false
+	}
+	if err := ring.Verify(sender, nebBytes(sender, r, v), senderSig); err != nil {
+		return nil, nil, false
+	}
+	return v, senderSig, true
+}

@@ -1,0 +1,256 @@
+package agreement_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"unidir/internal/agreement"
+	"unidir/internal/rounds"
+	"unidir/internal/sig"
+	"unidir/internal/simnet"
+	"unidir/internal/trusted/swmr"
+	"unidir/internal/types"
+)
+
+func membership(t *testing.T, n, f int) types.Membership {
+	t.Helper()
+	m, err := types.NewMembership(n, f)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	return m
+}
+
+// swmrSystems builds one SWMR round system per process over a fresh store.
+func swmrSystems(t *testing.T, m types.Membership) []rounds.System {
+	t.Helper()
+	store, err := swmr.NewStore(m)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	systems := make([]rounds.System, m.N)
+	for i := 0; i < m.N; i++ {
+		sys, err := rounds.NewSWMR(swmr.NewLocal(store, types.ProcessID(i)), m)
+		if err != nil {
+			t.Fatalf("NewSWMR: %v", err)
+		}
+		systems[i] = sys
+	}
+	t.Cleanup(func() {
+		for _, s := range systems {
+			_ = s.Close()
+		}
+	})
+	return systems
+}
+
+type commit struct {
+	value []byte
+	ok    bool
+}
+
+// checkVeryWeakAgreement verifies the very-weak agreement property: any two
+// non-⊥ commits are equal.
+func checkVeryWeakAgreement(t *testing.T, commits map[types.ProcessID]commit) {
+	t.Helper()
+	var ref []byte
+	for p, c := range commits {
+		if !c.ok {
+			continue
+		}
+		if ref == nil {
+			ref = c.value
+			continue
+		}
+		if !bytes.Equal(ref, c.value) {
+			t.Fatalf("conflicting non-bot commits: %q vs %q (at %v)", ref, c.value, p)
+		}
+	}
+}
+
+func TestVeryWeakValidityAllSameInput(t *testing.T) {
+	// Validity: all correct, all inputs equal -> everyone commits that value.
+	m := membership(t, 4, 1)
+	systems := swmrSystems(t, m)
+	input := []byte("unanimous")
+	commits := runVeryWeak(t, systems, func(types.ProcessID) []byte { return input })
+	for p, c := range commits {
+		if !c.ok || !bytes.Equal(c.value, input) {
+			t.Fatalf("%v committed (%q, %v), want (%q, true)", p, c.value, c.ok, input)
+		}
+	}
+}
+
+func TestVeryWeakMixedInputsNeverConflict(t *testing.T) {
+	m := membership(t, 5, 2)
+	for seed := 0; seed < 5; seed++ {
+		systems := swmrSystems(t, m)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		inputs := make(map[types.ProcessID][]byte, m.N)
+		for _, id := range m.All() {
+			inputs[id] = []byte(fmt.Sprintf("v%d", rng.Intn(2)))
+		}
+		commits := runVeryWeak(t, systems, func(p types.ProcessID) []byte { return inputs[p] })
+		checkVeryWeakAgreement(t, commits)
+	}
+}
+
+func TestVeryWeakToleratesNMinusOneFaults(t *testing.T) {
+	// n > f is the whole requirement: with n=2, f=1 and the other process
+	// silent (crashed), the lone correct process still commits.
+	m := membership(t, 2, 1)
+	systems := swmrSystems(t, m)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	v, ok, err := agreement.VeryWeak(ctx, systems[0], 1, []byte("alone"))
+	if err != nil {
+		t.Fatalf("VeryWeak: %v", err)
+	}
+	if !ok || string(v) != "alone" {
+		t.Fatalf("commit = (%q, %v)", v, ok)
+	}
+}
+
+func runVeryWeak(t *testing.T, systems []rounds.System, input func(types.ProcessID) []byte) map[types.ProcessID]commit {
+	t.Helper()
+	commits := make(map[types.ProcessID]commit, len(systems))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, sys := range systems {
+		wg.Add(1)
+		go func(sys rounds.System) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			v, ok, err := agreement.VeryWeak(ctx, sys, 1, input(sys.Self()))
+			if err != nil {
+				t.Errorf("%v: VeryWeak: %v", sys.Self(), err)
+				return
+			}
+			mu.Lock()
+			commits[sys.Self()] = commit{value: v, ok: ok}
+			mu.Unlock()
+		}(sys)
+	}
+	wg.Wait()
+	return commits
+}
+
+// --- non-equivocating broadcast ---
+
+func TestNEBCorrectSenderAllCommit(t *testing.T) {
+	m := membership(t, 4, 1)
+	systems := swmrSystems(t, m)
+	rings, err := sig.NewKeyrings(m, sig.HMAC, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatalf("NewKeyrings: %v", err)
+	}
+	commits := make(map[types.ProcessID]commit, m.N)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, sys := range systems {
+		wg.Add(1)
+		go func(i int, sys rounds.System) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			v, ok, err := agreement.NonEquivocating(ctx, sys, rings[i], 1, 1, []byte("the-value"))
+			if err != nil {
+				t.Errorf("%v: NonEquivocating: %v", sys.Self(), err)
+				return
+			}
+			mu.Lock()
+			commits[sys.Self()] = commit{value: v, ok: ok}
+			mu.Unlock()
+		}(i, sys)
+	}
+	wg.Wait()
+	for p, c := range commits {
+		if !c.ok || string(c.value) != "the-value" {
+			t.Fatalf("%v committed (%q, %v)", p, c.value, c.ok)
+		}
+	}
+}
+
+func TestNEBEquivocatingSenderNeverSplitsCommits(t *testing.T) {
+	// The sender (p0, Byzantine) hand-signs two values and sends "left" to
+	// p1 and "right" to p2, p3 over lock-step rounds. Whatever the correct
+	// processes commit, no two of them commit different non-⊥ values.
+	m := membership(t, 4, 1)
+	net, err := simnet.New(m)
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	defer net.Close()
+	rings, err := sig.NewKeyrings(m, sig.HMAC, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("NewKeyrings: %v", err)
+	}
+	live := m.Others(0)
+	systems := make([]rounds.System, m.N)
+	for i := 1; i < m.N; i++ {
+		systems[i], err = rounds.NewLockstep(net.Endpoint(types.ProcessID(i)), m, rounds.WithLive(live))
+		if err != nil {
+			t.Fatalf("NewLockstep: %v", err)
+		}
+		defer systems[i].Close()
+	}
+
+	// Byzantine sends: raw round-1 messages with valid sender signatures.
+	inject := func(to types.ProcessID, val string) {
+		body := agreement.EncodeNEBForTest(rings[0], 0, 1, []byte(val))
+		net.Inject(0, to, rounds.EncodeMessage(1, body))
+	}
+	inject(1, "left")
+	inject(2, "right")
+	inject(3, "right")
+
+	commits := make(map[types.ProcessID]commit, 3)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 1; i < m.N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			v, ok, err := agreement.NonEquivocating(ctx, systems[i], rings[i], 0, 1, nil)
+			if err != nil {
+				t.Errorf("p%d: NonEquivocating: %v", i, err)
+				return
+			}
+			mu.Lock()
+			commits[types.ProcessID(i)] = commit{value: v, ok: ok}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	checkVeryWeakAgreement(t, commits)
+	// Under lock-step (bidirectional) rounds everyone sees both values, so
+	// in fact everyone must commit ⊥.
+	for p, c := range commits {
+		if c.ok {
+			t.Fatalf("%v committed %q despite equivocation visible to all", p, c.value)
+		}
+	}
+}
+
+func TestNEBSilentSenderBlocksUntilContext(t *testing.T) {
+	m := membership(t, 3, 1)
+	systems := swmrSystems(t, m)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	rings, err := sig.NewKeyrings(m, sig.HMAC, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatalf("NewKeyrings: %v", err)
+	}
+	// p1 waits on sender p0, which never sends.
+	if _, _, err := agreement.NonEquivocating(ctx, systems[1], rings[1], 0, 1, nil); err == nil {
+		t.Fatal("NonEquivocating returned despite silent sender")
+	}
+}

@@ -1,0 +1,104 @@
+package agreement_test
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"unidir/internal/agreement"
+	"unidir/internal/rounds"
+	"unidir/internal/simnet"
+	"unidir/internal/types"
+)
+
+// Negative experiments: the paper's partition arguments showing what
+// *zero-directional* communication (asynchrony / anything with only
+// eventual delivery) cannot do — the lower half of the classification.
+
+// TestVeryWeakAgreementFailsOverZeroDirectional reproduces the classic
+// partition argument (paper: "reliable broadcast cannot solve very weak
+// Byzantine agreement with n <= 2f"): over zero-directional rounds with
+// n = 2f, two halves that cannot hear each other both satisfy the round
+// discipline (n-f = f messages each, their own half) and commit their own
+// unanimous inputs — violating agreement. The same protocol over
+// unidirectional rounds can never do this (TestVeryWeakMixedInputsNeverConflict).
+func TestVeryWeakAgreementFailsOverZeroDirectional(t *testing.T) {
+	m := membership(t, 4, 2) // n = 2f
+	net, err := simnet.New(m)
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	defer net.Close()
+	// The partition: {0,1} and {2,3} mutually unreachable.
+	net.BlockSets([]types.ProcessID{0, 1}, []types.ProcessID{2, 3})
+
+	systems := make([]rounds.System, m.N)
+	for i := 0; i < m.N; i++ {
+		systems[i], err = rounds.NewAsync(net.Endpoint(types.ProcessID(i)), m)
+		if err != nil {
+			t.Fatalf("NewAsync: %v", err)
+		}
+		defer systems[i].Close()
+	}
+
+	inputs := map[types.ProcessID][]byte{
+		0: []byte("zero"), 1: []byte("zero"),
+		2: []byte("one"), 3: []byte("one"),
+	}
+	commits := make(map[types.ProcessID]commit, m.N)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, sys := range systems {
+		wg.Add(1)
+		go func(sys rounds.System) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			v, ok, err := agreement.VeryWeak(ctx, sys, 1, inputs[sys.Self()])
+			if err != nil {
+				t.Errorf("%v: VeryWeak: %v", sys.Self(), err)
+				return
+			}
+			mu.Lock()
+			commits[sys.Self()] = commit{value: v, ok: ok}
+			mu.Unlock()
+		}(sys)
+	}
+	wg.Wait()
+
+	// Liveness held on both sides of the partition (that is the trap)...
+	if len(commits) != m.N {
+		t.Fatalf("only %d processes terminated", len(commits))
+	}
+	// ...and agreement is violated: two different non-⊥ commits exist.
+	conflict := false
+	for _, a := range commits {
+		for _, b := range commits {
+			if a.ok && b.ok && !bytes.Equal(a.value, b.value) {
+				conflict = true
+			}
+		}
+	}
+	if !conflict {
+		t.Fatalf("expected the partition to force disagreement, commits: %v", commits)
+	}
+}
+
+// TestVeryWeakSafeOverUnidirectionalUnderSameGeometry is the control arm:
+// the identical inputs over SWMR rounds (unidirectional) never produce two
+// conflicting non-⊥ commits, no matter the schedule — shared memory cannot
+// be partitioned.
+func TestVeryWeakSafeOverUnidirectionalUnderSameGeometry(t *testing.T) {
+	m := membership(t, 4, 2)
+	for seed := int64(0); seed < 4; seed++ {
+		systems := swmrSystems(t, m)
+		inputs := map[types.ProcessID][]byte{
+			0: []byte("zero"), 1: []byte("zero"),
+			2: []byte("one"), 3: []byte("one"),
+		}
+		commits := runVeryWeak(t, systems, func(p types.ProcessID) []byte { return inputs[p] })
+		checkVeryWeakAgreement(t, commits)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestImplicationMatrix(t *testing.T) {
+	// Prints Figure 1 as the library encodes it (go test -run
+	// TestImplicationMatrix -v ./internal/core) and verifies consistency.
+	if err := ValidateDiagram(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range Edges() {
+		arrow := "==>"
+		if e.Kind == Cannot {
+			arrow = "=X=>"
+		}
+		t.Logf("%-58s %-4s %-42s [%s] via %s", e.From, arrow, e.To, e.Resilience, e.Witness)
+	}
+}
+
+func TestDiagramCoversBothHardwareClasses(t *testing.T) {
+	classes := map[string]bool{}
+	for _, n := range Nodes() {
+		if n.Kind == HardwareClass {
+			classes[n.Name] = true
+		}
+	}
+	if len(classes) != 2 {
+		t.Fatalf("expected exactly 2 hardware classes, got %v", classes)
+	}
+	if !classes[NodeSharedMemory] || !classes[NodeTrustedLogs] {
+		t.Fatalf("hardware classes misnamed: %v", classes)
+	}
+}
+
+func TestDiagramHasTheSeparation(t *testing.T) {
+	// The paper's central claim: an Implements edge from unidirectionality
+	// to SRB, and a Cannot edge back.
+	var forward, backward bool
+	for _, e := range Edges() {
+		if e.From == NodeUnidirectional && e.To == NodeSRB && e.Kind == Implements {
+			forward = true
+		}
+		if e.From == NodeSRB && e.To == NodeUnidirectional && e.Kind == Cannot {
+			backward = true
+		}
+	}
+	if !forward || !backward {
+		t.Fatalf("separation edges missing: forward=%v backward=%v", forward, backward)
+	}
+}
+
+func TestSharedMemoryStrictlyAboveTrustedLogs(t *testing.T) {
+	sm, err := NodeByName(NodeSharedMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := NodeByName(NodeTrustedLogs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sm.Class.Subsumes(tl.Class) || tl.Class.Subsumes(sm.Class) {
+		t.Fatalf("class order wrong: shared=%v logs=%v", sm.Class, tl.Class)
+	}
+}
+
+func TestNodeByNameUnknown(t *testing.T) {
+	if _, err := NodeByName("nonsense"); err == nil || !strings.Contains(err.Error(), "nonsense") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEveryEdgeNamesARealPackage(t *testing.T) {
+	for _, e := range Edges() {
+		if !strings.HasPrefix(e.Package, "internal/") {
+			t.Fatalf("edge %q -> %q names package %q", e.From, e.To, e.Package)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"unidir/internal/types"
+)
+
+// UniChecker records one execution of a round system and evaluates the
+// paper's unidirectionality predicate over it:
+//
+//	for any pair of correct processes p and q that both send a message in
+//	round r, either p receives q's round-r message before the beginning of
+//	p's next round, or q receives p's before the beginning of q's next round.
+//
+// Instrumented round systems report three event kinds, each at the moment it
+// happens in the execution:
+//
+//	Sent(p, r)      — p sent its round-r message
+//	Got(p, q, r)    — p now possesses q's round-r message
+//	Boundary(p, r)  — p's round r is over (p is about to begin round r+1,
+//	                  or the harness declared the execution finished)
+//
+// At Boundary(p, r) the checker freezes p's round-r receive set: Got events
+// arriving later are recorded (they matter for eventual-delivery checks) but
+// do not count toward the unidirectionality predicate for round r.
+//
+// A pair (p, q, r) is *evaluable* once both boundaries are frozen; it is a
+// violation if both sent and neither frozen set contains the other. Pairs
+// whose boundaries never froze are vacuously satisfied (the processes may
+// yet receive the messages before their next rounds).
+//
+// UniChecker is safe for concurrent use by all processes of an execution.
+type UniChecker struct {
+	mu       sync.Mutex
+	sent     map[procRound]bool
+	got      map[gotKey]bool
+	frozen   map[gotKey]bool // receive state at boundary time
+	boundary map[procRound]bool
+	rounds   map[types.Round]bool
+}
+
+type procRound struct {
+	p types.ProcessID
+	r types.Round
+}
+
+type gotKey struct {
+	p, q types.ProcessID // p has q's message
+	r    types.Round
+}
+
+// NewUniChecker returns an empty checker.
+func NewUniChecker() *UniChecker {
+	return &UniChecker{
+		sent:     make(map[procRound]bool),
+		got:      make(map[gotKey]bool),
+		frozen:   make(map[gotKey]bool),
+		boundary: make(map[procRound]bool),
+		rounds:   make(map[types.Round]bool),
+	}
+}
+
+// Sent records that p sent its round-r message. A process's own message is
+// considered in its possession immediately.
+func (c *UniChecker) Sent(p types.ProcessID, r types.Round) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sent[procRound{p, r}] = true
+	c.rounds[r] = true
+	c.got[gotKey{p, p, r}] = true
+}
+
+// Got records that p now possesses q's round-r message.
+func (c *UniChecker) Got(p, q types.ProcessID, r types.Round) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.boundary[procRound{p, r}] {
+		// Late arrival: keep for eventual-delivery introspection only.
+		c.got[gotKey{p, q, r}] = true
+		return
+	}
+	c.got[gotKey{p, q, r}] = true
+	c.frozen[gotKey{p, q, r}] = true
+}
+
+// Boundary marks the end of p's round r (the beginning of its next round).
+// Idempotent.
+func (c *UniChecker) Boundary(p types.ProcessID, r types.Round) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.boundary[procRound{p, r}] = true
+}
+
+// FinishAll marks a boundary for every process in ids at every round seen so
+// far. Harnesses call it when the execution is declared over and every
+// process has provably begun its next activity (or will never receive more).
+func (c *UniChecker) FinishAll(ids []types.ProcessID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for r := range c.rounds {
+		for _, p := range ids {
+			c.boundary[procRound{p, r}] = true
+		}
+	}
+}
+
+// Violation is one falsification of the unidirectionality predicate.
+type Violation struct {
+	A, B  types.ProcessID
+	Round types.Round
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("round %d: %v and %v both sent, neither received the other by its boundary", v.Round, v.A, v.B)
+}
+
+// Violations evaluates the predicate over all evaluable pairs of the given
+// correct processes and returns every violation, ordered deterministically.
+func (c *UniChecker) Violations(correct []types.ProcessID) []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Violation
+	rounds := make([]types.Round, 0, len(c.rounds))
+	for r := range c.rounds {
+		rounds = append(rounds, r)
+	}
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+	for _, r := range rounds {
+		for i := 0; i < len(correct); i++ {
+			for j := i + 1; j < len(correct); j++ {
+				p, q := correct[i], correct[j]
+				if !c.sent[procRound{p, r}] || !c.sent[procRound{q, r}] {
+					continue
+				}
+				if !c.boundary[procRound{p, r}] || !c.boundary[procRound{q, r}] {
+					continue // not evaluable yet
+				}
+				if c.frozen[gotKey{p, q, r}] || c.frozen[gotKey{q, p, r}] {
+					continue
+				}
+				out = append(out, Violation{A: p, B: q, Round: r})
+			}
+		}
+	}
+	return out
+}
+
+// GotByBoundary reports whether p possessed q's round-r message when p's
+// round-r boundary froze.
+func (c *UniChecker) GotByBoundary(p, q types.ProcessID, r types.Round) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frozen[gotKey{p, q, r}]
+}
+
+// GotEver reports whether p possessed q's round-r message at any time
+// (including after the boundary) — the eventual-delivery view.
+func (c *UniChecker) GotEver(p, q types.ProcessID, r types.Round) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.got[gotKey{p, q, r}]
+}
+
+// Rounds returns all round numbers in which any send was recorded.
+func (c *UniChecker) Rounds() []types.Round {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]types.Round, 0, len(c.rounds))
+	for r := range c.rounds {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unidir/internal/types"
+)
+
+// Oracle test: feed random event sequences to the incremental UniChecker
+// and compare its verdicts against a brute-force re-evaluation of the
+// paper's predicate over the same event trace.
+
+// traceEvent is one recorded event in the synthetic execution.
+type traceEvent struct {
+	kind byte // 's' sent, 'g' got, 'b' boundary
+	p, q types.ProcessID
+	r    types.Round
+}
+
+// bruteForce evaluates the unidirectionality predicate directly from the
+// trace: for each pair (p, q) and round r where both sent and both have a
+// boundary, check whether either Got event happened before the receiving
+// process's boundary.
+func bruteForce(trace []traceEvent, correct []types.ProcessID) []Violation {
+	type pr struct {
+		p types.ProcessID
+		r types.Round
+	}
+	sent := map[pr]bool{}
+	boundaryIdx := map[pr]int{}
+	type gk struct {
+		p, q types.ProcessID
+		r    types.Round
+	}
+	firstGot := map[gk]int{}
+	rounds := map[types.Round]bool{}
+	for i, ev := range trace {
+		switch ev.kind {
+		case 's':
+			sent[pr{ev.p, ev.r}] = true
+			rounds[ev.r] = true
+			key := gk{ev.p, ev.p, ev.r}
+			if _, ok := firstGot[key]; !ok {
+				firstGot[key] = i
+			}
+		case 'g':
+			key := gk{ev.p, ev.q, ev.r}
+			if _, ok := firstGot[key]; !ok {
+				firstGot[key] = i
+			}
+		case 'b':
+			key := pr{ev.p, ev.r}
+			if _, ok := boundaryIdx[key]; !ok {
+				boundaryIdx[key] = i
+			}
+		}
+	}
+	gotByBoundary := func(p, q types.ProcessID, r types.Round) bool {
+		b, ok := boundaryIdx[pr{p, r}]
+		if !ok {
+			return false
+		}
+		g, ok := firstGot[gk{p, q, r}]
+		return ok && g < b
+	}
+	var out []Violation
+	for r := range rounds {
+		for i := 0; i < len(correct); i++ {
+			for j := i + 1; j < len(correct); j++ {
+				p, q := correct[i], correct[j]
+				if !sent[pr{p, r}] || !sent[pr{q, r}] {
+					continue
+				}
+				_, pb := boundaryIdx[pr{p, r}]
+				_, qb := boundaryIdx[pr{q, r}]
+				if !pb || !qb {
+					continue
+				}
+				if gotByBoundary(p, q, r) || gotByBoundary(q, p, r) {
+					continue
+				}
+				out = append(out, Violation{A: p, B: q, Round: r})
+			}
+		}
+	}
+	return out
+}
+
+func TestQuickUniCheckerMatchesBruteForce(t *testing.T) {
+	const n = 4
+	correct := ids(0, 1, 2, 3)
+	f := func(seed int64, length uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewUniChecker()
+		var trace []traceEvent
+		for i := 0; i < int(length); i++ {
+			p := types.ProcessID(rng.Intn(n))
+			q := types.ProcessID(rng.Intn(n))
+			r := types.Round(rng.Intn(3) + 1)
+			switch rng.Intn(3) {
+			case 0:
+				c.Sent(p, r)
+				trace = append(trace, traceEvent{kind: 's', p: p, r: r})
+			case 1:
+				c.Got(p, q, r)
+				trace = append(trace, traceEvent{kind: 'g', p: p, q: q, r: r})
+			case 2:
+				c.Boundary(p, r)
+				trace = append(trace, traceEvent{kind: 'b', p: p, r: r})
+			}
+		}
+		got := c.Violations(correct)
+		want := bruteForce(trace, correct)
+		if len(got) != len(want) {
+			return false
+		}
+		wantSet := make(map[Violation]bool, len(want))
+		for _, v := range want {
+			wantSet[v] = true
+		}
+		for _, v := range got {
+			// Violations are reported with A < B in both evaluators, but
+			// normalize anyway.
+			alt := Violation{A: v.B, B: v.A, Round: v.Round}
+			if !wantSet[v] && !wantSet[alt] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The boundary-freeze rule has a subtlety the oracle must agree on: a Got
+// after the boundary never revives the pair.
+func TestQuickLateGotNeverRevives(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewUniChecker()
+		c.Sent(0, 1)
+		c.Sent(1, 1)
+		c.Boundary(0, 1)
+		c.Boundary(1, 1)
+		// Any sequence of post-boundary Gots...
+		for i := 0; i < rng.Intn(5); i++ {
+			c.Got(types.ProcessID(rng.Intn(2)), types.ProcessID(rng.Intn(2)), 1)
+		}
+		// ...must leave exactly one violation in place.
+		return len(c.Violations(ids(0, 1))) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

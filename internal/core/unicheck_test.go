@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"unidir/internal/types"
+)
+
+func ids(ns ...int) []types.ProcessID {
+	out := make([]types.ProcessID, len(ns))
+	for i, n := range ns {
+		out[i] = types.ProcessID(n)
+	}
+	return out
+}
+
+func TestNoViolationWhenOneDirectionHeard(t *testing.T) {
+	c := NewUniChecker()
+	c.Sent(0, 1)
+	c.Sent(1, 1)
+	c.Got(0, 1, 1) // p0 hears p1; p1 never hears p0
+	c.Boundary(0, 1)
+	c.Boundary(1, 1)
+	if v := c.Violations(ids(0, 1)); len(v) != 0 {
+		t.Fatalf("violations = %v, want none", v)
+	}
+}
+
+func TestViolationWhenNeitherHeard(t *testing.T) {
+	c := NewUniChecker()
+	c.Sent(0, 1)
+	c.Sent(1, 1)
+	c.Boundary(0, 1)
+	c.Boundary(1, 1)
+	v := c.Violations(ids(0, 1))
+	if len(v) != 1 || v[0].A != 0 || v[0].B != 1 || v[0].Round != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+	if v[0].String() == "" {
+		t.Fatal("violation should format")
+	}
+}
+
+func TestLateGotDoesNotCount(t *testing.T) {
+	c := NewUniChecker()
+	c.Sent(0, 1)
+	c.Sent(1, 1)
+	c.Boundary(0, 1)
+	c.Got(0, 1, 1) // arrives after p0's boundary
+	c.Boundary(1, 1)
+	c.Got(1, 0, 1) // arrives after p1's boundary
+	if v := c.Violations(ids(0, 1)); len(v) != 1 {
+		t.Fatalf("violations = %v, want 1 (both receptions were late)", v)
+	}
+	// ...but the eventual-delivery view still records them.
+	if !c.GotEver(0, 1, 1) || !c.GotEver(1, 0, 1) {
+		t.Fatal("GotEver lost late arrivals")
+	}
+	if c.GotByBoundary(0, 1, 1) {
+		t.Fatal("GotByBoundary counted a late arrival")
+	}
+}
+
+func TestUnevaluablePairsAreVacuouslyFine(t *testing.T) {
+	c := NewUniChecker()
+	c.Sent(0, 1)
+	c.Sent(1, 1)
+	c.Boundary(0, 1)
+	// p1 never reaches its boundary: the pair must not be reported.
+	if v := c.Violations(ids(0, 1)); len(v) != 0 {
+		t.Fatalf("violations = %v, want none (p1 still in round)", v)
+	}
+}
+
+func TestOnlySendingPairsAreConstrained(t *testing.T) {
+	c := NewUniChecker()
+	c.Sent(0, 1) // p1 sits the round out
+	c.Boundary(0, 1)
+	c.Boundary(1, 1)
+	if v := c.Violations(ids(0, 1)); len(v) != 0 {
+		t.Fatalf("violations = %v, want none", v)
+	}
+}
+
+func TestByzantinePairsExcluded(t *testing.T) {
+	c := NewUniChecker()
+	c.Sent(0, 1)
+	c.Sent(1, 1)
+	c.Sent(2, 1)
+	c.Got(0, 1, 1)
+	c.Got(1, 0, 1)
+	for _, p := range ids(0, 1, 2) {
+		c.Boundary(p, 1)
+	}
+	// Only 0 and 1 are correct; pairs involving 2 are unconstrained.
+	if v := c.Violations(ids(0, 1)); len(v) != 0 {
+		t.Fatalf("violations = %v, want none", v)
+	}
+	// If 2 were also correct, its silence would be a violation with both.
+	if v := c.Violations(ids(0, 1, 2)); len(v) != 2 {
+		t.Fatalf("violations = %v, want 2", v)
+	}
+}
+
+func TestMultipleRoundsIndependent(t *testing.T) {
+	c := NewUniChecker()
+	for r := types.Round(1); r <= 3; r++ {
+		c.Sent(0, r)
+		c.Sent(1, r)
+		if r != 2 {
+			c.Got(0, 1, r)
+		}
+		c.Boundary(0, r)
+		c.Boundary(1, r)
+	}
+	v := c.Violations(ids(0, 1))
+	if len(v) != 1 || v[0].Round != 2 {
+		t.Fatalf("violations = %v, want exactly round 2", v)
+	}
+	if got := c.Rounds(); len(got) != 3 {
+		t.Fatalf("Rounds = %v", got)
+	}
+}
+
+func TestFinishAllFreezesEverything(t *testing.T) {
+	c := NewUniChecker()
+	c.Sent(0, 1)
+	c.Sent(1, 1)
+	c.FinishAll(ids(0, 1))
+	if v := c.Violations(ids(0, 1)); len(v) != 1 {
+		t.Fatalf("violations after FinishAll = %v, want 1", v)
+	}
+}
+
+func TestOwnMessagePossessedImmediately(t *testing.T) {
+	c := NewUniChecker()
+	c.Sent(0, 1)
+	if !c.GotEver(0, 0, 1) {
+		t.Fatal("sender does not possess its own message")
+	}
+}
+
+func TestClassSubsumption(t *testing.T) {
+	if !Bidirectional.Subsumes(Unidirectional) || !Unidirectional.Subsumes(ZeroDirectional) {
+		t.Fatal("subsumption order broken")
+	}
+	if ZeroDirectional.Subsumes(Unidirectional) {
+		t.Fatal("zero-directional must not subsume unidirectional")
+	}
+	if Bidirectional.String() == "" || Unidirectional.String() == "" || ZeroDirectional.String() == "" {
+		t.Fatal("class names must format")
+	}
+}

@@ -1,0 +1,239 @@
+// Package harness provides ready-made cluster builders for benchmarks,
+// experiments, and the cmd/ tools: full SRB node sets over each substrate,
+// and SMR deployments (MinBFT, PBFT) over the simulated network with a
+// connected client.
+package harness
+
+// Cluster builders shared by the experiments: SRB node sets over each
+// substrate, and SMR clusters (MinBFT, PBFT) over simnet.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"unidir/internal/kvstore"
+	"unidir/internal/minbft"
+	"unidir/internal/pbft"
+	"unidir/internal/rounds"
+	"unidir/internal/sig"
+	"unidir/internal/simnet"
+	"unidir/internal/smr"
+	"unidir/internal/srb"
+	"unidir/internal/srb/a2msrb"
+	"unidir/internal/srb/bracha"
+	"unidir/internal/srb/trincsrb"
+	"unidir/internal/srb/uniround"
+	"unidir/internal/trusted/a2m"
+	"unidir/internal/trusted/swmr"
+	"unidir/internal/trusted/trinc"
+	"unidir/internal/types"
+)
+
+// SRBCluster is a running SRB node set.
+type SRBCluster struct {
+	Nodes []srb.Node
+	Stop  func()
+}
+
+func BuildUniroundCluster(m types.Membership) (*SRBCluster, error) {
+	rings, err := sig.NewKeyrings(m, sig.HMAC, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return nil, err
+	}
+	stores := make([]*swmr.Store, m.N)
+	for s := range stores {
+		if stores[s], err = swmr.NewStore(m); err != nil {
+			return nil, err
+		}
+	}
+	nodes := make([]srb.Node, m.N)
+	for i := 0; i < m.N; i++ {
+		self := types.ProcessID(i)
+		nodes[i], err = uniround.New(m, rings[i], func(sender types.ProcessID) (rounds.System, error) {
+			return rounds.NewSWMR(swmr.NewLocal(stores[sender], self), m)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &SRBCluster{Nodes: nodes, Stop: func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}}, nil
+}
+
+func BuildTrincCluster(m types.Membership) (*SRBCluster, error) {
+	net, err := simnet.New(m)
+	if err != nil {
+		return nil, err
+	}
+	tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(2)))
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	nodes := make([]srb.Node, m.N)
+	for i := 0; i < m.N; i++ {
+		nodes[i], err = trincsrb.New(m, net.Endpoint(types.ProcessID(i)), tu.Devices[i], tu.Verifier)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+	}
+	return &SRBCluster{Nodes: nodes, Stop: func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		net.Close()
+	}}, nil
+}
+
+func BuildBrachaCluster(m types.Membership) (*SRBCluster, error) {
+	net, err := simnet.New(m)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]srb.Node, m.N)
+	for i := 0; i < m.N; i++ {
+		nodes[i], err = bracha.New(m, net.Endpoint(types.ProcessID(i)))
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+	}
+	return &SRBCluster{Nodes: nodes, Stop: func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		net.Close()
+	}}, nil
+}
+
+// SMRCluster is a running SMR deployment with one client.
+type SMRCluster struct {
+	KV   *kvstore.Client
+	Stop func()
+}
+
+func BuildMinBFT(f int) (*SMRCluster, error) {
+	n := 2*f + 1
+	m, err := types.NewMembership(n, f)
+	if err != nil {
+		return nil, err
+	}
+	netM, err := types.NewMembership(n+1, f)
+	if err != nil {
+		return nil, err
+	}
+	net, err := simnet.New(netM)
+	if err != nil {
+		return nil, err
+	}
+	tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(3)))
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	replicas := make([]*minbft.Replica, n)
+	for i := 0; i < n; i++ {
+		replicas[i], err = minbft.New(m, net.Endpoint(types.ProcessID(i)), tu.Devices[i], tu.Verifier,
+			kvstore.New(), minbft.WithRequestTimeout(5*time.Second))
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+	}
+	clientID := types.ProcessID(n)
+	base, err := smr.NewClient(net.Endpoint(clientID), m.All(), m.FPlusOne(), uint64(clientID),
+		time.Second, smr.WithRequestEncoder(minbft.EncodeRequestEnvelope))
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	return &SMRCluster{KV: kvstore.NewClient(base), Stop: func() {
+		for _, r := range replicas {
+			_ = r.Close()
+		}
+		net.Close()
+	}}, nil
+}
+
+func BuildPBFT(f int) (*SMRCluster, error) {
+	n := 3*f + 1
+	m, err := types.NewMembership(n, f)
+	if err != nil {
+		return nil, err
+	}
+	netM, err := types.NewMembership(n+1, f)
+	if err != nil {
+		return nil, err
+	}
+	net, err := simnet.New(netM)
+	if err != nil {
+		return nil, err
+	}
+	rings, err := sig.NewKeyrings(m, sig.HMAC, rand.New(rand.NewSource(4)))
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	replicas := make([]*pbft.Replica, n)
+	for i := 0; i < n; i++ {
+		replicas[i], err = pbft.New(m, net.Endpoint(types.ProcessID(i)), rings[i], kvstore.New())
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+	}
+	clientID := types.ProcessID(n)
+	base, err := smr.NewClient(net.Endpoint(clientID), m.All(), m.FPlusOne(), uint64(clientID),
+		time.Second, smr.WithRequestEncoder(pbft.EncodeRequestEnvelope))
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	return &SMRCluster{KV: kvstore.NewClient(base), Stop: func() {
+		for _, r := range replicas {
+			_ = r.Close()
+		}
+		net.Close()
+	}}, nil
+}
+
+func MustMembership(n, f int) types.Membership {
+	m, err := types.NewMembership(n, f)
+	if err != nil {
+		panic(fmt.Sprintf("membership(%d,%d): %v", n, f, err))
+	}
+	return m
+}
+
+// BuildA2MCluster builds an SRB node set over A2M logs (native devices,
+// agreed log ID 1) on a simulated network.
+func BuildA2MCluster(m types.Membership) (*SRBCluster, error) {
+	net, err := simnet.New(m)
+	if err != nil {
+		return nil, err
+	}
+	au, err := a2m.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(5)), nil)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	nodes := make([]srb.Node, m.N)
+	for i := 0; i < m.N; i++ {
+		nodes[i], err = a2msrb.New(m, net.Endpoint(types.ProcessID(i)), au.Devices[i].NewLog(), au.Verifier)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+	}
+	return &SRBCluster{Nodes: nodes, Stop: func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		net.Close()
+	}}, nil
+}

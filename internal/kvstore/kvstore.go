@@ -1,0 +1,161 @@
+// Package kvstore is the replicated application used by the examples and
+// benchmarks: a deterministic key-value store implementing smr.StateMachine,
+// with a typed command encoding and a typed client wrapper over smr.Client.
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"unidir/internal/smr"
+	"unidir/internal/wire"
+)
+
+// Command opcodes.
+const (
+	opGet byte = iota + 1
+	opPut
+	opDel
+)
+
+// Results begin with a status byte.
+const (
+	statusOK       byte = 0
+	statusNotFound byte = 1
+	statusBadCmd   byte = 2
+)
+
+// ErrNotFound reports a Get/Del of a missing key.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// Store is a deterministic in-memory key-value state machine. It is not
+// concurrency-safe by design: replicas apply commands from one goroutine
+// (see smr.StateMachine).
+type Store struct {
+	data map[string][]byte
+}
+
+var _ smr.StateMachine = (*Store)(nil)
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string][]byte)}
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int { return len(s.data) }
+
+// Apply executes one encoded command. Malformed commands yield a BadCmd
+// status deterministically (they must not crash the replica: a Byzantine
+// client's garbage is ordered like any other command).
+func (s *Store) Apply(cmd []byte) []byte {
+	d := wire.NewDecoder(cmd)
+	op := d.Byte()
+	key := d.String()
+	switch op {
+	case opGet:
+		if d.Finish() != nil {
+			return []byte{statusBadCmd}
+		}
+		v, ok := s.data[key]
+		if !ok {
+			return []byte{statusNotFound}
+		}
+		return append([]byte{statusOK}, v...)
+	case opPut:
+		val := d.BytesField()
+		if d.Finish() != nil {
+			return []byte{statusBadCmd}
+		}
+		s.data[key] = append([]byte(nil), val...)
+		return []byte{statusOK}
+	case opDel:
+		if d.Finish() != nil {
+			return []byte{statusBadCmd}
+		}
+		if _, ok := s.data[key]; !ok {
+			return []byte{statusNotFound}
+		}
+		delete(s.data, key)
+		return []byte{statusOK}
+	default:
+		return []byte{statusBadCmd}
+	}
+}
+
+// EncodeGet builds a GET command.
+func EncodeGet(key string) []byte {
+	e := wire.NewEncoder(8 + len(key))
+	e.Byte(opGet)
+	e.String(key)
+	return e.Bytes()
+}
+
+// EncodePut builds a PUT command.
+func EncodePut(key string, value []byte) []byte {
+	e := wire.NewEncoder(16 + len(key) + len(value))
+	e.Byte(opPut)
+	e.String(key)
+	e.BytesField(value)
+	return e.Bytes()
+}
+
+// EncodeDel builds a DEL command.
+func EncodeDel(key string) []byte {
+	e := wire.NewEncoder(8 + len(key))
+	e.Byte(opDel)
+	e.String(key)
+	return e.Bytes()
+}
+
+// Client wraps an smr.Client with typed key-value operations.
+type Client struct {
+	c *smr.Client
+}
+
+// NewClient wraps c.
+func NewClient(c *smr.Client) *Client { return &Client{c: c} }
+
+// Get fetches a key's value.
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	res, err := c.c.Invoke(ctx, EncodeGet(key))
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(res)
+}
+
+// Put stores a key.
+func (c *Client) Put(ctx context.Context, key string, value []byte) error {
+	res, err := c.c.Invoke(ctx, EncodePut(key, value))
+	if err != nil {
+		return err
+	}
+	_, err = decodeResult(res)
+	return err
+}
+
+// Del removes a key.
+func (c *Client) Del(ctx context.Context, key string) error {
+	res, err := c.c.Invoke(ctx, EncodeDel(key))
+	if err != nil {
+		return err
+	}
+	_, err = decodeResult(res)
+	return err
+}
+
+func decodeResult(res []byte) ([]byte, error) {
+	if len(res) == 0 {
+		return nil, fmt.Errorf("kvstore: empty result")
+	}
+	switch res[0] {
+	case statusOK:
+		return res[1:], nil
+	case statusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, fmt.Errorf("kvstore: malformed command")
+	}
+}

@@ -1,0 +1,80 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestApplyPutGetDel(t *testing.T) {
+	s := New()
+	if res := s.Apply(EncodePut("k", []byte("v"))); res[0] != statusOK {
+		t.Fatalf("put status = %d", res[0])
+	}
+	res := s.Apply(EncodeGet("k"))
+	if res[0] != statusOK || string(res[1:]) != "v" {
+		t.Fatalf("get = %v", res)
+	}
+	if res := s.Apply(EncodeDel("k")); res[0] != statusOK {
+		t.Fatalf("del status = %d", res[0])
+	}
+	if res := s.Apply(EncodeGet("k")); res[0] != statusNotFound {
+		t.Fatalf("get after del status = %d", res[0])
+	}
+	if res := s.Apply(EncodeDel("k")); res[0] != statusNotFound {
+		t.Fatalf("del missing status = %d", res[0])
+	}
+}
+
+func TestApplyMalformedCommands(t *testing.T) {
+	s := New()
+	for _, cmd := range [][]byte{nil, {}, {99}, {opPut, 1, 2}, append(EncodeGet("k"), 0xFF)} {
+		res := s.Apply(cmd)
+		if len(res) == 0 || res[0] != statusBadCmd {
+			t.Fatalf("Apply(%v) = %v, want BadCmd", cmd, res)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("malformed commands mutated state: %d keys", s.Len())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Identical command sequences yield identical result sequences — the
+	// property SMR depends on.
+	f := func(keys []uint8, vals [][]byte) bool {
+		a, b := New(), New()
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			key := string([]byte{keys[i] % 8}) // few keys -> many collisions
+			var cmd []byte
+			switch i % 3 {
+			case 0:
+				cmd = EncodePut(key, vals[i])
+			case 1:
+				cmd = EncodeGet(key)
+			default:
+				cmd = EncodeDel(key)
+			}
+			if !bytes.Equal(a.Apply(cmd), b.Apply(cmd)) {
+				return false
+			}
+		}
+		return a.Len() == b.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyValueRoundTrip(t *testing.T) {
+	s := New()
+	s.Apply(EncodePut("empty", nil))
+	res := s.Apply(EncodeGet("empty"))
+	if res[0] != statusOK || len(res) != 1 {
+		t.Fatalf("get empty = %v", res)
+	}
+}

@@ -1,0 +1,763 @@
+// Package minbft implements a MinBFT-style Byzantine fault-tolerant
+// replicated state machine (Veronese et al., "Efficient Byzantine
+// Fault-Tolerance", IEEE ToC 2013) with n = 2f+1 replicas, built on the
+// library's simulated TrInc trinkets as the USIG (Unique Sequential
+// Identifier Generator).
+//
+// This is the paper's classification made concrete on the application
+// level: trusted-log hardware (TrInc) lets an asynchronous BFT SMR run with
+// 2f+1 replicas and two communication phases, versus PBFT's 3f+1 replicas
+// and three phases (internal/pbft is that baseline). Every replica message
+// carries a UI — a TrInc attestation over the message body on the
+// replica's USIG counter — so a replica cannot send conflicting messages
+// at the same counter value, and receivers process each peer's messages in
+// counter order.
+//
+// Normal case:
+//
+//	client  --REQUEST-->  all replicas
+//	primary --PREPARE(v, req)+UI-->  all
+//	backup  --COMMIT(v, prepare-UI, digest)+UI--> all
+//	executed at f+1 matching endorsements (the PREPARE counts as the
+//	primary's); replicas reply directly to the client, which accepts a
+//	result vouched for by f+1 replicas.
+//
+// Omission recovery: messages are authenticated by their UI rather than
+// the delivery channel, so any replica can relay any protocol message. A
+// replica that detects a gap in a peer's UI sequence (or a commit
+// referencing a prepare it never received) broadcasts a FETCH and peers
+// answer from their message stores — a Byzantine sender cannot stall
+// correct replicas by sending to only some of them.
+//
+// View change (checkpoint-free; checkpoints and garbage collection are
+// future work, as noted in DESIGN.md): on request timeout a replica
+// broadcasts VIEW-CHANGE(v+1, accepted-prepare log)+UI; the new primary
+// assembles f+1 of them into NEW-VIEW. Every replica deterministically
+// recomputes the union of the embedded logs — each entry self-certified by
+// the old primary's UI, so entries can be omitted but never forged —
+// orders it by (view, prepare counter), executes what it has not executed
+// yet (client-table dedup), and enters the new view. Any request executed
+// by a correct replica carries f+1 endorsements, hence appears in at least
+// one log of any f+1 view-change quorum (quorum intersection at n = 2f+1),
+// so no committed request is lost.
+package minbft
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"unidir/internal/smr"
+	"unidir/internal/syncx"
+	"unidir/internal/transport"
+	"unidir/internal/trusted/trinc"
+	"unidir/internal/types"
+)
+
+// ErrClosed reports use of a closed replica.
+var ErrClosed = errors.New("minbft: replica closed")
+
+// Option configures a Replica.
+type Option func(*Replica)
+
+// WithRequestTimeout sets how long a pending request may wait before the
+// replica initiates a view change (default 500ms).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(r *Replica) { r.reqTimeout = d }
+}
+
+// WithExecutionLog attaches a log capturing every applied command, for
+// cross-replica consistency checking in tests.
+func WithExecutionLog(l *smr.ExecutionLog) Option {
+	return func(r *Replica) { r.execLog = l }
+}
+
+// Replica is one MinBFT replica. Create with New, stop with Close.
+type Replica struct {
+	m   types.Membership
+	tr  transport.Transport
+	dev *trinc.Device
+	ver *trinc.Verifier
+	sm  smr.StateMachine
+
+	reqTimeout time.Duration
+	execLog    *smr.ExecutionLog
+
+	events *syncx.Queue[event]
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	closed bool
+
+	// State below is owned by the run goroutine.
+	view       types.View
+	inVC       bool       // view change in progress
+	targetView types.View // view being changed to while inVC
+
+	lastUI   map[types.ProcessID]types.SeqNum             // per-peer processed UI cursor
+	uiBuffer map[types.ProcessID]map[types.SeqNum]peerMsg // out-of-order holding
+	msgStore map[types.ProcessID]map[types.SeqNum]peerMsg // processed messages, servable to fetchers
+
+	entries   map[entryKey]*entry
+	prepOrder []entryKey // accepted prepares of the current view, in UI order
+	execIdx   int        // next prepOrder index to execute
+
+	acceptedLog []logEntry // all prepares this replica ever endorsed
+
+	table   *smr.ClientTable
+	pending map[pendingKey]smr.Request
+
+	vcVotes map[types.View]map[types.ProcessID]signedVC
+}
+
+type entryKey struct {
+	view types.View
+	seq  types.SeqNum // primary's UI counter value
+}
+
+type pendingKey struct {
+	client, num uint64
+}
+
+type entry struct {
+	req       *smr.Request
+	reqDigest [sha256.Size]byte
+	prepUI    trinc.Attestation
+	votes     map[types.ProcessID]bool
+	executed  bool
+}
+
+type peerMsg struct {
+	kind byte
+	body []byte
+	ui   trinc.Attestation
+}
+
+type event struct {
+	env   *transport.Envelope
+	timer *timerEvent
+}
+
+type timerEvent struct {
+	kind    byte // 't' request timeout, 'v' view-change timeout, 'f' fetch
+	pending pendingKey
+	view    types.View
+	peer    types.ProcessID // fetch target trinket
+	seq     types.SeqNum    // fetch target counter value
+	retries int
+}
+
+// maxFetchRetries bounds gap-fill attempts: a trinket owner that attested
+// a counter value but never released the message to anyone is detectably
+// faulty, and chasing it forever would be an amplification vector.
+const maxFetchRetries = 8
+
+// New starts a replica. dev is this replica's trinket (its USIG); ver
+// verifies all trinkets; sm is the deterministic application.
+func New(m types.Membership, tr transport.Transport, dev *trinc.Device, ver *trinc.Verifier, sm smr.StateMachine, opts ...Option) (*Replica, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.N < 2*m.F+1 {
+		return nil, fmt.Errorf("minbft: requires n >= 2f+1, got n=%d f=%d", m.N, m.F)
+	}
+	if dev.Owner() != tr.Self() {
+		return nil, fmt.Errorf("minbft: trinket owner %v != endpoint %v", dev.Owner(), tr.Self())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Replica{
+		m:          m,
+		tr:         tr,
+		dev:        dev,
+		ver:        ver,
+		sm:         sm,
+		reqTimeout: 500 * time.Millisecond,
+		events:     syncx.NewQueue[event](),
+		cancel:     cancel,
+		lastUI:     make(map[types.ProcessID]types.SeqNum),
+		uiBuffer:   make(map[types.ProcessID]map[types.SeqNum]peerMsg),
+		msgStore:   make(map[types.ProcessID]map[types.SeqNum]peerMsg),
+		entries:    make(map[entryKey]*entry),
+		table:      smr.NewClientTable(),
+		pending:    make(map[pendingKey]smr.Request),
+		vcVotes:    make(map[types.View]map[types.ProcessID]signedVC),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	r.wg.Add(2)
+	go r.recvLoop(ctx)
+	go r.run(ctx)
+	return r, nil
+}
+
+// Self returns the replica's process ID.
+func (r *Replica) Self() types.ProcessID { return r.tr.Self() }
+
+// View returns the replica's current view (for tests and monitoring).
+func (r *Replica) View() types.View {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.view
+}
+
+// Close stops the replica's goroutines.
+func (r *Replica) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.cancel()
+	r.events.Close()
+	_ = r.tr.Close()
+	r.wg.Wait()
+	return nil
+}
+
+func (r *Replica) recvLoop(ctx context.Context) {
+	defer r.wg.Done()
+	for {
+		env, err := r.tr.Recv(ctx)
+		if err != nil {
+			return
+		}
+		e := env
+		r.events.Push(event{env: &e})
+	}
+}
+
+func (r *Replica) run(ctx context.Context) {
+	defer r.wg.Done()
+	for {
+		ev, err := r.events.Pop(ctx)
+		if err != nil {
+			return
+		}
+		switch {
+		case ev.env != nil:
+			r.handleEnvelope(*ev.env)
+		case ev.timer != nil:
+			r.handleTimer(*ev.timer)
+		}
+	}
+}
+
+// --- sending helpers ---
+
+// attestAndSend attests (kind, body) on the USIG and broadcasts the
+// envelope to all other replicas, returning the UI.
+func (r *Replica) attestAndSend(kind byte, body []byte) (trinc.Attestation, error) {
+	next := r.dev.LastAttested(usigCounter) + 1
+	ui, err := r.dev.Attest(usigCounter, next, uiBinding(kind, body))
+	if err != nil {
+		return trinc.Attestation{}, fmt.Errorf("minbft: usig attest: %w", err)
+	}
+	payload := encodeEnvelope(kind, body, &ui)
+	if err := transport.Broadcast(r.tr, r.m.Others(r.Self()), payload); err != nil {
+		return trinc.Attestation{}, fmt.Errorf("minbft: broadcast: %w", err)
+	}
+	// Retain own sends so lagging peers can gap-fill from us directly.
+	r.storeMsg(r.Self(), ui.Seq, peerMsg{kind: kind, body: body, ui: ui})
+	return ui, nil
+}
+
+func (r *Replica) reply(req smr.Request, result []byte) {
+	rep := smr.Reply{Replica: r.Self(), Client: req.Client, Num: req.Num, Result: result}
+	_ = r.tr.Send(types.ProcessID(req.Client), rep.Encode())
+}
+
+// --- receive path ---
+
+func (r *Replica) handleEnvelope(env transport.Envelope) {
+	kind, body, ui, err := decodeEnvelope(env.Payload)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case kindRequest:
+		req, err := smr.DecodeRequest(body)
+		if err != nil {
+			return
+		}
+		r.handleRequest(req)
+		return
+	case kindFetch:
+		r.handleFetch(env.From, body)
+		return
+	case kindFetchResp:
+		// The response carries a stored original envelope; it is
+		// self-authenticating (UI), so feed it back through this path.
+		innerKind, innerBody, innerUI, err := decodeEnvelope(body)
+		if err != nil || innerKind == kindFetch || innerKind == kindFetchResp || innerKind == kindRequest {
+			return
+		}
+		r.ingestReplicaMsg(innerKind, innerBody, innerUI)
+		return
+	}
+	r.ingestReplicaMsg(kind, body, ui)
+}
+
+// ingestReplicaMsg authenticates replica traffic by its UI — the
+// attestation, not the channel, names the originator, which makes every
+// protocol message relayable (the fetch protocol depends on this) — and
+// processes each trinket's messages in counter order, buffering gaps.
+func (r *Replica) ingestReplicaMsg(kind byte, body []byte, ui *trinc.Attestation) {
+	if ui == nil || !r.m.Contains(ui.Trinket) || ui.Trinket == r.Self() || ui.Counter != usigCounter {
+		return
+	}
+	if err := r.ver.CheckMessage(*ui, uiBinding(kind, body)); err != nil {
+		return
+	}
+	from := ui.Trinket
+	buf := r.uiBuffer[from]
+	if buf == nil {
+		buf = make(map[types.SeqNum]peerMsg)
+		r.uiBuffer[from] = buf
+	}
+	if ui.Seq <= r.lastUI[from] {
+		return // already processed (retransmission or replay)
+	}
+	buf[ui.Seq] = peerMsg{kind: kind, body: body, ui: *ui}
+	if ui.Seq > r.lastUI[from]+1 {
+		// A gap: some earlier message of this trinket never arrived
+		// (targeted omission or loss). Ask the others for it.
+		r.scheduleFetch(from, r.lastUI[from]+1)
+	}
+	for {
+		next, ok := buf[r.lastUI[from]+1]
+		if !ok {
+			break
+		}
+		delete(buf, r.lastUI[from]+1)
+		r.lastUI[from]++
+		r.storeMsg(from, r.lastUI[from], next)
+		r.dispatch(from, next)
+	}
+}
+
+// storeMsg retains a processed message so lagging peers can fetch it.
+// (Unbounded without checkpoints, like the accepted-prepare log.)
+func (r *Replica) storeMsg(from types.ProcessID, seq types.SeqNum, msg peerMsg) {
+	bySeq := r.msgStore[from]
+	if bySeq == nil {
+		bySeq = make(map[types.SeqNum]peerMsg)
+		r.msgStore[from] = bySeq
+	}
+	bySeq[seq] = msg
+}
+
+// scheduleFetch arms a delayed gap-fill query for (peer, seq); if the gap
+// closes on its own (late direct delivery) the fire is a no-op.
+func (r *Replica) scheduleFetch(peer types.ProcessID, seq types.SeqNum) {
+	r.afterTimeout(r.reqTimeout/4, timerEvent{kind: 'f', peer: peer, seq: seq})
+}
+
+func (r *Replica) handleFetch(from types.ProcessID, body []byte) {
+	peer, seq, err := decodeFetchBody(body)
+	if err != nil || !r.m.Contains(from) {
+		return
+	}
+	msg, ok := r.msgStore[peer][seq]
+	if !ok {
+		return
+	}
+	inner := encodeEnvelope(msg.kind, msg.body, &msg.ui)
+	_ = r.tr.Send(from, encodeEnvelope(kindFetchResp, inner, nil))
+}
+
+func (r *Replica) dispatch(from types.ProcessID, msg peerMsg) {
+	switch msg.kind {
+	case kindPrepare:
+		r.handlePrepare(from, msg)
+	case kindCommit:
+		r.handleCommit(from, msg)
+	case kindViewChange:
+		r.handleViewChange(from, msg)
+	case kindNewView:
+		r.handleNewView(from, msg)
+	}
+}
+
+// --- client requests ---
+
+func (r *Replica) handleRequest(req smr.Request) {
+	if result, ok := r.table.CachedReply(req); ok {
+		r.reply(req, result)
+		return
+	}
+	if !r.table.ShouldExecute(req) {
+		return // older than the client's last executed request
+	}
+	key := pendingKey{req.Client, req.Num}
+	if _, dup := r.pending[key]; dup {
+		return
+	}
+	r.pending[key] = req
+	if r.m.Leader(r.view) == r.Self() && !r.inVC {
+		r.sendPrepare(req)
+	}
+	// Arm the liveness watchdog for this request.
+	r.afterTimeout(r.reqTimeout, timerEvent{kind: 't', pending: key, view: r.view})
+}
+
+func (r *Replica) afterTimeout(d time.Duration, te timerEvent) {
+	t := te
+	time.AfterFunc(d, func() {
+		r.events.Push(event{timer: &t})
+	})
+}
+
+func (r *Replica) handleTimer(te timerEvent) {
+	switch te.kind {
+	case 't':
+		if _, still := r.pending[te.pending]; still && te.view == r.view && !r.inVC {
+			r.startViewChange(r.view + 1)
+		}
+	case 'v':
+		if r.inVC && r.targetView == te.view {
+			r.startViewChange(te.view + 1)
+		}
+	case 'f':
+		if r.lastUI[te.peer] >= te.seq || te.retries >= maxFetchRetries {
+			return // gap closed, or giving up on a withholding trinket
+		}
+		body := encodeFetchBody(te.peer, te.seq)
+		_ = transport.Broadcast(r.tr, r.m.Others(r.Self()), encodeEnvelope(kindFetch, body, nil))
+		next := te
+		next.retries++
+		r.afterTimeout(r.reqTimeout/2, next)
+	}
+}
+
+// --- normal case ---
+
+func (r *Replica) sendPrepare(req smr.Request) {
+	p := prepare{View: r.view, Req: req}
+	body := p.encodeBody()
+	ui, err := r.attestAndSend(kindPrepare, body)
+	if err != nil {
+		return
+	}
+	// The primary's prepare is its own endorsement.
+	r.acceptPrepare(r.Self(), p, ui)
+}
+
+func (r *Replica) handlePrepare(from types.ProcessID, msg peerMsg) {
+	p, err := decodePrepareBody(msg.body)
+	if err != nil {
+		return
+	}
+	if r.inVC || p.View != r.view || r.m.Leader(p.View) != from {
+		return
+	}
+	if !r.table.ShouldExecute(p.Req) {
+		// Already executed; nothing to endorse, but resend the cached reply
+		// in case the client is retransmitting.
+		if result, ok := r.table.CachedReply(p.Req); ok {
+			r.reply(p.Req, result)
+		}
+		return
+	}
+	r.acceptPrepare(from, p, msg.ui)
+
+	// Endorse: broadcast a COMMIT with our own UI.
+	c := commit{
+		View:      p.View,
+		Primary:   from,
+		PrepSeq:   msg.ui.Seq,
+		ReqDigest: sha256.Sum256(p.Req.Encode()),
+	}
+	if _, err := r.attestAndSend(kindCommit, c.encodeBody()); err != nil {
+		return
+	}
+	key := entryKey{p.View, msg.ui.Seq}
+	r.entries[key].votes[r.Self()] = true
+	r.tryExecute()
+}
+
+// acceptPrepare records an accepted prepare: entry, execution order slot,
+// endorsed log for view changes, and the primary's implicit vote.
+func (r *Replica) acceptPrepare(primary types.ProcessID, p prepare, prepUI trinc.Attestation) {
+	key := entryKey{p.View, prepUI.Seq}
+	en := r.entries[key]
+	if en == nil {
+		en = &entry{votes: make(map[types.ProcessID]bool)}
+		r.entries[key] = en
+	}
+	if en.req == nil {
+		req := p.Req
+		digest := sha256.Sum256(p.Req.Encode())
+		// If commits arrived first and built a shell entry for a different
+		// request digest, those votes endorsed something else: discard them.
+		if len(en.votes) > 0 && en.reqDigest != digest {
+			en.votes = make(map[types.ProcessID]bool)
+		}
+		en.req = &req
+		en.reqDigest = digest
+		en.prepUI = prepUI
+		r.prepOrder = append(r.prepOrder, key)
+		r.acceptedLog = append(r.acceptedLog, logEntry{
+			View:    p.View,
+			PrepSeq: prepUI.Seq,
+			Req:     p.Req,
+			PrepUI:  prepUI,
+		})
+	}
+	en.votes[primary] = true
+	r.tryExecute()
+}
+
+func (r *Replica) handleCommit(from types.ProcessID, msg peerMsg) {
+	c, err := decodeCommitBody(msg.body)
+	if err != nil {
+		return
+	}
+	if r.inVC || c.View != r.view || r.m.Leader(c.View) != c.Primary || from == c.Primary {
+		return
+	}
+	key := entryKey{c.View, c.PrepSeq}
+	en := r.entries[key]
+	if en == nil {
+		// Commit arrived before the prepare: create a shell entry so the
+		// vote is not lost; the prepare fills in the request. If the
+		// prepare was withheld from us (targeted omission), the gap-fill
+		// protocol recovers it from the peers that did receive it.
+		en = &entry{votes: make(map[types.ProcessID]bool), reqDigest: c.ReqDigest}
+		r.entries[key] = en
+		r.scheduleFetch(c.Primary, c.PrepSeq)
+	}
+	if en.reqDigest != c.ReqDigest {
+		return // endorsement of a different request: ignore
+	}
+	en.votes[from] = true
+	r.tryExecute()
+}
+
+// tryExecute applies committed prepares in UI order.
+func (r *Replica) tryExecute() {
+	for r.execIdx < len(r.prepOrder) {
+		key := r.prepOrder[r.execIdx]
+		en := r.entries[key]
+		if en == nil || en.req == nil || en.executed || len(en.votes) < r.m.FPlusOne() {
+			return
+		}
+		en.executed = true
+		r.execIdx++
+		r.execute(*en.req)
+	}
+}
+
+// execute applies one request (with client-table dedup) and replies.
+func (r *Replica) execute(req smr.Request) {
+	delete(r.pending, pendingKey{req.Client, req.Num})
+	if !r.table.ShouldExecute(req) {
+		if result, ok := r.table.CachedReply(req); ok {
+			r.reply(req, result)
+		}
+		return
+	}
+	if r.execLog != nil {
+		r.execLog.Record(req.Encode())
+	}
+	result := r.sm.Apply(req.Op)
+	r.table.Executed(req, result)
+	r.reply(req, result)
+}
+
+// --- view change ---
+
+func (r *Replica) startViewChange(target types.View) {
+	if target <= r.view {
+		return
+	}
+	r.inVC = true
+	r.targetView = target
+	vc := viewChange{NewView: target, Log: r.acceptedLog}
+	body := vc.encodeBody()
+	ui, err := r.attestAndSend(kindViewChange, body)
+	if err != nil {
+		return
+	}
+	r.recordVC(r.Self(), signedVC{Sender: r.Self(), Body: body, UI: ui})
+	// If the view change stalls (for example a faulty new primary), move on.
+	r.afterTimeout(4*r.reqTimeout, timerEvent{kind: 'v', view: target})
+}
+
+func (r *Replica) handleViewChange(from types.ProcessID, msg peerMsg) {
+	vc, err := decodeViewChangeBody(msg.body, maxLogEntries)
+	if err != nil {
+		return
+	}
+	if vc.NewView <= r.view {
+		return
+	}
+	r.recordVC(from, signedVC{Sender: from, Body: msg.body, UI: msg.ui})
+}
+
+// maxLogEntries bounds decoded view-change logs (no checkpointing yet, so
+// generous; a real deployment would garbage-collect via checkpoints).
+const maxLogEntries = 1 << 16
+
+func (r *Replica) recordVC(from types.ProcessID, vc signedVC) {
+	nv, err := decodeViewChangeBody(vc.Body, maxLogEntries)
+	if err != nil {
+		return
+	}
+	votes := r.vcVotes[nv.NewView]
+	if votes == nil {
+		votes = make(map[types.ProcessID]signedVC)
+		r.vcVotes[nv.NewView] = votes
+	}
+	if _, dup := votes[from]; dup {
+		return
+	}
+	votes[from] = vc
+
+	// Join a view change once f+1 distinct replicas demand it (at least
+	// one is correct), unless we are already changing to it or beyond.
+	if len(votes) >= r.m.FPlusOne() && nv.NewView > r.view && (!r.inVC || r.targetView < nv.NewView) {
+		r.startViewChange(nv.NewView)
+	}
+
+	// The designated new primary assembles and installs the view.
+	if r.m.Leader(nv.NewView) == r.Self() && len(votes) >= r.m.FPlusOne() && nv.NewView > r.view {
+		vcs := make([]signedVC, 0, len(votes))
+		for _, v := range votes {
+			vcs = append(vcs, v)
+		}
+		sort.Slice(vcs, func(i, j int) bool { return vcs[i].Sender < vcs[j].Sender })
+		vcs = vcs[:r.m.FPlusOne()]
+		install := newView{NewView: nv.NewView, VCs: vcs}
+		body := install.encodeBody()
+		if _, err := r.attestAndSend(kindNewView, body); err != nil {
+			return
+		}
+		r.installView(install)
+	}
+}
+
+func (r *Replica) handleNewView(from types.ProcessID, msg peerMsg) {
+	nv, err := decodeNewViewBody(msg.body, r.m.N)
+	if err != nil {
+		return
+	}
+	if nv.NewView <= r.view || r.m.Leader(nv.NewView) != from {
+		return
+	}
+	if len(nv.VCs) < r.m.FPlusOne() {
+		return
+	}
+	seen := make(map[types.ProcessID]bool, len(nv.VCs))
+	for _, vc := range nv.VCs {
+		if seen[vc.Sender] || !r.m.Contains(vc.Sender) {
+			return
+		}
+		seen[vc.Sender] = true
+		// Each embedded view-change is verified by its sender's UI alone
+		// (evidence check; contiguity was the live path's concern).
+		if vc.UI.Trinket != vc.Sender || vc.UI.Counter != usigCounter {
+			return
+		}
+		if err := r.ver.CheckMessage(vc.UI, uiBinding(kindViewChange, vc.Body)); err != nil {
+			return
+		}
+		body, err := decodeViewChangeBody(vc.Body, maxLogEntries)
+		if err != nil || body.NewView != nv.NewView {
+			return
+		}
+	}
+	r.installView(nv)
+}
+
+// installView deterministically recomputes the union log from the f+1
+// view-change messages, executes everything not yet executed in (view,
+// prepare-counter) order, and enters the new view.
+func (r *Replica) installView(nv newView) {
+	union := make(map[entryKey]logEntry)
+	for _, vc := range nv.VCs {
+		body, err := decodeViewChangeBody(vc.Body, maxLogEntries)
+		if err != nil {
+			continue
+		}
+		for _, le := range body.Log {
+			if le.View >= nv.NewView {
+				continue // prepares cannot predate their own view change
+			}
+			primary := r.m.Leader(le.View)
+			// Entry evidence: the old primary's UI over the prepare body.
+			if le.PrepUI.Trinket != primary || le.PrepUI.Seq != le.PrepSeq || le.PrepUI.Counter != usigCounter {
+				continue
+			}
+			p := prepare{View: le.View, Req: le.Req}
+			if err := r.ver.CheckMessage(le.PrepUI, uiBinding(kindPrepare, p.encodeBody())); err != nil {
+				continue
+			}
+			union[entryKey{le.View, le.PrepSeq}] = le
+		}
+	}
+	ordered := make([]logEntry, 0, len(union))
+	for _, le := range union {
+		ordered = append(ordered, le)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].View != ordered[j].View {
+			return ordered[i].View < ordered[j].View
+		}
+		return ordered[i].PrepSeq < ordered[j].PrepSeq
+	})
+	for _, le := range ordered {
+		r.execute(le.Req)
+	}
+
+	// Enter the new view with a clean per-view slate. (r.view is guarded
+	// for the View() accessor; all other access is run-goroutine-local.)
+	r.mu.Lock()
+	r.view = nv.NewView
+	r.mu.Unlock()
+	r.inVC = false
+	r.entries = make(map[entryKey]*entry)
+	r.prepOrder = nil
+	r.execIdx = 0
+	for v := range r.vcVotes {
+		if v <= r.view {
+			delete(r.vcVotes, v)
+		}
+	}
+
+	// Re-propose (or chase) requests still pending.
+	if r.m.Leader(r.view) == r.Self() {
+		for _, req := range sortedPending(r.pending) {
+			r.sendPrepare(req)
+		}
+	}
+	for key := range r.pending {
+		r.afterTimeout(r.reqTimeout, timerEvent{kind: 't', pending: key, view: r.view})
+	}
+}
+
+// sortedPending yields pending requests in a deterministic order.
+func sortedPending(pending map[pendingKey]smr.Request) []smr.Request {
+	keys := make([]pendingKey, 0, len(pending))
+	for k := range pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].client != keys[j].client {
+			return keys[i].client < keys[j].client
+		}
+		return keys[i].num < keys[j].num
+	})
+	out := make([]smr.Request, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, pending[k])
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package minbft
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"unidir/internal/smr"
+	"unidir/internal/trusted/trinc"
+	"unidir/internal/types"
+	"unidir/internal/wire"
+)
+
+// Message kinds. REQUEST and REPLY are client traffic (unattested);
+// PREPARE, COMMIT, VIEW-CHANGE and NEW-VIEW are replica traffic, each
+// carrying the sender's UI (a TrInc attestation over the message body), so
+// every replica's protocol messages form one tamper-evident total order.
+const (
+	kindRequest byte = iota + 1
+	kindPrepare
+	kindCommit
+	kindViewChange
+	kindNewView
+	kindFetch     // unattested query: "send me peer P's message at UI seq S"
+	kindFetchResp // carries a stored original envelope, self-authenticating
+)
+
+const uiDomain = "unidir/minbft/ui/v1"
+
+// usigCounter is the trinket counter dedicated to the USIG.
+const usigCounter uint64 = 0
+
+// uiBinding is the byte string a UI attests: domain, kind, and body hash.
+func uiBinding(kind byte, body []byte) []byte {
+	h := sha256.Sum256(body)
+	e := wire.NewEncoder(64)
+	e.String(uiDomain)
+	e.Byte(kind)
+	e.BytesField(h[:])
+	return e.Bytes()
+}
+
+// prepare is the primary's ordering statement for one request.
+type prepare struct {
+	View types.View
+	Req  smr.Request
+}
+
+func (p prepare) encodeBody() []byte {
+	req := p.Req.Encode()
+	e := wire.NewEncoder(16 + len(req))
+	e.Uint64(uint64(p.View))
+	e.BytesField(req)
+	return e.Bytes()
+}
+
+func decodePrepareBody(b []byte) (prepare, error) {
+	d := wire.NewDecoder(b)
+	var p prepare
+	p.View = types.View(d.Uint64())
+	reqBytes := d.BytesField()
+	if err := d.Finish(); err != nil {
+		return prepare{}, fmt.Errorf("minbft: decode prepare: %w", err)
+	}
+	req, err := smr.DecodeRequest(reqBytes)
+	if err != nil {
+		return prepare{}, err
+	}
+	p.Req = req
+	return p, nil
+}
+
+// commit is a backup's endorsement of a prepare, identified by the
+// primary's UI counter value and the request digest.
+type commit struct {
+	View      types.View
+	Primary   types.ProcessID
+	PrepSeq   types.SeqNum
+	ReqDigest [sha256.Size]byte
+}
+
+func (c commit) encodeBody() []byte {
+	e := wire.NewEncoder(64)
+	e.Uint64(uint64(c.View))
+	e.Int(int(c.Primary))
+	e.Uint64(uint64(c.PrepSeq))
+	e.BytesField(c.ReqDigest[:])
+	return e.Bytes()
+}
+
+func decodeCommitBody(b []byte) (commit, error) {
+	d := wire.NewDecoder(b)
+	var c commit
+	c.View = types.View(d.Uint64())
+	c.Primary = types.ProcessID(d.Int())
+	c.PrepSeq = types.SeqNum(d.Uint64())
+	h := d.BytesField()
+	if err := d.Finish(); err != nil {
+		return commit{}, fmt.Errorf("minbft: decode commit: %w", err)
+	}
+	if len(h) != sha256.Size {
+		return commit{}, fmt.Errorf("minbft: commit digest length %d", len(h))
+	}
+	copy(c.ReqDigest[:], h)
+	return c, nil
+}
+
+// logEntry is one accepted prepare carried inside a VIEW-CHANGE message.
+// The primary's UI attestation makes the entry self-certifying: at most one
+// request can ever exist per (primary counter value), so a Byzantine
+// view-change sender can omit entries but not fabricate or alter them.
+type logEntry struct {
+	View    types.View
+	PrepSeq types.SeqNum
+	Req     smr.Request
+	PrepUI  trinc.Attestation
+}
+
+func encodeLogEntry(e *wire.Encoder, le logEntry) {
+	e.Uint64(uint64(le.View))
+	e.Uint64(uint64(le.PrepSeq))
+	e.BytesField(le.Req.Encode())
+	e.BytesField(le.PrepUI.Encode())
+}
+
+func decodeLogEntry(d *wire.Decoder) (logEntry, error) {
+	var le logEntry
+	le.View = types.View(d.Uint64())
+	le.PrepSeq = types.SeqNum(d.Uint64())
+	reqBytes := d.BytesField()
+	attBytes := d.BytesField()
+	if err := d.Err(); err != nil {
+		return logEntry{}, err
+	}
+	req, err := smr.DecodeRequest(reqBytes)
+	if err != nil {
+		return logEntry{}, err
+	}
+	att, err := trinc.DecodeAttestation(attBytes)
+	if err != nil {
+		return logEntry{}, err
+	}
+	le.Req = req
+	le.PrepUI = att
+	return le, nil
+}
+
+// viewChange announces a replica's move to a new view, carrying its
+// accepted-prepare log.
+type viewChange struct {
+	NewView types.View
+	Log     []logEntry
+}
+
+func (v viewChange) encodeBody() []byte {
+	e := wire.NewEncoder(64)
+	e.Uint64(uint64(v.NewView))
+	e.Int(len(v.Log))
+	for _, le := range v.Log {
+		encodeLogEntry(e, le)
+	}
+	return e.Bytes()
+}
+
+func decodeViewChangeBody(b []byte, maxEntries int) (viewChange, error) {
+	d := wire.NewDecoder(b)
+	var v viewChange
+	v.NewView = types.View(d.Uint64())
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return viewChange{}, err
+	}
+	if n < 0 || n > maxEntries {
+		return viewChange{}, fmt.Errorf("minbft: view-change with %d entries", n)
+	}
+	for i := 0; i < n; i++ {
+		le, err := decodeLogEntry(d)
+		if err != nil {
+			return viewChange{}, err
+		}
+		v.Log = append(v.Log, le)
+	}
+	if err := d.Finish(); err != nil {
+		return viewChange{}, fmt.Errorf("minbft: decode view-change: %w", err)
+	}
+	return v, nil
+}
+
+// signedVC is a view-change message as evidence inside NEW-VIEW: the
+// sender, the raw body, and the sender's UI over it.
+type signedVC struct {
+	Sender types.ProcessID
+	Body   []byte
+	UI     trinc.Attestation
+}
+
+// newView is the new primary's installation message: f+1 signed
+// view-changes for the target view.
+type newView struct {
+	NewView types.View
+	VCs     []signedVC
+}
+
+func (nv newView) encodeBody() []byte {
+	e := wire.NewEncoder(128)
+	e.Uint64(uint64(nv.NewView))
+	e.Int(len(nv.VCs))
+	for _, vc := range nv.VCs {
+		e.Int(int(vc.Sender))
+		e.BytesField(vc.Body)
+		e.BytesField(vc.UI.Encode())
+	}
+	return e.Bytes()
+}
+
+func decodeNewViewBody(b []byte, maxVCs int) (newView, error) {
+	d := wire.NewDecoder(b)
+	var nv newView
+	nv.NewView = types.View(d.Uint64())
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return newView{}, err
+	}
+	if n < 0 || n > maxVCs {
+		return newView{}, fmt.Errorf("minbft: new-view with %d vcs", n)
+	}
+	for i := 0; i < n; i++ {
+		var vc signedVC
+		vc.Sender = types.ProcessID(d.Int())
+		vc.Body = append([]byte(nil), d.BytesField()...)
+		attBytes := d.BytesField()
+		if err := d.Err(); err != nil {
+			return newView{}, err
+		}
+		att, err := trinc.DecodeAttestation(attBytes)
+		if err != nil {
+			return newView{}, err
+		}
+		vc.UI = att
+		nv.VCs = append(nv.VCs, vc)
+	}
+	if err := d.Finish(); err != nil {
+		return newView{}, fmt.Errorf("minbft: decode new-view: %w", err)
+	}
+	return nv, nil
+}
+
+// fetchBody encodes a gap-fill query for peer's message at UI value seq.
+func encodeFetchBody(peer types.ProcessID, seq types.SeqNum) []byte {
+	e := wire.NewEncoder(16)
+	e.Int(int(peer))
+	e.Uint64(uint64(seq))
+	return e.Bytes()
+}
+
+func decodeFetchBody(b []byte) (types.ProcessID, types.SeqNum, error) {
+	d := wire.NewDecoder(b)
+	peer := types.ProcessID(d.Int())
+	seq := types.SeqNum(d.Uint64())
+	if err := d.Finish(); err != nil {
+		return 0, 0, fmt.Errorf("minbft: decode fetch: %w", err)
+	}
+	return peer, seq, nil
+}
+
+// EncodeRequestEnvelope wraps a client request for submission to replicas;
+// pass it to smr.WithRequestEncoder when building a client.
+func EncodeRequestEnvelope(req smr.Request) []byte {
+	return encodeEnvelope(kindRequest, req.Encode(), nil)
+}
+
+// envelope wraps kind, body, and the sender's UI attestation for replica
+// messages (UI empty for client requests).
+func encodeEnvelope(kind byte, body []byte, ui *trinc.Attestation) []byte {
+	var attBytes []byte
+	if ui != nil {
+		attBytes = ui.Encode()
+	}
+	e := wire.NewEncoder(16 + len(body) + len(attBytes))
+	e.Byte(kind)
+	e.BytesField(body)
+	e.BytesField(attBytes)
+	return e.Bytes()
+}
+
+func decodeEnvelope(payload []byte) (kind byte, body []byte, ui *trinc.Attestation, err error) {
+	d := wire.NewDecoder(payload)
+	kind = d.Byte()
+	body = append([]byte(nil), d.BytesField()...)
+	attBytes := d.BytesField()
+	if err := d.Finish(); err != nil {
+		return 0, nil, nil, fmt.Errorf("minbft: decode envelope: %w", err)
+	}
+	if len(attBytes) > 0 {
+		att, err := trinc.DecodeAttestation(attBytes)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		ui = &att
+	}
+	return kind, body, ui, nil
+}

@@ -1,0 +1,386 @@
+// Package pbft implements the normal-case operation of PBFT (Castro &
+// Liskov, OSDI'99) with n = 3f+1 replicas and signed messages. It is the
+// library's no-trusted-hardware SMR baseline: three communication phases
+// (PRE-PREPARE, PREPARE, COMMIT) and quorums of 2f+1, against MinBFT's two
+// phases and f+1 quorums at n = 2f+1 — the cost difference the paper's
+// hardware classification translates into at the application level.
+//
+// Scope note (DESIGN.md): view changes and checkpoints are not implemented;
+// the benchmarks compare normal-case behavior, and the liveness tests for
+// leader failure live in the MinBFT package. The view is fixed at 0.
+package pbft
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"unidir/internal/sig"
+	"unidir/internal/smr"
+	"unidir/internal/syncx"
+	"unidir/internal/transport"
+	"unidir/internal/types"
+	"unidir/internal/wire"
+)
+
+// ErrClosed reports use of a closed replica.
+var ErrClosed = errors.New("pbft: replica closed")
+
+const (
+	kindRequest byte = iota + 1
+	kindPrePrepare
+	kindPrepare
+	kindCommit
+)
+
+const sigDomain = "unidir/pbft/v1"
+
+// Replica is one PBFT replica. Create with New, stop with Close.
+type Replica struct {
+	m    types.Membership
+	tr   transport.Transport
+	ring *sig.Keyring
+	sm   smr.StateMachine
+
+	execLog *smr.ExecutionLog
+
+	events *syncx.Queue[transport.Envelope]
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	closed bool
+
+	// State below is owned by the run goroutine.
+	view     types.View
+	nextSeq  types.SeqNum // primary's next assignment
+	execNext types.SeqNum // next sequence number to execute
+	slots    map[types.SeqNum]*slot
+	table    *smr.ClientTable
+	proposed map[string]bool // request digests already assigned (primary)
+}
+
+type slot struct {
+	req       *smr.Request
+	digest    [sha256.Size]byte
+	prepares  map[types.ProcessID]bool
+	commits   map[types.ProcessID]bool
+	prepared  bool
+	committed bool
+	executed  bool
+}
+
+// Option configures a Replica.
+type Option func(*Replica)
+
+// WithExecutionLog attaches a command log for consistency checks.
+func WithExecutionLog(l *smr.ExecutionLog) Option {
+	return func(r *Replica) { r.execLog = l }
+}
+
+// New starts a replica (requires n >= 3f+1).
+func New(m types.Membership, tr transport.Transport, ring *sig.Keyring, sm smr.StateMachine, opts ...Option) (*Replica, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.N < 3*m.F+1 {
+		return nil, fmt.Errorf("pbft: requires n >= 3f+1, got n=%d f=%d", m.N, m.F)
+	}
+	if ring.Self() != tr.Self() {
+		return nil, fmt.Errorf("pbft: keyring %v != endpoint %v", ring.Self(), tr.Self())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Replica{
+		m:        m,
+		tr:       tr,
+		ring:     ring,
+		sm:       sm,
+		events:   syncx.NewQueue[transport.Envelope](),
+		cancel:   cancel,
+		execNext: 1,
+		slots:    make(map[types.SeqNum]*slot),
+		table:    smr.NewClientTable(),
+		proposed: make(map[string]bool),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	r.wg.Add(2)
+	go r.recvLoop(ctx)
+	go r.run(ctx)
+	return r, nil
+}
+
+// Self returns the replica's process ID.
+func (r *Replica) Self() types.ProcessID { return r.tr.Self() }
+
+// Close stops the replica.
+func (r *Replica) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.cancel()
+	r.events.Close()
+	_ = r.tr.Close()
+	r.wg.Wait()
+	return nil
+}
+
+func (r *Replica) recvLoop(ctx context.Context) {
+	defer r.wg.Done()
+	for {
+		env, err := r.tr.Recv(ctx)
+		if err != nil {
+			return
+		}
+		r.events.Push(env)
+	}
+}
+
+func (r *Replica) run(ctx context.Context) {
+	defer r.wg.Done()
+	for {
+		env, err := r.events.Pop(ctx)
+		if err != nil {
+			return
+		}
+		r.handle(env)
+	}
+}
+
+// --- wire ---
+
+// signedBytes binds kind, view, seq, and digest for PREPARE/COMMIT, or the
+// full request bytes for PRE-PREPARE.
+func signedBytes(kind byte, v types.View, n types.SeqNum, payload []byte) []byte {
+	e := wire.NewEncoder(48 + len(payload))
+	e.String(sigDomain)
+	e.Byte(kind)
+	e.Uint64(uint64(v))
+	e.Uint64(uint64(n))
+	e.BytesField(payload)
+	return e.Bytes()
+}
+
+func encodeMsg(kind byte, v types.View, n types.SeqNum, payload, signature []byte) []byte {
+	e := wire.NewEncoder(48 + len(payload) + len(signature))
+	e.Byte(kind)
+	e.Uint64(uint64(v))
+	e.Uint64(uint64(n))
+	e.BytesField(payload)
+	e.BytesField(signature)
+	return e.Bytes()
+}
+
+func decodeMsg(b []byte) (kind byte, v types.View, n types.SeqNum, payload, signature []byte, err error) {
+	d := wire.NewDecoder(b)
+	kind = d.Byte()
+	v = types.View(d.Uint64())
+	n = types.SeqNum(d.Uint64())
+	payload = append([]byte(nil), d.BytesField()...)
+	signature = append([]byte(nil), d.BytesField()...)
+	if err := d.Finish(); err != nil {
+		return 0, 0, 0, nil, nil, fmt.Errorf("pbft: decode: %w", err)
+	}
+	return kind, v, n, payload, signature, nil
+}
+
+// EncodeRequestEnvelope wraps a client request for submission to replicas.
+func EncodeRequestEnvelope(req smr.Request) []byte {
+	return encodeMsg(kindRequest, 0, 0, req.Encode(), nil)
+}
+
+func (r *Replica) broadcast(kind byte, n types.SeqNum, payload []byte) {
+	signature := r.ring.Sign(signedBytes(kind, r.view, n, payload))
+	msg := encodeMsg(kind, r.view, n, payload, signature)
+	_ = transport.Broadcast(r.tr, r.m.Others(r.Self()), msg)
+}
+
+// --- handlers ---
+
+func (r *Replica) handle(env transport.Envelope) {
+	kind, v, n, payload, signature, err := decodeMsg(env.Payload)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case kindRequest:
+		req, err := smr.DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		r.handleRequest(req)
+		return
+	case kindPrePrepare, kindPrepare, kindCommit:
+		if v != r.view {
+			return
+		}
+		if err := r.ring.Verify(env.From, signedBytes(kind, v, n, payload), signature); err != nil {
+			return
+		}
+	default:
+		return
+	}
+	switch kind {
+	case kindPrePrepare:
+		r.handlePrePrepare(env.From, n, payload)
+	case kindPrepare:
+		r.handlePrepare(env.From, n, payload)
+	case kindCommit:
+		r.handleCommit(env.From, n, payload)
+	}
+}
+
+func (r *Replica) handleRequest(req smr.Request) {
+	if result, ok := r.table.CachedReply(req); ok {
+		r.reply(req, result)
+		return
+	}
+	if !r.table.ShouldExecute(req) {
+		return
+	}
+	if r.m.Leader(r.view) != r.Self() {
+		return // backups wait for the primary's pre-prepare
+	}
+	digest := sha256.Sum256(req.Encode())
+	if r.proposed[string(digest[:])] {
+		return
+	}
+	r.proposed[string(digest[:])] = true
+	r.nextSeq++
+	n := r.nextSeq
+	reqBytes := req.Encode()
+	r.broadcast(kindPrePrepare, n, reqBytes)
+	// The primary's pre-prepare stands for its prepare.
+	sl := r.slot(n)
+	r.adopt(sl, req, digest)
+	sl.prepares[r.Self()] = true
+	r.progress(n, sl)
+}
+
+func (r *Replica) slot(n types.SeqNum) *slot {
+	sl := r.slots[n]
+	if sl == nil {
+		sl = &slot{
+			prepares: make(map[types.ProcessID]bool),
+			commits:  make(map[types.ProcessID]bool),
+		}
+		r.slots[n] = sl
+	}
+	return sl
+}
+
+func (r *Replica) adopt(sl *slot, req smr.Request, digest [sha256.Size]byte) {
+	if sl.req == nil {
+		cp := req
+		sl.req = &cp
+		sl.digest = digest
+	}
+}
+
+func (r *Replica) handlePrePrepare(from types.ProcessID, n types.SeqNum, reqBytes []byte) {
+	if r.m.Leader(r.view) != from || n == 0 {
+		return
+	}
+	req, err := smr.DecodeRequest(reqBytes)
+	if err != nil {
+		return
+	}
+	digest := sha256.Sum256(reqBytes)
+	sl := r.slot(n)
+	if sl.req != nil && sl.digest != digest {
+		return // conflicting pre-prepare for a bound slot: ignore
+	}
+	r.adopt(sl, req, digest)
+	sl.prepares[from] = true
+	if !sl.prepares[r.Self()] {
+		sl.prepares[r.Self()] = true
+		r.broadcast(kindPrepare, n, digest[:])
+	}
+	r.progress(n, sl)
+}
+
+func (r *Replica) handlePrepare(from types.ProcessID, n types.SeqNum, digest []byte) {
+	if len(digest) != sha256.Size {
+		return
+	}
+	sl := r.slot(n)
+	if sl.req != nil {
+		var d [sha256.Size]byte
+		copy(d[:], digest)
+		if d != sl.digest {
+			return
+		}
+	}
+	sl.prepares[from] = true
+	r.progress(n, sl)
+}
+
+func (r *Replica) handleCommit(from types.ProcessID, n types.SeqNum, digest []byte) {
+	if len(digest) != sha256.Size {
+		return
+	}
+	sl := r.slot(n)
+	if sl.req != nil {
+		var d [sha256.Size]byte
+		copy(d[:], digest)
+		if d != sl.digest {
+			return
+		}
+	}
+	sl.commits[from] = true
+	r.progress(n, sl)
+}
+
+// progress advances a slot through prepared -> committed -> executed.
+func (r *Replica) progress(n types.SeqNum, sl *slot) {
+	// Prepared: pre-prepare plus 2f matching prepares (the quorum of 2f+1
+	// counting the primary's pre-prepare; our bookkeeping folds both into
+	// the prepares set).
+	if !sl.prepared && sl.req != nil && len(sl.prepares) >= r.m.Quorum() {
+		sl.prepared = true
+		if !sl.commits[r.Self()] {
+			sl.commits[r.Self()] = true
+			r.broadcast(kindCommit, n, sl.digest[:])
+		}
+	}
+	if !sl.committed && sl.prepared && len(sl.commits) >= r.m.Quorum() {
+		sl.committed = true
+	}
+	// Execute in contiguous sequence order.
+	for {
+		next := r.slots[r.execNext]
+		if next == nil || !next.committed || next.executed || next.req == nil {
+			return
+		}
+		next.executed = true
+		r.execNext++
+		r.execute(*next.req)
+	}
+}
+
+func (r *Replica) execute(req smr.Request) {
+	if !r.table.ShouldExecute(req) {
+		if result, ok := r.table.CachedReply(req); ok {
+			r.reply(req, result)
+		}
+		return
+	}
+	if r.execLog != nil {
+		r.execLog.Record(req.Encode())
+	}
+	result := r.sm.Apply(req.Op)
+	r.table.Executed(req, result)
+	r.reply(req, result)
+}
+
+func (r *Replica) reply(req smr.Request, result []byte) {
+	rep := smr.Reply{Replica: r.Self(), Client: req.Client, Num: req.Num, Result: result}
+	_ = r.tr.Send(types.ProcessID(req.Client), rep.Encode())
+}

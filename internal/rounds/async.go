@@ -1,0 +1,129 @@
+package rounds
+
+import (
+	"context"
+	"fmt"
+
+	"unidir/internal/transport"
+	"unidir/internal/types"
+)
+
+// Async implements zero-directional rounds over plain asynchronous message
+// passing: Send broadcasts (r, m) to all processes, and a round ends once
+// round-r messages from n-f distinct processes (counting self) have
+// arrived — the most any process may safely block on under asynchrony,
+// since the other f may be faulty and forever silent.
+//
+// This is the strongest round discipline asynchrony (or any medium that
+// guarantees only eventual delivery, such as sequenced reliable broadcast)
+// supports: the separation experiment in internal/separation drives it into
+// unidirectionality violations exactly as in the paper's §4.1 argument.
+type Async struct {
+	t  *tracker
+	tr transport.Transport
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+var _ System = (*Async)(nil)
+
+// AsyncOption configures NewAsync.
+type AsyncOption func(*Async)
+
+// WithAsyncObserver attaches a property-checking observer.
+func WithAsyncObserver(obs Observer) AsyncOption {
+	return func(a *Async) { a.t.obs = obs }
+}
+
+// NewAsync creates the zero-directional round system for tr's process.
+func NewAsync(tr transport.Transport, m types.Membership, opts ...AsyncOption) (*Async, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if !m.Contains(tr.Self()) {
+		return nil, fmt.Errorf("rounds: transport endpoint %v not in membership", tr.Self())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	a := &Async{
+		t:      newTracker(tr.Self(), m, nil),
+		tr:     tr,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(a)
+	}
+	go a.recvLoop(ctx)
+	return a, nil
+}
+
+// Self returns this process's ID.
+func (a *Async) Self() types.ProcessID { return a.t.self }
+
+// Membership returns the process group.
+func (a *Async) Membership() types.Membership { return a.t.m }
+
+// Send broadcasts this process's round-r message to every other process.
+func (a *Async) Send(r types.Round, data []byte) error {
+	if err := a.t.requireNotSent(r); err != nil {
+		return err
+	}
+	payload := encodeRoundMsg(r, data)
+	if err := transport.Broadcast(a.tr, a.t.m.Others(a.t.self), payload); err != nil {
+		return fmt.Errorf("rounds: async broadcast: %w", err)
+	}
+	return a.t.markSent(r, data)
+}
+
+// SendAux broadcasts an out-of-round message. It does not loop back to self.
+func (a *Async) SendAux(data []byte) error {
+	payload := encodeRoundMsg(AuxRound, data)
+	if err := transport.Broadcast(a.tr, a.t.m.Others(a.t.self), payload); err != nil {
+		return fmt.Errorf("rounds: async aux broadcast: %w", err)
+	}
+	return nil
+}
+
+// WaitEnd blocks until round-r messages from n-f distinct processes
+// (counting self) have arrived.
+func (a *Async) WaitEnd(ctx context.Context, r types.Round) (map[types.ProcessID][]byte, error) {
+	if err := a.t.requireSent(r); err != nil {
+		return nil, err
+	}
+	need := a.t.m.Correct()
+	if err := a.t.waitFor(ctx, func() bool { return a.t.count(r) >= need }); err != nil {
+		return nil, err
+	}
+	return a.t.snapshot(r), nil
+}
+
+// Recv returns the next received round message.
+func (a *Async) Recv(ctx context.Context) (Msg, error) { return a.t.recv(ctx) }
+
+// Close stops the receive loop and unblocks waiters.
+func (a *Async) Close() error {
+	a.cancel()
+	<-a.done
+	a.t.close()
+	return nil
+}
+
+func (a *Async) recvLoop(ctx context.Context) {
+	defer close(a.done)
+	for {
+		env, err := a.tr.Recv(ctx)
+		if err != nil {
+			return
+		}
+		r, data, err := decodeRoundMsg(env.Payload)
+		if err != nil {
+			continue // Byzantine garbage
+		}
+		if r == AuxRound {
+			a.t.recordAux(env.From, data)
+			continue
+		}
+		a.t.record(env.From, r, data)
+	}
+}

@@ -1,0 +1,129 @@
+package rounds_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"unidir/internal/rounds"
+	"unidir/internal/simnet"
+	"unidir/internal/trusted/swmr"
+	"unidir/internal/types"
+)
+
+// Aux (out-of-round) message tests across all transport-backed and
+// memory-backed systems.
+
+func recvAux(t *testing.T, sys rounds.System, want string, timeout time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	for {
+		msg, err := sys.Recv(ctx)
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if msg.Round == rounds.AuxRound {
+			if string(msg.Data) != want {
+				t.Fatalf("aux data = %q, want %q", msg.Data, want)
+			}
+			return
+		}
+	}
+}
+
+func TestSendAuxSWMR(t *testing.T) {
+	m := mustMembership(t, 3, 1)
+	systems := newSWMRSystems(t, m, nil)
+	if err := systems[0].SendAux([]byte("swmr-aux")); err != nil {
+		t.Fatalf("SendAux: %v", err)
+	}
+	recvAux(t, systems[1], "swmr-aux", 5*time.Second)
+	recvAux(t, systems[2], "swmr-aux", 5*time.Second)
+}
+
+func TestSendAuxAsyncAndLockstep(t *testing.T) {
+	m := mustMembership(t, 3, 1)
+	for _, kind := range []string{"async", "lockstep"} {
+		t.Run(kind, func(t *testing.T) {
+			net, err := simnet.New(m)
+			if err != nil {
+				t.Fatalf("simnet: %v", err)
+			}
+			defer net.Close()
+			systems := make([]rounds.System, m.N)
+			for i := 0; i < m.N; i++ {
+				ep := net.Endpoint(types.ProcessID(i))
+				if kind == "async" {
+					systems[i], err = rounds.NewAsync(ep, m)
+				} else {
+					systems[i], err = rounds.NewLockstep(ep, m)
+				}
+				if err != nil {
+					t.Fatalf("new %s: %v", kind, err)
+				}
+				defer systems[i].Close()
+			}
+			if err := systems[2].SendAux([]byte("net-aux")); err != nil {
+				t.Fatalf("SendAux: %v", err)
+			}
+			recvAux(t, systems[0], "net-aux", 5*time.Second)
+		})
+	}
+}
+
+func TestSendAuxNotDeduplicated(t *testing.T) {
+	// Unlike round messages, repeated aux sends all surface (the SRB
+	// construction relays proofs repeatedly and relies on this).
+	m := mustMembership(t, 2, 0)
+	store, err := swmr.NewStore(m)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	a, err := rounds.NewSWMR(swmr.NewLocal(store, 0), m)
+	if err != nil {
+		t.Fatalf("NewSWMR: %v", err)
+	}
+	defer a.Close()
+	b, err := rounds.NewSWMR(swmr.NewLocal(store, 1), m)
+	if err != nil {
+		t.Fatalf("NewSWMR: %v", err)
+	}
+	defer b.Close()
+	for i := 0; i < 3; i++ {
+		if err := a.SendAux([]byte("dup")); err != nil {
+			t.Fatalf("SendAux: %v", err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		msg, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if msg.Round != rounds.AuxRound || string(msg.Data) != "dup" {
+			t.Fatalf("msg %d = %+v", i, msg)
+		}
+	}
+}
+
+func TestAuxDoesNotDisturbRoundDiscipline(t *testing.T) {
+	m := mustMembership(t, 2, 0)
+	store, err := swmr.NewStore(m)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	sys, err := rounds.NewSWMR(swmr.NewLocal(store, 0), m)
+	if err != nil {
+		t.Fatalf("NewSWMR: %v", err)
+	}
+	defer sys.Close()
+	if err := sys.SendAux([]byte("pre-round")); err != nil {
+		t.Fatalf("SendAux: %v", err)
+	}
+	// Round 1 is still available (aux did not consume a round number).
+	if err := sys.Send(1, []byte("r1")); err != nil {
+		t.Fatalf("Send(1) after aux: %v", err)
+	}
+}

@@ -1,0 +1,158 @@
+package rounds
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"unidir/internal/transport"
+	"unidir/internal/types"
+)
+
+// DeltaSync implements rounds in the Δ-synchronous model: every message
+// arrives within a known bound Δ of being sent, but processes' clocks and
+// round starts are not synchronized. A process ends its round a fixed Wait
+// after its own send.
+//
+// The paper's observation (communication-models section): this timing
+// discipline yields *unidirectionality* with Wait >= Δ — of two correct
+// processes that both send in round r, the later sender receives the
+// earlier one's message before its own round ends (it was sent no later
+// than the receiver's send and so arrives within Δ of it) — while
+// bidirectionality would additionally require synchronized round starts
+// (lock-step; see Lockstep) or Wait >= 2Δ plus an explicit start barrier.
+// Waiting less than Δ guarantees nothing beyond zero-directionality.
+//
+// Pair it with a network whose delays really are bounded by Δ (for
+// example simnet.WithJitter(Δ, seed)); against an unbounded adversary the
+// model's premise, and hence the property, is void — that distinction is
+// exactly the synchrony-versus-hardware trade the paper opens with.
+type DeltaSync struct {
+	t    *tracker
+	tr   transport.Transport
+	wait time.Duration
+
+	sentAt map[types.Round]time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+var _ System = (*DeltaSync)(nil)
+
+// DeltaSyncOption configures NewDeltaSync.
+type DeltaSyncOption func(*DeltaSync)
+
+// WithDeltaSyncObserver attaches a property-checking observer.
+func WithDeltaSyncObserver(obs Observer) DeltaSyncOption {
+	return func(d *DeltaSync) { d.t.obs = obs }
+}
+
+// NewDeltaSync creates a Δ-synchronous round system that ends each round
+// wait after this process's send. For the unidirectionality guarantee,
+// wait must be at least the network's actual delay bound.
+func NewDeltaSync(tr transport.Transport, m types.Membership, wait time.Duration, opts ...DeltaSyncOption) (*DeltaSync, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if !m.Contains(tr.Self()) {
+		return nil, fmt.Errorf("rounds: transport endpoint %v not in membership", tr.Self())
+	}
+	if wait <= 0 {
+		return nil, fmt.Errorf("rounds: deltasync wait must be positive, got %v", wait)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &DeltaSync{
+		t:      newTracker(tr.Self(), m, nil),
+		tr:     tr,
+		wait:   wait,
+		sentAt: make(map[types.Round]time.Time),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	go d.recvLoop(ctx)
+	return d, nil
+}
+
+// Self returns this process's ID.
+func (d *DeltaSync) Self() types.ProcessID { return d.t.self }
+
+// Membership returns the process group.
+func (d *DeltaSync) Membership() types.Membership { return d.t.m }
+
+// Send broadcasts this process's round-r message and starts its Δ-timer.
+func (d *DeltaSync) Send(r types.Round, data []byte) error {
+	if err := d.t.requireNotSent(r); err != nil {
+		return err
+	}
+	payload := encodeRoundMsg(r, data)
+	if err := transport.Broadcast(d.tr, d.t.m.Others(d.t.self), payload); err != nil {
+		return fmt.Errorf("rounds: deltasync broadcast: %w", err)
+	}
+	d.t.mu.Lock()
+	d.sentAt[r] = time.Now()
+	d.t.mu.Unlock()
+	return d.t.markSent(r, data)
+}
+
+// SendAux broadcasts an out-of-round message. It does not loop back to self.
+func (d *DeltaSync) SendAux(data []byte) error {
+	payload := encodeRoundMsg(AuxRound, data)
+	if err := transport.Broadcast(d.tr, d.t.m.Others(d.t.self), payload); err != nil {
+		return fmt.Errorf("rounds: deltasync aux broadcast: %w", err)
+	}
+	return nil
+}
+
+// WaitEnd blocks until wait has elapsed since this process's round-r send.
+func (d *DeltaSync) WaitEnd(ctx context.Context, r types.Round) (map[types.ProcessID][]byte, error) {
+	if err := d.t.requireSent(r); err != nil {
+		return nil, err
+	}
+	d.t.mu.Lock()
+	deadline := d.sentAt[r].Add(d.wait)
+	d.t.mu.Unlock()
+	if remaining := time.Until(deadline); remaining > 0 {
+		timer := time.NewTimer(remaining)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return d.t.snapshot(r), nil
+}
+
+// Recv returns the next received round message.
+func (d *DeltaSync) Recv(ctx context.Context) (Msg, error) { return d.t.recv(ctx) }
+
+// Close stops the receive loop and unblocks waiters.
+func (d *DeltaSync) Close() error {
+	d.cancel()
+	<-d.done
+	d.t.close()
+	return nil
+}
+
+func (d *DeltaSync) recvLoop(ctx context.Context) {
+	defer close(d.done)
+	for {
+		env, err := d.tr.Recv(ctx)
+		if err != nil {
+			return
+		}
+		r, data, err := decodeRoundMsg(env.Payload)
+		if err != nil {
+			continue
+		}
+		if r == AuxRound {
+			d.t.recordAux(env.From, data)
+			continue
+		}
+		d.t.record(env.From, r, data)
+	}
+}

@@ -1,0 +1,153 @@
+package rounds
+
+import (
+	"context"
+	"fmt"
+
+	"unidir/internal/transport"
+	"unidir/internal/types"
+)
+
+// Lockstep implements bidirectional rounds — the lock-step synchronous
+// model: a round ends only when the round-r messages of every *live*
+// process have arrived, so every correct-to-correct message is received
+// before the receiver's next round.
+//
+// Model note: real synchronous systems obtain the live set from the bound Δ
+// (a silent process is provably crashed after Δ). This simulation has no Δ,
+// so the harness plays the synchronous scheduler and supplies the live set
+// up front via SetLive (everyone is live by default). Byzantine-but-present
+// processes must still send *something* each round, exactly as in the
+// lock-step model where a missing message is detectably missing.
+type Lockstep struct {
+	t    *tracker
+	tr   transport.Transport
+	live map[types.ProcessID]bool
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+var _ System = (*Lockstep)(nil)
+
+// LockstepOption configures NewLockstep.
+type LockstepOption func(*Lockstep)
+
+// WithLockstepObserver attaches a property-checking observer.
+func WithLockstepObserver(obs Observer) LockstepOption {
+	return func(l *Lockstep) { l.t.obs = obs }
+}
+
+// WithLive restricts the live set (default: all members).
+func WithLive(live []types.ProcessID) LockstepOption {
+	return func(l *Lockstep) {
+		l.live = make(map[types.ProcessID]bool, len(live))
+		for _, p := range live {
+			l.live[p] = true
+		}
+	}
+}
+
+// NewLockstep creates the bidirectional round system for tr's process.
+func NewLockstep(tr transport.Transport, m types.Membership, opts ...LockstepOption) (*Lockstep, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if !m.Contains(tr.Self()) {
+		return nil, fmt.Errorf("rounds: transport endpoint %v not in membership", tr.Self())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &Lockstep{
+		t:      newTracker(tr.Self(), m, nil),
+		tr:     tr,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(l)
+	}
+	if l.live == nil {
+		l.live = make(map[types.ProcessID]bool, m.N)
+		for _, p := range m.All() {
+			l.live[p] = true
+		}
+	}
+	go l.recvLoop(ctx)
+	return l, nil
+}
+
+// Self returns this process's ID.
+func (l *Lockstep) Self() types.ProcessID { return l.t.self }
+
+// Membership returns the process group.
+func (l *Lockstep) Membership() types.Membership { return l.t.m }
+
+// Send broadcasts this process's round-r message.
+func (l *Lockstep) Send(r types.Round, data []byte) error {
+	if err := l.t.requireNotSent(r); err != nil {
+		return err
+	}
+	payload := encodeRoundMsg(r, data)
+	if err := transport.Broadcast(l.tr, l.t.m.Others(l.t.self), payload); err != nil {
+		return fmt.Errorf("rounds: lockstep broadcast: %w", err)
+	}
+	return l.t.markSent(r, data)
+}
+
+// SendAux broadcasts an out-of-round message. It does not loop back to self.
+func (l *Lockstep) SendAux(data []byte) error {
+	payload := encodeRoundMsg(AuxRound, data)
+	if err := transport.Broadcast(l.tr, l.t.m.Others(l.t.self), payload); err != nil {
+		return fmt.Errorf("rounds: lockstep aux broadcast: %w", err)
+	}
+	return nil
+}
+
+// WaitEnd blocks until every live process's round-r message has arrived.
+func (l *Lockstep) WaitEnd(ctx context.Context, r types.Round) (map[types.ProcessID][]byte, error) {
+	if err := l.t.requireSent(r); err != nil {
+		return nil, err
+	}
+	pred := func() bool {
+		for p := range l.live {
+			if !l.t.has(r, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := l.t.waitFor(ctx, pred); err != nil {
+		return nil, err
+	}
+	return l.t.snapshot(r), nil
+}
+
+// Recv returns the next received round message.
+func (l *Lockstep) Recv(ctx context.Context) (Msg, error) { return l.t.recv(ctx) }
+
+// Close stops the receive loop and unblocks waiters.
+func (l *Lockstep) Close() error {
+	l.cancel()
+	<-l.done
+	l.t.close()
+	return nil
+}
+
+func (l *Lockstep) recvLoop(ctx context.Context) {
+	defer close(l.done)
+	for {
+		env, err := l.tr.Recv(ctx)
+		if err != nil {
+			return
+		}
+		r, data, err := decodeRoundMsg(env.Payload)
+		if err != nil {
+			continue
+		}
+		if r == AuxRound {
+			l.t.recordAux(env.From, data)
+			continue
+		}
+		l.t.record(env.From, r, data)
+	}
+}

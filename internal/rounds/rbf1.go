@@ -1,0 +1,314 @@
+package rounds
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"unidir/internal/sig"
+	"unidir/internal/transport"
+	"unidir/internal/types"
+	"unidir/internal/wire"
+)
+
+// RBF1 implements unidirectional rounds from reliable (eventual-delivery)
+// broadcast in the paper's corner case f = 1, n >= 3 (Appendix B):
+//
+//	Phase 1: send (v, σ_p) to all; wait for valid phase-1 messages from
+//	         n-1 distinct processes (counting self).
+//	Phase 2: forward all phase-1 messages received to all; wait for valid
+//	         phase-2 bundles from n-1 distinct processes, each containing
+//	         >= n-1 distinct validly signed values.
+//
+// A process receives q's round-r message if it sees (v_q, σ_q) either
+// directly or inside any phase-2 bundle. The proof: with at most one faulty
+// process, every third party's bundle carries all but at most one phase-1
+// value, so for any correct pair (p, q) at least one direction gets through
+// by the end of phase 2.
+type RBF1 struct {
+	t    *tracker
+	tr   transport.Transport
+	ring *sig.Keyring
+
+	mu     sync.Mutex
+	rounds map[types.Round]*rbRound
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+type rbRound struct {
+	sigs    map[types.ProcessID][]byte // signature per sender whose value we hold
+	p2From  map[types.ProcessID]bool   // senders of valid phase-2 bundles
+	bundled bool                       // this process already sent its bundle
+}
+
+var _ System = (*RBF1)(nil)
+
+const (
+	rbPhase1 byte = 1
+	rbPhase2 byte = 2
+	rbAux    byte = 3
+)
+
+const rbDomain = "unidir/rounds/rbf1/p1"
+
+// RBF1Option configures NewRBF1.
+type RBF1Option func(*RBF1)
+
+// WithRBF1Observer attaches a property-checking observer.
+func WithRBF1Observer(obs Observer) RBF1Option {
+	return func(s *RBF1) { s.t.obs = obs }
+}
+
+// NewRBF1 creates the corner-case round system. It requires f <= 1 and
+// n >= 3, the regime in which the construction is proven correct.
+func NewRBF1(tr transport.Transport, m types.Membership, ring *sig.Keyring, opts ...RBF1Option) (*RBF1, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.F > 1 || m.N < 3 {
+		return nil, fmt.Errorf("rounds: rbf1 requires f<=1 and n>=3, got n=%d f=%d", m.N, m.F)
+	}
+	if !m.Contains(tr.Self()) || ring.Self() != tr.Self() {
+		return nil, fmt.Errorf("rounds: endpoint %v / keyring %v mismatch", tr.Self(), ring.Self())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &RBF1{
+		t:      newTracker(tr.Self(), m, nil),
+		tr:     tr,
+		ring:   ring,
+		rounds: make(map[types.Round]*rbRound),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	go s.recvLoop(ctx)
+	return s, nil
+}
+
+// Self returns this process's ID.
+func (s *RBF1) Self() types.ProcessID { return s.t.self }
+
+// Membership returns the process group.
+func (s *RBF1) Membership() types.Membership { return s.t.m }
+
+func (s *RBF1) roundState(r types.Round) *rbRound {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.rounds[r]
+	if st == nil {
+		st = &rbRound{
+			sigs:   make(map[types.ProcessID][]byte),
+			p2From: make(map[types.ProcessID]bool),
+		}
+		s.rounds[r] = st
+	}
+	return st
+}
+
+func p1Bytes(r types.Round, data []byte) []byte {
+	e := wire.NewEncoder(32 + len(data))
+	e.String(rbDomain)
+	e.Uint64(uint64(r))
+	e.BytesField(data)
+	return e.Bytes()
+}
+
+// Send signs and broadcasts this process's phase-1 message for round r.
+func (s *RBF1) Send(r types.Round, data []byte) error {
+	if err := s.t.requireNotSent(r); err != nil {
+		return err
+	}
+	signature := s.ring.Sign(p1Bytes(r, data))
+	st := s.roundState(r)
+	s.mu.Lock()
+	st.sigs[s.t.self] = signature
+	s.mu.Unlock()
+
+	e := wire.NewEncoder(64 + len(data))
+	e.Byte(rbPhase1)
+	e.Uint64(uint64(r))
+	e.BytesField(data)
+	e.BytesField(signature)
+	if err := transport.Broadcast(s.tr, s.t.m.Others(s.t.self), e.Bytes()); err != nil {
+		return fmt.Errorf("rounds: rbf1 phase-1 broadcast: %w", err)
+	}
+	return s.t.markSent(r, data)
+}
+
+// SendAux broadcasts an out-of-round message. It does not loop back to self.
+func (s *RBF1) SendAux(data []byte) error {
+	e := wire.NewEncoder(8 + len(data))
+	e.Byte(rbAux)
+	e.BytesField(data)
+	if err := transport.Broadcast(s.tr, s.t.m.Others(s.t.self), e.Bytes()); err != nil {
+		return fmt.Errorf("rounds: rbf1 aux broadcast: %w", err)
+	}
+	return nil
+}
+
+// WaitEnd runs the two waiting phases of the protocol for round r and
+// returns the values received.
+func (s *RBF1) WaitEnd(ctx context.Context, r types.Round) (map[types.ProcessID][]byte, error) {
+	if err := s.t.requireSent(r); err != nil {
+		return nil, err
+	}
+	need := s.t.m.N - 1
+	// Phase 1: n-1 distinct signed values (self included).
+	if err := s.t.waitFor(ctx, func() bool { return s.t.count(r) >= need }); err != nil {
+		return nil, err
+	}
+	// Phase 2: forward everything we have, once.
+	if err := s.sendBundle(r); err != nil {
+		return nil, err
+	}
+	st := s.roundState(r)
+	if err := s.t.waitFor(ctx, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(st.p2From) >= need
+	}); err != nil {
+		return nil, err
+	}
+	return s.t.snapshot(r), nil
+}
+
+// sendBundle broadcasts this process's phase-2 bundle for round r (once).
+func (s *RBF1) sendBundle(r types.Round) error {
+	st := s.roundState(r)
+	vals := s.t.snapshot(r)
+	s.mu.Lock()
+	if st.bundled {
+		s.mu.Unlock()
+		return nil
+	}
+	st.bundled = true
+	st.p2From[s.t.self] = true // own bundle counts
+	type entry struct {
+		owner types.ProcessID
+		data  []byte
+		sig   []byte
+	}
+	var entries []entry
+	for owner, signature := range st.sigs {
+		if data, ok := vals[owner]; ok {
+			entries = append(entries, entry{owner, data, signature})
+		}
+	}
+	s.mu.Unlock()
+
+	e := wire.NewEncoder(64)
+	e.Byte(rbPhase2)
+	e.Uint64(uint64(r))
+	e.Int(len(entries))
+	for _, en := range entries {
+		e.Int(int(en.owner))
+		e.BytesField(en.data)
+		e.BytesField(en.sig)
+	}
+	if err := transport.Broadcast(s.tr, s.t.m.Others(s.t.self), e.Bytes()); err != nil {
+		return fmt.Errorf("rounds: rbf1 phase-2 broadcast: %w", err)
+	}
+	s.t.pulse.Fire()
+	return nil
+}
+
+// Recv returns the next received round message.
+func (s *RBF1) Recv(ctx context.Context) (Msg, error) { return s.t.recv(ctx) }
+
+// Close stops the receive loop and unblocks waiters.
+func (s *RBF1) Close() error {
+	s.cancel()
+	<-s.done
+	s.t.close()
+	return nil
+}
+
+func (s *RBF1) recvLoop(ctx context.Context) {
+	defer close(s.done)
+	for {
+		env, err := s.tr.Recv(ctx)
+		if err != nil {
+			return
+		}
+		s.handle(env.From, env.Payload)
+	}
+}
+
+func (s *RBF1) handle(from types.ProcessID, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	d := wire.NewDecoder(payload)
+	switch d.Byte() {
+	case rbAux:
+		data := append([]byte(nil), d.BytesField()...)
+		if d.Finish() != nil {
+			return
+		}
+		s.t.recordAux(from, data)
+	case rbPhase1:
+		r := types.Round(d.Uint64())
+		data := append([]byte(nil), d.BytesField()...)
+		signature := append([]byte(nil), d.BytesField()...)
+		if d.Finish() != nil {
+			return
+		}
+		s.accept(r, from, data, signature)
+	case rbPhase2:
+		r := types.Round(d.Uint64())
+		n := d.Int()
+		if d.Err() != nil || n < 0 || n > s.t.m.N {
+			return
+		}
+		distinct := make(map[types.ProcessID]bool, n)
+		for i := 0; i < n; i++ {
+			owner := types.ProcessID(d.Int())
+			data := append([]byte(nil), d.BytesField()...)
+			signature := append([]byte(nil), d.BytesField()...)
+			if d.Err() != nil {
+				return
+			}
+			if s.accept(r, owner, data, signature) {
+				distinct[owner] = true
+			}
+		}
+		if d.Finish() != nil {
+			return
+		}
+		// The bundle counts toward phase 2 only if it carries >= n-1
+		// distinct validly signed values.
+		if len(distinct) >= s.t.m.N-1 {
+			st := s.roundState(r)
+			s.mu.Lock()
+			st.p2From[from] = true
+			s.mu.Unlock()
+			s.t.pulse.Fire()
+		}
+	}
+}
+
+// accept validates a signed phase-1 value (direct or forwarded) and records
+// it. It reports whether the signature was valid, regardless of whether the
+// value was new.
+func (s *RBF1) accept(r types.Round, owner types.ProcessID, data, signature []byte) bool {
+	if !s.t.m.Contains(owner) {
+		return false
+	}
+	if err := s.ring.Verify(owner, p1Bytes(r, data), signature); err != nil {
+		return false
+	}
+	if owner != s.t.self {
+		st := s.roundState(r)
+		s.mu.Lock()
+		if _, ok := st.sigs[owner]; !ok {
+			st.sigs[owner] = signature
+		}
+		s.mu.Unlock()
+		s.t.record(owner, r, data)
+	}
+	return true
+}

@@ -1,0 +1,184 @@
+package rounds
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"unidir/internal/trusted/swmr"
+	"unidir/internal/types"
+)
+
+// SWMR implements unidirectional rounds from shared memory with ACLs —
+// the protocol of Claim §3.2 (first introduced by Aguilera et al., DISC'19):
+//
+//	In round r, process p_i:
+//	  to send message m, appends (r, m) to its own object o_i;
+//	  then reads objects o_1 ... o_n.
+//	p_i receives a round-r message m' from p_j if it reads (r, m') in o_j.
+//
+// Unidirectionality holds because of the write-then-scan order: of two
+// correct processes that both write in round r, the one whose append
+// linearizes second must see the other's entry in its scan.
+//
+// WaitEnd performs the scan that defines the round boundary. A background
+// poller keeps scanning so that late writes still reach the Recv stream
+// (eventual delivery), which the SRB construction requires.
+type SWMR struct {
+	t    *tracker
+	mem  swmr.Memory
+	poll time.Duration
+
+	scanMu sync.Mutex // serializes scans; cursor is guarded by it
+	cursor []int
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+var _ System = (*SWMR)(nil)
+
+// SWMROption configures NewSWMR.
+type SWMROption func(*SWMR)
+
+// WithSWMRObserver attaches a property-checking observer.
+func WithSWMRObserver(obs Observer) SWMROption {
+	return func(s *SWMR) { s.t.obs = obs }
+}
+
+// WithPollInterval sets the straggler-scan interval (default 500µs).
+func WithPollInterval(d time.Duration) SWMROption {
+	return func(s *SWMR) { s.poll = d }
+}
+
+// NewSWMR creates the round system for the process identified by mem over
+// membership m.
+func NewSWMR(mem swmr.Memory, m types.Membership, opts ...SWMROption) (*SWMR, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if !m.Contains(mem.Self()) {
+		return nil, fmt.Errorf("rounds: swmr memory caller %v not in membership", mem.Self())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &SWMR{
+		t:      newTracker(mem.Self(), m, nil),
+		mem:    mem,
+		poll:   500 * time.Microsecond,
+		cursor: make([]int, m.N),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	go s.pollLoop(ctx)
+	return s, nil
+}
+
+// Self returns this process's ID.
+func (s *SWMR) Self() types.ProcessID { return s.t.self }
+
+// Membership returns the process group.
+func (s *SWMR) Membership() types.Membership { return s.t.m }
+
+// Send appends (r, data) to this process's own object.
+func (s *SWMR) Send(r types.Round, data []byte) error {
+	// Order matters: the append must be visible in shared memory before the
+	// tracker admits the send, because markSent defines the moment after
+	// which this process may scan (and peers may count on seeing the entry).
+	if err := s.t.requireNotSent(r); err != nil {
+		return err
+	}
+	if err := s.mem.Append(encodeRoundMsg(r, data)); err != nil {
+		return fmt.Errorf("rounds: swmr append: %w", err)
+	}
+	return s.t.markSent(r, data)
+}
+
+// SendAux appends an out-of-round message to this process's object; peers'
+// pollers surface it on their Recv streams. It does not loop back to self.
+func (s *SWMR) SendAux(data []byte) error {
+	if err := s.mem.Append(encodeRoundMsg(0, data)); err != nil {
+		return fmt.Errorf("rounds: swmr aux append: %w", err)
+	}
+	return nil
+}
+
+// WaitEnd scans all objects once — the round-boundary scan of the protocol —
+// and returns the round-r messages collected so far.
+func (s *SWMR) WaitEnd(ctx context.Context, r types.Round) (map[types.ProcessID][]byte, error) {
+	if err := s.t.requireSent(r); err != nil {
+		return nil, err
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	_ = ctx // the boundary scan is synchronous; nothing to wait for
+	return s.t.snapshot(r), nil
+}
+
+// Recv returns the next round message (including post-boundary stragglers
+// discovered by the poller).
+func (s *SWMR) Recv(ctx context.Context) (Msg, error) { return s.t.recv(ctx) }
+
+// Close stops the poller and unblocks stream consumers.
+func (s *SWMR) Close() error {
+	s.cancel()
+	<-s.done
+	s.t.close()
+	return nil
+}
+
+func (s *SWMR) pollLoop(ctx context.Context) {
+	defer close(s.done)
+	ticker := time.NewTicker(s.poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			_ = s.scan() // a failed scan will be retried next tick
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// scan reads every object past this process's cursor and records new
+// entries. Scans are serialized by scanMu so cursors stay consistent.
+func (s *SWMR) scan() error {
+	s.scanMu.Lock()
+	defer s.scanMu.Unlock()
+
+	s.t.mu.Lock()
+	closed := s.t.closed
+	s.t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+
+	for q := 0; q < s.t.m.N; q++ {
+		owner := types.ProcessID(q)
+		entries, err := s.mem.ReadLog(owner, s.cursor[q])
+		if err != nil {
+			return fmt.Errorf("rounds: swmr scan o_%d: %w", q, err)
+		}
+		for _, raw := range entries {
+			s.cursor[q]++
+			r, data, err := decodeRoundMsg(raw)
+			if err != nil {
+				continue // a Byzantine owner wrote garbage in its object
+			}
+			if owner == s.t.self {
+				continue // own entries are recorded at Send time
+			}
+			if r == AuxRound {
+				s.t.recordAux(owner, data)
+				continue
+			}
+			s.t.record(owner, r, data)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package separation
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"unidir/internal/types"
+)
+
+func membership(t *testing.T, n, f int) types.Membership {
+	t.Helper()
+	m, err := types.NewMembership(n, f)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	return m
+}
+
+func TestGeometry(t *testing.T) {
+	m := membership(t, 5, 2)
+	g, err := NewGeometry(m)
+	if err != nil {
+		t.Fatalf("NewGeometry: %v", err)
+	}
+	if len(g.Q) != 3 || g.C1 != 3 || len(g.C2) != 1 || g.C2[0] != 4 {
+		t.Fatalf("geometry = %+v", g)
+	}
+}
+
+func TestGeometryRejectsOutOfRegime(t *testing.T) {
+	for _, nf := range [][2]int{{3, 1}, {4, 1}, {4, 2}, {6, 3}} {
+		m := membership(t, nf[0], nf[1])
+		if _, err := NewGeometry(m); !errors.Is(err, ErrGeometry) {
+			t.Fatalf("NewGeometry(n=%d,f=%d) err = %v, want ErrGeometry", nf[0], nf[1], err)
+		}
+	}
+}
+
+func TestScenario1LivenessWithoutHearingC1(t *testing.T) {
+	m := membership(t, 5, 2)
+	out, err := RunScenario(m, 1, 10*time.Second)
+	if err != nil {
+		t.Fatalf("RunScenario(1): %v", err)
+	}
+	// Q = {0,1,2} and C2 = {4} must all complete the round.
+	for _, id := range []types.ProcessID{0, 1, 2, 4} {
+		if !out.Completed[id] {
+			t.Fatalf("%v did not complete round 1 (completed: %v)", id, out.Completed)
+		}
+	}
+	// No violation is chargeable here — C1 is faulty, and the pairs among
+	// correct processes that both sent either heard each other or include a
+	// Q member that heard everyone in Q.
+	for _, v := range out.Violations {
+		if v.A != 3 && v.B != 3 {
+			t.Fatalf("unexpected violation among correct processes: %v", v)
+		}
+	}
+}
+
+func TestScenario2LivenessWithoutHearingC2(t *testing.T) {
+	m := membership(t, 5, 2)
+	out, err := RunScenario(m, 2, 10*time.Second)
+	if err != nil {
+		t.Fatalf("RunScenario(2): %v", err)
+	}
+	for _, id := range []types.ProcessID{0, 1, 2, 3} {
+		if !out.Completed[id] {
+			t.Fatalf("%v did not complete round 1 (completed: %v)", id, out.Completed)
+		}
+	}
+}
+
+func TestScenario3ProducesViolation(t *testing.T) {
+	// The heart of §4.1: everyone is correct, C1 and C2 both complete the
+	// round (they cannot distinguish this world from scenarios 2 and 1
+	// respectively), yet neither heard the other.
+	m := membership(t, 5, 2)
+	out, err := RunScenario(m, 3, 10*time.Second)
+	if err != nil {
+		t.Fatalf("RunScenario(3): %v", err)
+	}
+	for _, id := range []types.ProcessID{0, 1, 2, 3, 4} {
+		if !out.Completed[id] {
+			t.Fatalf("%v did not complete round 1 (completed: %v)", id, out.Completed)
+		}
+	}
+	found := false
+	for _, v := range out.Violations {
+		if (v.A == 3 && v.B == 4) || (v.A == 4 && v.B == 3) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no violation between C1=p3 and C2=p4; violations: %v", out.Violations)
+	}
+}
+
+func TestSWMRControlArmHasNoViolations(t *testing.T) {
+	m := membership(t, 5, 2)
+	violations, err := RunSWMRControl(m, 10, 7)
+	if err != nil {
+		t.Fatalf("RunSWMRControl: %v", err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("SWMR rounds violated unidirectionality: %v", violations)
+	}
+}
+
+func TestFullExperiment(t *testing.T) {
+	m := membership(t, 7, 3) // bigger geometry: Q={0..3}, C1=4, C2={5,6}
+	res, err := Run(m, 15*time.Second, 3)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Scenario3.Violations) == 0 {
+		t.Fatal("scenario 3 produced no violations")
+	}
+	if len(res.SWMRViolations) != 0 {
+		t.Fatalf("control arm violations: %v", res.SWMRViolations)
+	}
+	// In the larger geometry every C1-C2 pair is violated.
+	pairs := 0
+	for _, v := range res.Scenario3.Violations {
+		if v.A == 4 || v.B == 4 {
+			pairs++
+		}
+	}
+	if pairs < 2 {
+		t.Fatalf("expected violations between C1 and both C2 members, got %v", res.Scenario3.Violations)
+	}
+}

@@ -1,0 +1,129 @@
+package sig
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unidir/internal/types"
+)
+
+func schemes() []Scheme { return []Scheme{Ed25519, HMAC} }
+
+func newRings(t *testing.T, n int, scheme Scheme) []*Keyring {
+	t.Helper()
+	m, err := types.NewMembership(n, (n-1)/2)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	rings, err := NewKeyrings(m, scheme, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatalf("NewKeyrings(%v): %v", scheme, err)
+	}
+	return rings
+}
+
+func TestSignVerify(t *testing.T) {
+	for _, scheme := range schemes() {
+		t.Run(scheme.String(), func(t *testing.T) {
+			rings := newRings(t, 4, scheme)
+			msg := []byte("the paper's unforgeable transferable signatures")
+			s := rings[1].Sign(msg)
+			// Transferability: every ring verifies, not just the signer's.
+			for _, r := range rings {
+				if err := r.Verify(1, msg, s); err != nil {
+					t.Fatalf("ring %v Verify: %v", r.Self(), err)
+				}
+			}
+		})
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	for _, scheme := range schemes() {
+		t.Run(scheme.String(), func(t *testing.T) {
+			rings := newRings(t, 4, scheme)
+			msg := []byte("message")
+			s := rings[1].Sign(msg)
+
+			if err := rings[0].Verify(2, msg, s); !errors.Is(err, ErrBadSignature) {
+				t.Fatalf("wrong signer attribution err = %v", err)
+			}
+			if err := rings[0].Verify(1, []byte("different"), s); !errors.Is(err, ErrBadSignature) {
+				t.Fatalf("wrong message err = %v", err)
+			}
+			bad := append([]byte(nil), s...)
+			bad[0] ^= 1
+			if err := rings[0].Verify(1, msg, bad); !errors.Is(err, ErrBadSignature) {
+				t.Fatalf("tampered signature err = %v", err)
+			}
+			if err := rings[0].Verify(99, msg, s); !errors.Is(err, ErrBadSignature) {
+				t.Fatalf("unknown signer err = %v", err)
+			}
+			if err := rings[0].Verify(-1, msg, s); !errors.Is(err, ErrBadSignature) {
+				t.Fatalf("negative signer err = %v", err)
+			}
+		})
+	}
+}
+
+func TestDeterministicKeygen(t *testing.T) {
+	m, _ := types.NewMembership(3, 1)
+	for _, scheme := range schemes() {
+		a, err := NewKeyrings(m, scheme, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatalf("NewKeyrings: %v", err)
+		}
+		b, err := NewKeyrings(m, scheme, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatalf("NewKeyrings: %v", err)
+		}
+		msg := []byte("determinism")
+		if err := b[0].Verify(2, msg, a[2].Sign(msg)); err != nil {
+			t.Fatalf("%v: same-seed universes incompatible: %v", scheme, err)
+		}
+	}
+}
+
+func TestNilRNGWorks(t *testing.T) {
+	m, _ := types.NewMembership(3, 1)
+	for _, scheme := range schemes() {
+		rings, err := NewKeyrings(m, scheme, nil)
+		if err != nil {
+			t.Fatalf("NewKeyrings(%v, nil): %v", scheme, err)
+		}
+		msg := []byte("default randomness")
+		if err := rings[1].Verify(0, msg, rings[0].Sign(msg)); err != nil {
+			t.Fatalf("verify: %v", err)
+		}
+	}
+}
+
+func TestUnknownSchemeRejected(t *testing.T) {
+	m, _ := types.NewMembership(3, 1)
+	if _, err := NewKeyrings(m, Scheme(99), nil); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestQuickNoCrossProcessForgery(t *testing.T) {
+	// Property: a signature by process i never verifies as process j != i.
+	for _, scheme := range schemes() {
+		rings := newRings(t, 4, scheme)
+		f := func(msg []byte, i, j uint8) bool {
+			pi := types.ProcessID(i % 4)
+			pj := types.ProcessID(j % 4)
+			s := rings[pi].Sign(msg)
+			err := rings[0].Verify(pj, msg, s)
+			if pi == pj {
+				return err == nil
+			}
+			return errors.Is(err, ErrBadSignature)
+		}
+		cfg := &quick.Config{MaxCount: 30}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+	}
+}

@@ -1,0 +1,561 @@
+// Package simnet implements an in-memory simulated asynchronous network with
+// full adversarial control, behind the transport.Transport interface.
+//
+// The asynchronous adversary of the paper chooses message delivery order and
+// delays arbitrarily (but must eventually deliver unless a process is
+// faulty). simnet exposes exactly that power to tests and experiments:
+//
+//   - Auto mode (default): messages are delivered immediately, or after a
+//     per-link delay / seeded random jitter if configured. This is the fast
+//     path for benchmarks and liveness tests.
+//   - Blocked links: Block(from, to) holds all messages on a link in a
+//     per-link buffer; Heal releases them in order. This models "arbitrarily
+//     delayed" — exactly what the separation argument (§4.1) needs.
+//   - Drops: SetDropRate discards a fraction of messages on a link (models
+//     crashed receivers or lossy links for failure-injection tests).
+//   - Manual mode: Hold() diverts every subsequent send into a pending list;
+//     the test releases messages one at a time (Release, ReleaseWhere,
+//     ReleaseAll), giving fully deterministic worst-case schedules.
+//
+// All mutable state is guarded by one mutex; endpoints use unbounded
+// mailboxes so protocol goroutines can never deadlock through the network.
+// An optional Trace hook observes every send/deliver/drop for the execution
+// recorders in internal/core.
+package simnet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"unidir/internal/transport"
+	"unidir/internal/types"
+)
+
+// Event is a network trace event passed to the Trace hook.
+type Event struct {
+	Kind    EventKind
+	From    types.ProcessID
+	To      types.ProcessID
+	Payload []byte
+	Time    time.Time
+}
+
+// EventKind discriminates trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EventSend EventKind = iota + 1 // message entered the network
+	EventDeliver
+	EventDrop
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventSend:
+		return "send"
+	case EventDeliver:
+		return "deliver"
+	case EventDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithTrace installs a hook invoked (synchronously, without the network lock
+// held for delivers; see implementation notes) for every event.
+func WithTrace(hook func(Event)) Option {
+	return func(n *Network) { n.trace = hook }
+}
+
+// WithJitter delivers every message after a random delay uniform in
+// [0, max), drawn from a PRNG seeded with seed. Zero max means immediate.
+func WithJitter(max time.Duration, seed int64) Option {
+	return func(n *Network) {
+		n.jitterMax = max
+		n.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// Network is the simulated network connecting one membership's processes.
+type Network struct {
+	m     types.Membership
+	trace func(Event)
+
+	mu        sync.Mutex
+	endpoints []*Endpoint
+	links     map[linkKey]*linkState
+	held      bool // manual mode
+	pending   []Pending
+	nextID    uint64
+	closed    bool
+	jitterMax time.Duration
+	rng       *rand.Rand
+	timers    map[*time.Timer]struct{}
+}
+
+type linkKey struct {
+	from, to types.ProcessID
+}
+
+type linkState struct {
+	blocked  bool
+	buffered [][]byte // messages held while blocked, FIFO
+	dropRate float64
+	delay    time.Duration
+}
+
+// Pending is one message awaiting release in manual mode.
+type Pending struct {
+	ID      uint64
+	From    types.ProcessID
+	To      types.ProcessID
+	Payload []byte
+}
+
+// New creates a simulated network for membership m with one endpoint per
+// process.
+func New(m types.Membership, opts ...Option) (*Network, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		m:      m,
+		links:  make(map[linkKey]*linkState),
+		timers: make(map[*time.Timer]struct{}),
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	n.endpoints = make([]*Endpoint, m.N)
+	for i := 0; i < m.N; i++ {
+		n.endpoints[i] = &Endpoint{
+			net:    n,
+			self:   types.ProcessID(i),
+			notify: make(chan struct{}, 1),
+		}
+	}
+	return n, nil
+}
+
+// Membership returns the membership the network was created with.
+func (n *Network) Membership() types.Membership { return n.m }
+
+// Endpoint returns the transport endpoint for process id.
+func (n *Network) Endpoint(id types.ProcessID) *Endpoint {
+	if !n.m.Contains(id) {
+		panic(fmt.Sprintf("simnet: endpoint for non-member %v", id))
+	}
+	return n.endpoints[id]
+}
+
+// Endpoints returns all endpoints indexed by ProcessID, as the
+// transport.Transport interface.
+func (n *Network) Endpoints() []transport.Transport {
+	out := make([]transport.Transport, len(n.endpoints))
+	for i, ep := range n.endpoints {
+		out[i] = ep
+	}
+	return out
+}
+
+// Close shuts the network down: pending timers are stopped, all endpoints'
+// Recv calls unblock with transport.ErrClosed, and subsequent sends fail.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	for t := range n.timers {
+		t.Stop()
+	}
+	n.timers = map[*time.Timer]struct{}{}
+	eps := n.endpoints
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.close()
+	}
+}
+
+func (n *Network) link(from, to types.ProcessID) *linkState {
+	key := linkKey{from, to}
+	ls := n.links[key]
+	if ls == nil {
+		ls = &linkState{}
+		n.links[key] = ls
+	}
+	return ls
+}
+
+// --- adversarial controls ---
+
+// Block holds all future messages from→to in a buffer until Heal. Blocking
+// models the asynchronous adversary's "arbitrarily delayed" links.
+func (n *Network) Block(from, to types.ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.link(from, to).blocked = true
+}
+
+// BlockPair blocks both directions between a and b.
+func (n *Network) BlockPair(a, b types.ProcessID) {
+	n.Block(a, b)
+	n.Block(b, a)
+}
+
+// BlockSets blocks every link from a process in as to a process in bs, in
+// both directions. Used to build the partitions of the separation argument.
+func (n *Network) BlockSets(as, bs []types.ProcessID) {
+	for _, a := range as {
+		for _, b := range bs {
+			n.BlockPair(a, b)
+		}
+	}
+}
+
+// Heal unblocks from→to and delivers, in order, every message buffered while
+// the link was blocked.
+func (n *Network) Heal(from, to types.ProcessID) {
+	n.mu.Lock()
+	ls := n.link(from, to)
+	ls.blocked = false
+	buffered := ls.buffered
+	ls.buffered = nil
+	n.mu.Unlock()
+	for _, payload := range buffered {
+		n.inject(from, to, payload)
+	}
+}
+
+// HealAll unblocks every link and flushes all buffered messages.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	type flush struct {
+		from, to types.ProcessID
+		payloads [][]byte
+	}
+	var flushes []flush
+	for key, ls := range n.links {
+		if ls.blocked || len(ls.buffered) > 0 {
+			ls.blocked = false
+			flushes = append(flushes, flush{key.from, key.to, ls.buffered})
+			ls.buffered = nil
+		}
+	}
+	n.mu.Unlock()
+	for _, f := range flushes {
+		for _, payload := range f.payloads {
+			n.inject(f.from, f.to, payload)
+		}
+	}
+}
+
+// SetDropRate makes the link from→to silently discard each message with
+// probability rate (using the network's seeded PRNG; configure WithJitter or
+// the default deterministic source). rate outside [0,1] is clamped.
+func (n *Network) SetDropRate(from, to types.ProcessID, rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.rng == nil {
+		n.rng = rand.New(rand.NewSource(1))
+	}
+	n.link(from, to).dropRate = rate
+}
+
+// SetLinkDelay delivers messages on from→to after d (in auto mode).
+func (n *Network) SetLinkDelay(from, to types.ProcessID, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.link(from, to).delay = d
+}
+
+// Hold switches the network to manual mode: every subsequent send is
+// appended to the pending list instead of being delivered. Messages already
+// in flight are unaffected.
+func (n *Network) Hold() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.held = true
+}
+
+// Resume switches back to auto mode and delivers all pending messages in
+// send order.
+func (n *Network) Resume() {
+	n.mu.Lock()
+	n.held = false
+	pending := n.pending
+	n.pending = nil
+	n.mu.Unlock()
+	for _, p := range pending {
+		n.inject(p.From, p.To, p.Payload)
+	}
+}
+
+// Pending returns a snapshot of messages awaiting release in manual mode.
+func (n *Network) Pending() []Pending {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Pending, len(n.pending))
+	copy(out, n.pending)
+	return out
+}
+
+// Release delivers the pending message with the given ID. It reports whether
+// the ID was found.
+func (n *Network) Release(id uint64) bool {
+	n.mu.Lock()
+	var msg *Pending
+	for i := range n.pending {
+		if n.pending[i].ID == id {
+			m := n.pending[i]
+			msg = &m
+			n.pending = append(n.pending[:i], n.pending[i+1:]...)
+			break
+		}
+	}
+	n.mu.Unlock()
+	if msg == nil {
+		return false
+	}
+	n.inject(msg.From, msg.To, msg.Payload)
+	return true
+}
+
+// ReleaseWhere delivers (in send order) every pending message for which pred
+// returns true, and returns how many were delivered. Messages sent *during*
+// the release (for example protocol responses) are held again if the network
+// is still in manual mode; call repeatedly or use ReleaseUntilQuiescent.
+func (n *Network) ReleaseWhere(pred func(Pending) bool) int {
+	n.mu.Lock()
+	var release []Pending
+	var keep []Pending
+	for _, p := range n.pending {
+		if pred(p) {
+			release = append(release, p)
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	n.pending = keep
+	n.mu.Unlock()
+	for _, p := range release {
+		n.inject(p.From, p.To, p.Payload)
+	}
+	return len(release)
+}
+
+// ReleaseAll delivers every currently pending message in send order (the
+// network stays in manual mode; new sends are held).
+func (n *Network) ReleaseAll() int {
+	return n.ReleaseWhere(func(Pending) bool { return true })
+}
+
+// ReleaseUntilQuiescent repeatedly releases pending messages matching pred
+// until no matching message remains, sleeping settle between passes so that
+// protocol goroutines can react and send follow-ups. It returns the total
+// number of messages delivered. Use this to drive a protocol "to completion"
+// along adversary-approved links only.
+func (n *Network) ReleaseUntilQuiescent(pred func(Pending) bool, settle time.Duration, maxPasses int) int {
+	total := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		released := n.ReleaseWhere(pred)
+		total += released
+		time.Sleep(settle)
+		if released == 0 && len(n.matching(pred)) == 0 {
+			return total
+		}
+	}
+	return total
+}
+
+func (n *Network) matching(pred func(Pending) bool) []Pending {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []Pending
+	for _, p := range n.pending {
+		if pred(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// --- delivery paths ---
+
+// send is called by endpoints. It applies, in order: closed check, manual
+// hold, drop rate, block buffering, delay, then direct injection.
+func (n *Network) send(from, to types.ProcessID, payload []byte) error {
+	if !n.m.Contains(to) {
+		return fmt.Errorf("simnet: send to non-member %v", to)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	if n.trace != nil {
+		n.traceLocked(Event{Kind: EventSend, From: from, To: to, Payload: payload, Time: time.Now()})
+	}
+	if n.held {
+		n.nextID++
+		n.pending = append(n.pending, Pending{ID: n.nextID, From: from, To: to, Payload: payload})
+		n.mu.Unlock()
+		return nil
+	}
+	ls := n.link(from, to)
+	if ls.dropRate > 0 && n.rng.Float64() < ls.dropRate {
+		if n.trace != nil {
+			n.traceLocked(Event{Kind: EventDrop, From: from, To: to, Payload: payload, Time: time.Now()})
+		}
+		n.mu.Unlock()
+		return nil
+	}
+	if ls.blocked {
+		ls.buffered = append(ls.buffered, payload)
+		n.mu.Unlock()
+		return nil
+	}
+	delay := ls.delay
+	if n.jitterMax > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.jitterMax)))
+	}
+	if delay > 0 {
+		var timer *time.Timer
+		timer = time.AfterFunc(delay, func() {
+			n.mu.Lock()
+			delete(n.timers, timer)
+			n.mu.Unlock()
+			n.inject(from, to, payload)
+		})
+		n.timers[timer] = struct{}{}
+		n.mu.Unlock()
+		return nil
+	}
+	n.mu.Unlock()
+	n.inject(from, to, payload)
+	return nil
+}
+
+// inject delivers a message to the destination mailbox, bypassing all link
+// rules. It is the single point through which every delivery flows.
+func (n *Network) inject(from, to types.ProcessID, payload []byte) {
+	n.mu.Lock()
+	closed := n.closed
+	trace := n.trace
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	if trace != nil {
+		trace(Event{Kind: EventDeliver, From: from, To: to, Payload: payload, Time: time.Now()})
+	}
+	n.endpoints[to].enqueue(transport.Envelope{From: from, To: to, Payload: payload})
+}
+
+// Inject delivers a fabricated message, bypassing link rules. Byzantine
+// tests use it to model messages from compromised processes without running
+// protocol code for them.
+func (n *Network) Inject(from, to types.ProcessID, payload []byte) {
+	n.inject(from, to, payload)
+}
+
+// traceLocked invokes the trace hook while holding n.mu. Hooks must not call
+// back into the network.
+func (n *Network) traceLocked(ev Event) { n.trace(ev) }
+
+// --- Endpoint ---
+
+// Endpoint is one process's mailbox-backed transport endpoint.
+type Endpoint struct {
+	net  *Network
+	self types.ProcessID
+
+	mu     sync.Mutex
+	queue  []transport.Envelope
+	notify chan struct{}
+	closed bool
+}
+
+var _ transport.Transport = (*Endpoint)(nil)
+
+// Self returns the endpoint's process ID.
+func (e *Endpoint) Self() types.ProcessID { return e.self }
+
+// Send enqueues payload for delivery to the destination process.
+func (e *Endpoint) Send(to types.ProcessID, payload []byte) error {
+	return e.net.send(e.self, to, payload)
+}
+
+// Recv returns the next delivered message, blocking until one arrives, ctx
+// is done, or the endpoint is closed.
+func (e *Endpoint) Recv(ctx context.Context) (transport.Envelope, error) {
+	for {
+		e.mu.Lock()
+		if len(e.queue) > 0 {
+			env := e.queue[0]
+			e.queue = e.queue[1:]
+			e.mu.Unlock()
+			return env, nil
+		}
+		if e.closed {
+			e.mu.Unlock()
+			return transport.Envelope{}, transport.ErrClosed
+		}
+		e.mu.Unlock()
+		select {
+		case <-e.notify:
+		case <-ctx.Done():
+			return transport.Envelope{}, ctx.Err()
+		}
+	}
+}
+
+// Close unblocks pending Recv calls on this endpoint.
+func (e *Endpoint) Close() error {
+	e.close()
+	return nil
+}
+
+func (e *Endpoint) enqueue(env transport.Envelope) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.queue = append(e.queue, env)
+	e.mu.Unlock()
+	select {
+	case e.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (e *Endpoint) close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	select {
+	case e.notify <- struct{}{}:
+	default:
+	}
+}

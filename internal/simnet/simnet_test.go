@@ -1,0 +1,368 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"unidir/internal/transport"
+	"unidir/internal/types"
+)
+
+func newNet(t *testing.T, n int, opts ...Option) *Network {
+	t.Helper()
+	m, err := types.NewMembership(n, (n-1)/2)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	net, err := New(m, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(net.Close)
+	return net
+}
+
+func recvOne(t *testing.T, ep *Endpoint, timeout time.Duration) transport.Envelope {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	env, err := ep.Recv(ctx)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	return env
+}
+
+func TestDirectDelivery(t *testing.T) {
+	net := newNet(t, 3)
+	if err := net.Endpoint(0).Send(2, []byte("hi")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	env := recvOne(t, net.Endpoint(2), time.Second)
+	if env.From != 0 || env.To != 2 || string(env.Payload) != "hi" {
+		t.Fatalf("env = %+v", env)
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	net := newNet(t, 2)
+	if err := net.Endpoint(1).Send(1, []byte("loop")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	env := recvOne(t, net.Endpoint(1), time.Second)
+	if env.From != 1 || string(env.Payload) != "loop" {
+		t.Fatalf("env = %+v", env)
+	}
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	net := newNet(t, 2)
+	for i := 0; i < 50; i++ {
+		if err := net.Endpoint(0).Send(1, []byte{byte(i)}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		env := recvOne(t, net.Endpoint(1), time.Second)
+		if env.Payload[0] != byte(i) {
+			t.Fatalf("message %d arrived as %d", i, env.Payload[0])
+		}
+	}
+}
+
+func TestBlockAndHeal(t *testing.T) {
+	net := newNet(t, 2)
+	net.Block(0, 1)
+	if err := net.Endpoint(0).Send(1, []byte("delayed")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := net.Endpoint(1).Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked link delivered: err=%v", err)
+	}
+	net.Heal(0, 1)
+	env := recvOne(t, net.Endpoint(1), time.Second)
+	if string(env.Payload) != "delayed" {
+		t.Fatalf("payload = %q", env.Payload)
+	}
+}
+
+func TestBlockIsDirectional(t *testing.T) {
+	net := newNet(t, 2)
+	net.Block(0, 1)
+	if err := net.Endpoint(1).Send(0, []byte("reverse")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	env := recvOne(t, net.Endpoint(0), time.Second)
+	if string(env.Payload) != "reverse" {
+		t.Fatalf("payload = %q", env.Payload)
+	}
+}
+
+func TestBlockSetsAndHealAll(t *testing.T) {
+	net := newNet(t, 4)
+	net.BlockSets([]types.ProcessID{0, 1}, []types.ProcessID{2, 3})
+	for _, pair := range [][2]types.ProcessID{{0, 2}, {2, 0}, {1, 3}, {3, 1}} {
+		if err := net.Endpoint(pair[0]).Send(pair[1], []byte("x")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	// Intra-set traffic still flows.
+	if err := net.Endpoint(0).Send(1, []byte("intra")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	env := recvOne(t, net.Endpoint(1), time.Second)
+	if string(env.Payload) != "intra" {
+		t.Fatalf("payload = %q", env.Payload)
+	}
+	net.HealAll()
+	for _, to := range []types.ProcessID{2, 0, 3, 1} {
+		env := recvOne(t, net.Endpoint(to), time.Second)
+		if string(env.Payload) != "x" {
+			t.Fatalf("flushed payload = %q", env.Payload)
+		}
+	}
+}
+
+func TestManualModeHoldsAndReleases(t *testing.T) {
+	net := newNet(t, 3)
+	net.Hold()
+	if err := net.Endpoint(0).Send(1, []byte("a")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := net.Endpoint(0).Send(2, []byte("b")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	pending := net.Pending()
+	if len(pending) != 2 {
+		t.Fatalf("Pending = %d, want 2", len(pending))
+	}
+	// Release only the message to process 2.
+	released := net.ReleaseWhere(func(p Pending) bool { return p.To == 2 })
+	if released != 1 {
+		t.Fatalf("released %d, want 1", released)
+	}
+	env := recvOne(t, net.Endpoint(2), time.Second)
+	if string(env.Payload) != "b" {
+		t.Fatalf("payload = %q", env.Payload)
+	}
+	if got := len(net.Pending()); got != 1 {
+		t.Fatalf("pending after release = %d, want 1", got)
+	}
+	// Release by ID.
+	if !net.Release(net.Pending()[0].ID) {
+		t.Fatal("Release by ID failed")
+	}
+	if net.Release(9999) {
+		t.Fatal("Release of unknown ID succeeded")
+	}
+	env = recvOne(t, net.Endpoint(1), time.Second)
+	if string(env.Payload) != "a" {
+		t.Fatalf("payload = %q", env.Payload)
+	}
+}
+
+func TestResumeFlushesPending(t *testing.T) {
+	net := newNet(t, 2)
+	net.Hold()
+	_ = net.Endpoint(0).Send(1, []byte("queued"))
+	net.Resume()
+	env := recvOne(t, net.Endpoint(1), time.Second)
+	if string(env.Payload) != "queued" {
+		t.Fatalf("payload = %q", env.Payload)
+	}
+	// Auto mode is back: new sends deliver without release.
+	_ = net.Endpoint(0).Send(1, []byte("direct"))
+	env = recvOne(t, net.Endpoint(1), time.Second)
+	if string(env.Payload) != "direct" {
+		t.Fatalf("payload = %q", env.Payload)
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	net := newNet(t, 2, WithJitter(0, 7))
+	net.SetDropRate(0, 1, 1.0)
+	for i := 0; i < 10; i++ {
+		_ = net.Endpoint(0).Send(1, []byte("gone"))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := net.Endpoint(1).Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("dropped message delivered: %v", err)
+	}
+}
+
+func TestLinkDelay(t *testing.T) {
+	net := newNet(t, 2)
+	net.SetLinkDelay(0, 1, 20*time.Millisecond)
+	start := time.Now()
+	_ = net.Endpoint(0).Send(1, []byte("slow"))
+	recvOne(t, net.Endpoint(1), time.Second)
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~20ms", elapsed)
+	}
+}
+
+func TestJitterDelivers(t *testing.T) {
+	net := newNet(t, 2, WithJitter(5*time.Millisecond, 3))
+	for i := 0; i < 20; i++ {
+		_ = net.Endpoint(0).Send(1, []byte{byte(i)})
+	}
+	seen := make(map[byte]bool)
+	for i := 0; i < 20; i++ {
+		env := recvOne(t, net.Endpoint(1), time.Second)
+		seen[env.Payload[0]] = true
+	}
+	if len(seen) != 20 {
+		t.Fatalf("delivered %d distinct messages, want 20", len(seen))
+	}
+}
+
+func TestTraceObservesEvents(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	hook := func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	net := newNet(t, 2, WithTrace(hook))
+	_ = net.Endpoint(0).Send(1, []byte("traced"))
+	recvOne(t, net.Endpoint(1), time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	var kinds []EventKind
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != EventSend || kinds[1] != EventDeliver {
+		t.Fatalf("trace kinds = %v", kinds)
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	net := newNet(t, 2)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := net.Endpoint(0).Recv(context.Background())
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	net.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("Recv err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+	if err := net.Endpoint(0).Send(1, []byte("x")); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("Send after close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestSendToNonMember(t *testing.T) {
+	net := newNet(t, 2)
+	if err := net.Endpoint(0).Send(5, []byte("x")); err == nil {
+		t.Fatal("send to non-member succeeded")
+	}
+}
+
+func TestInjectBypassesBlocks(t *testing.T) {
+	net := newNet(t, 2)
+	net.Block(0, 1)
+	net.Inject(0, 1, []byte("byzantine"))
+	env := recvOne(t, net.Endpoint(1), time.Second)
+	if string(env.Payload) != "byzantine" {
+		t.Fatalf("payload = %q", env.Payload)
+	}
+}
+
+func TestConcurrentSendersNoLoss(t *testing.T) {
+	net := newNet(t, 4)
+	const per = 100
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_ = net.Endpoint(types.ProcessID(p)).Send(3, []byte{byte(p), byte(i)})
+			}
+		}(p)
+	}
+	wg.Wait()
+	got := make(map[[2]byte]bool)
+	for i := 0; i < 3*per; i++ {
+		env := recvOne(t, net.Endpoint(3), time.Second)
+		got[[2]byte{env.Payload[0], env.Payload[1]}] = true
+	}
+	if len(got) != 3*per {
+		t.Fatalf("received %d distinct messages, want %d", len(got), 3*per)
+	}
+}
+
+func TestReleaseUntilQuiescent(t *testing.T) {
+	// A two-node echo protocol under manual mode: each received "ping N"
+	// triggers "ping N+1" until 3. ReleaseUntilQuiescent must drain the
+	// whole conversation, including messages sent during earlier passes.
+	net := newNet(t, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ep := net.Endpoint(1)
+		for {
+			env, err := ep.Recv(context.Background())
+			if err != nil {
+				return
+			}
+			n := env.Payload[0]
+			if n < 3 {
+				_ = ep.Send(0, []byte{n + 1})
+			}
+		}
+	}()
+	go func() {
+		ep := net.Endpoint(0)
+		for {
+			env, err := ep.Recv(context.Background())
+			if err != nil {
+				return
+			}
+			n := env.Payload[0]
+			if n < 3 {
+				_ = ep.Send(1, []byte{n + 1})
+			}
+		}
+	}()
+
+	net.Hold()
+	_ = net.Endpoint(0).Send(1, []byte{0})
+	released := net.ReleaseUntilQuiescent(func(Pending) bool { return true }, 5*time.Millisecond, 50)
+	if released != 4 { // 0, 1, 2, 3
+		t.Fatalf("released %d messages, want 4", released)
+	}
+	net.Close()
+	<-done
+}
+
+func TestReleaseWherePredicateScoping(t *testing.T) {
+	// Only adversary-approved links drain; others stay pending.
+	net := newNet(t, 3)
+	net.Hold()
+	_ = net.Endpoint(0).Send(1, []byte("a"))
+	_ = net.Endpoint(0).Send(2, []byte("b"))
+	_ = net.Endpoint(1).Send(2, []byte("c"))
+	released := net.ReleaseUntilQuiescent(func(p Pending) bool { return p.From == 0 }, time.Millisecond, 10)
+	if released != 2 {
+		t.Fatalf("released %d, want 2", released)
+	}
+	if got := len(net.Pending()); got != 1 {
+		t.Fatalf("pending = %d, want 1 (the 1->2 message)", got)
+	}
+}

@@ -1,0 +1,280 @@
+// Package smr holds the pieces shared by the replicated state machine
+// protocols (internal/minbft and internal/pbft): the deterministic state
+// machine interface, request/reply wire formats, the per-client dedup
+// table, and a retransmitting client that accepts a result once f+1
+// replicas vouch for it.
+package smr
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"unidir/internal/transport"
+	"unidir/internal/types"
+	"unidir/internal/wire"
+)
+
+// StateMachine is the deterministic application replicated by the
+// protocols. Apply must be deterministic: same command sequence, same
+// results. Implementations need not be concurrency-safe; replicas apply
+// from a single goroutine.
+type StateMachine interface {
+	Apply(cmd []byte) []byte
+}
+
+// Request is a client command submitted for ordering.
+type Request struct {
+	Client uint64 // client identity (stable across requests)
+	Num    uint64 // client-local sequence number, 1, 2, 3, ...
+	Op     []byte // application command
+}
+
+// Encode returns the canonical wire form (also the form protocols sign or
+// attest, so it must be deterministic).
+func (r Request) Encode() []byte {
+	e := wire.NewEncoder(24 + len(r.Op))
+	e.Uint64(r.Client)
+	e.Uint64(r.Num)
+	e.BytesField(r.Op)
+	return e.Bytes()
+}
+
+// DecodeRequest parses a request.
+func DecodeRequest(b []byte) (Request, error) {
+	d := wire.NewDecoder(b)
+	var r Request
+	r.Client = d.Uint64()
+	r.Num = d.Uint64()
+	r.Op = append([]byte(nil), d.BytesField()...)
+	if err := d.Finish(); err != nil {
+		return Request{}, fmt.Errorf("smr: decode request: %w", err)
+	}
+	return r, nil
+}
+
+// Reply is a replica's response to a client.
+type Reply struct {
+	Replica types.ProcessID
+	Client  uint64
+	Num     uint64
+	Result  []byte
+}
+
+// Encode returns the wire form.
+func (r Reply) Encode() []byte {
+	e := wire.NewEncoder(32 + len(r.Result))
+	e.Int(int(r.Replica))
+	e.Uint64(r.Client)
+	e.Uint64(r.Num)
+	e.BytesField(r.Result)
+	return e.Bytes()
+}
+
+// DecodeReply parses a reply.
+func DecodeReply(b []byte) (Reply, error) {
+	d := wire.NewDecoder(b)
+	var r Reply
+	r.Replica = types.ProcessID(d.Int())
+	r.Client = d.Uint64()
+	r.Num = d.Uint64()
+	r.Result = append([]byte(nil), d.BytesField()...)
+	if err := d.Finish(); err != nil {
+		return Reply{}, fmt.Errorf("smr: decode reply: %w", err)
+	}
+	return r, nil
+}
+
+// ClientTable dedups request execution per client and caches the last
+// reply, as in PBFT/MinBFT: a request is executed at most once even if it
+// is re-ordered after a view change; retransmissions get the cached reply.
+type ClientTable struct {
+	last map[uint64]uint64 // client -> highest executed Num
+	res  map[uint64][]byte // client -> cached last result
+}
+
+// NewClientTable returns an empty table.
+func NewClientTable() *ClientTable {
+	return &ClientTable{last: make(map[uint64]uint64), res: make(map[uint64][]byte)}
+}
+
+// ShouldExecute reports whether the request is new for its client.
+func (t *ClientTable) ShouldExecute(r Request) bool { return r.Num > t.last[r.Client] }
+
+// Executed records the result of executing r.
+func (t *ClientTable) Executed(r Request, result []byte) {
+	t.last[r.Client] = r.Num
+	t.res[r.Client] = result
+}
+
+// CachedReply returns the cached result for a retransmitted request, if it
+// is exactly the client's last executed one.
+func (t *ClientTable) CachedReply(r Request) ([]byte, bool) {
+	if t.last[r.Client] == r.Num {
+		return t.res[r.Client], true
+	}
+	return nil, false
+}
+
+// ErrClientClosed reports use of a closed client.
+var ErrClientClosed = errors.New("smr: client closed")
+
+// Client submits requests to a replica group and waits for matching replies
+// from `need` distinct replicas (f+1 in both protocols: at least one is
+// correct and vouches for the committed result). It retransmits to all
+// replicas on a timer until satisfied. Safe for use from one goroutine.
+type Client struct {
+	tr       transport.Transport
+	replicas []types.ProcessID
+	need     int
+	id       uint64
+	retry    time.Duration
+	encode   func(Request) []byte
+
+	mu      sync.Mutex
+	nextNum uint64
+	closed  bool
+}
+
+// ClientOption configures NewClient.
+type ClientOption func(*Client)
+
+// WithRequestEncoder sets the protocol-specific request envelope encoder
+// (for example minbft.EncodeRequestEnvelope or pbft.EncodeRequestEnvelope).
+// The default sends the bare Request wire form.
+func WithRequestEncoder(encode func(Request) []byte) ClientOption {
+	return func(c *Client) { c.encode = encode }
+}
+
+// NewClient creates a client with the given unique identity. need is the
+// number of matching replies required (use f+1).
+func NewClient(tr transport.Transport, replicas []types.ProcessID, need int, id uint64, retry time.Duration, opts ...ClientOption) (*Client, error) {
+	if need < 1 || need > len(replicas) {
+		return nil, fmt.Errorf("smr: need %d of %d replicas", need, len(replicas))
+	}
+	if retry <= 0 {
+		retry = 50 * time.Millisecond
+	}
+	c := &Client{tr: tr, replicas: replicas, need: need, id: id, retry: retry,
+		encode: func(r Request) []byte { return r.Encode() }}
+	// Start request numbers from the wall clock so that a restarted client
+	// process reusing the same identity stays monotonic with respect to the
+	// replicas' dedup tables (the standard PBFT timestamp trick). Within
+	// one process, numbers are strictly increasing regardless.
+	c.nextNum = uint64(time.Now().UnixNano())
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Invoke submits op and blocks until `need` replicas report the same
+// result, retransmitting as needed. It returns the agreed result.
+func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.nextNum++
+	req := Request{Client: c.id, Num: c.nextNum, Op: op}
+	c.mu.Unlock()
+
+	payload := c.encode(req)
+	send := func() error {
+		return transport.Broadcast(c.tr, c.replicas, payload)
+	}
+	if err := send(); err != nil {
+		return nil, fmt.Errorf("smr: send request: %w", err)
+	}
+
+	votes := make(map[string]map[types.ProcessID]bool)
+	timer := time.NewTimer(c.retry)
+	defer timer.Stop()
+	for {
+		recvCtx, cancel := context.WithCancel(ctx)
+		go func() {
+			select {
+			case <-timer.C:
+				cancel()
+			case <-recvCtx.Done():
+			}
+		}()
+		env, err := c.tr.Recv(recvCtx)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// Retransmission timer fired.
+			if err := send(); err != nil {
+				return nil, fmt.Errorf("smr: retransmit: %w", err)
+			}
+			timer.Reset(c.retry)
+			continue
+		}
+		rep, err := DecodeReply(env.Payload)
+		if err != nil || rep.Client != c.id || rep.Num != req.Num || rep.Replica != env.From {
+			continue
+		}
+		key := string(rep.Result)
+		if votes[key] == nil {
+			votes[key] = make(map[types.ProcessID]bool)
+		}
+		votes[key][rep.Replica] = true
+		if len(votes[key]) >= c.need {
+			return append([]byte(nil), rep.Result...), nil
+		}
+	}
+}
+
+// Close marks the client closed. The underlying transport is not closed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+// ExecutionLog records the command sequence a replica applied, for
+// cross-replica consistency checks in tests.
+type ExecutionLog struct {
+	mu   sync.Mutex
+	cmds [][]byte
+}
+
+// Record appends one applied command.
+func (l *ExecutionLog) Record(cmd []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cmds = append(l.cmds, append([]byte(nil), cmd...))
+}
+
+// Snapshot returns a copy of the applied sequence.
+func (l *ExecutionLog) Snapshot() [][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([][]byte, len(l.cmds))
+	for i, c := range l.cmds {
+		out[i] = append([]byte(nil), c...)
+	}
+	return out
+}
+
+// CheckPrefix verifies that one execution log is a prefix of the other —
+// the linearizability skeleton every SMR protocol must provide.
+func CheckPrefix(a, b [][]byte) error {
+	short, long := a, b
+	if len(short) > len(long) {
+		short, long = long, short
+	}
+	for i := range short {
+		if !bytes.Equal(short[i], long[i]) {
+			return fmt.Errorf("smr: execution logs diverge at index %d: %q vs %q", i, short[i], long[i])
+		}
+	}
+	return nil
+}

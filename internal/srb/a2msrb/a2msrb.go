@@ -1,0 +1,213 @@
+// Package a2msrb implements sequenced reliable broadcast from Attested
+// Append-only Memory — the A2M route to SRB (Chun et al.'s original use),
+// complementing the TrInc route in srb/trincsrb and closing the trusted-log
+// side of the paper's classification: *both* log primitives sit at SRB.
+//
+// The sender appends each message to its A2M log and sends the Lookup
+// proof to all. A proof certifies "entry k of my log is m" — and because
+// past entries are immutable, position k can never certify a different
+// value, so equivocation is impossible and the log index is the SRB
+// sequence number directly (A2M appends are dense, unlike raw TrInc
+// counters). Receivers verify the proof, relay first-seen entries to all
+// (strong termination), and deliver in index order. Tolerates any number
+// of Byzantine processes (n > f).
+package a2msrb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"unidir/internal/srb"
+	"unidir/internal/syncx"
+	"unidir/internal/transport"
+	"unidir/internal/trusted/a2m"
+	"unidir/internal/types"
+)
+
+// ErrClosed reports use of a closed node.
+var ErrClosed = errors.New("a2msrb: node closed")
+
+// broadcastNonce is the fixed Lookup nonce: broadcast proofs are
+// statements about immutable log positions, so freshness is irrelevant
+// (any valid proof for position k is eternally true).
+var broadcastNonce = []byte("a2msrb/broadcast")
+
+// Node implements srb.Node from an A2M log and a transport endpoint.
+type Node struct {
+	self types.ProcessID
+	m    types.Membership
+	tr   transport.Transport
+	log  a2m.Log
+	ver  *a2m.Verifier
+
+	mu     sync.Mutex
+	states []*senderState
+	closed bool
+
+	deliveries *syncx.Queue[srb.Delivery]
+	cancel     context.CancelFunc
+	done       chan struct{}
+}
+
+var _ srb.Node = (*Node)(nil)
+
+// senderState tracks one sender's log as seen by this process.
+type senderState struct {
+	next    types.SeqNum
+	pending map[types.SeqNum][]byte
+	seen    map[types.SeqNum]bool // indices already relayed
+}
+
+// New creates a node. log must be a log on this process's A2M device (or a
+// TrInc-backed a2m.TrIncLog — the construction is agnostic); ver must
+// verify the whole membership's devices.
+//
+// The protocol binds every sender to one agreed log ID (log.ID() must be
+// the same at every process — a protocol configuration constant, as in
+// A2M-PBFT). Without the agreed ID, a Byzantine sender running two logs
+// could show different receivers different streams.
+func New(m types.Membership, tr transport.Transport, log a2m.Log, ver *a2m.Verifier) (*Node, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if log.Owner() != tr.Self() {
+		return nil, fmt.Errorf("a2msrb: log owner %v != endpoint %v", log.Owner(), tr.Self())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := &Node{
+		self:       tr.Self(),
+		m:          m,
+		tr:         tr,
+		log:        log,
+		ver:        ver,
+		states:     make([]*senderState, m.N),
+		deliveries: syncx.NewQueue[srb.Delivery](),
+		cancel:     cancel,
+		done:       make(chan struct{}),
+	}
+	for i := range n.states {
+		n.states[i] = &senderState{
+			next:    1,
+			pending: make(map[types.SeqNum][]byte),
+			seen:    make(map[types.SeqNum]bool),
+		}
+	}
+	go n.recvLoop(ctx)
+	return n, nil
+}
+
+// Self returns this process's ID.
+func (n *Node) Self() types.ProcessID { return n.self }
+
+// Broadcast appends data to this process's attested log and sends the
+// Lookup proof to all.
+func (n *Node) Broadcast(data []byte) (types.SeqNum, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return 0, ErrClosed
+	}
+	n.mu.Unlock()
+	seq, err := n.log.Append(data)
+	if err != nil {
+		return 0, fmt.Errorf("a2msrb: append: %w", err)
+	}
+	proof, err := n.log.Lookup(seq, broadcastNonce)
+	if err != nil {
+		return 0, fmt.Errorf("a2msrb: lookup: %w", err)
+	}
+	payload := proof.Encode()
+	if err := transport.Broadcast(n.tr, n.m.Others(n.self), payload); err != nil {
+		return 0, fmt.Errorf("a2msrb: broadcast: %w", err)
+	}
+	n.accept(proof)
+	return seq, nil
+}
+
+// Deliver returns the next delivery from any sender.
+func (n *Node) Deliver(ctx context.Context) (srb.Delivery, error) {
+	d, err := n.deliveries.Pop(ctx)
+	if errors.Is(err, syncx.ErrQueueClosed) {
+		return srb.Delivery{}, ErrClosed
+	}
+	return d, err
+}
+
+// Close stops the node.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.cancel()
+	_ = n.tr.Close()
+	<-n.done
+	n.deliveries.Close()
+	return nil
+}
+
+func (n *Node) recvLoop(ctx context.Context) {
+	defer close(n.done)
+	for {
+		env, err := n.tr.Recv(ctx)
+		if err != nil {
+			return
+		}
+		proof, err := a2m.DecodeProof(env.Payload)
+		if err != nil {
+			continue // Byzantine garbage
+		}
+		n.accept(proof)
+	}
+}
+
+// accept validates one attested log entry and advances the sender's
+// delivery cursor. The proof authenticates the original sender (its
+// device), so relays by third parties are sound.
+func (n *Node) accept(proof a2m.Proof) {
+	sender := proof.Stmt.Device
+	if !n.m.Contains(sender) || proof.Stmt.Kind != a2m.KindLookup {
+		return
+	}
+	if err := n.ver.Check(proof); err != nil {
+		return
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	st := n.states[sender]
+	// Only the agreed protocol log counts: a Byzantine sender running
+	// several logs cannot split the stream across receivers.
+	if proof.Stmt.Log != n.log.ID() || st.seen[proof.Stmt.Seq] {
+		n.mu.Unlock()
+		return
+	}
+	st.seen[proof.Stmt.Seq] = true
+	st.pending[proof.Stmt.Seq] = proof.Stmt.Value
+	var ready []srb.Delivery
+	for {
+		data, ok := st.pending[st.next]
+		if !ok {
+			break
+		}
+		delete(st.pending, st.next)
+		ready = append(ready, srb.Delivery{Sender: sender, Seq: st.next, Data: data})
+		st.next++
+	}
+	n.mu.Unlock()
+
+	// Relay once for strong termination.
+	if sender != n.self {
+		_ = transport.Broadcast(n.tr, n.m.Others(n.self), proof.Encode())
+	}
+	for _, d := range ready {
+		n.deliveries.Push(d)
+	}
+}

@@ -1,0 +1,199 @@
+package a2msrb_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"unidir/internal/sig"
+	"unidir/internal/simnet"
+	"unidir/internal/srb"
+	"unidir/internal/srb/a2msrb"
+	"unidir/internal/trusted/a2m"
+	"unidir/internal/trusted/trinc"
+	"unidir/internal/types"
+)
+
+// White-box scenarios specific to the A2M construction; the black-box
+// property suite runs in internal/srb/srb_test.go.
+
+type fixture struct {
+	m     types.Membership
+	net   *simnet.Network
+	au    *a2m.Universe
+	tu    *trinc.Universe
+	nodes []srb.Node // correct nodes, indices 1..n-1 (p0 is the adversary)
+}
+
+func newFixture(t *testing.T, n, f int) *fixture {
+	t.Helper()
+	m, err := types.NewMembership(n, f)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	net, err := simnet.New(m)
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(71)))
+	if err != nil {
+		t.Fatalf("trinc universe: %v", err)
+	}
+	au, err := a2m.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(72)), tu)
+	if err != nil {
+		t.Fatalf("a2m universe: %v", err)
+	}
+	fix := &fixture{m: m, net: net, au: au, tu: tu}
+	for i := 1; i < n; i++ {
+		node, err := a2msrb.New(m, net.Endpoint(types.ProcessID(i)), au.Devices[i].NewLog(), au.Verifier)
+		if err != nil {
+			t.Fatalf("a2msrb.New: %v", err)
+		}
+		fix.nodes = append(fix.nodes, node)
+	}
+	t.Cleanup(func() {
+		for _, node := range fix.nodes {
+			_ = node.Close()
+		}
+		net.Close()
+	})
+	return fix
+}
+
+func TestSecondLogCannotSplitTheStream(t *testing.T) {
+	// A Byzantine sender appends "left" to the agreed log (ID 1) and
+	// "right" to a second log (ID 2), sending the log-1 proof to p1 and
+	// the log-2 proof to p2. Receivers only accept the agreed log, so the
+	// log-2 stream is ignored — no split.
+	fix := newFixture(t, 4, 1)
+	dev := fix.au.Devices[0]
+	log1 := dev.NewLog() // ID 1, the agreed protocol log
+	log2 := dev.NewLog() // ID 2
+
+	if _, err := log1.Append([]byte("left")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := log2.Append([]byte("right")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	p1, err := log1.Lookup(1, []byte("a2msrb/broadcast"))
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	p2, err := log2.Lookup(1, []byte("a2msrb/broadcast"))
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	fix.net.Inject(0, 1, p1.Encode())
+	fix.net.Inject(0, 2, p2.Encode())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i, node := range fix.nodes {
+		d, err := node.Deliver(ctx)
+		if err != nil {
+			t.Fatalf("node %d never delivered: %v", i+1, err)
+		}
+		if string(d.Data) != "left" || d.Seq != 1 {
+			t.Fatalf("node %d delivered %q at seq %d; the off-log stream leaked", i+1, d.Data, d.Seq)
+		}
+	}
+}
+
+func TestRelayProvidesTotality(t *testing.T) {
+	// The sender reaches only p1; the relay must carry the proof to all.
+	fix := newFixture(t, 4, 1)
+	dev := fix.au.Devices[0]
+	log := dev.NewLog()
+	if _, err := log.Append([]byte("narrow")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	proof, err := log.Lookup(1, nil)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	fix.net.Inject(0, 1, proof.Encode())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i, node := range fix.nodes {
+		d, err := node.Deliver(ctx)
+		if err != nil {
+			t.Fatalf("node %d never delivered: %v", i+1, err)
+		}
+		if string(d.Data) != "narrow" {
+			t.Fatalf("node %d delivered %q", i+1, d.Data)
+		}
+	}
+}
+
+func TestOutOfOrderProofsBufferUntilContiguous(t *testing.T) {
+	fix := newFixture(t, 4, 1)
+	dev := fix.au.Devices[0]
+	log := dev.NewLog()
+	for _, v := range []string{"one", "two", "three"} {
+		if _, err := log.Append([]byte(v)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// Deliver proofs in reverse order to p1.
+	for seq := types.SeqNum(3); seq >= 1; seq-- {
+		proof, err := log.Lookup(seq, nil)
+		if err != nil {
+			t.Fatalf("Lookup: %v", err)
+		}
+		fix.net.Inject(0, 1, proof.Encode())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for want := types.SeqNum(1); want <= 3; want++ {
+		d, err := fix.nodes[0].Deliver(ctx)
+		if err != nil {
+			t.Fatalf("deliver %d: %v", want, err)
+		}
+		if d.Seq != want {
+			t.Fatalf("delivered seq %d, want %d (sequencing broken)", d.Seq, want)
+		}
+	}
+}
+
+func TestTamperedProofIgnored(t *testing.T) {
+	fix := newFixture(t, 4, 1)
+	dev := fix.au.Devices[0]
+	log := dev.NewLog()
+	if _, err := log.Append([]byte("genuine")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	proof, err := log.Lookup(1, nil)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	proof.Stmt.Value = []byte("tampered")
+	fix.net.Inject(0, 1, proof.Encode())
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if d, err := fix.nodes[0].Deliver(ctx); err == nil {
+		t.Fatalf("delivered tampered proof: %+v", d)
+	}
+}
+
+func TestOwnerEndpointMismatchRejected(t *testing.T) {
+	m, _ := types.NewMembership(3, 1)
+	net, err := simnet.New(m)
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	defer net.Close()
+	tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(73)))
+	if err != nil {
+		t.Fatalf("universe: %v", err)
+	}
+	au, err := a2m.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(74)), tu)
+	if err != nil {
+		t.Fatalf("universe: %v", err)
+	}
+	if _, err := a2msrb.New(m, net.Endpoint(0), au.Devices[1].NewLog(), au.Verifier); err == nil {
+		t.Fatal("accepted a log owned by a different process")
+	}
+}

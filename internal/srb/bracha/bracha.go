@@ -1,0 +1,296 @@
+// Package bracha implements sequenced reliable broadcast from nothing but
+// authenticated point-to-point channels, with n >= 3f+1 — Bracha's classic
+// reliable broadcast run per sequence number. It is the library's baseline:
+// what SRB costs *without* trusted hardware, both in resilience (3f+1
+// versus the trusted-hardware protocols' 2t+1 or better) and in messages
+// (every broadcast takes an O(n²) echo and ready exchange).
+//
+// Per (sender, seq): the sender sends SEND(seq, m); a process receiving
+// SEND from the sender's own channel sends ECHO(sender, seq, m) once; on
+// ceil((n+f+1)/2) matching ECHOs, or f+1 matching READYs, it sends
+// READY(sender, seq, m) once; on 2f+1 matching READYs it delivers — in
+// sequence order per sender, buffering out-of-order completions.
+package bracha
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"unidir/internal/srb"
+	"unidir/internal/syncx"
+	"unidir/internal/transport"
+	"unidir/internal/types"
+	"unidir/internal/wire"
+)
+
+// ErrClosed reports use of a closed node.
+var ErrClosed = errors.New("bracha: node closed")
+
+const (
+	kindSend byte = iota + 1
+	kindEcho
+	kindReady
+)
+
+// Node implements srb.Node via Bracha reliable broadcast.
+type Node struct {
+	self types.ProcessID
+	m    types.Membership
+	tr   transport.Transport
+
+	mu      sync.Mutex
+	nextSeq types.SeqNum
+	states  []*senderState
+	closed  bool
+
+	deliveries *syncx.Queue[srb.Delivery]
+	cancel     context.CancelFunc
+	done       chan struct{}
+}
+
+var _ srb.Node = (*Node)(nil)
+
+// senderState tracks all in-flight sequence numbers of one sender.
+type senderState struct {
+	next  types.SeqNum // next sequence number to deliver
+	slots map[types.SeqNum]*slot
+	ready map[types.SeqNum][]byte // completed but out-of-order payloads
+}
+
+// slot is the per-(sender, seq) Bracha instance state.
+type slot struct {
+	data      map[[sha256.Size]byte][]byte // value hash -> payload
+	echoed    bool                         // this process sent its ECHO
+	readied   bool                         // this process sent its READY
+	delivered bool
+	echoes    map[[sha256.Size]byte]map[types.ProcessID]bool
+	readies   map[[sha256.Size]byte]map[types.ProcessID]bool
+	voted     map[types.ProcessID]byte // kind of vote already counted per peer
+}
+
+// New creates a node for membership m (requires n >= 3f+1).
+func New(m types.Membership, tr transport.Transport) (*Node, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.N < 3*m.F+1 {
+		return nil, fmt.Errorf("bracha: requires n >= 3f+1, got n=%d f=%d", m.N, m.F)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := &Node{
+		self:       tr.Self(),
+		m:          m,
+		tr:         tr,
+		states:     make([]*senderState, m.N),
+		deliveries: syncx.NewQueue[srb.Delivery](),
+		cancel:     cancel,
+		done:       make(chan struct{}),
+	}
+	for i := range n.states {
+		n.states[i] = &senderState{
+			next:  1,
+			slots: make(map[types.SeqNum]*slot),
+			ready: make(map[types.SeqNum][]byte),
+		}
+	}
+	go n.recvLoop(ctx)
+	return n, nil
+}
+
+// Self returns this process's ID.
+func (n *Node) Self() types.ProcessID { return n.self }
+
+// Broadcast starts the Bracha instance for this process's next sequence
+// number.
+func (n *Node) Broadcast(data []byte) (types.SeqNum, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return 0, ErrClosed
+	}
+	n.nextSeq++
+	seq := n.nextSeq
+	n.mu.Unlock()
+
+	payload := encode(kindSend, n.self, seq, data)
+	if err := transport.Broadcast(n.tr, n.m.Others(n.self), payload); err != nil {
+		return 0, fmt.Errorf("bracha: broadcast: %w", err)
+	}
+	// Process own SEND locally (the sender echoes its own message too).
+	n.handle(n.self, kindSend, n.self, seq, data)
+	return seq, nil
+}
+
+// Deliver returns the next delivery from any sender.
+func (n *Node) Deliver(ctx context.Context) (srb.Delivery, error) {
+	d, err := n.deliveries.Pop(ctx)
+	if errors.Is(err, syncx.ErrQueueClosed) {
+		return srb.Delivery{}, ErrClosed
+	}
+	return d, err
+}
+
+// Close stops the node.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.cancel()
+	_ = n.tr.Close()
+	<-n.done
+	n.deliveries.Close()
+	return nil
+}
+
+func (n *Node) recvLoop(ctx context.Context) {
+	defer close(n.done)
+	for {
+		env, err := n.tr.Recv(ctx)
+		if err != nil {
+			return
+		}
+		kind, sender, seq, data, err := decode(env.Payload)
+		if err != nil {
+			continue
+		}
+		n.handle(env.From, kind, sender, seq, data)
+	}
+}
+
+// handle processes one protocol message. from is the authenticated channel
+// identity of the peer that sent it.
+func (n *Node) handle(from types.ProcessID, kind byte, sender types.ProcessID, seq types.SeqNum, data []byte) {
+	if !n.m.Contains(sender) || seq == 0 {
+		return
+	}
+	h := sha256.Sum256(data)
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	st := n.states[sender]
+	sl := st.slots[seq]
+	if sl == nil {
+		sl = &slot{
+			data:    make(map[[sha256.Size]byte][]byte),
+			echoes:  make(map[[sha256.Size]byte]map[types.ProcessID]bool),
+			readies: make(map[[sha256.Size]byte]map[types.ProcessID]bool),
+			voted:   make(map[types.ProcessID]byte),
+		}
+		st.slots[seq] = sl
+	}
+
+	var out [][]byte // messages to send after unlocking
+	switch kind {
+	case kindSend:
+		// Only the sender's own channel may initiate its broadcast.
+		if from != sender {
+			break
+		}
+		sl.data[h] = data
+		if !sl.echoed {
+			sl.echoed = true
+			out = append(out, encode(kindEcho, sender, seq, data))
+			n.countVote(sl, kindEcho, n.self, h)
+		}
+	case kindEcho, kindReady:
+		// One counted vote of each kind per peer per slot: a Byzantine peer
+		// must not vote twice (for the same or different values).
+		if sl.voted[from]&voteBit(kind) != 0 {
+			break
+		}
+		sl.voted[from] |= voteBit(kind)
+		sl.data[h] = data
+		n.countVote(sl, kind, from, h)
+	default:
+		n.mu.Unlock()
+		return
+	}
+
+	// Threshold transitions for every value with recorded votes.
+	echoThreshold := n.m.Quorum() // ceil((n+f+1)/2)
+	readyAmplify := n.m.F + 1
+	deliverAt := 2*n.m.F + 1
+	var delivered []srb.Delivery
+	for vh, payload := range sl.data {
+		if !sl.readied && (len(sl.echoes[vh]) >= echoThreshold || len(sl.readies[vh]) >= readyAmplify) {
+			sl.readied = true
+			out = append(out, encode(kindReady, sender, seq, payload))
+			n.countVote(sl, kindReady, n.self, vh)
+		}
+		if !sl.delivered && len(sl.readies[vh]) >= deliverAt {
+			sl.delivered = true
+			st.ready[seq] = payload
+			for {
+				p, ok := st.ready[st.next]
+				if !ok {
+					break
+				}
+				delete(st.ready, st.next)
+				delivered = append(delivered, srb.Delivery{Sender: sender, Seq: st.next, Data: p})
+				st.next++
+			}
+		}
+	}
+	n.mu.Unlock()
+
+	for _, payload := range out {
+		_ = transport.Broadcast(n.tr, n.m.Others(n.self), payload)
+	}
+	for _, d := range delivered {
+		n.deliveries.Push(d)
+	}
+}
+
+// countVote records a vote under the lock held by handle.
+func (n *Node) countVote(sl *slot, kind byte, from types.ProcessID, h [sha256.Size]byte) {
+	var byValue map[[sha256.Size]byte]map[types.ProcessID]bool
+	if kind == kindEcho {
+		byValue = sl.echoes
+	} else {
+		byValue = sl.readies
+	}
+	voters := byValue[h]
+	if voters == nil {
+		voters = make(map[types.ProcessID]bool)
+		byValue[h] = voters
+	}
+	voters[from] = true
+}
+
+func voteBit(kind byte) byte {
+	if kind == kindEcho {
+		return 1
+	}
+	return 2
+}
+
+func encode(kind byte, sender types.ProcessID, seq types.SeqNum, data []byte) []byte {
+	e := wire.NewEncoder(24 + len(data))
+	e.Byte(kind)
+	e.Int(int(sender))
+	e.Uint64(uint64(seq))
+	e.BytesField(data)
+	return e.Bytes()
+}
+
+func decode(payload []byte) (kind byte, sender types.ProcessID, seq types.SeqNum, data []byte, err error) {
+	d := wire.NewDecoder(payload)
+	kind = d.Byte()
+	sender = types.ProcessID(d.Int())
+	seq = types.SeqNum(d.Uint64())
+	data = append([]byte(nil), d.BytesField()...)
+	if err := d.Finish(); err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("bracha: decode: %w", err)
+	}
+	return kind, sender, seq, data, nil
+}

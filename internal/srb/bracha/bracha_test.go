@@ -1,0 +1,131 @@
+package bracha_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"unidir/internal/simnet"
+	"unidir/internal/srb"
+	"unidir/internal/srb/bracha"
+	"unidir/internal/types"
+	"unidir/internal/wire"
+)
+
+// Construction-specific scenarios; the black-box property suite runs in
+// internal/srb/srb_test.go.
+
+func newCluster(t *testing.T, n, f int, correctFrom int) (*simnet.Network, []srb.Node) {
+	t.Helper()
+	m, err := types.NewMembership(n, f)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	net, err := simnet.New(m)
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	var nodes []srb.Node
+	for i := correctFrom; i < n; i++ {
+		node, err := bracha.New(m, net.Endpoint(types.ProcessID(i)))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		nodes = append(nodes, node)
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			_ = node.Close()
+		}
+		net.Close()
+	})
+	return net, nodes
+}
+
+// frame hand-crafts a protocol message (kind, sender, seq, data).
+func frame(kind byte, sender types.ProcessID, seq types.SeqNum, data []byte) []byte {
+	e := wire.NewEncoder(32 + len(data))
+	e.Byte(kind)
+	e.Int(int(sender))
+	e.Uint64(uint64(seq))
+	e.BytesField(data)
+	return e.Bytes()
+}
+
+func TestSendSpoofingRejected(t *testing.T) {
+	// Only the sender's own channel may initiate its broadcast: a SEND
+	// frame claiming sender 2 but arriving from channel 0 must be ignored.
+	net, nodes := newCluster(t, 4, 1, 1)
+	net.Inject(0, 1, frame(1 /* SEND */, 2, 1, []byte("spoofed")))
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if d, err := nodes[0].Deliver(ctx); err == nil {
+		t.Fatalf("delivered spoofed SEND: %+v", d)
+	}
+}
+
+func TestDoubleVoteCountedOnce(t *testing.T) {
+	// A Byzantine peer echoing twice (same or different values) gets one
+	// counted vote; with n=4, f=1 the echo threshold is 3, so p0's double
+	// echo plus one correct echo must NOT reach it.
+	net, nodes := newCluster(t, 4, 1, 1)
+	// p0 initiates its own broadcast legitimately to p1 only...
+	net.Inject(0, 1, frame(1, 0, 1, []byte("v")))
+	// ...then spams duplicate ECHO votes to p1.
+	for i := 0; i < 5; i++ {
+		net.Inject(0, 1, frame(2 /* ECHO */, 0, 1, []byte("v")))
+	}
+	// p1 has: own echo + p0's (one counted) = 2 < 3 -> no READY can have
+	// formed from this alone; with p2, p3 never seeing the SEND, nothing
+	// delivers.
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if d, err := nodes[0].Deliver(ctx); err == nil {
+		t.Fatalf("delivered on insufficient distinct votes: %+v", d)
+	}
+}
+
+func TestReadyAmplificationDelivers(t *testing.T) {
+	// f+1 READYs convert a silent node: inject READY votes from two
+	// distinct channels (f+1 = 2) and the amplification plus the correct
+	// nodes' own readies must reach delivery at 2f+1 = 3.
+	net, nodes := newCluster(t, 4, 1, 2) // correct: p2, p3; byz: p0, p1
+	data := []byte("amplified")
+	for _, from := range []types.ProcessID{0, 1} {
+		net.Inject(from, 2, frame(3 /* READY */, 0, 1, data))
+		net.Inject(from, 3, frame(3, 0, 1, data))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i, node := range nodes {
+		d, err := node.Deliver(ctx)
+		if err != nil {
+			t.Fatalf("node %d never delivered: %v", i+2, err)
+		}
+		if string(d.Data) != "amplified" || d.Sender != 0 || d.Seq != 1 {
+			t.Fatalf("node %d delivered %+v", i+2, d)
+		}
+	}
+}
+
+func TestGarbageFramesIgnored(t *testing.T) {
+	net, nodes := newCluster(t, 4, 1, 1)
+	for _, payload := range [][]byte{nil, {9, 9, 9}, frame(1, 99, 1, []byte("bad sender")), frame(1, 0, 0, []byte("seq 0"))} {
+		net.Inject(0, 1, payload)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if d, err := nodes[0].Deliver(ctx); err == nil {
+		t.Fatalf("delivered garbage: %+v", d)
+	}
+}
+
+func TestBroadcastAfterCloseFails(t *testing.T) {
+	_, nodes := newCluster(t, 4, 1, 1)
+	if err := nodes[0].Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := nodes[0].Broadcast([]byte("x")); err == nil {
+		t.Fatal("Broadcast after Close succeeded")
+	}
+}

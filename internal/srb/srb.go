@@ -1,0 +1,245 @@
+// Package srb defines sequenced reliable broadcast — the paper's yardstick
+// primitive for trusted-log hardware — together with machine-checkable
+// versions of its four defining properties, evaluated over recorded
+// executions by the Recorder harness.
+//
+// Definition (paper, §3.1). A designated sender p broadcasts messages with
+// unique sequence numbers such that:
+//
+//  1. Weak termination: if p is correct, every correct process eventually
+//     delivers every message p broadcasts.
+//  2. Strong termination (totality): if some correct process delivers m with
+//     sequence number k from p, eventually every correct process does.
+//  3. Sequencing: a correct process delivers (k, m) from p only after
+//     delivering sequence numbers 1..k-1 from p.
+//  4. Integrity: if a correct process delivers m from p, then p broadcast m
+//     earlier.
+//
+// Three implementations are provided in subpackages:
+//
+//   - uniround: from unidirectional rounds with n >= 2t+1 (Algorithm 1 —
+//     the paper's main construction, §4.2);
+//   - trincsrb: from TrInc trusted counters (the trusted-log route that
+//     motivates "trusted logs are no stronger than SRB");
+//   - bracha: from nothing but authenticated channels with n >= 3f+1
+//     (Bracha reliable broadcast with sequence numbers — the classic
+//     baseline showing what non-equivocation buys).
+//
+// Each implementation exposes a Node: one process's participation in the
+// full set of SRB instances, one instance per sender in the membership (the
+// shape both the TrInc-from-SRB theorem and the SMR applications need).
+package srb
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"unidir/internal/types"
+)
+
+// Delivery is one delivered broadcast message.
+type Delivery struct {
+	Sender types.ProcessID
+	Seq    types.SeqNum
+	Data   []byte
+}
+
+// Node is one process's participation in a membership-wide set of SRB
+// instances (one per sender).
+type Node interface {
+	// Self returns this process's ID.
+	Self() types.ProcessID
+	// Broadcast sends data as the next message of this process's own
+	// instance and returns the sequence number it was assigned.
+	Broadcast(data []byte) (types.SeqNum, error)
+	// Deliver returns the next delivery (from any sender), blocking until
+	// one is available, ctx is done, or the node is closed.
+	Deliver(ctx context.Context) (Delivery, error)
+	// Close stops the node's goroutines and unblocks Deliver.
+	Close() error
+}
+
+// Recorder collects the broadcasts and deliveries of an execution across
+// all processes so the four SRB properties can be checked afterwards. It is
+// safe for concurrent use.
+type Recorder struct {
+	mu         sync.Mutex
+	broadcasts map[types.ProcessID][]Delivery // by sender (Seq as assigned)
+	deliveries map[types.ProcessID][]Delivery // by delivering process, in order
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		broadcasts: make(map[types.ProcessID][]Delivery),
+		deliveries: make(map[types.ProcessID][]Delivery),
+	}
+}
+
+// Broadcast records that sender broadcast (seq, data).
+func (r *Recorder) Broadcast(sender types.ProcessID, seq types.SeqNum, data []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.broadcasts[sender] = append(r.broadcasts[sender], Delivery{Sender: sender, Seq: seq, Data: data})
+}
+
+// Deliver records that process p delivered d.
+func (r *Recorder) Deliver(p types.ProcessID, d Delivery) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deliveries[p] = append(r.deliveries[p], d)
+}
+
+// DeliveredBy returns p's deliveries in order.
+func (r *Recorder) DeliveredBy(p types.ProcessID) []Delivery {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Delivery(nil), r.deliveries[p]...)
+}
+
+// CheckSequencing verifies property 3 for every process in correct: each
+// process's deliveries from each sender carry sequence numbers 1, 2, 3, ...
+// in delivery order.
+func (r *Recorder) CheckSequencing(correct []types.ProcessID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range correct {
+		next := make(map[types.ProcessID]types.SeqNum)
+		for _, d := range r.deliveries[p] {
+			want := next[d.Sender] + 1
+			if d.Seq != want {
+				return fmt.Errorf("srb: %v delivered seq %d from %v, expected %d", p, d.Seq, d.Sender, want)
+			}
+			next[d.Sender] = want
+		}
+	}
+	return nil
+}
+
+// CheckAgreement verifies that no two correct processes delivered different
+// data for the same (sender, seq) — the safety consequence of properties
+// 2-4 that applications rely on.
+func (r *Recorder) CheckAgreement(correct []types.ProcessID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	type key struct {
+		sender types.ProcessID
+		seq    types.SeqNum
+	}
+	seen := make(map[key][]byte)
+	for _, p := range correct {
+		for _, d := range r.deliveries[p] {
+			k := key{d.Sender, d.Seq}
+			if prev, ok := seen[k]; ok {
+				if !bytes.Equal(prev, d.Data) {
+					return fmt.Errorf("srb: conflicting deliveries for (%v, %d): %q vs %q", d.Sender, d.Seq, prev, d.Data)
+				}
+				continue
+			}
+			seen[k] = d.Data
+		}
+	}
+	return nil
+}
+
+// CheckIntegrity verifies property 4 against the recorded broadcasts of
+// correct senders: every delivery from a correct sender matches a recorded
+// broadcast.
+func (r *Recorder) CheckIntegrity(correct []types.ProcessID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	isCorrect := make(map[types.ProcessID]bool, len(correct))
+	for _, p := range correct {
+		isCorrect[p] = true
+	}
+	for _, p := range correct {
+		for _, d := range r.deliveries[p] {
+			if !isCorrect[d.Sender] {
+				continue
+			}
+			found := false
+			for _, b := range r.broadcasts[d.Sender] {
+				if b.Seq == d.Seq && bytes.Equal(b.Data, d.Data) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("srb: %v delivered (%d, %q) from %v, which was never broadcast", p, d.Seq, d.Data, d.Sender)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTermination verifies properties 1 and 2 at quiescence: every correct
+// process delivered exactly the same (sender, seq) set, and that set
+// includes every broadcast of every correct sender.
+func (r *Recorder) CheckTermination(correct []types.ProcessID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	type key struct {
+		sender types.ProcessID
+		seq    types.SeqNum
+	}
+	sets := make(map[types.ProcessID]map[key]bool, len(correct))
+	for _, p := range correct {
+		set := make(map[key]bool)
+		for _, d := range r.deliveries[p] {
+			set[key{d.Sender, d.Seq}] = true
+		}
+		sets[p] = set
+	}
+	// Weak termination: correct senders' broadcasts are delivered by all.
+	isCorrect := make(map[types.ProcessID]bool, len(correct))
+	for _, p := range correct {
+		isCorrect[p] = true
+	}
+	for sender, bs := range r.broadcasts {
+		if !isCorrect[sender] {
+			continue
+		}
+		for _, b := range bs {
+			for _, p := range correct {
+				if !sets[p][key{sender, b.Seq}] {
+					return fmt.Errorf("srb: correct %v never delivered (%v, %d)", p, sender, b.Seq)
+				}
+			}
+		}
+	}
+	// Totality: all correct processes delivered the same set.
+	if len(correct) == 0 {
+		return nil
+	}
+	ref := sets[correct[0]]
+	for _, p := range correct[1:] {
+		if len(sets[p]) != len(ref) {
+			return fmt.Errorf("srb: %v delivered %d messages, %v delivered %d", p, len(sets[p]), correct[0], len(ref))
+		}
+		for k := range ref {
+			if !sets[p][k] {
+				return fmt.Errorf("srb: %v missing delivery (%v, %d)", p, k.sender, k.seq)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAll runs all four property checks.
+func (r *Recorder) CheckAll(correct []types.ProcessID) error {
+	sorted := append([]types.ProcessID(nil), correct...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if err := r.CheckSequencing(sorted); err != nil {
+		return err
+	}
+	if err := r.CheckAgreement(sorted); err != nil {
+		return err
+	}
+	if err := r.CheckIntegrity(sorted); err != nil {
+		return err
+	}
+	return r.CheckTermination(sorted)
+}

@@ -1,0 +1,521 @@
+// Package srb_test runs the same property suite (the four SRB properties,
+// checked by srb.Recorder) against all three implementations through the
+// srb.Node interface, then exercises implementation-specific Byzantine and
+// failure scenarios.
+package srb_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"unidir/internal/rounds"
+	"unidir/internal/sig"
+	"unidir/internal/simnet"
+	"unidir/internal/srb"
+	"unidir/internal/srb/a2msrb"
+	"unidir/internal/srb/bracha"
+	"unidir/internal/srb/trincsrb"
+	"unidir/internal/srb/uniround"
+	"unidir/internal/trusted/a2m"
+	"unidir/internal/trusted/swmr"
+	"unidir/internal/trusted/trinc"
+	"unidir/internal/types"
+)
+
+// cluster is a running set of SRB nodes plus the resources behind them.
+type cluster struct {
+	m     types.Membership
+	nodes []srb.Node
+	stop  func()
+}
+
+// impl describes one SRB implementation for the shared suite.
+type impl struct {
+	name string
+	// build creates a full cluster for membership m. net is non-nil for
+	// transport-based implementations.
+	build func(t *testing.T, m types.Membership) *cluster
+	// resilience returns a valid (n, f) for this implementation.
+	n, f int
+}
+
+func buildUniround(t *testing.T, m types.Membership) *cluster {
+	t.Helper()
+	rings, err := sig.NewKeyrings(m, sig.HMAC, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatalf("NewKeyrings: %v", err)
+	}
+	// One shared SWMR store per sender instance.
+	stores := make([]*swmr.Store, m.N)
+	for s := range stores {
+		stores[s], err = swmr.NewStore(m)
+		if err != nil {
+			t.Fatalf("NewStore: %v", err)
+		}
+	}
+	nodes := make([]srb.Node, m.N)
+	for i := 0; i < m.N; i++ {
+		self := types.ProcessID(i)
+		factory := func(sender types.ProcessID) (rounds.System, error) {
+			return rounds.NewSWMR(swmr.NewLocal(stores[sender], self), m)
+		}
+		node, err := uniround.New(m, rings[i], factory)
+		if err != nil {
+			t.Fatalf("uniround.New: %v", err)
+		}
+		nodes[i] = node
+	}
+	return &cluster{m: m, nodes: nodes, stop: func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}}
+}
+
+func buildTrinc(t *testing.T, m types.Membership) *cluster {
+	t.Helper()
+	net, err := simnet.New(m)
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatalf("trinc universe: %v", err)
+	}
+	nodes := make([]srb.Node, m.N)
+	for i := 0; i < m.N; i++ {
+		node, err := trincsrb.New(m, net.Endpoint(types.ProcessID(i)), tu.Devices[i], tu.Verifier)
+		if err != nil {
+			t.Fatalf("trincsrb.New: %v", err)
+		}
+		nodes[i] = node
+	}
+	return &cluster{m: m, nodes: nodes, stop: func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		net.Close()
+	}}
+}
+
+func buildBracha(t *testing.T, m types.Membership) *cluster {
+	t.Helper()
+	net, err := simnet.New(m)
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	nodes := make([]srb.Node, m.N)
+	for i := 0; i < m.N; i++ {
+		node, err := bracha.New(m, net.Endpoint(types.ProcessID(i)))
+		if err != nil {
+			t.Fatalf("bracha.New: %v", err)
+		}
+		nodes[i] = node
+	}
+	return &cluster{m: m, nodes: nodes, stop: func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		net.Close()
+	}}
+}
+
+func buildA2M(t *testing.T, m types.Membership) *cluster {
+	t.Helper()
+	net, err := simnet.New(m)
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatalf("trinc universe: %v", err)
+	}
+	au, err := a2m.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(11)), tu)
+	if err != nil {
+		t.Fatalf("a2m universe: %v", err)
+	}
+	nodes := make([]srb.Node, m.N)
+	for i := 0; i < m.N; i++ {
+		// Half the nodes run on native A2M devices, half on TrInc-backed
+		// logs — the Verifier accepts both, so the construction's
+		// hardware-agnosticism is exercised in one cluster. Both use the
+		// agreed log ID 1.
+		var log a2m.Log
+		if i%2 == 0 {
+			log = au.Devices[i].NewLog() // first log on a fresh device: ID 1
+		} else {
+			log = a2m.NewTrIncLog(tu.Devices[i], 1)
+		}
+		node, err := a2msrb.New(m, net.Endpoint(types.ProcessID(i)), log, au.Verifier)
+		if err != nil {
+			t.Fatalf("a2msrb.New: %v", err)
+		}
+		nodes[i] = node
+	}
+	return &cluster{m: m, nodes: nodes, stop: func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		net.Close()
+	}}
+}
+
+// buildUniroundOverRBF1 composes two of the paper's constructions: SRB from
+// unidirectional rounds, where the rounds themselves come from the
+// Appendix's reliable-broadcast corner case (f = 1, n >= 3) rather than
+// shared memory.
+func buildUniroundOverRBF1(t *testing.T, m types.Membership) *cluster {
+	t.Helper()
+	rings, err := sig.NewKeyrings(m, sig.HMAC, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatalf("NewKeyrings: %v", err)
+	}
+	nets := make([]*simnet.Network, m.N) // one network per sender instance
+	for s := range nets {
+		nets[s], err = simnet.New(m)
+		if err != nil {
+			t.Fatalf("simnet: %v", err)
+		}
+	}
+	nodes := make([]srb.Node, m.N)
+	for i := 0; i < m.N; i++ {
+		self := types.ProcessID(i)
+		node, err := uniround.New(m, rings[i], func(sender types.ProcessID) (rounds.System, error) {
+			return rounds.NewRBF1(nets[sender].Endpoint(self), m, rings[i])
+		})
+		if err != nil {
+			t.Fatalf("uniround.New over rbf1: %v", err)
+		}
+		nodes[i] = node
+	}
+	return &cluster{m: m, nodes: nodes, stop: func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		for _, net := range nets {
+			net.Close()
+		}
+	}}
+}
+
+// buildUniroundOverDeltaSync composes SRB from unidirectional rounds with
+// rounds derived from timing: Δ-bounded links plus a 4Δ round wait.
+func buildUniroundOverDeltaSync(t *testing.T, m types.Membership) *cluster {
+	t.Helper()
+	rings, err := sig.NewKeyrings(m, sig.HMAC, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatalf("NewKeyrings: %v", err)
+	}
+	const delta = 500 * time.Microsecond
+	nets := make([]*simnet.Network, m.N)
+	for s := range nets {
+		nets[s], err = simnet.New(m, simnet.WithJitter(delta, int64(s+1)))
+		if err != nil {
+			t.Fatalf("simnet: %v", err)
+		}
+	}
+	nodes := make([]srb.Node, m.N)
+	for i := 0; i < m.N; i++ {
+		self := types.ProcessID(i)
+		node, err := uniround.New(m, rings[i], func(sender types.ProcessID) (rounds.System, error) {
+			return rounds.NewDeltaSync(nets[sender].Endpoint(self), m, 4*delta)
+		})
+		if err != nil {
+			t.Fatalf("uniround.New over deltasync: %v", err)
+		}
+		nodes[i] = node
+	}
+	return &cluster{m: m, nodes: nodes, stop: func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		for _, net := range nets {
+			net.Close()
+		}
+	}}
+}
+
+func impls() []impl {
+	return []impl{
+		{name: "uniround", build: buildUniround, n: 5, f: 2},
+		{name: "uniround-rbf1", build: buildUniroundOverRBF1, n: 3, f: 1},
+		{name: "uniround-deltasync", build: buildUniroundOverDeltaSync, n: 5, f: 2},
+		{name: "trincsrb", build: buildTrinc, n: 4, f: 1},
+		{name: "a2msrb", build: buildA2M, n: 4, f: 1},
+		{name: "bracha", build: buildBracha, n: 4, f: 1},
+	}
+}
+
+// collect drains deliveries from every node into rec until each node in
+// want has delivered want[node] messages, or the timeout elapses.
+func collect(t *testing.T, nodes []srb.Node, rec *srb.Recorder, want map[types.ProcessID]int, timeout time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		target, ok := want[n.Self()]
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(n srb.Node, target int) {
+			defer wg.Done()
+			for got := 0; got < target; got++ {
+				d, err := n.Deliver(ctx)
+				if err != nil {
+					t.Errorf("%v: Deliver after %d/%d: %v", n.Self(), got, target, err)
+					return
+				}
+				rec.Deliver(n.Self(), d)
+			}
+		}(n, target)
+	}
+	wg.Wait()
+}
+
+func TestAllImplsSatisfySRBProperties(t *testing.T) {
+	for _, im := range impls() {
+		t.Run(im.name, func(t *testing.T) {
+			m, err := types.NewMembership(im.n, im.f)
+			if err != nil {
+				t.Fatalf("membership: %v", err)
+			}
+			c := im.build(t, m)
+			defer c.stop()
+
+			rec := srb.NewRecorder()
+			const perSender = 3
+			var wg sync.WaitGroup
+			for _, n := range c.nodes {
+				wg.Add(1)
+				go func(n srb.Node) {
+					defer wg.Done()
+					for j := 0; j < perSender; j++ {
+						data := []byte(fmt.Sprintf("%v-msg-%d", n.Self(), j))
+						seq, err := n.Broadcast(data)
+						if err != nil {
+							t.Errorf("%v: Broadcast: %v", n.Self(), err)
+							return
+						}
+						rec.Broadcast(n.Self(), seq, data)
+					}
+				}(n)
+			}
+			wg.Wait()
+
+			want := make(map[types.ProcessID]int, m.N)
+			for _, n := range c.nodes {
+				want[n.Self()] = m.N * perSender
+			}
+			collect(t, c.nodes, rec, want, 30*time.Second)
+			if err := rec.CheckAll(m.All()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSequencePerSenderInterleaved(t *testing.T) {
+	// A single sender's stream must arrive in order at every node even when
+	// other senders are interleaving heavily.
+	for _, im := range impls() {
+		t.Run(im.name, func(t *testing.T) {
+			m, err := types.NewMembership(im.n, im.f)
+			if err != nil {
+				t.Fatalf("membership: %v", err)
+			}
+			c := im.build(t, m)
+			defer c.stop()
+			rec := srb.NewRecorder()
+
+			const burst = 8
+			for j := 0; j < burst; j++ {
+				for _, n := range c.nodes {
+					data := []byte(fmt.Sprintf("i%d", j))
+					seq, err := n.Broadcast(data)
+					if err != nil {
+						t.Fatalf("Broadcast: %v", err)
+					}
+					rec.Broadcast(n.Self(), seq, data)
+				}
+			}
+			want := make(map[types.ProcessID]int, m.N)
+			for _, n := range c.nodes {
+				want[n.Self()] = m.N * burst
+			}
+			collect(t, c.nodes, rec, want, 30*time.Second)
+			if err := rec.CheckSequencing(m.All()); err != nil {
+				t.Fatal(err)
+			}
+			if err := rec.CheckTermination(m.All()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRecorderDetectsViolations(t *testing.T) {
+	// The checkers themselves must catch bad executions.
+	rec := srb.NewRecorder()
+	rec.Broadcast(0, 1, []byte("a"))
+	rec.Deliver(1, srb.Delivery{Sender: 0, Seq: 2, Data: []byte("x")})
+	if err := rec.CheckSequencing([]types.ProcessID{1}); err == nil {
+		t.Fatal("sequencing gap not detected")
+	}
+
+	rec2 := srb.NewRecorder()
+	rec2.Deliver(1, srb.Delivery{Sender: 0, Seq: 1, Data: []byte("x")})
+	rec2.Deliver(2, srb.Delivery{Sender: 0, Seq: 1, Data: []byte("y")})
+	if err := rec2.CheckAgreement([]types.ProcessID{1, 2}); err == nil {
+		t.Fatal("conflicting deliveries not detected")
+	}
+
+	rec3 := srb.NewRecorder()
+	rec3.Deliver(1, srb.Delivery{Sender: 0, Seq: 1, Data: []byte("never-sent")})
+	if err := rec3.CheckIntegrity([]types.ProcessID{0, 1}); err == nil {
+		t.Fatal("fabricated delivery not detected")
+	}
+
+	rec4 := srb.NewRecorder()
+	rec4.Broadcast(0, 1, []byte("a"))
+	rec4.Deliver(0, srb.Delivery{Sender: 0, Seq: 1, Data: []byte("a")})
+	// process 1 never delivers
+	if err := rec4.CheckTermination([]types.ProcessID{0, 1}); err == nil {
+		t.Fatal("missing delivery not detected")
+	}
+}
+
+func TestResilienceBoundsEnforced(t *testing.T) {
+	m54, _ := types.NewMembership(5, 2)
+	net, err := simnet.New(m54)
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	defer net.Close()
+	if _, err := bracha.New(m54, net.Endpoint(0)); err == nil {
+		t.Fatal("bracha accepted n=5, f=2 (needs 3f+1)")
+	}
+
+	m32, _ := types.NewMembership(4, 2)
+	rings, err := sig.NewKeyrings(m32, sig.HMAC, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("NewKeyrings: %v", err)
+	}
+	if _, err := uniround.New(m32, rings[0], nil); err == nil {
+		t.Fatal("uniround accepted n=4, t=2 (needs 2t+1)")
+	}
+}
+
+func TestTrincSRBRelayProvidesTotality(t *testing.T) {
+	// The sender manages to reach only p1 before its remaining links are
+	// cut. p1's relay must carry the message to everyone (property 2).
+	m, err := types.NewMembership(4, 1)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	net, err := simnet.New(m)
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	defer net.Close()
+	tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("trinc universe: %v", err)
+	}
+	nodes := make([]srb.Node, m.N)
+	for i := 0; i < m.N; i++ {
+		node, err := trincsrb.New(m, net.Endpoint(types.ProcessID(i)), tu.Devices[i], tu.Verifier)
+		if err != nil {
+			t.Fatalf("trincsrb.New: %v", err)
+		}
+		nodes[i] = node
+		defer nodes[i].Close()
+	}
+	// Sender p0 can only reach p1, forever.
+	net.Block(0, 2)
+	net.Block(0, 3)
+	if _, err := nodes[0].Broadcast([]byte("through-the-gap")); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, i := range []int{1, 2, 3} {
+		d, err := nodes[i].Deliver(ctx)
+		if err != nil {
+			t.Fatalf("p%d never delivered: %v", i, err)
+		}
+		if string(d.Data) != "through-the-gap" || d.Sender != 0 || d.Seq != 1 {
+			t.Fatalf("p%d delivered %+v", i, d)
+		}
+	}
+}
+
+func TestTrincSRBByzantineCannotEquivocate(t *testing.T) {
+	// A Byzantine sender tries the classic attack: different messages to
+	// different processes for the same slot. With a trinket it cannot mint
+	// two attestations for one counter value, so it must use two values —
+	// and then everyone delivers both messages in the same chain order.
+	m, err := types.NewMembership(4, 1)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	net, err := simnet.New(m)
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	defer net.Close()
+	tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatalf("trinc universe: %v", err)
+	}
+	// Correct nodes 1..3; process 0 is Byzantine and drives its trinket
+	// directly.
+	nodes := make([]srb.Node, 0, 3)
+	for i := 1; i < m.N; i++ {
+		node, err := trincsrb.New(m, net.Endpoint(types.ProcessID(i)), tu.Devices[i], tu.Verifier)
+		if err != nil {
+			t.Fatalf("trincsrb.New: %v", err)
+		}
+		nodes = append(nodes, node)
+		defer node.Close()
+	}
+	byzDev := tu.Devices[0]
+	attA, err := byzDev.Attest(0, 1, []byte("to-p1"))
+	if err != nil {
+		t.Fatalf("Attest: %v", err)
+	}
+	if _, err := byzDev.Attest(0, 1, []byte("to-p2")); err == nil {
+		t.Fatal("device allowed equivocation")
+	}
+	// Forced to advance the counter for the second message.
+	attB, err := byzDev.Attest(0, 2, []byte("to-p2"))
+	if err != nil {
+		t.Fatalf("Attest: %v", err)
+	}
+	// Send message A only to p1 and message B only to p2 (the equivocation
+	// attempt at the network level).
+	net.Inject(0, 1, trincsrb.EncodeMessage(attA, []byte("to-p1")))
+	net.Inject(0, 2, trincsrb.EncodeMessage(attB, []byte("to-p2")))
+
+	// Relays must converge everyone to the same two-message chain.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for idx, node := range nodes {
+		d1, err := node.Deliver(ctx)
+		if err != nil {
+			t.Fatalf("node %d first delivery: %v", idx, err)
+		}
+		d2, err := node.Deliver(ctx)
+		if err != nil {
+			t.Fatalf("node %d second delivery: %v", idx, err)
+		}
+		if d1.Seq != 1 || string(d1.Data) != "to-p1" || d2.Seq != 2 || string(d2.Data) != "to-p2" {
+			t.Fatalf("node %d delivered (%d %q), (%d %q)", idx, d1.Seq, d1.Data, d2.Seq, d2.Data)
+		}
+	}
+}

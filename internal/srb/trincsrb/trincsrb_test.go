@@ -1,0 +1,150 @@
+package trincsrb_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"unidir/internal/sig"
+	"unidir/internal/simnet"
+	"unidir/internal/srb"
+	"unidir/internal/srb/trincsrb"
+	"unidir/internal/trusted/trinc"
+	"unidir/internal/types"
+)
+
+// Construction-specific scenarios; the black-box property suite runs in
+// internal/srb/srb_test.go.
+
+type fixture struct {
+	m     types.Membership
+	net   *simnet.Network
+	tu    *trinc.Universe
+	nodes []srb.Node // correct nodes 1..n-1; p0 driven by hand
+}
+
+func newFixture(t *testing.T, n, f int) *fixture {
+	t.Helper()
+	m, err := types.NewMembership(n, f)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	net, err := simnet.New(m)
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(91)))
+	if err != nil {
+		t.Fatalf("universe: %v", err)
+	}
+	fix := &fixture{m: m, net: net, tu: tu}
+	for i := 1; i < n; i++ {
+		node, err := trincsrb.New(m, net.Endpoint(types.ProcessID(i)), tu.Devices[i], tu.Verifier)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		fix.nodes = append(fix.nodes, node)
+	}
+	t.Cleanup(func() {
+		for _, node := range fix.nodes {
+			_ = node.Close()
+		}
+		net.Close()
+	})
+	return fix
+}
+
+func TestCounterGapsChainThroughPrev(t *testing.T) {
+	// A Byzantine sender attests counter values 2, 5, 9 (gaps everywhere).
+	// The Prev chaining still yields one total order — delivered as SRB
+	// sequence numbers 1, 2, 3 at every correct node.
+	fix := newFixture(t, 4, 1)
+	dev := fix.tu.Devices[0]
+	var payloads [][]byte
+	for i, c := range []types.SeqNum{2, 5, 9} {
+		data := []byte{byte('a' + i)}
+		att, err := dev.Attest(0, c, data)
+		if err != nil {
+			t.Fatalf("Attest: %v", err)
+		}
+		payloads = append(payloads, trincsrb.EncodeMessage(att, data))
+	}
+	// Deliver them out of order, to one node only (relay covers the rest).
+	for _, idx := range []int{2, 0, 1} {
+		fix.net.Inject(0, 1, payloads[idx])
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i, node := range fix.nodes {
+		for want := types.SeqNum(1); want <= 3; want++ {
+			d, err := node.Deliver(ctx)
+			if err != nil {
+				t.Fatalf("node %d deliver %d: %v", i+1, want, err)
+			}
+			if d.Seq != want || d.Data[0] != byte('a'+int(want)-1) {
+				t.Fatalf("node %d delivered (%d, %q), want (%d, %q)",
+					i+1, d.Seq, d.Data, want, string(rune('a'+int(want)-1)))
+			}
+		}
+	}
+}
+
+func TestWrongCounterIgnored(t *testing.T) {
+	// Attestations minted on a different trinket counter than the protocol's
+	// must not deliver (they are not part of this protocol instance).
+	fix := newFixture(t, 4, 1)
+	dev := fix.tu.Devices[0]
+	att, err := dev.Attest(7 /* not the srb counter */, 1, []byte("other-protocol"))
+	if err != nil {
+		t.Fatalf("Attest: %v", err)
+	}
+	fix.net.Inject(0, 1, trincsrb.EncodeMessage(att, []byte("other-protocol")))
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if d, err := fix.nodes[0].Deliver(ctx); err == nil {
+		t.Fatalf("delivered off-counter message: %+v", d)
+	}
+}
+
+func TestMismatchedDataIgnored(t *testing.T) {
+	fix := newFixture(t, 4, 1)
+	dev := fix.tu.Devices[0]
+	att, err := dev.Attest(0, 1, []byte("attested"))
+	if err != nil {
+		t.Fatalf("Attest: %v", err)
+	}
+	fix.net.Inject(0, 1, trincsrb.EncodeMessage(att, []byte("substituted")))
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if d, err := fix.nodes[0].Deliver(ctx); err == nil {
+		t.Fatalf("delivered substituted payload: %+v", d)
+	}
+}
+
+func TestOwnerMismatchRejected(t *testing.T) {
+	m, _ := types.NewMembership(3, 1)
+	net, err := simnet.New(m)
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	defer net.Close()
+	tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(92)))
+	if err != nil {
+		t.Fatalf("universe: %v", err)
+	}
+	if _, err := trincsrb.New(m, net.Endpoint(0), tu.Devices[1], tu.Verifier); err == nil {
+		t.Fatal("accepted a trinket owned by a different process")
+	}
+}
+
+func TestBroadcastAfterCloseFails(t *testing.T) {
+	fix := newFixture(t, 4, 1)
+	node := fix.nodes[0]
+	if err := node.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := node.Broadcast([]byte("x")); err == nil {
+		t.Fatal("Broadcast after Close succeeded")
+	}
+}

@@ -1,0 +1,542 @@
+// Package uniround implements sequenced reliable broadcast from
+// unidirectional rounds with n >= 2t+1 — Algorithm 1 of the paper (§4.2),
+// the constructive half of the separation showing shared-memory trusted
+// hardware is at least as strong as trusted logs.
+//
+// For each sequence number k of a sender s, every process runs two
+// unidirectional rounds on s's dedicated round system:
+//
+//	round 2k-1 (echo):  relay s's signed value, endorsed with own signature
+//	                    (Algorithm 1 lines broadcastWrite / copyVal);
+//	round 2k   (L1):    after the echo round ends with t+1 matching
+//	                    endorsements and no evidence of sender equivocation,
+//	                    publish an L1 proof (line writel1prf);
+//
+// then assemble an L2 proof from t+1 L1 proofs and disseminate it
+// out-of-round (lines writeL2proof1/2); deliver on any valid L2 proof, in
+// sequence order, and relay the proof so every correct process delivers
+// (strong termination).
+//
+// Safety rests exactly on the paper's crux: two correct processes that echo
+// conflicting sender values in round 2k-1 cannot both produce L1 proofs,
+// because unidirectionality guarantees one of them sees the other's echo —
+// which carries the sender's signature over the conflicting value — before
+// its round ends, poisoning that sequence number for it. With n >= 2t+1,
+// any L2 proof contains an L1 proof by a correct process, so no two
+// conflicting L2 proofs can exist.
+//
+// Deviation from the pseudocode, documented in DESIGN.md: processes always
+// send in both rounds of every sequence number they process (an ABSTAIN
+// placeholder when they cannot honestly produce an echo or L1). The paper's
+// maybeDeliver short-circuits are sound over shared memory, where a round's
+// end never waits on peers, but over round media with blocking round ends
+// (rbf1, async) a skipped round would stall peers; always participating is
+// a strict superset of the pseudocode's sends and preserves all proofs.
+package uniround
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"unidir/internal/rounds"
+	"unidir/internal/sig"
+	"unidir/internal/srb"
+	"unidir/internal/syncx"
+	"unidir/internal/types"
+	"unidir/internal/wire"
+)
+
+// ErrClosed reports use of a closed node.
+var ErrClosed = errors.New("uniround: node closed")
+
+// SystemFactory builds this process's round system for the instance whose
+// designated sender is the given process. Each instance must get an
+// independent round medium (for SWMR rounds: an independent store region).
+type SystemFactory func(sender types.ProcessID) (rounds.System, error)
+
+// Node implements srb.Node over unidirectional rounds.
+type Node struct {
+	self types.ProcessID
+	m    types.Membership
+	ring *sig.Keyring
+
+	instances  []*instance
+	deliveries *syncx.Queue[srb.Delivery]
+
+	mu     sync.Mutex
+	mySeq  types.SeqNum
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ srb.Node = (*Node)(nil)
+
+// New creates a node for membership m (requires n >= 2t+1 with t = m.F).
+// factory is called once per sender to obtain this process's endpoint into
+// that instance's round medium.
+func New(m types.Membership, ring *sig.Keyring, factory SystemFactory) (*Node, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.N < 2*m.F+1 {
+		return nil, fmt.Errorf("uniround: requires n >= 2t+1, got n=%d t=%d", m.N, m.F)
+	}
+	n := &Node{
+		self:       ring.Self(),
+		m:          m,
+		ring:       ring,
+		deliveries: syncx.NewQueue[srb.Delivery](),
+	}
+	n.instances = make([]*instance, m.N)
+	for s := 0; s < m.N; s++ {
+		sys, err := factory(types.ProcessID(s))
+		if err != nil {
+			for _, in := range n.instances[:s] {
+				_ = in.sys.Close()
+			}
+			return nil, fmt.Errorf("uniround: round system for sender p%d: %w", s, err)
+		}
+		if sys.Self() != n.self {
+			_ = sys.Close()
+			return nil, fmt.Errorf("uniround: factory returned system for %v, want %v", sys.Self(), n.self)
+		}
+		n.instances[s] = newInstance(n, types.ProcessID(s), sys)
+	}
+	for _, in := range n.instances {
+		n.wg.Add(2)
+		go in.forward()
+		go in.run()
+	}
+	return n, nil
+}
+
+// Self returns this process's ID.
+func (n *Node) Self() types.ProcessID { return n.self }
+
+// Broadcast sends data as the next message of this process's own instance.
+func (n *Node) Broadcast(data []byte) (types.SeqNum, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return 0, ErrClosed
+	}
+	n.mySeq++
+	k := n.mySeq
+	n.mu.Unlock()
+
+	in := n.instances[n.self]
+	senderSig := n.ring.Sign(valBytes(n.self, k, data))
+	in.events.Push(event{local: &localBroadcast{seq: k, data: data, senderSig: senderSig}})
+	return k, nil
+}
+
+// Deliver returns the next delivery from any sender's instance.
+func (n *Node) Deliver(ctx context.Context) (srb.Delivery, error) {
+	d, err := n.deliveries.Pop(ctx)
+	if errors.Is(err, syncx.ErrQueueClosed) {
+		return srb.Delivery{}, ErrClosed
+	}
+	return d, err
+}
+
+// Close stops all instances and unblocks Deliver.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, in := range n.instances {
+		_ = in.sys.Close()
+		in.events.Close()
+		in.cancel()
+	}
+	n.wg.Wait()
+	n.deliveries.Close()
+	return nil
+}
+
+// --- per-sender instance ---
+
+// event is one input to an instance's state machine: a round message or a
+// local broadcast command (sender's own instance only).
+type event struct {
+	msg   *rounds.Msg
+	local *localBroadcast
+}
+
+type localBroadcast struct {
+	seq       types.SeqNum
+	data      []byte
+	senderSig []byte
+}
+
+// valRec is the sender's (first seen) signed value for one sequence number.
+type valRec struct {
+	data      []byte
+	senderSig []byte
+}
+
+// seqState is the per-sequence-number working state, discarded at delivery.
+type seqState struct {
+	val      *valRec
+	poisoned bool
+	echoes   map[types.ProcessID][]byte // echoer -> echo signature (matching val)
+	l1s      map[types.ProcessID]l1Proof
+	l2       *l2Proof
+	relayed  bool
+}
+
+type instance struct {
+	node   *node
+	sender types.ProcessID
+	sys    rounds.System
+	events *syncx.Queue[event]
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// state below is owned by the run goroutine exclusively.
+	next types.SeqNum
+	seqs map[types.SeqNum]*seqState
+}
+
+// node is an alias to keep instance fields readable.
+type node = Node
+
+func newInstance(n *Node, sender types.ProcessID, sys rounds.System) *instance {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &instance{
+		node:   n,
+		sender: sender,
+		sys:    sys,
+		events: syncx.NewQueue[event](),
+		ctx:    ctx,
+		cancel: cancel,
+		next:   1,
+		seqs:   make(map[types.SeqNum]*seqState),
+	}
+}
+
+// forward pumps the round system's stream into the event queue, so the run
+// goroutine has a single input source it can also receive local commands on.
+func (in *instance) forward() {
+	defer in.node.wg.Done()
+	for {
+		msg, err := in.sys.Recv(in.ctx)
+		if err != nil {
+			return
+		}
+		m := msg
+		in.events.Push(event{msg: &m})
+	}
+}
+
+func (in *instance) state(k types.SeqNum) *seqState {
+	st := in.seqs[k]
+	if st == nil {
+		st = &seqState{
+			echoes: make(map[types.ProcessID][]byte),
+			l1s:    make(map[types.ProcessID]l1Proof),
+		}
+		in.seqs[k] = st
+	}
+	return st
+}
+
+// pump blocks for one event and ingests it. It returns false when the
+// instance is shutting down.
+func (in *instance) pump() bool {
+	ev, err := in.events.Pop(in.ctx)
+	if err != nil {
+		return false
+	}
+	switch {
+	case ev.local != nil:
+		st := in.state(ev.local.seq)
+		if st.val == nil {
+			st.val = &valRec{data: ev.local.data, senderSig: ev.local.senderSig}
+		}
+	case ev.msg != nil:
+		in.ingest(*ev.msg)
+	}
+	return true
+}
+
+// run is the instance's state machine: the always-participate variant of
+// Algorithm 1 (see the package comment).
+func (in *instance) run() {
+	defer in.node.wg.Done()
+	t := in.node.m.F
+	for {
+		k := in.next
+		st := in.state(k)
+
+		// Phase A (WaitForSender): obtain the sender's signed value for k,
+		// from the sender directly (own broadcast or its echo-round
+		// message), from any peer's echo or proof, or from an L2.
+		for st.val == nil && st.l2 == nil {
+			if !in.pump() {
+				return
+			}
+		}
+		if st.val == nil { // value adopted from the L2 proof
+			st.val = &valRec{data: st.l2.Data, senderSig: st.l2.SenderSig}
+		}
+
+		// Phase B (copyVal): echo round 2k-1.
+		echo := echoMsg{
+			Seq:       k,
+			Data:      st.val.data,
+			SenderSig: st.val.senderSig,
+			EchoSig:   in.node.ring.Sign(echoBytes(in.sender, k, st.val.data)),
+		}
+		if err := in.sys.Send(types.Round(2*uint64(k)-1), encodeEcho(echo)); err != nil {
+			return
+		}
+		st.echoes[in.node.self] = echo.EchoSig
+		snapshot, err := in.sys.WaitEnd(in.ctx, types.Round(2*uint64(k)-1))
+		if err != nil {
+			return
+		}
+		// Everything received by the round boundary must be weighed before
+		// compiling an L1 proof — this is where unidirectionality bites.
+		in.ingestSnapshot(types.Round(2*uint64(k)-1), snapshot)
+
+		// Phase C (WaitForL1Proof): t+1 matching echoes, or poison, or L2.
+		for len(st.echoes) < t+1 && !st.poisoned && st.l2 == nil {
+			if !in.pump() {
+				return
+			}
+		}
+
+		// Phase D: L1 round 2k — a real proof if honestly possible,
+		// otherwise an ABSTAIN placeholder to keep the round structure live.
+		var l1Payload []byte
+		if len(st.echoes) >= t+1 && !st.poisoned {
+			l1 := in.buildL1(k, st)
+			st.l1s[in.node.self] = l1
+			l1Payload = encodeL1(l1)
+		} else {
+			l1Payload = encodeAbstain(k)
+		}
+		if err := in.sys.Send(types.Round(2*uint64(k)), l1Payload); err != nil {
+			return
+		}
+		if _, err := in.sys.WaitEnd(in.ctx, types.Round(2*uint64(k))); err != nil {
+			return
+		}
+
+		// Phase E (WaitForL2Proof): collect t+1 L1 proofs and assemble the
+		// L2, or adopt one received from a peer.
+		for st.l2 == nil {
+			if len(st.l1s) >= t+1 {
+				l2 := in.buildL2(k, st)
+				st.l2 = &l2
+				st.relayed = true
+				if err := in.sys.SendAux(encodeL2(l2)); err != nil {
+					return
+				}
+				break
+			}
+			if !in.pump() {
+				return
+			}
+		}
+
+		// Phase F (deliver): relay the proof for strong termination, then
+		// advance.
+		if !st.relayed {
+			st.relayed = true
+			if err := in.sys.SendAux(encodeL2(*st.l2)); err != nil {
+				return
+			}
+		}
+		in.node.deliveries.Push(srb.Delivery{Sender: in.sender, Seq: k, Data: st.l2.Data})
+		delete(in.seqs, k)
+		in.next = k + 1
+	}
+}
+
+// ingestSnapshot feeds a WaitEnd result through the same validation path as
+// stream messages (duplicates are harmless; maps deduplicate).
+func (in *instance) ingestSnapshot(r types.Round, snapshot map[types.ProcessID][]byte) {
+	for from, data := range snapshot {
+		if from == in.node.self {
+			continue
+		}
+		in.ingest(rounds.Msg{From: from, Round: r, Data: data})
+	}
+}
+
+// ingest validates one message and updates per-seq state.
+func (in *instance) ingest(msg rounds.Msg) {
+	if len(msg.Data) == 0 {
+		return
+	}
+	d := wire.NewDecoder(msg.Data)
+	switch d.Byte() {
+	case kindEcho:
+		e, err := decodeEcho(d)
+		if err != nil {
+			return
+		}
+		in.acceptEcho(msg.From, e)
+	case kindL1:
+		p, err := decodeL1(d, in.node.m.N)
+		if err != nil || p.Prover != msg.From {
+			return
+		}
+		in.acceptL1(p)
+	case kindL2:
+		p, err := decodeL2(d, in.node.m.N)
+		if err != nil {
+			return
+		}
+		in.acceptL2(p)
+	case kindAbstain:
+		// Round progression only; nothing to record.
+	}
+}
+
+// acceptVal validates a sender-signed value and merges it into the seq
+// state, detecting equivocation (two differently signed values for one k).
+func (in *instance) acceptVal(k types.SeqNum, data, senderSig []byte) *seqState {
+	if k == 0 {
+		return nil
+	}
+	if err := in.node.ring.Verify(in.sender, valBytes(in.sender, k, data), senderSig); err != nil {
+		return nil
+	}
+	st := in.state(k)
+	switch {
+	case st.val == nil:
+		st.val = &valRec{data: data, senderSig: senderSig}
+	case !bytes.Equal(st.val.data, data):
+		// Two validly signed values for the same k: the sender equivocated.
+		// This process must never contribute an L1 proof for k.
+		st.poisoned = true
+	}
+	return st
+}
+
+func (in *instance) acceptEcho(from types.ProcessID, e echoMsg) {
+	st := in.acceptVal(e.Seq, e.Data, e.SenderSig)
+	if st == nil {
+		return
+	}
+	// Endorsements count only if they endorse the value we hold; a valid
+	// echo of a conflicting value already poisoned the state above.
+	if !bytes.Equal(st.val.data, e.Data) {
+		return
+	}
+	if err := in.node.ring.Verify(from, echoBytes(in.sender, e.Seq, e.Data), e.EchoSig); err != nil {
+		return
+	}
+	if _, ok := st.echoes[from]; !ok {
+		st.echoes[from] = e.EchoSig
+	}
+}
+
+// checkL1 verifies an L1 proof in isolation (used for both direct L1
+// messages and L1s inside L2 proofs).
+func (in *instance) checkL1(p l1Proof) bool {
+	if p.Seq == 0 || !in.node.m.Contains(p.Prover) {
+		return false
+	}
+	if err := in.node.ring.Verify(in.sender, valBytes(in.sender, p.Seq, p.Data), p.SenderSig); err != nil {
+		return false
+	}
+	if len(p.Echoers) < in.node.m.F+1 {
+		return false
+	}
+	seen := make(map[types.ProcessID]bool, len(p.Echoers))
+	for _, en := range p.Echoers {
+		if !in.node.m.Contains(en.ID) || seen[en.ID] {
+			return false
+		}
+		seen[en.ID] = true
+		if err := in.node.ring.Verify(en.ID, echoBytes(in.sender, p.Seq, p.Data), en.Sig); err != nil {
+			return false
+		}
+	}
+	return in.node.ring.Verify(p.Prover, l1Bytes(in.sender, p.Seq, p.Data, p.Echoers), p.ProverSig) == nil
+}
+
+func (in *instance) acceptL1(p l1Proof) {
+	if !in.checkL1(p) {
+		return
+	}
+	st := in.acceptVal(p.Seq, p.Data, p.SenderSig)
+	if st == nil {
+		return
+	}
+	// Count only proofs for the value we hold; a proof for a conflicting
+	// value has poisoned the state via acceptVal.
+	if !bytes.Equal(st.val.data, p.Data) {
+		return
+	}
+	if _, ok := st.l1s[p.Prover]; !ok {
+		st.l1s[p.Prover] = p
+	}
+}
+
+func (in *instance) acceptL2(p l2Proof) {
+	if p.Seq == 0 {
+		return
+	}
+	if err := in.node.ring.Verify(in.sender, valBytes(in.sender, p.Seq, p.Data), p.SenderSig); err != nil {
+		return
+	}
+	if len(p.L1s) < in.node.m.F+1 {
+		return
+	}
+	provers := make(map[types.ProcessID]bool, len(p.L1s))
+	for _, l1 := range p.L1s {
+		if provers[l1.Prover] || l1.Seq != p.Seq || !bytes.Equal(l1.Data, p.Data) {
+			return
+		}
+		provers[l1.Prover] = true
+		if !in.checkL1(l1) {
+			return
+		}
+	}
+	st := in.state(p.Seq)
+	if st.l2 == nil {
+		cp := p
+		st.l2 = &cp
+	}
+}
+
+func (in *instance) buildL1(k types.SeqNum, st *seqState) l1Proof {
+	entries := make([]sigEntry, 0, len(st.echoes))
+	for id, s := range st.echoes {
+		entries = append(entries, sigEntry{ID: id, Sig: s})
+	}
+	p := l1Proof{
+		Prover:    in.node.self,
+		Seq:       k,
+		Data:      st.val.data,
+		SenderSig: st.val.senderSig,
+		Echoers:   entries,
+	}
+	p.ProverSig = in.node.ring.Sign(l1Bytes(in.sender, k, st.val.data, entries))
+	return p
+}
+
+func (in *instance) buildL2(k types.SeqNum, st *seqState) l2Proof {
+	l1s := make([]l1Proof, 0, len(st.l1s))
+	for _, p := range st.l1s {
+		l1s = append(l1s, p)
+	}
+	return l2Proof{
+		Seq:       k,
+		Data:      st.val.data,
+		SenderSig: st.val.senderSig,
+		L1s:       l1s,
+	}
+}

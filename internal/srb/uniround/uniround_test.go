@@ -1,0 +1,268 @@
+package uniround
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"unidir/internal/rounds"
+	"unidir/internal/sig"
+	"unidir/internal/simnet"
+	"unidir/internal/types"
+)
+
+// White-box Byzantine tests: the sender p0 is driven by hand through raw
+// network injection over Lockstep rounds (a message-passing medium where,
+// unlike shared memory, sending different values to different processes is
+// physically possible). The black-box property suite lives in
+// internal/srb/srb_test.go.
+
+type byzFixture struct {
+	m     types.Membership
+	net   *simnet.Network
+	rings []*sig.Keyring
+	nodes []*Node // correct nodes, indices 1..n-1
+}
+
+func newByzFixture(t *testing.T, n, f int) *byzFixture {
+	t.Helper()
+	m, err := types.NewMembership(n, f)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	// n networks: one per sender instance. Only instance 0 (the Byzantine
+	// sender's) will carry traffic in these tests.
+	nets := make([]*simnet.Network, n)
+	for s := range nets {
+		nets[s], err = simnet.New(m)
+		if err != nil {
+			t.Fatalf("simnet: %v", err)
+		}
+	}
+	rings, err := sig.NewKeyrings(m, sig.HMAC, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatalf("NewKeyrings: %v", err)
+	}
+	fix := &byzFixture{m: m, net: nets[0], rings: rings, nodes: make([]*Node, n)}
+	// The harness plays the lock-step model's synchrony oracle: p0 is known
+	// faulty, so round ends do not wait for its messages.
+	live := m.Others(0)
+	for i := 1; i < n; i++ {
+		self := types.ProcessID(i)
+		factory := func(sender types.ProcessID) (rounds.System, error) {
+			return rounds.NewLockstep(nets[sender].Endpoint(self), m, rounds.WithLive(live))
+		}
+		node, err := New(m, rings[i], factory)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		fix.nodes[i] = node
+	}
+	t.Cleanup(func() {
+		for _, node := range fix.nodes {
+			if node != nil {
+				_ = node.Close()
+			}
+		}
+		for _, net := range nets {
+			net.Close()
+		}
+	})
+	return fix
+}
+
+// injectEcho delivers a hand-signed round-(2k-1) echo message from the
+// Byzantine p0 to one correct process on instance 0's network.
+func (f *byzFixture) injectEcho(to types.ProcessID, k types.SeqNum, data []byte) {
+	senderSig := f.rings[0].Sign(valBytes(0, k, data))
+	echoSig := f.rings[0].Sign(echoBytes(0, k, data))
+	msg := encodeEcho(echoMsg{Seq: k, Data: data, SenderSig: senderSig, EchoSig: echoSig})
+	f.net.Inject(0, to, rounds.EncodeMessage(types.Round(2*uint64(k)-1), msg))
+}
+
+func TestByzantineFullEquivocationNoDisagreement(t *testing.T) {
+	// p0 sends value "left" to p1, p2 and "right" to p3, p4 for seq 1.
+	// Under lock-step rounds every correct process sees both sender-signed
+	// values during the echo round, so every correct process is poisoned:
+	// no L1 proofs, no L2 proofs, no delivery — and in particular no
+	// disagreement. (Non-delivery is allowed: SRB's termination properties
+	// only constrain correct senders.)
+	fix := newByzFixture(t, 5, 2)
+	for _, to := range []types.ProcessID{1, 2} {
+		fix.injectEcho(to, 1, []byte("left"))
+	}
+	for _, to := range []types.ProcessID{3, 4} {
+		fix.injectEcho(to, 1, []byte("right"))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	for i := 1; i < 5; i++ {
+		if d, err := fix.nodes[i].Deliver(ctx); err == nil {
+			t.Fatalf("p%d delivered %+v from an equivocating sender", i, d)
+		}
+	}
+}
+
+func TestByzantinePartialSendStillDeliversEverywhere(t *testing.T) {
+	// p0 sends a single value but only to p1, p2, p3 (crashing before
+	// reaching p4). The echoes carry the sender-signed value, so p4 adopts
+	// it from its peers and everyone delivers — weak termination recovered
+	// by the echo relay, totality by the L2 relay.
+	fix := newByzFixture(t, 5, 2)
+	for _, to := range []types.ProcessID{1, 2, 3} {
+		fix.injectEcho(to, 1, []byte("partial"))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for i := 1; i < 5; i++ {
+		d, err := fix.nodes[i].Deliver(ctx)
+		if err != nil {
+			t.Fatalf("p%d never delivered: %v", i, err)
+		}
+		if d.Sender != 0 || d.Seq != 1 || string(d.Data) != "partial" {
+			t.Fatalf("p%d delivered %+v", i, d)
+		}
+	}
+}
+
+func TestForgedSenderValueIgnored(t *testing.T) {
+	// An echo whose inner "sender signature" is by the echoer, not the
+	// sender, must be discarded: no state, no delivery.
+	fix := newByzFixture(t, 3, 1)
+	k := types.SeqNum(1)
+	data := []byte("forged")
+	forgedSenderSig := fix.rings[2].Sign(valBytes(0, k, data)) // wrong signer
+	echoSig := fix.rings[2].Sign(echoBytes(0, k, data))
+	msg := encodeEcho(echoMsg{Seq: k, Data: data, SenderSig: forgedSenderSig, EchoSig: echoSig})
+	fix.net.Inject(2, 1, rounds.EncodeMessage(1, msg))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if d, err := fix.nodes[1].Deliver(ctx); err == nil {
+		t.Fatalf("delivered from forged value: %+v", d)
+	}
+}
+
+func TestDeliverAfterCloseFails(t *testing.T) {
+	m, err := types.NewMembership(3, 1)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	rings, err := sig.NewKeyrings(m, sig.HMAC, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("NewKeyrings: %v", err)
+	}
+	nets := make([]*simnet.Network, m.N)
+	for s := range nets {
+		nets[s], err = simnet.New(m)
+		if err != nil {
+			t.Fatalf("simnet: %v", err)
+		}
+		defer nets[s].Close()
+	}
+	node, err := New(m, rings[0], func(sender types.ProcessID) (rounds.System, error) {
+		return rounds.NewLockstep(nets[sender].Endpoint(0), m)
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := node.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := node.Broadcast([]byte("x")); err == nil {
+		t.Fatal("Broadcast after Close succeeded")
+	}
+	if _, err := node.Deliver(context.Background()); err == nil {
+		t.Fatal("Deliver after Close succeeded")
+	}
+
+	// Closing twice is safe.
+	if err := node.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestL2ValidationRejectsTampering(t *testing.T) {
+	// Build a legitimate L2 through a real execution, then check the
+	// validator rejects mutated variants (white-box use of acceptL2).
+	m, err := types.NewMembership(3, 1)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	rings, err := sig.NewKeyrings(m, sig.HMAC, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatalf("NewKeyrings: %v", err)
+	}
+
+	// Hand-build a valid L2 proof for sender 0, seq 1.
+	sender := types.ProcessID(0)
+	data := []byte("value")
+	senderSig := rings[0].Sign(valBytes(sender, 1, data))
+	var l1s []l1Proof
+	for _, prover := range []types.ProcessID{0, 1} {
+		entries := []sigEntry{
+			{ID: 0, Sig: rings[0].Sign(echoBytes(sender, 1, data))},
+			{ID: 1, Sig: rings[1].Sign(echoBytes(sender, 1, data))},
+		}
+		l1s = append(l1s, l1Proof{
+			Prover:    prover,
+			Seq:       1,
+			Data:      data,
+			SenderSig: senderSig,
+			Echoers:   entries,
+			ProverSig: rings[prover].Sign(l1Bytes(sender, 1, data, entries)),
+		})
+	}
+	valid := l2Proof{Seq: 1, Data: data, SenderSig: senderSig, L1s: l1s}
+
+	in := &instance{
+		node:   &Node{self: 2, m: m, ring: rings[2]},
+		sender: sender,
+		next:   1,
+		seqs:   make(map[types.SeqNum]*seqState),
+	}
+	in.acceptL2(valid)
+	if in.seqs[1] == nil || in.seqs[1].l2 == nil {
+		t.Fatal("valid L2 rejected")
+	}
+
+	reject := func(name string, p l2Proof) {
+		in2 := &instance{
+			node:   &Node{self: 2, m: m, ring: rings[2]},
+			sender: sender,
+			next:   1,
+			seqs:   make(map[types.SeqNum]*seqState),
+		}
+		in2.acceptL2(p)
+		if st := in2.seqs[1]; st != nil && st.l2 != nil {
+			t.Errorf("%s: tampered L2 accepted", name)
+		}
+	}
+
+	tampered := valid
+	tampered.Data = []byte("other")
+	reject("data swap", tampered)
+
+	short := valid
+	short.L1s = valid.L1s[:1]
+	reject("too few l1s", short)
+
+	dup := valid
+	dup.L1s = []l1Proof{valid.L1s[0], valid.L1s[0]}
+	reject("duplicate provers", dup)
+
+	badSig := valid
+	badL1 := valid.L1s[0]
+	badL1.ProverSig = append([]byte(nil), badL1.ProverSig...)
+	badL1.ProverSig[0] ^= 1
+	badSig.L1s = []l1Proof{badL1, valid.L1s[1]}
+	reject("bad prover sig", badSig)
+
+	fewEchoes := valid
+	thin := valid.L1s[0]
+	thin.Echoers = thin.Echoers[:1]
+	thin.ProverSig = rings[thin.Prover].Sign(l1Bytes(sender, 1, data, thin.Echoers))
+	fewEchoes.L1s = []l1Proof{thin, valid.L1s[1]}
+	reject("l1 with too few echoers", fewEchoes)
+}

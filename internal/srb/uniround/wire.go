@@ -1,0 +1,221 @@
+package uniround
+
+import (
+	"fmt"
+	"sort"
+
+	"unidir/internal/types"
+	"unidir/internal/wire"
+)
+
+// Wire formats and signed-byte constructions for the Algorithm 1 messages.
+//
+// Three signature domains bind every statement to the instance sender s and
+// sequence number k, preventing cross-instance and cross-seq replay:
+//
+//	value:  σ_s over ("srb/uniround/val",  s, k, m) — the sender's broadcast
+//	echo:   σ_e over ("srb/uniround/echo", s, k, m) — an endorsement that e
+//	        saw exactly m as the sender's k-th value (line copyVal)
+//	l1:     σ_p over ("srb/uniround/l1",   s, k, m, sorted echoer set) — p's
+//	        claim to have collected t+1 matching echoes (line writel1prf)
+//
+// An L2 proof is a set of >= t+1 signed L1 proofs for the same (s, k, m);
+// it needs no further signature — its validity is checkable by anyone.
+
+// Message kinds.
+const (
+	kindEcho byte = iota + 1
+	kindL1
+	kindL2
+	kindAbstain
+)
+
+// echoMsg is a round-(2k-1) message: the sender's signed value plus the
+// echoer's endorsement. The echoer's identity is the round message's From.
+type echoMsg struct {
+	Seq       types.SeqNum
+	Data      []byte
+	SenderSig []byte
+	EchoSig   []byte
+}
+
+// sigEntry is one echoer endorsement inside an L1 proof.
+type sigEntry struct {
+	ID  types.ProcessID
+	Sig []byte
+}
+
+// l1Proof is a prover's claim: t+1 echoers endorsed (s, k, m).
+type l1Proof struct {
+	Prover    types.ProcessID
+	Seq       types.SeqNum
+	Data      []byte
+	SenderSig []byte
+	Echoers   []sigEntry
+	ProverSig []byte
+}
+
+// l2Proof is >= t+1 L1 proofs for the same (s, k, m).
+type l2Proof struct {
+	Seq       types.SeqNum
+	Data      []byte
+	SenderSig []byte
+	L1s       []l1Proof
+}
+
+func valBytes(sender types.ProcessID, k types.SeqNum, m []byte) []byte {
+	e := wire.NewEncoder(48 + len(m))
+	e.String("srb/uniround/val")
+	e.Int(int(sender))
+	e.Uint64(uint64(k))
+	e.BytesField(m)
+	return e.Bytes()
+}
+
+func echoBytes(sender types.ProcessID, k types.SeqNum, m []byte) []byte {
+	e := wire.NewEncoder(48 + len(m))
+	e.String("srb/uniround/echo")
+	e.Int(int(sender))
+	e.Uint64(uint64(k))
+	e.BytesField(m)
+	return e.Bytes()
+}
+
+// l1Bytes canonicalizes the echoer set (sorted by ID) so the prover's
+// signature is over a deterministic encoding.
+func l1Bytes(sender types.ProcessID, k types.SeqNum, m []byte, echoers []sigEntry) []byte {
+	sorted := append([]sigEntry(nil), echoers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	e := wire.NewEncoder(64 + len(m))
+	e.String("srb/uniround/l1")
+	e.Int(int(sender))
+	e.Uint64(uint64(k))
+	e.BytesField(m)
+	e.Int(len(sorted))
+	for _, en := range sorted {
+		e.Int(int(en.ID))
+		e.BytesField(en.Sig)
+	}
+	return e.Bytes()
+}
+
+func encodeEcho(msg echoMsg) []byte {
+	e := wire.NewEncoder(64 + len(msg.Data))
+	e.Byte(kindEcho)
+	e.Uint64(uint64(msg.Seq))
+	e.BytesField(msg.Data)
+	e.BytesField(msg.SenderSig)
+	e.BytesField(msg.EchoSig)
+	return e.Bytes()
+}
+
+func decodeEcho(d *wire.Decoder) (echoMsg, error) {
+	var msg echoMsg
+	msg.Seq = types.SeqNum(d.Uint64())
+	msg.Data = append([]byte(nil), d.BytesField()...)
+	msg.SenderSig = append([]byte(nil), d.BytesField()...)
+	msg.EchoSig = append([]byte(nil), d.BytesField()...)
+	if err := d.Finish(); err != nil {
+		return echoMsg{}, fmt.Errorf("uniround: decode echo: %w", err)
+	}
+	return msg, nil
+}
+
+func encodeL1Body(e *wire.Encoder, p l1Proof) {
+	e.Int(int(p.Prover))
+	e.Uint64(uint64(p.Seq))
+	e.BytesField(p.Data)
+	e.BytesField(p.SenderSig)
+	e.Int(len(p.Echoers))
+	for _, en := range p.Echoers {
+		e.Int(int(en.ID))
+		e.BytesField(en.Sig)
+	}
+	e.BytesField(p.ProverSig)
+}
+
+func decodeL1Body(d *wire.Decoder, maxEchoers int) (l1Proof, error) {
+	var p l1Proof
+	p.Prover = types.ProcessID(d.Int())
+	p.Seq = types.SeqNum(d.Uint64())
+	p.Data = append([]byte(nil), d.BytesField()...)
+	p.SenderSig = append([]byte(nil), d.BytesField()...)
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return l1Proof{}, err
+	}
+	if n < 0 || n > maxEchoers {
+		return l1Proof{}, fmt.Errorf("uniround: l1 proof with %d echoers", n)
+	}
+	for i := 0; i < n; i++ {
+		var en sigEntry
+		en.ID = types.ProcessID(d.Int())
+		en.Sig = append([]byte(nil), d.BytesField()...)
+		p.Echoers = append(p.Echoers, en)
+	}
+	p.ProverSig = append([]byte(nil), d.BytesField()...)
+	return p, d.Err()
+}
+
+func encodeL1(p l1Proof) []byte {
+	e := wire.NewEncoder(128 + len(p.Data))
+	e.Byte(kindL1)
+	encodeL1Body(e, p)
+	return e.Bytes()
+}
+
+func decodeL1(d *wire.Decoder, maxEchoers int) (l1Proof, error) {
+	p, err := decodeL1Body(d, maxEchoers)
+	if err != nil {
+		return l1Proof{}, err
+	}
+	if err := d.Finish(); err != nil {
+		return l1Proof{}, fmt.Errorf("uniround: decode l1: %w", err)
+	}
+	return p, nil
+}
+
+func encodeL2(p l2Proof) []byte {
+	e := wire.NewEncoder(256 + len(p.Data))
+	e.Byte(kindL2)
+	e.Uint64(uint64(p.Seq))
+	e.BytesField(p.Data)
+	e.BytesField(p.SenderSig)
+	e.Int(len(p.L1s))
+	for _, l1 := range p.L1s {
+		encodeL1Body(e, l1)
+	}
+	return e.Bytes()
+}
+
+func decodeL2(d *wire.Decoder, maxProofs int) (l2Proof, error) {
+	var p l2Proof
+	p.Seq = types.SeqNum(d.Uint64())
+	p.Data = append([]byte(nil), d.BytesField()...)
+	p.SenderSig = append([]byte(nil), d.BytesField()...)
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return l2Proof{}, err
+	}
+	if n < 0 || n > maxProofs {
+		return l2Proof{}, fmt.Errorf("uniround: l2 proof with %d l1s", n)
+	}
+	for i := 0; i < n; i++ {
+		l1, err := decodeL1Body(d, maxProofs)
+		if err != nil {
+			return l2Proof{}, err
+		}
+		p.L1s = append(p.L1s, l1)
+	}
+	if err := d.Finish(); err != nil {
+		return l2Proof{}, fmt.Errorf("uniround: decode l2: %w", err)
+	}
+	return p, nil
+}
+
+func encodeAbstain(k types.SeqNum) []byte {
+	e := wire.NewEncoder(16)
+	e.Byte(kindAbstain)
+	e.Uint64(uint64(k))
+	return e.Bytes()
+}

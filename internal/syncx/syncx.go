@@ -1,0 +1,122 @@
+// Package syncx provides two small concurrency helpers used across the
+// protocol packages: an unbounded FIFO Queue with context-aware blocking Pop
+// (protocol mailboxes must never apply backpressure to the network, or
+// protocol goroutines could deadlock through it), and a Pulse broadcast
+// primitive for "state changed, re-check your predicate" wakeups.
+package syncx
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueClosed reports a Pop on a closed, drained queue.
+var ErrQueueClosed = errors.New("syncx: queue closed")
+
+// Queue is an unbounded FIFO. The zero value is not ready; use NewQueue.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	items  []T
+	notify chan struct{}
+	closed bool
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] {
+	return &Queue[T]{notify: make(chan struct{}, 1)}
+}
+
+// Push appends v. Pushes to a closed queue are dropped.
+func (q *Queue[T]) Push(v T) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.wake()
+}
+
+// Pop removes and returns the oldest item, blocking until one is available,
+// ctx is done, or the queue is closed and drained.
+func (q *Queue[T]) Pop(ctx context.Context) (T, error) {
+	var zero T
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			v := q.items[0]
+			q.items = q.items[1:]
+			q.mu.Unlock()
+			return v, nil
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			// Cascade the wakeup: the notify token holds at most one
+			// waiter's attention, so each waiter that observes the closed,
+			// drained queue re-arms it for the next one.
+			q.wake()
+			return zero, ErrQueueClosed
+		}
+		select {
+		case <-q.notify:
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// Len returns the current number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close marks the queue closed. Queued items remain poppable; once drained,
+// Pop returns ErrQueueClosed.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.wake()
+}
+
+func (q *Queue[T]) wake() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Pulse is a broadcast wakeup: waiters grab the current generation channel
+// with Wait and block on it; Fire closes the generation, waking everyone.
+// Waiters then re-check their predicate and call Wait again if unsatisfied.
+// The zero value is not ready; use NewPulse.
+type Pulse struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+// NewPulse returns a ready Pulse.
+func NewPulse() *Pulse {
+	return &Pulse{ch: make(chan struct{})}
+}
+
+// Wait returns the current generation channel. It is closed by the next
+// Fire. Callers must re-acquire via Wait after each wakeup.
+func (p *Pulse) Wait() <-chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ch
+}
+
+// Fire wakes all current waiters.
+func (p *Pulse) Fire() {
+	p.mu.Lock()
+	close(p.ch)
+	p.ch = make(chan struct{})
+	p.mu.Unlock()
+}

@@ -1,0 +1,154 @@
+package syncx
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int]()
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 10; i++ {
+		v, err := q.Pop(context.Background())
+		if err != nil || v != i {
+			t.Fatalf("Pop = %d, %v; want %d", v, err, i)
+		}
+	}
+}
+
+func TestQueueBlocksUntilPush(t *testing.T) {
+	q := NewQueue[string]()
+	got := make(chan string, 1)
+	go func() {
+		v, err := q.Pop(context.Background())
+		if err == nil {
+			got <- v
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push("late")
+	select {
+	case v := <-got:
+		if v != "late" {
+			t.Fatalf("Pop = %q", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Pop never returned")
+	}
+}
+
+func TestQueueContextCancel(t *testing.T) {
+	q := NewQueue[int]()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := q.Pop(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Pop err = %v", err)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue[int]()
+	q.Push(1)
+	q.Push(2)
+	q.Close()
+	q.Push(3) // dropped
+	for want := 1; want <= 2; want++ {
+		v, err := q.Pop(context.Background())
+		if err != nil || v != want {
+			t.Fatalf("Pop = %d, %v", v, err)
+		}
+	}
+	if _, err := q.Pop(context.Background()); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Pop after drain err = %v", err)
+	}
+}
+
+func TestQueueConcurrent(t *testing.T) {
+	q := NewQueue[int]()
+	const producers, per = 4, 250
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Push(p*per + i)
+			}
+		}(p)
+	}
+	seen := make(map[int]bool)
+	var mu sync.Mutex
+	var cg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				v, err := q.Pop(context.Background())
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	// Wait for consumers to drain, then close.
+	for q.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	q.Close()
+	cg.Wait()
+	if len(seen) != producers*per {
+		t.Fatalf("consumed %d distinct items, want %d", len(seen), producers*per)
+	}
+}
+
+func TestPulseWakesAllWaiters(t *testing.T) {
+	p := NewPulse()
+	const waiters = 5
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		ch := p.Wait()
+		go func() {
+			defer wg.Done()
+			<-ch
+		}()
+	}
+	p.Fire()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Fire did not wake all waiters")
+	}
+}
+
+func TestPulseGenerations(t *testing.T) {
+	p := NewPulse()
+	ch1 := p.Wait()
+	p.Fire()
+	ch2 := p.Wait()
+	select {
+	case <-ch1:
+	default:
+		t.Fatal("old generation not closed")
+	}
+	select {
+	case <-ch2:
+		t.Fatal("new generation closed prematurely")
+	default:
+	}
+}

@@ -1,0 +1,207 @@
+package tcpnet_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"unidir/internal/tcpnet"
+	"unidir/internal/transport"
+	"unidir/internal/types"
+)
+
+// newCluster starts n endpoints on loopback with dynamic ports.
+func newCluster(t *testing.T, n int) []*tcpnet.Net {
+	t.Helper()
+	cfg := make(tcpnet.Config, n)
+	nets := make([]*tcpnet.Net, n)
+	// Two passes: first bind every listener on :0, then share the actual
+	// addresses.
+	for i := 0; i < n; i++ {
+		cfg[types.ProcessID(i)] = "127.0.0.1:0"
+	}
+	for i := 0; i < n; i++ {
+		// Each node needs the *final* addresses of its peers; bind
+		// sequentially and update the shared config as we go.
+		nt, err := tcpnet.New(types.ProcessID(i), cfg)
+		if err != nil {
+			t.Fatalf("tcpnet.New(%d): %v", i, err)
+		}
+		cfg[types.ProcessID(i)] = nt.Addr()
+		nets[i] = nt
+	}
+	t.Cleanup(func() {
+		for _, nt := range nets {
+			_ = nt.Close()
+		}
+	})
+	return nets
+}
+
+func recvOne(t *testing.T, nt *tcpnet.Net, timeout time.Duration) transport.Envelope {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	env, err := nt.Recv(ctx)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	return env
+}
+
+func TestSendRecvOverTCP(t *testing.T) {
+	nets := newCluster(t, 3)
+	if err := nets[0].Send(2, []byte("over tcp")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	env := recvOne(t, nets[2], 5*time.Second)
+	if env.From != 0 || string(env.Payload) != "over tcp" {
+		t.Fatalf("env = %+v", env)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	nets := newCluster(t, 2)
+	if err := nets[1].Send(1, []byte("loopback")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	env := recvOne(t, nets[1], time.Second)
+	if env.From != 1 || string(env.Payload) != "loopback" {
+		t.Fatalf("env = %+v", env)
+	}
+}
+
+func TestFIFOAndNoLoss(t *testing.T) {
+	nets := newCluster(t, 2)
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := nets[0].Send(1, []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		env := recvOne(t, nets[1], 5*time.Second)
+		got := int(env.Payload[0]) | int(env.Payload[1])<<8
+		if got != i {
+			t.Fatalf("message %d arrived as %d", i, got)
+		}
+	}
+}
+
+func TestBidirectionalTraffic(t *testing.T) {
+	nets := newCluster(t, 2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			peer := types.ProcessID(1 - i)
+			for j := 0; j < 50; j++ {
+				if err := nets[i].Send(peer, []byte(fmt.Sprintf("%d-%d", i, j))); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			for j := 0; j < 50; j++ {
+				if _, err := nets[i].Recv(ctx); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+}
+
+func TestSendBeforePeerUp(t *testing.T) {
+	// Messages queued to a not-yet-listening peer are delivered once it
+	// comes up (the writer re-dials with backoff).
+	cfgA := tcpnet.Config{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
+	a, err := tcpnet.New(0, cfgA)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer a.Close()
+	// Reserve a port for b by binding and immediately deciding its addr.
+	probe, err := tcpnet.New(1, tcpnet.Config{1: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	bAddr := probe.Addr()
+	_ = probe.Close()
+
+	cfgA[1] = bAddr
+	if err := a.Send(1, []byte("early")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond) // let a few dial attempts fail
+
+	b, err := tcpnet.New(1, tcpnet.Config{0: a.Addr(), 1: bAddr})
+	if err != nil {
+		t.Fatalf("New(b): %v", err)
+	}
+	defer b.Close()
+	env := recvOne(t, b, 10*time.Second)
+	if string(env.Payload) != "early" {
+		t.Fatalf("payload = %q", env.Payload)
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	nets := newCluster(t, 2)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := nets[0].Recv(context.Background())
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	_ = nets[0].Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("Recv err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+	if err := nets[0].Send(1, []byte("x")); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("Send after close err = %v", err)
+	}
+}
+
+func TestUnknownDestination(t *testing.T) {
+	nets := newCluster(t, 2)
+	if err := nets[0].Send(9, []byte("x")); err == nil {
+		t.Fatal("send to unknown peer succeeded")
+	}
+}
+
+func TestMuxOverTCP(t *testing.T) {
+	// The transport mux composes with tcpnet just like simnet.
+	nets := newCluster(t, 2)
+	m0 := transport.NewMux(nets[0])
+	m1 := transport.NewMux(nets[1])
+	defer m0.Close()
+	defer m1.Close()
+	a1 := m1.Channel('a')
+	if err := m0.Channel('a').Send(1, []byte("tagged")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	env, err := a1.Recv(ctx)
+	if err != nil || string(env.Payload) != "tagged" {
+		t.Fatalf("Recv = %+v, %v", env, err)
+	}
+}

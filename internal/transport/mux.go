@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"unidir/internal/types"
+)
+
+// Mux multiplexes one Transport endpoint among several sub-protocols. Each
+// sub-protocol gets a Channel identified by a one-byte tag; Send prefixes
+// the tag, and a single receive loop dispatches incoming envelopes to the
+// matching channel's mailbox. Envelopes with unknown tags or empty payloads
+// are counted and dropped (a Byzantine peer can always send garbage; it must
+// not wedge the demultiplexer).
+//
+// Lifecycle: NewMux starts the receive loop; Close stops it, closes every
+// channel, and waits for the loop to exit.
+type Mux struct {
+	tr Transport
+
+	mu      sync.Mutex
+	chans   map[byte]*Channel
+	dropped int
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewMux wraps tr and starts the dispatch loop.
+func NewMux(tr Transport) *Mux {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Mux{
+		tr:     tr,
+		chans:  make(map[byte]*Channel),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go m.loop(ctx)
+	return m
+}
+
+// Channel returns the sub-transport for tag, creating it on first use.
+// Calling Channel with the same tag returns the same *Channel.
+func (m *Mux) Channel(tag byte) *Channel {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.chans[tag]; ok {
+		return c
+	}
+	c := &Channel{
+		mux:    m,
+		tag:    tag,
+		notify: make(chan struct{}, 1),
+	}
+	m.chans[tag] = c
+	return c
+}
+
+// Dropped returns the number of envelopes discarded for unknown tags or
+// malformed payloads.
+func (m *Mux) Dropped() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
+// Close stops the dispatch loop and closes all channels.
+func (m *Mux) Close() error {
+	m.cancel()
+	<-m.done
+	m.mu.Lock()
+	chans := make([]*Channel, 0, len(m.chans))
+	for _, c := range m.chans {
+		chans = append(chans, c)
+	}
+	m.mu.Unlock()
+	for _, c := range chans {
+		c.close()
+	}
+	return nil
+}
+
+func (m *Mux) loop(ctx context.Context) {
+	defer close(m.done)
+	for {
+		env, err := m.tr.Recv(ctx)
+		if err != nil {
+			return
+		}
+		if len(env.Payload) == 0 {
+			m.mu.Lock()
+			m.dropped++
+			m.mu.Unlock()
+			continue
+		}
+		tag := env.Payload[0]
+		env.Payload = env.Payload[1:]
+		m.mu.Lock()
+		c := m.chans[tag]
+		if c == nil {
+			m.dropped++
+			m.mu.Unlock()
+			continue
+		}
+		m.mu.Unlock()
+		c.enqueue(env)
+	}
+}
+
+// Channel is one tagged sub-transport of a Mux. It implements Transport.
+type Channel struct {
+	mux *Mux
+	tag byte
+
+	mu     sync.Mutex
+	queue  []Envelope
+	notify chan struct{}
+	closed bool
+}
+
+var _ Transport = (*Channel)(nil)
+
+// Self returns the underlying endpoint's process ID.
+func (c *Channel) Self() types.ProcessID { return c.mux.tr.Self() }
+
+// Send transmits payload on this channel's tag.
+func (c *Channel) Send(to types.ProcessID, payload []byte) error {
+	buf := make([]byte, 1+len(payload))
+	buf[0] = c.tag
+	copy(buf[1:], payload)
+	if err := c.mux.tr.Send(to, buf); err != nil {
+		return fmt.Errorf("mux channel %d: %w", c.tag, err)
+	}
+	return nil
+}
+
+// Recv returns the next envelope dispatched to this channel.
+func (c *Channel) Recv(ctx context.Context) (Envelope, error) {
+	for {
+		c.mu.Lock()
+		if len(c.queue) > 0 {
+			env := c.queue[0]
+			c.queue = c.queue[1:]
+			c.mu.Unlock()
+			return env, nil
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return Envelope{}, ErrClosed
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.notify:
+		case <-ctx.Done():
+			return Envelope{}, ctx.Err()
+		}
+	}
+}
+
+// Close marks the channel closed, unblocking Recv. The underlying transport
+// and sibling channels are unaffected.
+func (c *Channel) Close() error {
+	c.close()
+	return nil
+}
+
+func (c *Channel) enqueue(env Envelope) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.queue = append(c.queue, env)
+	c.mu.Unlock()
+	select {
+	case c.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (c *Channel) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	select {
+	case c.notify <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,136 @@
+package transport_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"unidir/internal/simnet"
+	"unidir/internal/transport"
+	"unidir/internal/types"
+)
+
+func newPair(t *testing.T) (*simnet.Network, *transport.Mux, *transport.Mux) {
+	t.Helper()
+	m, err := types.NewMembership(2, 0)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	net, err := simnet.New(m)
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	m0 := transport.NewMux(net.Endpoint(0))
+	m1 := transport.NewMux(net.Endpoint(1))
+	t.Cleanup(func() {
+		_ = m0.Close()
+		_ = m1.Close()
+		net.Close()
+	})
+	return net, m0, m1
+}
+
+func recvOn(t *testing.T, c *transport.Channel) transport.Envelope {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	env, err := c.Recv(ctx)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	return env
+}
+
+func TestMuxRoutesByTag(t *testing.T) {
+	_, m0, m1 := newPair(t)
+	a0, b0 := m0.Channel('a'), m0.Channel('b')
+	a1, b1 := m1.Channel('a'), m1.Channel('b')
+
+	if err := a0.Send(1, []byte("on-a")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := b0.Send(1, []byte("on-b")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if env := recvOn(t, a1); string(env.Payload) != "on-a" || env.From != 0 {
+		t.Fatalf("channel a got %+v", env)
+	}
+	if env := recvOn(t, b1); string(env.Payload) != "on-b" {
+		t.Fatalf("channel b got %+v", env)
+	}
+	_ = a0
+	_ = b1
+}
+
+func TestMuxSameTagSameChannel(t *testing.T) {
+	_, m0, _ := newPair(t)
+	if m0.Channel('x') != m0.Channel('x') {
+		t.Fatal("Channel not idempotent")
+	}
+}
+
+func TestMuxDropsUnknownTags(t *testing.T) {
+	net, _, m1 := newPair(t)
+	// Raw payload with a tag no one registered on m1.
+	net.Inject(0, 1, []byte{0xEE, 1, 2, 3})
+	// And an empty payload.
+	net.Inject(0, 1, nil)
+	known := m1.Channel('k')
+	net.Inject(0, 1, append([]byte{'k'}, []byte("ok")...))
+	if env := recvOn(t, known); string(env.Payload) != "ok" {
+		t.Fatalf("known channel got %q", env.Payload)
+	}
+	if d := m1.Dropped(); d != 2 {
+		t.Fatalf("Dropped = %d, want 2", d)
+	}
+}
+
+func TestMuxCloseUnblocksChannels(t *testing.T) {
+	_, m0, _ := newPair(t)
+	c := m0.Channel('z')
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Recv(context.Background())
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := m0.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("Recv err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+}
+
+func TestMuxChannelSelf(t *testing.T) {
+	_, m0, _ := newPair(t)
+	if got := m0.Channel('s').Self(); got != 0 {
+		t.Fatalf("Self = %v", got)
+	}
+}
+
+func TestBroadcastHelper(t *testing.T) {
+	m, _ := types.NewMembership(3, 0)
+	net, err := simnet.New(m)
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	defer net.Close()
+	if err := transport.Broadcast(net.Endpoint(0), m.Others(0), []byte("fanout")); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	for _, id := range []types.ProcessID{1, 2} {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		env, err := net.Endpoint(id).Recv(ctx)
+		cancel()
+		if err != nil || string(env.Payload) != "fanout" {
+			t.Fatalf("endpoint %v: %v %q", id, err, env.Payload)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package transport defines the message-passing interface all protocols in
+// this library are written against. Two implementations exist:
+//
+//   - internal/simnet: an in-memory simulated network with adversarial
+//     controls (delays, partitions, drops, manual scheduling) used by tests,
+//     experiments, and benchmarks;
+//   - internal/tcpnet: a TCP implementation with the same semantics, used by
+//     the runnable cluster demos in cmd/.
+//
+// The model is the paper's: point-to-point authenticated channels between
+// every pair of processes, asynchronous (no delivery bound), but reliable
+// unless the harness explicitly drops messages. Authentication of the channel
+// itself (the From field) is assumed, as is standard for BFT protocols;
+// statements relayed second-hand are authenticated by signatures (package
+// sig), not by the channel.
+package transport
+
+import (
+	"context"
+	"errors"
+
+	"unidir/internal/types"
+)
+
+// ErrClosed reports use of a transport after Close.
+var ErrClosed = errors.New("transport: closed")
+
+// Envelope is one received message.
+type Envelope struct {
+	From    types.ProcessID
+	To      types.ProcessID
+	Payload []byte
+}
+
+// Transport is one process's connection to the network.
+//
+// Send must not block on the destination's consumption (mailboxes are
+// unbounded in simnet and writer-buffered in tcpnet), so protocol goroutines
+// can never deadlock on each other through the network. Recv blocks until a
+// message arrives, ctx is done, or the transport is closed.
+type Transport interface {
+	// Self returns the process this endpoint belongs to.
+	Self() types.ProcessID
+	// Send enqueues payload for delivery to the destination process.
+	// The payload is owned by the transport after Send returns; callers
+	// must not mutate it.
+	Send(to types.ProcessID, payload []byte) error
+	// Recv returns the next delivered message.
+	Recv(ctx context.Context) (Envelope, error)
+	// Close releases the endpoint and unblocks pending Recv calls.
+	Close() error
+}
+
+// Broadcast sends payload to every process in ids (typically
+// Membership.All() or Membership.Others(self)). It stops at the first send
+// error. Sending to self is allowed and delivers locally.
+func Broadcast(t Transport, ids []types.ProcessID, payload []byte) error {
+	for _, id := range ids {
+		if err := t.Send(id, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}

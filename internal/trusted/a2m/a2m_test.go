@@ -1,0 +1,253 @@
+package a2m
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unidir/internal/sig"
+	"unidir/internal/trusted/trinc"
+	"unidir/internal/types"
+)
+
+type fixture struct {
+	u  *Universe
+	tu *trinc.Universe
+	m  types.Membership
+}
+
+func newFixture(t *testing.T, n int) *fixture {
+	t.Helper()
+	m, err := types.NewMembership(n, (n-1)/2)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("trinc universe: %v", err)
+	}
+	u, err := NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(2)), tu)
+	if err != nil {
+		t.Fatalf("a2m universe: %v", err)
+	}
+	return &fixture{u: u, tu: tu, m: m}
+}
+
+// logsUnderTest returns one native and one TrInc-backed log for process 0,
+// so every behavioral test runs against both implementations.
+func (f *fixture) logsUnderTest() map[string]Log {
+	return map[string]Log{
+		"native": f.u.Devices[0].NewLog(),
+		"trinc":  NewTrIncLog(f.tu.Devices[0], 1),
+	}
+}
+
+func TestAppendLookupEnd(t *testing.T) {
+	f := newFixture(t, 3)
+	for name, log := range f.logsUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			for i, v := range []string{"alpha", "beta", "gamma"} {
+				seq, err := log.Append([]byte(v))
+				if err != nil {
+					t.Fatalf("Append(%q): %v", v, err)
+				}
+				if seq != types.SeqNum(i+1) {
+					t.Fatalf("Append(%q) seq = %d, want %d", v, seq, i+1)
+				}
+			}
+
+			p, err := log.Lookup(2, []byte("nonce-1"))
+			if err != nil {
+				t.Fatalf("Lookup: %v", err)
+			}
+			if string(p.Stmt.Value) != "beta" || p.Stmt.Seq != 2 || p.Stmt.Kind != KindLookup {
+				t.Fatalf("lookup proof statement = %+v", p.Stmt)
+			}
+			if err := f.u.Verifier.Check(p); err != nil {
+				t.Fatalf("Check(lookup): %v", err)
+			}
+
+			pe, err := log.End([]byte("nonce-2"))
+			if err != nil {
+				t.Fatalf("End: %v", err)
+			}
+			if string(pe.Stmt.Value) != "gamma" || pe.Stmt.Seq != 3 || pe.Stmt.Kind != KindEnd {
+				t.Fatalf("end proof statement = %+v", pe.Stmt)
+			}
+			if err := f.u.Verifier.Check(pe); err != nil {
+				t.Fatalf("Check(end): %v", err)
+			}
+		})
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	f := newFixture(t, 3)
+	for name, log := range f.logsUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			if _, err := log.End([]byte("z")); !errors.Is(err, ErrEmptyLog) {
+				t.Fatalf("End on empty log err = %v, want ErrEmptyLog", err)
+			}
+			if _, err := log.Append([]byte("only")); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			if _, err := log.Lookup(0, []byte("z")); !errors.Is(err, ErrNoSuchEntry) {
+				t.Fatalf("Lookup(0) err = %v, want ErrNoSuchEntry", err)
+			}
+			if _, err := log.Lookup(2, []byte("z")); !errors.Is(err, ErrNoSuchEntry) {
+				t.Fatalf("Lookup(2) err = %v, want ErrNoSuchEntry", err)
+			}
+		})
+	}
+}
+
+func TestDeviceNoSuchLog(t *testing.T) {
+	f := newFixture(t, 3)
+	d := f.u.Devices[1]
+	if _, err := d.Append(99, []byte("x")); !errors.Is(err, ErrNoSuchLog) {
+		t.Fatalf("Append err = %v, want ErrNoSuchLog", err)
+	}
+	if _, err := d.Lookup(99, 1, nil); !errors.Is(err, ErrNoSuchLog) {
+		t.Fatalf("Lookup err = %v, want ErrNoSuchLog", err)
+	}
+	if _, err := d.End(99, nil); !errors.Is(err, ErrNoSuchLog) {
+		t.Fatalf("End err = %v, want ErrNoSuchLog", err)
+	}
+}
+
+func TestProofTamperRejected(t *testing.T) {
+	f := newFixture(t, 3)
+	for name, log := range f.logsUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			if _, err := log.Append([]byte("committed")); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			p, err := log.Lookup(1, []byte("challenge"))
+			if err != nil {
+				t.Fatalf("Lookup: %v", err)
+			}
+
+			mutate := func(desc string, fn func(*Proof)) {
+				forged := p
+				forged.Stmt.Value = append([]byte(nil), p.Stmt.Value...)
+				forged.Stmt.Nonce = append([]byte(nil), p.Stmt.Nonce...)
+				fn(&forged)
+				if err := f.u.Verifier.Check(forged); err == nil {
+					t.Errorf("%s: tampered proof accepted", desc)
+				}
+			}
+			mutate("value swap", func(q *Proof) { q.Stmt.Value = []byte("rewritten") })
+			mutate("seq bump", func(q *Proof) { q.Stmt.Seq = 2 })
+			mutate("nonce swap", func(q *Proof) { q.Stmt.Nonce = []byte("replayed") })
+			mutate("device reassign", func(q *Proof) { q.Stmt.Device = 2 })
+			mutate("kind flip", func(q *Proof) { q.Stmt.Kind = KindEnd; q.Stmt.Seq = 2 })
+		})
+	}
+}
+
+func TestNoEvidenceRejected(t *testing.T) {
+	f := newFixture(t, 3)
+	p := Proof{Stmt: Statement{Kind: KindLookup, Seq: 1, Value: []byte("v")}}
+	if err := f.u.Verifier.Check(p); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("Check(no evidence) err = %v, want ErrBadProof", err)
+	}
+}
+
+func TestPastEntriesImmutable(t *testing.T) {
+	// A2M's defining property: once Lookup(s) has certified a value, no
+	// later operation can produce a valid certificate for a different value
+	// at the same index.
+	f := newFixture(t, 3)
+	for name, log := range f.logsUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			if _, err := log.Append([]byte("original")); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			first, err := log.Lookup(1, []byte("n1"))
+			if err != nil {
+				t.Fatalf("Lookup: %v", err)
+			}
+			// Appends extend the log but never disturb index 1.
+			for i := 0; i < 5; i++ {
+				if _, err := log.Append([]byte(fmt.Sprintf("later-%d", i))); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+			second, err := log.Lookup(1, []byte("n2"))
+			if err != nil {
+				t.Fatalf("Lookup after appends: %v", err)
+			}
+			if !bytes.Equal(first.Stmt.Value, second.Stmt.Value) {
+				t.Fatalf("entry 1 changed: %q then %q", first.Stmt.Value, second.Stmt.Value)
+			}
+			if err := f.u.Verifier.Check(second); err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+		})
+	}
+}
+
+func TestTrIncProofCrossLogRejected(t *testing.T) {
+	// Evidence minted for one log must not certify a statement about
+	// another log on the same trinket.
+	f := newFixture(t, 3)
+	log1 := NewTrIncLog(f.tu.Devices[0], 1)
+	log2 := NewTrIncLog(f.tu.Devices[0], 2)
+	if _, err := log1.Append([]byte("in-log-1")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := log2.Append([]byte("in-log-2")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	p, err := log1.Lookup(1, []byte("n"))
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	p.Stmt.Log = 2 // claim the value lives in log 2
+	if err := f.u.Verifier.Check(p); err == nil {
+		t.Fatal("cross-log proof accepted")
+	}
+}
+
+func TestQuickLogContents(t *testing.T) {
+	// Property: for any sequence of appended values, Lookup(i) certifies
+	// exactly the i-th appended value, on both implementations.
+	f := newFixture(t, 3)
+	counter := uint64(10)
+	check := func(values [][]byte) bool {
+		if len(values) == 0 {
+			return true
+		}
+		counter++
+		logs := map[string]Log{
+			"native": f.u.Devices[0].NewLog(),
+			"trinc":  NewTrIncLog(f.tu.Devices[0], counter),
+		}
+		for _, log := range logs {
+			for _, v := range values {
+				if _, err := log.Append(v); err != nil {
+					return false
+				}
+			}
+			for i, v := range values {
+				p, err := log.Lookup(types.SeqNum(i+1), []byte{byte(i)})
+				if err != nil {
+					return false
+				}
+				if !bytes.Equal(p.Stmt.Value, v) {
+					return false
+				}
+				if err := f.u.Verifier.Check(p); err != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

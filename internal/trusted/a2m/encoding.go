@@ -1,0 +1,73 @@
+package a2m
+
+import (
+	"fmt"
+
+	"unidir/internal/trusted/trinc"
+	"unidir/internal/types"
+	"unidir/internal/wire"
+)
+
+// Wire encoding for proofs, so A2M attestations can travel between
+// processes (the a2msrb broadcast protocol sends Lookup proofs).
+
+// Encode returns the canonical wire form of the proof.
+func (p *Proof) Encode() []byte {
+	e := wire.NewEncoder(128 + len(p.Stmt.Value) + len(p.Stmt.Nonce))
+	e.Byte(byte(p.Stmt.Kind))
+	e.Int(int(p.Stmt.Device))
+	e.Uint64(p.Stmt.Log)
+	e.Uint64(uint64(p.Stmt.Seq))
+	e.BytesField(p.Stmt.Value)
+	e.BytesField(p.Stmt.Nonce)
+	e.BytesField(p.Sig)
+	if p.Data != nil {
+		e.Bool(true)
+		e.BytesField(p.Data.Encode())
+	} else {
+		e.Bool(false)
+	}
+	if p.Fresh != nil {
+		e.Bool(true)
+		e.BytesField(p.Fresh.Encode())
+	} else {
+		e.Bool(false)
+	}
+	e.Uint64(uint64(p.End))
+	return e.Bytes()
+}
+
+// DecodeProof parses a proof from b.
+func DecodeProof(b []byte) (Proof, error) {
+	d := wire.NewDecoder(b)
+	var p Proof
+	p.Stmt.Kind = Kind(d.Byte())
+	p.Stmt.Device = types.ProcessID(d.Int())
+	p.Stmt.Log = d.Uint64()
+	p.Stmt.Seq = types.SeqNum(d.Uint64())
+	p.Stmt.Value = append([]byte(nil), d.BytesField()...)
+	p.Stmt.Nonce = append([]byte(nil), d.BytesField()...)
+	sig := d.BytesField()
+	if len(sig) > 0 {
+		p.Sig = append([]byte(nil), sig...)
+	}
+	if d.Bool() {
+		att, err := trinc.DecodeAttestation(d.BytesField())
+		if err != nil {
+			return Proof{}, fmt.Errorf("a2m: decode data attestation: %w", err)
+		}
+		p.Data = &att
+	}
+	if d.Bool() {
+		att, err := trinc.DecodeAttestation(d.BytesField())
+		if err != nil {
+			return Proof{}, fmt.Errorf("a2m: decode fresh attestation: %w", err)
+		}
+		p.Fresh = &att
+	}
+	p.End = types.SeqNum(d.Uint64())
+	if err := d.Finish(); err != nil {
+		return Proof{}, fmt.Errorf("a2m: decode proof: %w", err)
+	}
+	return p, nil
+}

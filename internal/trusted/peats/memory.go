@@ -1,0 +1,141 @@
+package peats
+
+import (
+	"fmt"
+	"sync"
+
+	"unidir/internal/trusted/swmr"
+	"unidir/internal/types"
+	"unidir/internal/wire"
+)
+
+// Memory adapts a policy-enforced tuple space to the swmr.Memory interface,
+// so the unidirectional round protocol (rounds.NewSWMR) runs unchanged over
+// PEATS — the executable form of Claim §3.2's "all shared memory objects
+// with a modifying operation, a read operation, and ACLs provide this
+// setting", instantiated for tuple spaces.
+//
+// Encoding: process p's append-only object is the set of tuples
+// (OwnerField(p), index, value); RoundPolicy (or any policy at least as
+// strict) guarantees only p can out such tuples and nobody can remove them.
+// Register semantics (Write/Read) use the entry with the highest index.
+type Memory struct {
+	space *Space
+	self  types.ProcessID
+	m     types.Membership
+
+	mu   sync.Mutex
+	next uint64 // next index for this process's own object
+}
+
+var _ swmr.Memory = (*Memory)(nil)
+
+// NewMemory returns process self's view of the tuple space as shared
+// memory. All processes of the membership must use the same Space, which
+// should be guarded by RoundPolicy (or stricter).
+func NewMemory(space *Space, self types.ProcessID, m types.Membership) (*Memory, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if !m.Contains(self) {
+		return nil, fmt.Errorf("peats: %v not in membership", self)
+	}
+	return &Memory{space: space, self: self, m: m}, nil
+}
+
+// Self returns the fixed caller identity.
+func (mm *Memory) Self() types.ProcessID { return mm.self }
+
+func indexField(i uint64) []byte {
+	e := wire.NewEncoder(8)
+	e.Uint64(i)
+	return e.Bytes()
+}
+
+// Append adds val to the caller's own object.
+func (mm *Memory) Append(val []byte) error {
+	mm.mu.Lock()
+	idx := mm.next
+	mm.next++
+	mm.mu.Unlock()
+	tup := Tuple{OwnerField(mm.self), indexField(idx), append([]byte(nil), val...)}
+	if err := mm.space.Out(mm.self, tup); err != nil {
+		return fmt.Errorf("peats: append: %w", err)
+	}
+	return nil
+}
+
+// Write appends val (tuple spaces under RoundPolicy are append-only, so
+// register semantics are "last write wins" over the append history).
+func (mm *Memory) Write(val []byte) error { return mm.Append(val) }
+
+// object reads owner's full object in index order.
+func (mm *Memory) object(owner types.ProcessID) ([][]byte, error) {
+	if !mm.m.Contains(owner) {
+		return nil, fmt.Errorf("peats: %w: %v", swmr.ErrNoSuchObject, owner)
+	}
+	tuples, err := mm.space.Rd(mm.self, Template{OwnerField(owner), nil, nil})
+	if err != nil {
+		return nil, fmt.Errorf("peats: read object: %w", err)
+	}
+	// Order by index field; indices are dense per owner by construction,
+	// but a Byzantine owner may skip or duplicate — sort defensively and
+	// keep first-wins per index.
+	byIndex := make(map[uint64][]byte, len(tuples))
+	maxIdx := uint64(0)
+	any := false
+	for _, tup := range tuples {
+		if len(tup) != 3 {
+			continue
+		}
+		d := wire.NewDecoder(tup[1])
+		idx := d.Uint64()
+		if d.Finish() != nil {
+			continue
+		}
+		if _, dup := byIndex[idx]; !dup {
+			byIndex[idx] = tup[2]
+		}
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+		any = true
+	}
+	if !any {
+		return nil, nil
+	}
+	out := make([][]byte, 0, len(byIndex))
+	for i := uint64(0); i <= maxIdx; i++ {
+		if v, ok := byIndex[i]; ok {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Read returns the register value of owner's object (its last entry).
+func (mm *Memory) Read(owner types.ProcessID) ([]byte, bool, error) {
+	entries, err := mm.object(owner)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(entries) == 0 {
+		return nil, false, nil
+	}
+	return entries[len(entries)-1], true, nil
+}
+
+// ReadLog returns owner's object entries starting at offset from.
+func (mm *Memory) ReadLog(owner types.ProcessID, from int) ([][]byte, error) {
+	entries, err := mm.object(owner)
+	if err != nil {
+		return nil, err
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from > len(entries) {
+		from = len(entries)
+	}
+	return entries[from:], nil
+}

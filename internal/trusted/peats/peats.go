@@ -1,0 +1,225 @@
+// Package peats implements Policy-Enforced Augmented Tuple Spaces (Bessani
+// et al., "Sharing memory between Byzantine processes using policy-enforced
+// tuple spaces"): a shared data structure holding typed tuples with three
+// operations — out (insert), rd (non-destructive read), and in (destructive
+// removal) — guarded not just by static ACLs but by *policies* that may
+// consult the space's current state when deciding whether to allow an
+// operation (§2.1 of the paper).
+//
+// The paper's classification needs only that PEATS has a modifying
+// operation and a read operation under access control (Claim §3.2), so it
+// is at least as strong as unidirectionality; the RoundPolicy helper
+// constructs exactly the policy that makes a tuple space behave as n
+// single-writer append-only objects, which internal/rounds uses to run the
+// write-then-scan round protocol over PEATS.
+package peats
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"unidir/internal/types"
+)
+
+var (
+	// ErrDenied reports an operation rejected by the policy.
+	ErrDenied = errors.New("peats: operation denied by policy")
+	// ErrNoMatch reports a destructive in() with no matching tuple.
+	ErrNoMatch = errors.New("peats: no matching tuple")
+)
+
+// Tuple is an ordered list of byte-string fields. Field 0 is conventionally
+// a type tag.
+type Tuple [][]byte
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	for i, f := range t {
+		out[i] = append([]byte(nil), f...)
+	}
+	return out
+}
+
+// Template matches tuples: it is a list of fields where nil means wildcard.
+// A template matches a tuple of the same arity whose every non-nil field is
+// byte-equal.
+type Template [][]byte
+
+// Matches reports whether the template matches t.
+func (tmpl Template) Matches(t Tuple) bool {
+	if len(tmpl) != len(t) {
+		return false
+	}
+	for i, f := range tmpl {
+		if f != nil && !bytes.Equal(f, t[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// OpKind identifies a tuple-space operation for policy decisions.
+type OpKind int
+
+// Tuple space operations.
+const (
+	OpOut OpKind = iota + 1 // insert
+	OpRd                    // non-destructive read
+	OpIn                    // destructive removal
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpOut:
+		return "out"
+	case OpRd:
+		return "rd"
+	case OpIn:
+		return "in"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op describes an attempted operation for the policy: who, what kind, and
+// the tuple (for out) or template (for rd/in) involved.
+type Op struct {
+	Caller   types.ProcessID
+	Kind     OpKind
+	Tuple    Tuple    // set for OpOut
+	Template Template // set for OpRd / OpIn
+}
+
+// View is the read-only state a policy may consult: the current tuples.
+type View interface {
+	// Count returns the number of tuples matching tmpl.
+	Count(tmpl Template) int
+	// Exists reports whether any tuple matches tmpl.
+	Exists(tmpl Template) bool
+}
+
+// Policy decides whether an operation is allowed given the current state.
+// Policies must be deterministic and must not retain the View.
+type Policy func(v View, op Op) bool
+
+// AllowAll is the trivial policy.
+func AllowAll(View, Op) bool { return true }
+
+// Space is a policy-enforced tuple space. Safe for concurrent use; every
+// operation (policy evaluation + mutation) is one linearizable step.
+type Space struct {
+	policy Policy
+
+	mu     sync.Mutex
+	tuples []Tuple
+}
+
+// NewSpace creates a tuple space guarded by policy (AllowAll if nil).
+func NewSpace(policy Policy) *Space {
+	if policy == nil {
+		policy = AllowAll
+	}
+	return &Space{policy: policy}
+}
+
+// view implements View over the space's tuples; only valid under s.mu.
+type view struct{ tuples []Tuple }
+
+func (v view) Count(tmpl Template) int {
+	n := 0
+	for _, t := range v.tuples {
+		if tmpl.Matches(t) {
+			n++
+		}
+	}
+	return n
+}
+
+func (v view) Exists(tmpl Template) bool { return v.Count(tmpl) > 0 }
+
+// Out inserts tuple t on behalf of caller.
+func (s *Space) Out(caller types.ProcessID, t Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op := Op{Caller: caller, Kind: OpOut, Tuple: t}
+	if !s.policy(view{s.tuples}, op) {
+		return fmt.Errorf("%w: out by %v", ErrDenied, caller)
+	}
+	s.tuples = append(s.tuples, t.Clone())
+	return nil
+}
+
+// Rd returns copies of all tuples matching tmpl (non-destructive).
+func (s *Space) Rd(caller types.ProcessID, tmpl Template) ([]Tuple, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op := Op{Caller: caller, Kind: OpRd, Template: tmpl}
+	if !s.policy(view{s.tuples}, op) {
+		return nil, fmt.Errorf("%w: rd by %v", ErrDenied, caller)
+	}
+	var out []Tuple
+	for _, t := range s.tuples {
+		if tmpl.Matches(t) {
+			out = append(out, t.Clone())
+		}
+	}
+	return out, nil
+}
+
+// In removes and returns the first tuple matching tmpl (destructive). It
+// fails with ErrNoMatch if nothing matches.
+func (s *Space) In(caller types.ProcessID, tmpl Template) (Tuple, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op := Op{Caller: caller, Kind: OpIn, Template: tmpl}
+	if !s.policy(view{s.tuples}, op) {
+		return nil, fmt.Errorf("%w: in by %v", ErrDenied, caller)
+	}
+	for i, t := range s.tuples {
+		if tmpl.Matches(t) {
+			s.tuples = append(s.tuples[:i], s.tuples[i+1:]...)
+			return t, nil
+		}
+	}
+	return nil, ErrNoMatch
+}
+
+// Len returns the number of tuples currently in the space.
+func (s *Space) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tuples)
+}
+
+// RoundPolicy returns the policy that makes a tuple space behave as the n
+// single-writer append-only objects of Claim §3.2:
+//
+//   - out is allowed only for tuples of the form (owner, ...) where owner
+//     encodes the caller's own ID — a process can only extend "its object";
+//   - in (destructive removal) is always denied — objects are append-only;
+//   - rd is always allowed — everyone can read every object.
+//
+// OwnerField encodes a ProcessID as the tuple's first field.
+func RoundPolicy() Policy {
+	return func(_ View, op Op) bool {
+		switch op.Kind {
+		case OpRd:
+			return true
+		case OpIn:
+			return false
+		case OpOut:
+			return len(op.Tuple) > 0 && bytes.Equal(op.Tuple[0], OwnerField(op.Caller))
+		default:
+			return false
+		}
+	}
+}
+
+// OwnerField encodes a process ID for use as a tuple's owner field.
+func OwnerField(p types.ProcessID) []byte {
+	return []byte(fmt.Sprintf("owner:%d", int(p)))
+}

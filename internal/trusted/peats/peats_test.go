@@ -1,0 +1,161 @@
+package peats
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func field(s string) []byte { return []byte(s) }
+
+func TestOutRdIn(t *testing.T) {
+	s := NewSpace(nil)
+	if err := s.Out(0, Tuple{field("job"), field("payload-1")}); err != nil {
+		t.Fatalf("Out: %v", err)
+	}
+	if err := s.Out(1, Tuple{field("job"), field("payload-2")}); err != nil {
+		t.Fatalf("Out: %v", err)
+	}
+	got, err := s.Rd(2, Template{field("job"), nil})
+	if err != nil {
+		t.Fatalf("Rd: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("Rd matched %d tuples, want 2", len(got))
+	}
+	taken, err := s.In(2, Template{field("job"), field("payload-1")})
+	if err != nil {
+		t.Fatalf("In: %v", err)
+	}
+	if string(taken[1]) != "payload-1" {
+		t.Fatalf("In took %q", taken[1])
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after In, want 1", s.Len())
+	}
+	if _, err := s.In(2, Template{field("job"), field("payload-1")}); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("second In err = %v, want ErrNoMatch", err)
+	}
+}
+
+func TestTemplateMatching(t *testing.T) {
+	cases := []struct {
+		name string
+		tmpl Template
+		t    Tuple
+		want bool
+	}{
+		{"exact", Template{field("a"), field("b")}, Tuple{field("a"), field("b")}, true},
+		{"wildcard", Template{field("a"), nil}, Tuple{field("a"), field("anything")}, true},
+		{"all wildcards", Template{nil, nil}, Tuple{field("x"), field("y")}, true},
+		{"field mismatch", Template{field("a"), field("b")}, Tuple{field("a"), field("c")}, false},
+		{"arity mismatch", Template{field("a")}, Tuple{field("a"), field("b")}, false},
+		{"empty both", Template{}, Tuple{}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.tmpl.Matches(tc.t); got != tc.want {
+				t.Fatalf("Matches = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPolicyConsultsState(t *testing.T) {
+	// A state-dependent policy — the capability static ACLs lack: allow at
+	// most one "lock" tuple in the space at a time.
+	lockTmpl := Template{field("lock"), nil}
+	policy := func(v View, op Op) bool {
+		if op.Kind == OpOut && lockTmpl.Matches(op.Tuple) {
+			return !v.Exists(lockTmpl)
+		}
+		return true
+	}
+	s := NewSpace(policy)
+	if err := s.Out(0, Tuple{field("lock"), field("p0")}); err != nil {
+		t.Fatalf("first lock: %v", err)
+	}
+	if err := s.Out(1, Tuple{field("lock"), field("p1")}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("second lock err = %v, want ErrDenied", err)
+	}
+	// Releasing the lock (destructive in) re-enables acquisition.
+	if _, err := s.In(0, lockTmpl); err != nil {
+		t.Fatalf("In: %v", err)
+	}
+	if err := s.Out(1, Tuple{field("lock"), field("p1")}); err != nil {
+		t.Fatalf("lock after release: %v", err)
+	}
+}
+
+func TestRoundPolicy(t *testing.T) {
+	s := NewSpace(RoundPolicy())
+	// A process may append to its own object...
+	if err := s.Out(3, Tuple{OwnerField(3), field("round-1")}); err != nil {
+		t.Fatalf("own out: %v", err)
+	}
+	// ...but not to another's, and may not masquerade.
+	if err := s.Out(2, Tuple{OwnerField(3), field("forged")}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("forged out err = %v, want ErrDenied", err)
+	}
+	// Nothing may ever be removed (append-only objects).
+	if _, err := s.In(3, Template{OwnerField(3), nil}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("in err = %v, want ErrDenied", err)
+	}
+	// Everyone may read everything.
+	got, err := s.Rd(0, Template{OwnerField(3), nil})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Rd = %v err %v", got, err)
+	}
+}
+
+func TestOutCopiesTuple(t *testing.T) {
+	s := NewSpace(nil)
+	tup := Tuple{field("k"), field("v")}
+	if err := s.Out(0, tup); err != nil {
+		t.Fatalf("Out: %v", err)
+	}
+	tup[1][0] = 'X' // caller mutates after insertion
+	got, err := s.Rd(0, Template{field("k"), nil})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Rd: %v %v", got, err)
+	}
+	if string(got[0][1]) != "v" {
+		t.Fatalf("space aliased caller tuple: %q", got[0][1])
+	}
+}
+
+func TestQuickRdReturnsExactlyMatches(t *testing.T) {
+	// Property: after inserting arbitrary 2-field tuples, Rd with a
+	// first-field template returns exactly the tuples with that field.
+	f := func(tags []uint8, key uint8) bool {
+		s := NewSpace(nil)
+		want := 0
+		for i, tag := range tags {
+			tup := Tuple{[]byte{tag}, []byte(fmt.Sprintf("v%d", i))}
+			if err := s.Out(0, tup); err != nil {
+				return false
+			}
+			if tag == key {
+				want++
+			}
+		}
+		got, err := s.Rd(0, Template{[]byte{key}, nil})
+		if err != nil {
+			return false
+		}
+		if len(got) != want {
+			return false
+		}
+		for _, tup := range got {
+			if !bytes.Equal(tup[0], []byte{key}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

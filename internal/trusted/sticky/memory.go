@@ -1,0 +1,145 @@
+package sticky
+
+import (
+	"fmt"
+	"sync"
+
+	"unidir/internal/trusted/swmr"
+	"unidir/internal/types"
+)
+
+// Memory adapts sticky bits to the swmr.Memory interface so the
+// unidirectional round protocol (rounds.NewSWMR) runs unchanged over
+// write-once registers — Claim §3.2 instantiated for the sticky-bit
+// objects of Malkhi et al.
+//
+// Encoding: process p's append-only object is the sequence of sticky slots
+// (p, 0), (p, 1), ... — each written exactly once, in order, by p.
+// Stickiness makes the object append-only by construction; the per-slot
+// owner ACL makes it single-writer.
+type Memory struct {
+	store *Store
+	self  types.ProcessID
+	m     types.Membership
+
+	mu   sync.Mutex
+	next uint64 // next slot index for this process's own object
+	// read cursors avoid rescanning settled prefixes of peers' objects.
+	settled []uint64
+}
+
+var _ swmr.Memory = (*Memory)(nil)
+
+// NewMemory returns process self's view of the sticky-bit store as shared
+// memory. All processes of the membership must share the same Store.
+func NewMemory(store *Store, self types.ProcessID, m types.Membership) (*Memory, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if !m.Contains(self) {
+		return nil, fmt.Errorf("sticky: %v not in membership", self)
+	}
+	return &Memory{store: store, self: self, m: m, settled: make([]uint64, m.N)}, nil
+}
+
+// Self returns the fixed caller identity.
+func (mm *Memory) Self() types.ProcessID { return mm.self }
+
+// Append writes val into the caller's next sticky slot.
+func (mm *Memory) Append(val []byte) error {
+	mm.mu.Lock()
+	idx := mm.next
+	mm.next++
+	mm.mu.Unlock()
+	if err := mm.store.SetOnce(mm.self, mm.self, idx, val); err != nil {
+		return fmt.Errorf("sticky: append: %w", err)
+	}
+	return nil
+}
+
+// Write appends val (sticky objects are write-once, so register semantics
+// are "last write wins" over the slot sequence).
+func (mm *Memory) Write(val []byte) error { return mm.Append(val) }
+
+// object reads owner's slots from index `from` until the first unset slot.
+func (mm *Memory) object(owner types.ProcessID, from uint64) ([][]byte, error) {
+	if !mm.m.Contains(owner) {
+		return nil, fmt.Errorf("sticky: %w: %v", swmr.ErrNoSuchObject, owner)
+	}
+	var out [][]byte
+	for i := from; ; i++ {
+		v, ok, err := mm.store.Read(mm.self, owner, i)
+		if err != nil {
+			return nil, fmt.Errorf("sticky: read object: %w", err)
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, v)
+	}
+}
+
+// Read returns the register value of owner's object (its last set slot).
+func (mm *Memory) Read(owner types.ProcessID) ([]byte, bool, error) {
+	entries, err := mm.object(owner, 0)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(entries) == 0 {
+		return nil, false, nil
+	}
+	return entries[len(entries)-1], true, nil
+}
+
+// ReadLog returns owner's object entries starting at offset from. The
+// settled-prefix cursor makes repeated polling linear in new entries.
+func (mm *Memory) ReadLog(owner types.ProcessID, from int) ([][]byte, error) {
+	if !mm.m.Contains(owner) {
+		return nil, fmt.Errorf("sticky: %w: %v", swmr.ErrNoSuchObject, owner)
+	}
+	if from < 0 {
+		from = 0
+	}
+	mm.mu.Lock()
+	cursor := mm.settled[owner]
+	mm.mu.Unlock()
+	start := uint64(from)
+	if cursor < start {
+		// Caller skipping ahead of our cursor: scan from their offset.
+		cursor = start
+	}
+	entries, err := mm.object(owner, cursor)
+	if err != nil {
+		return nil, err
+	}
+	mm.mu.Lock()
+	if newSettled := cursor + uint64(len(entries)); newSettled > mm.settled[owner] {
+		mm.settled[owner] = newSettled
+	}
+	mm.mu.Unlock()
+	if cursor > start {
+		// We started past the requested offset; prepend the settled slice.
+		prefix, err := mm.objectRange(owner, start, cursor)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(prefix, entries...)
+	}
+	return entries, nil
+}
+
+// objectRange reads slots [from, to), all known settled.
+func (mm *Memory) objectRange(owner types.ProcessID, from, to uint64) ([][]byte, error) {
+	out := make([][]byte, 0, to-from)
+	for i := from; i < to; i++ {
+		v, ok, err := mm.store.Read(mm.self, owner, i)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil // settled prefix shrank? cannot happen; be safe
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+// Package sticky implements sticky bits (Malkhi et al., "Objects shared by
+// Byzantine processes"): registers whose value cannot be changed after the
+// first write, combined with access control lists. The paper lists sticky
+// bits among the shared-memory primitives that provide unidirectionality
+// (§3.2): they have a modifying operation (the first, sticking write) and a
+// read operation, which is all Claim §3.2 requires.
+//
+// The store exposes per-process object arrays of sticky slots: slot (owner,
+// index) may be written once, by its owner only, and read by everyone.
+// A generalized mode with arbitrary writer ACLs per slot is also provided
+// (NewSlotWithACL), matching the original object model where stickiness, not
+// single-writer ownership, is the safety mechanism.
+package sticky
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"unidir/internal/types"
+)
+
+var (
+	// ErrACL reports a write attempted by a process outside the slot's ACL.
+	ErrACL = errors.New("sticky: access denied by ACL")
+	// ErrAlreadySet reports a second write to a sticky slot.
+	ErrAlreadySet = errors.New("sticky: slot already set")
+	// ErrNoSuchSlot reports access to an undefined slot.
+	ErrNoSuchSlot = errors.New("sticky: no such slot")
+)
+
+type slotKey struct {
+	owner types.ProcessID
+	index uint64
+}
+
+type slot struct {
+	writers map[types.ProcessID]bool // nil means "owner only"
+	set     bool
+	value   []byte
+}
+
+// Store is a collection of sticky slots for one membership. Safe for
+// concurrent use; all operations are linearizable.
+type Store struct {
+	m types.Membership
+
+	mu    sync.Mutex
+	slots map[slotKey]*slot
+}
+
+// NewStore creates an empty sticky-bit memory for membership m. Slots in
+// the per-process arrays (owner, index) exist implicitly, owner-writable.
+func NewStore(m types.Membership) (*Store, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Store{m: m, slots: make(map[slotKey]*slot)}, nil
+}
+
+// Membership returns the membership the store was created for.
+func (s *Store) Membership() types.Membership { return s.m }
+
+// NewSlotWithACL defines slot (owner, index) writable by exactly the
+// processes in writers (stickiness still allows only the first write). It
+// fails if the slot was already defined or written.
+func (s *Store) NewSlotWithACL(owner types.ProcessID, index uint64, writers []types.ProcessID) error {
+	if !s.m.Contains(owner) {
+		return fmt.Errorf("%w: owner %v", ErrNoSuchSlot, owner)
+	}
+	acl := make(map[types.ProcessID]bool, len(writers))
+	for _, w := range writers {
+		if !s.m.Contains(w) {
+			return fmt.Errorf("%w: writer %v not a member", ErrNoSuchSlot, w)
+		}
+		acl[w] = true
+	}
+	key := slotKey{owner, index}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.slots[key]; ok {
+		return fmt.Errorf("sticky: slot (%v,%d) already defined", owner, index)
+	}
+	s.slots[key] = &slot{writers: acl}
+	return nil
+}
+
+// SetOnce writes val into slot (owner, index). The write succeeds only if
+// the caller is in the slot's ACL and the slot has never been set.
+func (s *Store) SetOnce(caller, owner types.ProcessID, index uint64, val []byte) error {
+	if !s.m.Contains(owner) {
+		return fmt.Errorf("%w: owner %v", ErrNoSuchSlot, owner)
+	}
+	key := slotKey{owner, index}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl := s.slots[key]
+	if sl == nil {
+		sl = &slot{} // implicit owner-only slot
+		s.slots[key] = sl
+	}
+	allowed := caller == owner
+	if sl.writers != nil {
+		allowed = sl.writers[caller]
+	}
+	if !allowed {
+		return fmt.Errorf("%w: %v cannot write (%v,%d)", ErrACL, caller, owner, index)
+	}
+	if sl.set {
+		return fmt.Errorf("%w: (%v,%d)", ErrAlreadySet, owner, index)
+	}
+	sl.set = true
+	sl.value = append([]byte(nil), val...)
+	return nil
+}
+
+// Read returns the value of slot (owner, index) and whether it has been
+// set. Every process may read every slot.
+func (s *Store) Read(caller, owner types.ProcessID, index uint64) ([]byte, bool, error) {
+	if !s.m.Contains(owner) {
+		return nil, false, fmt.Errorf("%w: owner %v", ErrNoSuchSlot, owner)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl := s.slots[slotKey{owner, index}]
+	if sl == nil || !sl.set {
+		return nil, false, nil
+	}
+	return append([]byte(nil), sl.value...), true, nil
+}

@@ -1,0 +1,119 @@
+package sticky
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"unidir/internal/types"
+)
+
+func newStore(t *testing.T, n int) *Store {
+	t.Helper()
+	m, err := types.NewMembership(n, (n-1)/2)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	s, err := NewStore(m)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return s
+}
+
+func TestSetOnceAndRead(t *testing.T) {
+	s := newStore(t, 3)
+	if err := s.SetOnce(1, 1, 0, []byte("stuck")); err != nil {
+		t.Fatalf("SetOnce: %v", err)
+	}
+	v, ok, err := s.Read(2, 1, 0)
+	if err != nil || !ok || string(v) != "stuck" {
+		t.Fatalf("Read = %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+func TestStickiness(t *testing.T) {
+	s := newStore(t, 3)
+	if err := s.SetOnce(0, 0, 5, []byte("first")); err != nil {
+		t.Fatalf("SetOnce: %v", err)
+	}
+	if err := s.SetOnce(0, 0, 5, []byte("second")); !errors.Is(err, ErrAlreadySet) {
+		t.Fatalf("second SetOnce err = %v, want ErrAlreadySet", err)
+	}
+	v, _, _ := s.Read(0, 0, 5)
+	if string(v) != "first" {
+		t.Fatalf("sticky value overwritten: %q", v)
+	}
+}
+
+func TestOwnerACL(t *testing.T) {
+	s := newStore(t, 3)
+	if err := s.SetOnce(2, 1, 0, []byte("intrusion")); !errors.Is(err, ErrACL) {
+		t.Fatalf("non-owner SetOnce err = %v, want ErrACL", err)
+	}
+	if _, ok, _ := s.Read(1, 1, 0); ok {
+		t.Fatal("denied write left a value behind")
+	}
+}
+
+func TestCustomACL(t *testing.T) {
+	s := newStore(t, 4)
+	// Slot (0, 9) writable by processes 2 and 3, not its "owner" 0.
+	if err := s.NewSlotWithACL(0, 9, []types.ProcessID{2, 3}); err != nil {
+		t.Fatalf("NewSlotWithACL: %v", err)
+	}
+	if err := s.SetOnce(0, 0, 9, []byte("x")); !errors.Is(err, ErrACL) {
+		t.Fatalf("owner write to ACL slot err = %v, want ErrACL", err)
+	}
+	if err := s.SetOnce(3, 0, 9, []byte("by-3")); err != nil {
+		t.Fatalf("SetOnce by ACL member: %v", err)
+	}
+	if err := s.SetOnce(2, 0, 9, []byte("by-2")); !errors.Is(err, ErrAlreadySet) {
+		t.Fatalf("second ACL write err = %v, want ErrAlreadySet", err)
+	}
+}
+
+func TestSlotErrors(t *testing.T) {
+	s := newStore(t, 2)
+	if err := s.SetOnce(0, 5, 0, []byte("x")); !errors.Is(err, ErrNoSuchSlot) {
+		t.Fatalf("SetOnce bad owner err = %v, want ErrNoSuchSlot", err)
+	}
+	if _, _, err := s.Read(0, 5, 0); !errors.Is(err, ErrNoSuchSlot) {
+		t.Fatalf("Read bad owner err = %v, want ErrNoSuchSlot", err)
+	}
+	if err := s.NewSlotWithACL(0, 1, []types.ProcessID{7}); !errors.Is(err, ErrNoSuchSlot) {
+		t.Fatalf("NewSlotWithACL bad writer err = %v, want ErrNoSuchSlot", err)
+	}
+	if err := s.NewSlotWithACL(0, 2, nil); err != nil {
+		t.Fatalf("NewSlotWithACL: %v", err)
+	}
+	if err := s.NewSlotWithACL(0, 2, nil); err == nil {
+		t.Fatal("redefining slot succeeded")
+	}
+}
+
+func TestQuickFirstWriteWins(t *testing.T) {
+	// Property: for any sequence of (caller-owned) write attempts to one
+	// slot, the value read afterwards is the first attempted value.
+	f := func(values [][]byte) bool {
+		if len(values) == 0 {
+			return true
+		}
+		m, _ := types.NewMembership(1, 0)
+		s, err := NewStore(m)
+		if err != nil {
+			return false
+		}
+		for _, v := range values {
+			_ = s.SetOnce(0, 0, 0, v)
+		}
+		got, ok, err := s.Read(0, 0, 0)
+		if err != nil || !ok {
+			return false
+		}
+		return string(got) == string(values[0])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

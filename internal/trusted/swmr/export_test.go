@@ -1,0 +1,6 @@
+package swmr
+
+import "unidir/internal/wire"
+
+// newTestDecoder lets tests decode raw reply bodies.
+func newTestDecoder(b []byte) *wire.Decoder { return wire.NewDecoder(b) }

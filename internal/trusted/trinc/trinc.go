@@ -1,0 +1,215 @@
+// Package trinc implements the TrInc trusted incrementer of Levin et al.
+// (NSDI 2009), in the simplified form the paper uses (Figure "TrInc
+// Interface"): each process p owns a tamper-proof Trinket T_p holding
+// monotonic counters. Attest(c, m) returns an attestation binding m to
+// counter value c, valid only if c is strictly greater than every previously
+// attested value; the attestation also names prev, the last attested value,
+// so verifiers can detect gaps. Because the trinket never signs two
+// attestations with the same counter value, a Byzantine owner cannot bind two
+// different messages to one sequence number — non-equivocation.
+//
+// Substitution note (see DESIGN.md): the hardware is simulated as an
+// in-process Device holding its own signing key, distinct from the owning
+// process's key. Byzantine processes may call Attest with arbitrary
+// arguments — the Device enforces monotonicity — but cannot forge
+// attestations, because only the Device can produce its signature. This
+// preserves exactly the interface contract the paper's theory relies on.
+//
+// Like real TrInc, a Device holds multiple independent counters so that one
+// piece of hardware can serve several protocol instances.
+package trinc
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"unidir/internal/sig"
+	"unidir/internal/types"
+	"unidir/internal/wire"
+)
+
+// Domain separation tag for attestation signatures.
+const attestDomain = "unidir/trinc/attest/v1"
+
+var (
+	// ErrStaleSeq reports an Attest call whose sequence number does not
+	// exceed the last attested value for the counter.
+	ErrStaleSeq = errors.New("trinc: sequence number not greater than last attested")
+	// ErrBadAttestation reports a failed attestation check.
+	ErrBadAttestation = errors.New("trinc: invalid attestation")
+)
+
+// Attestation is a trinket's signed statement that message hash MsgHash was
+// bound to counter value Seq on counter Counter of trinket Trinket, and that
+// the previous attested value on that counter was Prev (0 if none). Prev is
+// half-open interval evidence: nothing was, or ever will be, attested in
+// (Prev, Seq).
+type Attestation struct {
+	Trinket types.ProcessID
+	Counter uint64
+	Prev    types.SeqNum
+	Seq     types.SeqNum
+	MsgHash [sha256.Size]byte
+	Sig     []byte
+}
+
+// signedBytes returns the canonical byte string the trinket signs.
+func (a *Attestation) signedBytes() []byte {
+	e := wire.NewEncoder(len(attestDomain) + 64)
+	e.String(attestDomain)
+	e.Int(int(a.Trinket))
+	e.Uint64(a.Counter)
+	e.Uint64(uint64(a.Prev))
+	e.Uint64(uint64(a.Seq))
+	e.BytesField(a.MsgHash[:])
+	return e.Bytes()
+}
+
+// Encode returns the wire encoding of the attestation.
+func (a *Attestation) Encode() []byte {
+	e := wire.NewEncoder(96 + len(a.Sig))
+	e.Int(int(a.Trinket))
+	e.Uint64(a.Counter)
+	e.Uint64(uint64(a.Prev))
+	e.Uint64(uint64(a.Seq))
+	e.BytesField(a.MsgHash[:])
+	e.BytesField(a.Sig)
+	return e.Bytes()
+}
+
+// DecodeAttestation parses an attestation from b.
+func DecodeAttestation(b []byte) (Attestation, error) {
+	d := wire.NewDecoder(b)
+	var a Attestation
+	a.Trinket = types.ProcessID(d.Int())
+	a.Counter = d.Uint64()
+	a.Prev = types.SeqNum(d.Uint64())
+	a.Seq = types.SeqNum(d.Uint64())
+	h := d.BytesField()
+	a.Sig = append([]byte(nil), d.BytesField()...)
+	if err := d.Finish(); err != nil {
+		return Attestation{}, fmt.Errorf("trinc: decode attestation: %w", err)
+	}
+	if len(h) != sha256.Size {
+		return Attestation{}, fmt.Errorf("%w: hash length %d", ErrBadAttestation, len(h))
+	}
+	copy(a.MsgHash[:], h)
+	return a, nil
+}
+
+// HashMessage returns the message digest attestations bind to.
+func HashMessage(m []byte) [sha256.Size]byte { return sha256.Sum256(m) }
+
+// Device simulates one process's trinket. Devices are safe for concurrent
+// use. Counters are created implicitly on first use, starting at 0 (so the
+// first attestable sequence number is 1).
+type Device struct {
+	owner types.ProcessID
+	ring  *sig.Keyring // device-private keyring, never exposed
+
+	mu   sync.Mutex
+	last map[uint64]types.SeqNum // counter -> last attested value
+}
+
+// Owner returns the process this trinket belongs to.
+func (d *Device) Owner() types.ProcessID { return d.owner }
+
+// Attest binds message m to sequence number c on the given counter and
+// returns the signed attestation. It fails with ErrStaleSeq if c is not
+// strictly greater than the last value attested on that counter. Gaps are
+// allowed, matching TrInc; verifiers see them via the Prev field.
+func (d *Device) Attest(counter uint64, c types.SeqNum, m []byte) (Attestation, error) {
+	if c == 0 {
+		return Attestation{}, fmt.Errorf("%w: sequence numbers start at 1", ErrStaleSeq)
+	}
+	d.mu.Lock()
+	prev := d.last[counter]
+	if c <= prev {
+		d.mu.Unlock()
+		return Attestation{}, fmt.Errorf("%w: c=%d last=%d", ErrStaleSeq, c, prev)
+	}
+	d.last[counter] = c
+	d.mu.Unlock()
+
+	a := Attestation{
+		Trinket: d.owner,
+		Counter: counter,
+		Prev:    prev,
+		Seq:     c,
+		MsgHash: HashMessage(m),
+	}
+	a.Sig = d.ring.Sign(a.signedBytes())
+	return a, nil
+}
+
+// LastAttested returns the last sequence number attested on counter (0 if
+// none).
+func (d *Device) LastAttested(counter uint64) types.SeqNum {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.last[counter]
+}
+
+// Verifier checks attestations from every trinket in a membership. It holds
+// only public verification material and is safe for concurrent use.
+type Verifier struct {
+	ring *sig.Keyring // any device keyring verifies all device signatures
+}
+
+// Check verifies that a is a genuine attestation produced by trinket
+// a.Trinket. It does not inspect the message; use CheckMessage to also bind
+// a concrete message.
+func (v *Verifier) Check(a Attestation) error {
+	if a.Seq == 0 || a.Prev >= a.Seq {
+		return fmt.Errorf("%w: prev=%d seq=%d", ErrBadAttestation, a.Prev, a.Seq)
+	}
+	if err := v.ring.Verify(a.Trinket, a.signedBytes(), a.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadAttestation, err)
+	}
+	return nil
+}
+
+// CheckMessage verifies the attestation and that it binds message m.
+// This is the paper's CheckAttestation(a, q) with q = a.Trinket.
+func (v *Verifier) CheckMessage(a Attestation, m []byte) error {
+	if err := v.Check(a); err != nil {
+		return err
+	}
+	if HashMessage(m) != a.MsgHash {
+		return fmt.Errorf("%w: message hash mismatch", ErrBadAttestation)
+	}
+	return nil
+}
+
+// Universe is a full deployment of trinkets: one Device per process and the
+// shared Verifier. Created by a trusted manufacturer at system setup, as in
+// the TrInc deployment model.
+type Universe struct {
+	Devices  []*Device // indexed by ProcessID
+	Verifier *Verifier
+}
+
+// NewUniverse provisions one trinket per member of m. Device keys are
+// independent of any process signing keys. Pass a seeded rng for
+// reproducibility or nil for defaults.
+func NewUniverse(m types.Membership, scheme sig.Scheme, rng *rand.Rand) (*Universe, error) {
+	rings, err := sig.NewKeyrings(m, scheme, rng)
+	if err != nil {
+		return nil, fmt.Errorf("trinc: provision device keys: %w", err)
+	}
+	u := &Universe{
+		Devices:  make([]*Device, m.N),
+		Verifier: &Verifier{ring: rings[0]},
+	}
+	for i := 0; i < m.N; i++ {
+		u.Devices[i] = &Device{
+			owner: types.ProcessID(i),
+			ring:  rings[i],
+			last:  make(map[uint64]types.SeqNum),
+		}
+	}
+	return u, nil
+}

@@ -1,0 +1,112 @@
+// Package types defines the identifiers and small value types shared by every
+// subsystem in the library: process identities, sequence numbers, round
+// numbers, and the membership descriptor that protocols are configured with.
+//
+// The package is intentionally dependency-free so that every other package
+// (transport, trusted hardware, protocols) can import it without cycles.
+package types
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ProcessID identifies a process (replica) in the system. IDs are dense
+// integers in [0, N) as is conventional for BFT protocol descriptions; the
+// zero value is a valid ID, so membership checks must use Membership.Contains
+// rather than comparing against zero.
+type ProcessID int
+
+// String implements fmt.Stringer ("p3"-style, matching the paper's notation).
+func (p ProcessID) String() string { return fmt.Sprintf("p%d", int(p)) }
+
+// SeqNum is a per-sender message sequence number. Sequenced reliable
+// broadcast numbers messages from 1; 0 means "no message yet".
+type SeqNum uint64
+
+// Round numbers a communication round of a round system. Rounds start at 1;
+// 0 means "before the first round".
+type Round uint64
+
+// View numbers a leader term in the SMR protocols (MinBFT, PBFT).
+type View uint64
+
+// ErrInvalidMembership reports an inconsistent (n, f) configuration.
+var ErrInvalidMembership = errors.New("types: invalid membership")
+
+// Membership describes the static process group a protocol instance runs in:
+// the total number of processes N and the failure threshold F the instance
+// was configured to tolerate. Protocols validate their own resilience
+// requirement (for example n >= 2f+1 for MinBFT) at construction time.
+type Membership struct {
+	N int // total number of processes, IDs 0..N-1
+	F int // maximum number of Byzantine processes tolerated
+}
+
+// NewMembership validates and returns a membership of n processes tolerating
+// f Byzantine failures. It enforces only basic sanity (n >= 1, 0 <= f < n);
+// protocol-specific resilience bounds are checked by each protocol.
+func NewMembership(n, f int) (Membership, error) {
+	if n < 1 {
+		return Membership{}, fmt.Errorf("%w: n=%d must be >= 1", ErrInvalidMembership, n)
+	}
+	if f < 0 || f >= n {
+		return Membership{}, fmt.Errorf("%w: f=%d must be in [0, n) with n=%d", ErrInvalidMembership, f, n)
+	}
+	return Membership{N: n, F: f}, nil
+}
+
+// Contains reports whether id is a member of the group.
+func (m Membership) Contains(id ProcessID) bool {
+	return id >= 0 && int(id) < m.N
+}
+
+// Quorum returns the smallest quorum size guaranteed to intersect any other
+// quorum in at least one correct process: ceil((n+f+1)/2). For the classic
+// n = 3f+1 this is 2f+1. Protocols whose substrate already prevents
+// equivocation typically use f+1 instead (see FPlusOne).
+func (m Membership) Quorum() int {
+	return (m.N + m.F + 2) / 2
+}
+
+// FPlusOne returns f+1, the quorum used by protocols whose non-equivocation
+// substrate guarantees that any two quorums of f+1 intersect in a correct
+// process's *single* possible statement (MinBFT commits, L1/L2 proofs).
+func (m Membership) FPlusOne() int { return m.F + 1 }
+
+// Correct returns n-f, the number of processes guaranteed to be correct and
+// therefore the largest count a process may block on in an asynchronous wait.
+func (m Membership) Correct() int { return m.N - m.F }
+
+// All returns the slice of all process IDs [0, N). The slice is freshly
+// allocated; callers may mutate it.
+func (m Membership) All() []ProcessID {
+	ids := make([]ProcessID, m.N)
+	for i := range ids {
+		ids[i] = ProcessID(i)
+	}
+	return ids
+}
+
+// Others returns all process IDs except self, freshly allocated.
+func (m Membership) Others(self ProcessID) []ProcessID {
+	ids := make([]ProcessID, 0, m.N-1)
+	for i := 0; i < m.N; i++ {
+		if ProcessID(i) != self {
+			ids = append(ids, ProcessID(i))
+		}
+	}
+	return ids
+}
+
+// Leader returns the round-robin leader of the given view.
+func (m Membership) Leader(v View) ProcessID {
+	return ProcessID(uint64(v) % uint64(m.N))
+}
+
+// Validate reports an error if the membership is structurally invalid. A zero
+// Membership is invalid (n must be at least 1).
+func (m Membership) Validate() error {
+	_, err := NewMembership(m.N, m.F)
+	return err
+}

@@ -1,0 +1,131 @@
+package types
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMembershipValidation(t *testing.T) {
+	cases := []struct {
+		n, f int
+		ok   bool
+	}{
+		{1, 0, true},
+		{3, 1, true},
+		{4, 1, true},
+		{7, 3, true},
+		{0, 0, false},
+		{-1, 0, false},
+		{3, 3, false},
+		{3, -1, false},
+		{2, 2, false},
+	}
+	for _, tc := range cases {
+		_, err := NewMembership(tc.n, tc.f)
+		if (err == nil) != tc.ok {
+			t.Errorf("NewMembership(%d,%d) err = %v, want ok=%v", tc.n, tc.f, err, tc.ok)
+		}
+		if err != nil && !errors.Is(err, ErrInvalidMembership) {
+			t.Errorf("NewMembership(%d,%d) err = %v, want ErrInvalidMembership", tc.n, tc.f, err)
+		}
+	}
+}
+
+func TestQuorumSizes(t *testing.T) {
+	cases := []struct {
+		n, f   int
+		quorum int
+	}{
+		{4, 1, 3},  // PBFT: 2f+1
+		{7, 2, 5},  // PBFT: 2f+1
+		{10, 3, 7}, // PBFT: 2f+1
+		{3, 1, 3},  // n=2f+1: quorum is all
+		{5, 2, 4},  // n=2f+1
+		{1, 0, 1},  // singleton
+	}
+	for _, tc := range cases {
+		m, err := NewMembership(tc.n, tc.f)
+		if err != nil {
+			t.Fatalf("membership(%d,%d): %v", tc.n, tc.f, err)
+		}
+		if got := m.Quorum(); got != tc.quorum {
+			t.Errorf("Quorum(n=%d,f=%d) = %d, want %d", tc.n, tc.f, got, tc.quorum)
+		}
+		if got := m.FPlusOne(); got != tc.f+1 {
+			t.Errorf("FPlusOne = %d, want %d", got, tc.f+1)
+		}
+		if got := m.Correct(); got != tc.n-tc.f {
+			t.Errorf("Correct = %d, want %d", got, tc.n-tc.f)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	m, _ := NewMembership(3, 1)
+	for _, id := range []ProcessID{0, 1, 2} {
+		if !m.Contains(id) {
+			t.Errorf("Contains(%v) = false", id)
+		}
+	}
+	for _, id := range []ProcessID{-1, 3, 100} {
+		if m.Contains(id) {
+			t.Errorf("Contains(%v) = true", id)
+		}
+	}
+}
+
+func TestAllAndOthers(t *testing.T) {
+	m, _ := NewMembership(4, 1)
+	all := m.All()
+	if len(all) != 4 || all[0] != 0 || all[3] != 3 {
+		t.Fatalf("All = %v", all)
+	}
+	others := m.Others(2)
+	if len(others) != 3 {
+		t.Fatalf("Others = %v", others)
+	}
+	for _, id := range others {
+		if id == 2 {
+			t.Fatalf("Others contains self: %v", others)
+		}
+	}
+}
+
+func TestLeaderRotation(t *testing.T) {
+	m, _ := NewMembership(4, 1)
+	for v := View(0); v < 12; v++ {
+		want := ProcessID(int(v) % 4)
+		if got := m.Leader(v); got != want {
+			t.Fatalf("Leader(%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestQuickQuorumIntersection(t *testing.T) {
+	// Property: two quorums always intersect in at least f+1 processes,
+	// hence in at least one correct process.
+	f := func(n8, f8 uint8) bool {
+		n := int(n8%20) + 1
+		fv := int(f8) % n
+		m, err := NewMembership(n, fv)
+		if err != nil {
+			return false
+		}
+		q := m.Quorum()
+		if q > n {
+			return false // quorum must be attainable
+		}
+		// |Q1 ∩ Q2| >= 2q - n must exceed f.
+		return 2*q-n >= fv+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ProcessID(3).String() != "p3" {
+		t.Fatalf("ProcessID.String = %q", ProcessID(3).String())
+	}
+}

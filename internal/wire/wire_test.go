@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	e := NewEncoder(64)
+	e.Uint64(0xdeadbeefcafe)
+	e.Uint32(42)
+	e.Int(-7)
+	e.Byte(0xab)
+	e.Bool(true)
+	e.Bool(false)
+	e.BytesField([]byte("payload"))
+	e.String("hello")
+	e.BytesField(nil)
+
+	d := NewDecoder(e.Bytes())
+	if v := d.Uint64(); v != 0xdeadbeefcafe {
+		t.Fatalf("Uint64 = %x", v)
+	}
+	if v := d.Uint32(); v != 42 {
+		t.Fatalf("Uint32 = %d", v)
+	}
+	if v := d.Int(); v != -7 {
+		t.Fatalf("Int = %d", v)
+	}
+	if v := d.Byte(); v != 0xab {
+		t.Fatalf("Byte = %x", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool mismatch")
+	}
+	if v := d.BytesField(); string(v) != "payload" {
+		t.Fatalf("BytesField = %q", v)
+	}
+	if v := d.String(); v != "hello" {
+		t.Fatalf("String = %q", v)
+	}
+	if v := d.BytesField(); len(v) != 0 {
+		t.Fatalf("empty BytesField = %q", v)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	e := NewEncoder(16)
+	e.Uint64(1)
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		d.Uint64()
+		if !errors.Is(d.Err(), ErrTruncated) {
+			t.Fatalf("cut=%d err = %v, want ErrTruncated", cut, d.Err())
+		}
+	}
+}
+
+func TestErrorLatching(t *testing.T) {
+	d := NewDecoder([]byte{1, 2}) // too short for anything big
+	_ = d.Uint64()                // fails
+	first := d.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	_ = d.Uint32() // must not overwrite
+	_ = d.BytesField()
+	if !errors.Is(d.Err(), first) {
+		t.Fatalf("latched error changed: %v -> %v", first, d.Err())
+	}
+}
+
+func TestTrailingBytesDetected(t *testing.T) {
+	e := NewEncoder(16)
+	e.Uint32(1)
+	e.Uint32(2)
+	d := NewDecoder(e.Bytes())
+	d.Uint32()
+	if err := d.Finish(); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("Finish = %v, want ErrTrailing", err)
+	}
+}
+
+func TestHugeLengthPrefixRejected(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint32(1 << 30) // absurd length, no data
+	d := NewDecoder(e.Bytes())
+	if d.BytesField(); !errors.Is(d.Err(), ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", d.Err())
+	}
+}
+
+func TestLengthPrefixBeyondInputRejected(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint32(100) // claims 100 bytes, provides none
+	d := NewDecoder(e.Bytes())
+	if d.BytesField(); !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", d.Err())
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint64(7)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", e.Len())
+	}
+	e.Byte(1)
+	if !bytes.Equal(e.Bytes(), []byte{1}) {
+		t.Fatalf("Bytes after Reset+Byte = %v", e.Bytes())
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	// Property: any (uint64, bytes, string, bool) record round-trips and is
+	// canonical (re-encoding the decoded values yields identical bytes).
+	f := func(a uint64, b []byte, s string, flag bool) bool {
+		enc := func(a uint64, b []byte, s string, flag bool) []byte {
+			e := NewEncoder(32)
+			e.Uint64(a)
+			e.BytesField(b)
+			e.String(s)
+			e.Bool(flag)
+			return e.Bytes()
+		}
+		buf := enc(a, b, s, flag)
+		d := NewDecoder(buf)
+		a2 := d.Uint64()
+		b2 := append([]byte(nil), d.BytesField()...)
+		s2 := d.String()
+		f2 := d.Bool()
+		if d.Finish() != nil {
+			return false
+		}
+		if a2 != a || !bytes.Equal(b2, b) || s2 != s || f2 != flag {
+			return false
+		}
+		return bytes.Equal(enc(a2, b2, s2, f2), buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		e := NewEncoder(8)
+		e.Int(int(v))
+		d := NewDecoder(e.Bytes())
+		got := d.Int()
+		return d.Finish() == nil && got == int(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderAliasesInput(t *testing.T) {
+	// Documented sharp edge: BytesField aliases the input buffer.
+	e := NewEncoder(16)
+	e.BytesField([]byte("abc"))
+	buf := e.Bytes()
+	d := NewDecoder(buf)
+	got := d.BytesField()
+	buf[4] = 'X' // first data byte (after 4-byte length)
+	if string(got) != "Xbc" {
+		t.Fatalf("expected aliasing, got %q", got)
+	}
+}
