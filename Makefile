@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check vet build test bench-smoke
+
+# check is the full local gate: static checks, build, the race-enabled
+# test suite, and a one-iteration smoke run of the signature fast-path
+# benchmarks (catches bit-rot in the bench harness without the cost of a
+# real measurement).
+check: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSigVerify' -benchtime 1x .

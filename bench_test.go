@@ -13,51 +13,67 @@ import (
 	"unidir/internal/harness"
 	"unidir/internal/rounds"
 	"unidir/internal/sig"
+	"unidir/internal/sig/fastverify"
 	"unidir/internal/simnet"
 	"unidir/internal/trusted/swmr"
 	"unidir/internal/trusted/trinc"
 	"unidir/internal/types"
 )
 
-// --- B1: SRB broadcast cost by substrate and n ---
+// --- B1: SRB broadcast cost by substrate, scheme, and n ---
 
 func BenchmarkSRB(b *testing.B) {
 	type builder struct {
-		name  string
-		build func(types.Membership) (*harness.SRBCluster, error)
-		f     func(n int) int
+		name   string
+		build  func(types.Membership, sig.Scheme) (*harness.SRBCluster, error)
+		f      func(n int) int
+		signed bool
 	}
 	builders := []builder{
-		{"trincsrb", harness.BuildTrincCluster, func(n int) int { return (n - 1) / 2 }},
-		{"a2msrb", harness.BuildA2MCluster, func(n int) int { return (n - 1) / 2 }},
-		{"uniround", harness.BuildUniroundCluster, func(n int) int { return (n - 1) / 2 }},
-		{"bracha", harness.BuildBrachaCluster, func(n int) int { return (n - 1) / 3 }},
+		{"trincsrb", harness.BuildTrincClusterScheme, func(n int) int { return (n - 1) / 2 }, true},
+		{"a2msrb", harness.BuildA2MClusterScheme, func(n int) int { return (n - 1) / 2 }, true},
+		{"uniround", harness.BuildUniroundClusterScheme, func(n int) int { return (n - 1) / 2 }, true},
+		{"bracha", func(m types.Membership, _ sig.Scheme) (*harness.SRBCluster, error) {
+			return harness.BuildBrachaCluster(m)
+		}, func(n int) int { return (n - 1) / 3 }, false},
 	}
 	for _, bl := range builders {
-		for _, n := range []int{4, 7, 10} {
-			b.Run(fmt.Sprintf("%s/n=%d", bl.name, n), func(b *testing.B) {
-				m := harness.MustMembership(n, bl.f(n))
-				c, err := bl.build(m)
-				if err != nil {
-					b.Fatal(err)
+		// bracha carries no signatures, so the scheme dimension is dropped.
+		schemes := []sig.Scheme{sig.HMAC, sig.Ed25519}
+		if !bl.signed {
+			schemes = schemes[:1]
+		}
+		for _, scheme := range schemes {
+			for _, n := range []int{4, 7, 10} {
+				name := fmt.Sprintf("%s/%s/n=%d", bl.name, scheme, n)
+				if !bl.signed {
+					name = fmt.Sprintf("%s/n=%d", bl.name, n)
 				}
-				defer c.Stop()
-				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
-				defer cancel()
-				payload := make([]byte, 128)
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if _, err := c.Nodes[0].Broadcast(payload); err != nil {
+				scheme := scheme
+				b.Run(name, func(b *testing.B) {
+					m := harness.MustMembership(n, bl.f(n))
+					c, err := bl.build(m, scheme)
+					if err != nil {
 						b.Fatal(err)
 					}
-					// One full broadcast = delivered by every node.
-					for _, node := range c.Nodes {
-						if _, err := node.Deliver(ctx); err != nil {
+					defer c.Stop()
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+					defer cancel()
+					payload := make([]byte, 128)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := c.Nodes[0].Broadcast(payload); err != nil {
 							b.Fatal(err)
 						}
+						// One full broadcast = delivered by every node.
+						for _, node := range c.Nodes {
+							if _, err := node.Deliver(ctx); err != nil {
+								b.Fatal(err)
+							}
+						}
 					}
-				}
-			})
+				})
+			}
 		}
 	}
 }
@@ -67,28 +83,87 @@ func BenchmarkSRB(b *testing.B) {
 func BenchmarkSMR(b *testing.B) {
 	for _, p := range []struct {
 		name  string
-		build func(int) (*harness.SMRCluster, error)
+		build func(int, sig.Scheme) (*harness.SMRCluster, error)
 	}{
-		{"minbft", harness.BuildMinBFT},
-		{"pbft", harness.BuildPBFT},
+		{"minbft", harness.BuildMinBFTScheme},
+		{"pbft", harness.BuildPBFTScheme},
 	} {
-		for _, f := range []int{1, 2} {
-			b.Run(fmt.Sprintf("%s/f=%d", p.name, f), func(b *testing.B) {
-				c, err := p.build(f)
-				if err != nil {
-					b.Fatal(err)
-				}
-				defer c.Stop()
-				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
-				defer cancel()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if err := c.KV.Put(ctx, fmt.Sprintf("key-%d", i%64), []byte("value")); err != nil {
+		for _, scheme := range []sig.Scheme{sig.HMAC, sig.Ed25519} {
+			for _, f := range []int{1, 2} {
+				scheme := scheme
+				b.Run(fmt.Sprintf("%s/%s/f=%d", p.name, scheme, f), func(b *testing.B) {
+					c, err := p.build(f, scheme)
+					if err != nil {
 						b.Fatal(err)
 					}
-				}
-			})
+					defer c.Stop()
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+					defer cancel()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := c.KV.Put(ctx, fmt.Sprintf("key-%d", i%64), []byte("value")); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
 		}
+	}
+}
+
+// --- B5: signature fast path — single vs batch vs cached ---
+
+// BenchmarkSigVerify isolates the fastverify layer itself: raw per-call
+// verification against the keyring, the batch path with caching disabled
+// (fan-out and bookkeeping overhead alone), and steady-state cache hits.
+// Batch op time covers batchSize signatures — divide by batchSize to
+// compare against single.
+func BenchmarkSigVerify(b *testing.B) {
+	const batchSize = 32
+	m := harness.MustMembership(8, 2)
+	for _, scheme := range []sig.Scheme{sig.Ed25519, sig.HMAC} {
+		rings, err := sig.NewKeyrings(m, scheme, rand.New(rand.NewSource(7)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		items := make([]fastverify.Item, batchSize)
+		for i := range items {
+			from := types.ProcessID(i % m.N)
+			msg := make([]byte, 128)
+			msg[0] = byte(i)
+			items[i] = fastverify.Item{From: from, Msg: msg, Sig: rings[int(from)].Sign(msg)}
+		}
+		b.Run("single/"+scheme.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				it := items[i%batchSize]
+				if err := rings[0].Verify(it.From, it.Msg, it.Sig); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("batch/"+scheme.String(), func(b *testing.B) {
+			v := fastverify.New(rings[0], fastverify.WithCacheSize(0), fastverify.WithNegativeCacheSize(0))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := v.VerifyAll(items); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(batchSize, "sigs/op")
+		})
+		b.Run("cached/"+scheme.String(), func(b *testing.B) {
+			v := fastverify.New(rings[0])
+			if err := v.VerifyAll(items); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				it := items[i%batchSize]
+				if err := v.Verify(it.From, it.Msg, it.Sig); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -36,8 +36,17 @@ type SRBCluster struct {
 	Stop  func()
 }
 
+// BuildUniroundCluster builds a uniround SRB node set with the default
+// HMAC scheme. See BuildUniroundClusterScheme to choose the scheme.
 func BuildUniroundCluster(m types.Membership) (*SRBCluster, error) {
-	rings, err := sig.NewKeyrings(m, sig.HMAC, rand.New(rand.NewSource(1)))
+	return BuildUniroundClusterScheme(m, sig.HMAC)
+}
+
+// BuildUniroundClusterScheme builds a uniround SRB node set over SWMR
+// stores, signing with the given scheme (Ed25519 for realistic crypto
+// cost, HMAC for a cheap simulation).
+func BuildUniroundClusterScheme(m types.Membership, scheme sig.Scheme) (*SRBCluster, error) {
+	rings, err := sig.NewKeyrings(m, scheme, rand.New(rand.NewSource(1)))
 	if err != nil {
 		return nil, err
 	}
@@ -64,12 +73,20 @@ func BuildUniroundCluster(m types.Membership) (*SRBCluster, error) {
 	}}, nil
 }
 
+// BuildTrincCluster builds a TrInc SRB node set with the default HMAC
+// scheme. See BuildTrincClusterScheme to choose the scheme.
 func BuildTrincCluster(m types.Membership) (*SRBCluster, error) {
+	return BuildTrincClusterScheme(m, sig.HMAC)
+}
+
+// BuildTrincClusterScheme builds a TrInc SRB node set over a simulated
+// network, with trinkets signing under the given scheme.
+func BuildTrincClusterScheme(m types.Membership, scheme sig.Scheme) (*SRBCluster, error) {
 	net, err := simnet.New(m)
 	if err != nil {
 		return nil, err
 	}
-	tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(2)))
+	tu, err := trinc.NewUniverse(m, scheme, rand.New(rand.NewSource(2)))
 	if err != nil {
 		net.Close()
 		return nil, err
@@ -117,7 +134,15 @@ type SMRCluster struct {
 	Stop func()
 }
 
+// BuildMinBFT builds a MinBFT deployment with the default HMAC scheme.
+// See BuildMinBFTScheme to choose the scheme.
 func BuildMinBFT(f int) (*SMRCluster, error) {
+	return BuildMinBFTScheme(f, sig.HMAC)
+}
+
+// BuildMinBFTScheme builds a MinBFT deployment over a simulated network
+// with USIG trinkets signing under the given scheme.
+func BuildMinBFTScheme(f int, scheme sig.Scheme) (*SMRCluster, error) {
 	n := 2*f + 1
 	m, err := types.NewMembership(n, f)
 	if err != nil {
@@ -131,7 +156,7 @@ func BuildMinBFT(f int) (*SMRCluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(3)))
+	tu, err := trinc.NewUniverse(m, scheme, rand.New(rand.NewSource(3)))
 	if err != nil {
 		net.Close()
 		return nil, err
@@ -160,7 +185,15 @@ func BuildMinBFT(f int) (*SMRCluster, error) {
 	}}, nil
 }
 
+// BuildPBFT builds a PBFT deployment with the default HMAC scheme. See
+// BuildPBFTScheme to choose the scheme.
 func BuildPBFT(f int) (*SMRCluster, error) {
+	return BuildPBFTScheme(f, sig.HMAC)
+}
+
+// BuildPBFTScheme builds a PBFT deployment over a simulated network with
+// replicas signing under the given scheme.
+func BuildPBFTScheme(f int, scheme sig.Scheme) (*SMRCluster, error) {
 	n := 3*f + 1
 	m, err := types.NewMembership(n, f)
 	if err != nil {
@@ -174,7 +207,7 @@ func BuildPBFT(f int) (*SMRCluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	rings, err := sig.NewKeyrings(m, sig.HMAC, rand.New(rand.NewSource(4)))
+	rings, err := sig.NewKeyrings(m, scheme, rand.New(rand.NewSource(4)))
 	if err != nil {
 		net.Close()
 		return nil, err
@@ -210,14 +243,21 @@ func MustMembership(n, f int) types.Membership {
 	return m
 }
 
-// BuildA2MCluster builds an SRB node set over A2M logs (native devices,
-// agreed log ID 1) on a simulated network.
+// BuildA2MCluster builds an SRB node set over A2M logs with the default
+// HMAC scheme. See BuildA2MClusterScheme to choose the scheme.
 func BuildA2MCluster(m types.Membership) (*SRBCluster, error) {
+	return BuildA2MClusterScheme(m, sig.HMAC)
+}
+
+// BuildA2MClusterScheme builds an SRB node set over A2M logs (native
+// devices, agreed log ID 1) on a simulated network, with devices signing
+// under the given scheme.
+func BuildA2MClusterScheme(m types.Membership, scheme sig.Scheme) (*SRBCluster, error) {
 	net, err := simnet.New(m)
 	if err != nil {
 		return nil, err
 	}
-	au, err := a2m.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(5)), nil)
+	au, err := a2m.NewUniverse(m, scheme, rand.New(rand.NewSource(5)), nil)
 	if err != nil {
 		net.Close()
 		return nil, err

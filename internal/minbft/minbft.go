@@ -56,6 +56,7 @@ import (
 	"unidir/internal/transport"
 	"unidir/internal/trusted/trinc"
 	"unidir/internal/types"
+	"unidir/internal/wire"
 )
 
 // ErrClosed reports use of a closed replica.
@@ -224,14 +225,42 @@ func (r *Replica) Close() error {
 
 func (r *Replica) recvLoop(ctx context.Context) {
 	defer r.wg.Done()
+	verifyAhead := r.ver.Concurrent()
 	for {
 		env, err := r.tr.Recv(ctx)
 		if err != nil {
 			return
 		}
+		if verifyAhead {
+			r.prewarm(env.Payload)
+		}
 		e := env
 		r.events.Push(event{env: &e})
 	}
+}
+
+// prewarm verifies a replica message's UI before the run goroutine sees it,
+// overlapping crypto with protocol processing when a spare core exists.
+// Purely an optimization: the result is ignored (failures are
+// negative-cached, also cheap to re-hit) and the authoritative check in
+// ingestReplicaMsg re-verifies through the cache.
+func (r *Replica) prewarm(payload []byte) {
+	kind, body, ui, err := decodeEnvelope(payload)
+	if err != nil || ui == nil || kind == kindRequest || kind == kindFetch || kind == kindFetchResp {
+		return
+	}
+	_ = r.checkUI(*ui, kind, body)
+}
+
+// checkUI verifies a UI over (kind, body) through the trinket fast path,
+// building the binding in a pooled encoder (one binding per received
+// replica message makes this the replica's hottest encoding).
+func (r *Replica) checkUI(ui trinc.Attestation, kind byte, body []byte) error {
+	e := wire.GetEncoder()
+	appendUIBinding(e, kind, body)
+	err := r.ver.CheckMessage(ui, e.Bytes())
+	wire.PutEncoder(e)
+	return err
 }
 
 func (r *Replica) run(ctx context.Context) {
@@ -256,7 +285,10 @@ func (r *Replica) run(ctx context.Context) {
 // envelope to all other replicas, returning the UI.
 func (r *Replica) attestAndSend(kind byte, body []byte) (trinc.Attestation, error) {
 	next := r.dev.LastAttested(usigCounter) + 1
-	ui, err := r.dev.Attest(usigCounter, next, uiBinding(kind, body))
+	e := wire.GetEncoder()
+	appendUIBinding(e, kind, body)
+	ui, err := r.dev.Attest(usigCounter, next, e.Bytes())
+	wire.PutEncoder(e)
 	if err != nil {
 		return trinc.Attestation{}, fmt.Errorf("minbft: usig attest: %w", err)
 	}
@@ -313,7 +345,7 @@ func (r *Replica) ingestReplicaMsg(kind byte, body []byte, ui *trinc.Attestation
 	if ui == nil || !r.m.Contains(ui.Trinket) || ui.Trinket == r.Self() || ui.Counter != usigCounter {
 		return
 	}
-	if err := r.ver.CheckMessage(*ui, uiBinding(kind, body)); err != nil {
+	if err := r.checkUI(*ui, kind, body); err != nil {
 		return
 	}
 	from := ui.Trinket
@@ -656,6 +688,13 @@ func (r *Replica) handleNewView(from types.ProcessID, msg peerMsg) {
 		return
 	}
 	seen := make(map[types.ProcessID]bool, len(nv.VCs))
+	batch := make([]trinc.Attested, 0, len(nv.VCs))
+	encs := make([]*wire.Encoder, 0, len(nv.VCs))
+	defer func() {
+		for _, e := range encs {
+			wire.PutEncoder(e)
+		}
+	}()
 	for _, vc := range nv.VCs {
 		if seen[vc.Sender] || !r.m.Contains(vc.Sender) {
 			return
@@ -666,13 +705,20 @@ func (r *Replica) handleNewView(from types.ProcessID, msg peerMsg) {
 		if vc.UI.Trinket != vc.Sender || vc.UI.Counter != usigCounter {
 			return
 		}
-		if err := r.ver.CheckMessage(vc.UI, uiBinding(kindViewChange, vc.Body)); err != nil {
-			return
-		}
 		body, err := decodeViewChangeBody(vc.Body, maxLogEntries)
 		if err != nil || body.NewView != nv.NewView {
 			return
 		}
+		e := wire.GetEncoder()
+		appendUIBinding(e, kindViewChange, vc.Body)
+		encs = append(encs, e)
+		batch = append(batch, trinc.Attested{Att: vc.UI, Msg: e.Bytes()})
+	}
+	// The NEW-VIEW is a quorum certificate: any bad UI rejects the whole
+	// message, so the batch verifier's short-circuit semantics fit exactly,
+	// and UIs of view changes we already processed live come from the cache.
+	if r.ver.CheckMessages(batch) != nil {
+		return
 	}
 	r.installView(nv)
 }
@@ -697,7 +743,10 @@ func (r *Replica) installView(nv newView) {
 				continue
 			}
 			p := prepare{View: le.View, Req: le.Req}
-			if err := r.ver.CheckMessage(le.PrepUI, uiBinding(kindPrepare, p.encodeBody())); err != nil {
+			// Per-entry check; entries duplicated across the f+1 logs (the
+			// common case — committed entries appear in every correct log)
+			// hit the verified-signature cache after the first copy.
+			if err := r.checkUI(le.PrepUI, kindPrepare, p.encodeBody()); err != nil {
 				continue
 			}
 			union[entryKey{le.View, le.PrepSeq}] = le

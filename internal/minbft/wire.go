@@ -29,13 +29,21 @@ const uiDomain = "unidir/minbft/ui/v1"
 // usigCounter is the trinket counter dedicated to the USIG.
 const usigCounter uint64 = 0
 
-// uiBinding is the byte string a UI attests: domain, kind, and body hash.
-func uiBinding(kind byte, body []byte) []byte {
+// appendUIBinding appends the byte string a UI attests: domain, kind, and
+// body hash.
+func appendUIBinding(e *wire.Encoder, kind byte, body []byte) {
 	h := sha256.Sum256(body)
-	e := wire.NewEncoder(64)
 	e.String(uiDomain)
 	e.Byte(kind)
 	e.BytesField(h[:])
+}
+
+// uiBinding is the byte string a UI attests, as a fresh allocation. Hot
+// paths that only need the binding transiently use appendUIBinding with a
+// pooled encoder instead (see Replica.checkUI).
+func uiBinding(kind byte, body []byte) []byte {
+	e := wire.NewEncoder(64)
+	appendUIBinding(e, kind, body)
 	return e.Bytes()
 }
 

@@ -1,0 +1,288 @@
+package fastverify
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"unidir/internal/sig"
+	"unidir/internal/types"
+)
+
+func testKeyrings(t *testing.T, n int, scheme sig.Scheme) []*sig.Keyring {
+	t.Helper()
+	m, err := types.NewMembership(n, (n-1)/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rings, err := sig.NewKeyrings(m, scheme, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rings
+}
+
+func TestVerifyMatchesInner(t *testing.T) {
+	for _, scheme := range []sig.Scheme{sig.Ed25519, sig.HMAC} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			rings := testKeyrings(t, 4, scheme)
+			v := New(rings[1])
+			msg := []byte("statement")
+			s := rings[0].Sign(msg)
+
+			if err := v.Verify(0, msg, s); err != nil {
+				t.Fatalf("valid signature rejected: %v", err)
+			}
+			// Second call must hit the cache and still succeed.
+			if err := v.Verify(0, msg, s); err != nil {
+				t.Fatalf("cached valid signature rejected: %v", err)
+			}
+			if st := v.Stats(); st.Hits != 1 || st.Misses != 1 {
+				t.Fatalf("stats = %+v, want 1 hit 1 miss", st)
+			}
+
+			// Wrong signer, wrong message, wrong signature: all must fail,
+			// cold and warm.
+			bad := append([]byte(nil), s...)
+			bad[0] ^= 0xff
+			cases := []struct {
+				name string
+				from types.ProcessID
+				msg  []byte
+				sig  []byte
+			}{
+				{"wrong signer", 2, msg, s},
+				{"wrong message", 0, []byte("other"), s},
+				{"corrupt signature", 0, msg, bad},
+			}
+			for _, c := range cases {
+				for pass := 0; pass < 2; pass++ {
+					if err := v.Verify(c.from, c.msg, c.sig); !errors.Is(err, sig.ErrBadSignature) {
+						t.Fatalf("%s (pass %d): err = %v, want ErrBadSignature", c.name, pass, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNoCrossSignerPollution is the Byzantine cache-correctness property
+// from the issue: a forged signature must fail both cold and after a prior
+// *successful* verification of the same message digest by another signer.
+func TestNoCrossSignerPollution(t *testing.T) {
+	rings := testKeyrings(t, 4, sig.Ed25519)
+	v := New(rings[1])
+	msg := []byte("the very same statement bytes")
+	honest := rings[0].Sign(msg)
+
+	// Cold: p2 presenting p0's signature as its own must fail.
+	if err := v.Verify(2, msg, honest); !errors.Is(err, sig.ErrBadSignature) {
+		t.Fatalf("cold forgery accepted: %v", err)
+	}
+	// Warm the cache with the honest triple.
+	if err := v.Verify(0, msg, honest); err != nil {
+		t.Fatalf("honest verify: %v", err)
+	}
+	// The same digest is now cached as verified *for p0*. Re-attributing
+	// the signature to p2 must still fail: the key binds the signer.
+	if err := v.Verify(2, msg, honest); !errors.Is(err, sig.ErrBadSignature) {
+		t.Fatalf("forgery accepted after honest verify of same digest: %v", err)
+	}
+	// And a corrupted signature over the cached message must fail too.
+	forged := append([]byte(nil), honest...)
+	forged[5] ^= 0x40
+	if err := v.Verify(0, msg, forged); !errors.Is(err, sig.ErrBadSignature) {
+		t.Fatalf("corrupt signature accepted after honest verify: %v", err)
+	}
+}
+
+func TestNegativeCacheNeverFlipsToSuccess(t *testing.T) {
+	rings := testKeyrings(t, 4, sig.HMAC)
+	v := New(rings[1])
+	msg := []byte("m")
+	bad := rings[0].Sign([]byte("different"))
+
+	for i := 0; i < 3; i++ {
+		if err := v.Verify(0, msg, bad); !errors.Is(err, sig.ErrBadSignature) {
+			t.Fatalf("attempt %d: bad signature accepted: %v", i, err)
+		}
+	}
+	st := v.Stats()
+	if st.Misses != 1 || st.NegHits != 2 {
+		t.Fatalf("stats = %+v, want 1 miss 2 negative hits", st)
+	}
+	// The genuine signature still verifies: the negative entry binds the
+	// bad triple only.
+	if err := v.Verify(0, msg, rings[0].Sign(msg)); err != nil {
+		t.Fatalf("good signature rejected after cached failure: %v", err)
+	}
+}
+
+func TestCacheBoundedAndEvicts(t *testing.T) {
+	rings := testKeyrings(t, 4, sig.HMAC)
+	v := New(rings[1], WithCacheSize(2), WithNegativeCacheSize(1))
+
+	msgs := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	sigs := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		sigs[i] = rings[0].Sign(m)
+		if err := v.Verify(0, m, sigs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.mu.Lock()
+	posLen := v.pos.len()
+	v.mu.Unlock()
+	if posLen != 2 {
+		t.Fatalf("positive cache holds %d entries, cap 2", posLen)
+	}
+	// "a" was least recently used and must have been evicted: verifying it
+	// again is a miss (re-verification), while "c" is a hit.
+	before := v.Stats()
+	if err := v.Verify(0, msgs[0], sigs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(0, msgs[2], sigs[2]); err != nil {
+		t.Fatal(err)
+	}
+	after := v.Stats()
+	if after.Misses != before.Misses+1 || after.Hits != before.Hits+1 {
+		t.Fatalf("eviction not observed: before %+v after %+v", before, after)
+	}
+
+	// Negative cache capped at 1: flooding it with garbage keeps only the
+	// most recent entry and never touches the positive cache.
+	for i := 0; i < 8; i++ {
+		_ = v.Verify(0, []byte(fmt.Sprintf("junk-%d", i)), []byte("nonsense"))
+	}
+	v.mu.Lock()
+	negLen, posLen2 := v.neg.len(), v.pos.len()
+	v.mu.Unlock()
+	if negLen != 1 {
+		t.Fatalf("negative cache holds %d entries, cap 1", negLen)
+	}
+	if posLen2 != 2 {
+		t.Fatalf("garbage flood disturbed positive cache: %d entries", posLen2)
+	}
+}
+
+func TestVerifyAll(t *testing.T) {
+	rings := testKeyrings(t, 7, sig.Ed25519)
+	v := New(rings[0], WithWorkers(4), WithSequentialThreshold(2))
+
+	items := make([]Item, 0, 24)
+	for i := 0; i < 24; i++ {
+		from := types.ProcessID(i % 7)
+		msg := []byte(fmt.Sprintf("stmt-%d", i))
+		items = append(items, Item{From: from, Msg: msg, Sig: rings[from].Sign(msg)})
+	}
+	if err := v.VerifyAll(items); err != nil {
+		t.Fatalf("all-valid batch failed: %v", err)
+	}
+	// Second pass: all hits, no new misses.
+	before := v.Stats()
+	if err := v.VerifyAll(items); err != nil {
+		t.Fatalf("cached batch failed: %v", err)
+	}
+	if after := v.Stats(); after.Misses != before.Misses {
+		t.Fatalf("cached batch re-verified: before %+v after %+v", before, after)
+	}
+
+	// One forged item anywhere must fail the whole batch, with and without
+	// the cache warmed for the honest items.
+	forged := append([]Item(nil), items...)
+	forged[17].Sig = append([]byte(nil), forged[17].Sig...)
+	forged[17].Sig[3] ^= 0x01
+	if err := v.VerifyAll(forged); !errors.Is(err, sig.ErrBadSignature) {
+		t.Fatalf("batch with forgery: err = %v, want ErrBadSignature", err)
+	}
+	fresh := New(rings[0], WithWorkers(4), WithSequentialThreshold(2))
+	if err := fresh.VerifyAll(forged); !errors.Is(err, sig.ErrBadSignature) {
+		t.Fatalf("cold batch with forgery: err = %v, want ErrBadSignature", err)
+	}
+	if err := v.VerifyAll(items); err != nil {
+		t.Fatalf("honest batch fails after forged batch: %v", err)
+	}
+}
+
+func TestVerifyAllEmptyAndSmall(t *testing.T) {
+	rings := testKeyrings(t, 4, sig.HMAC)
+	v := New(rings[0])
+	if err := v.VerifyAll(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	msg := []byte("x")
+	if err := v.VerifyAll([]Item{{From: 1, Msg: msg, Sig: rings[1].Sign(msg)}}); err != nil {
+		t.Fatalf("singleton batch: %v", err)
+	}
+}
+
+// TestConcurrentUse hammers one Verifier from many goroutines (run with
+// -race): concurrent hits, misses, evictions, and failures.
+func TestConcurrentUse(t *testing.T) {
+	rings := testKeyrings(t, 4, sig.HMAC)
+	v := New(rings[0], WithCacheSize(32), WithNegativeCacheSize(8))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				from := types.ProcessID(i % 4)
+				msg := []byte(fmt.Sprintf("m-%d", i%40))
+				s := rings[from].Sign(msg)
+				if i%7 == 0 {
+					s = []byte("garbage")
+					if err := v.Verify(from, msg, s); err == nil {
+						t.Error("garbage signature accepted")
+						return
+					}
+					continue
+				}
+				if err := v.Verify(from, msg, s); err != nil {
+					t.Errorf("valid signature rejected: %v", err)
+					return
+				}
+				if i%11 == 0 {
+					items := []Item{
+						{From: from, Msg: msg, Sig: s},
+						{From: (from + 1) % 4, Msg: msg, Sig: rings[(from+1)%4].Sign(msg)},
+						{From: (from + 2) % 4, Msg: msg, Sig: rings[(from+2)%4].Sign(msg)},
+						{From: (from + 3) % 4, Msg: msg, Sig: rings[(from+3)%4].Sign(msg)},
+						{From: from, Msg: []byte("q"), Sig: rings[from].Sign([]byte("q"))},
+					}
+					if err := v.VerifyAll(items); err != nil {
+						t.Errorf("valid batch rejected: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestKillSwitchPassThrough(t *testing.T) {
+	t.Setenv("UNIDIR_FASTVERIFY", "off")
+	rings := testKeyrings(t, 4, sig.HMAC)
+	v := New(rings[0])
+	if v.Enabled() || v.Concurrent() {
+		t.Fatal("kill switch did not disable the fast path")
+	}
+	msg := []byte("m")
+	s := rings[1].Sign(msg)
+	for i := 0; i < 2; i++ {
+		if err := v.Verify(1, msg, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.VerifyAll([]Item{{From: 1, Msg: msg, Sig: s}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := v.Stats(); st.Hits != 0 && st.Misses != 0 {
+		t.Fatalf("disabled verifier recorded stats: %+v", st)
+	}
+}

@@ -122,7 +122,7 @@ func (n *Node) Broadcast(data []byte) (types.SeqNum, error) {
 	if err := transport.Broadcast(n.tr, n.m.Others(n.self), payload); err != nil {
 		return 0, fmt.Errorf("a2msrb: broadcast: %w", err)
 	}
-	n.accept(proof)
+	n.accept(proof, payload)
 	return seq, nil
 }
 
@@ -162,18 +162,34 @@ func (n *Node) recvLoop(ctx context.Context) {
 		if err != nil {
 			continue // Byzantine garbage
 		}
-		n.accept(proof)
+		n.accept(proof, env.Payload)
 	}
 }
 
 // accept validates one attested log entry and advances the sender's
 // delivery cursor. The proof authenticates the original sender (its
-// device), so relays by third parties are sound.
-func (n *Node) accept(proof a2m.Proof) {
+// device), so relays by third parties are sound. payload is the proof's
+// wire encoding, reused verbatim for the relay.
+func (n *Node) accept(proof a2m.Proof, payload []byte) {
 	sender := proof.Stmt.Device
 	if !n.m.Contains(sender) || proof.Stmt.Kind != a2m.KindLookup {
 		return
 	}
+	// Only the agreed protocol log counts: a Byzantine sender running
+	// several logs cannot split the stream across receivers.
+	if proof.Stmt.Log != n.log.ID() {
+		return
+	}
+	// Fast duplicate drop before the signature check: every process relays
+	// every first-seen entry, so each proof arrives up to n-1 times. seen
+	// is only ever set after a successful check (and re-checked under the
+	// lock below), so the early exit never trusts an unverified proof.
+	n.mu.Lock()
+	if n.closed || n.states[sender].seen[proof.Stmt.Seq] {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
 	if err := n.ver.Check(proof); err != nil {
 		return
 	}
@@ -183,9 +199,7 @@ func (n *Node) accept(proof a2m.Proof) {
 		return
 	}
 	st := n.states[sender]
-	// Only the agreed protocol log counts: a Byzantine sender running
-	// several logs cannot split the stream across receivers.
-	if proof.Stmt.Log != n.log.ID() || st.seen[proof.Stmt.Seq] {
+	if st.seen[proof.Stmt.Seq] {
 		n.mu.Unlock()
 		return
 	}
@@ -205,7 +219,7 @@ func (n *Node) accept(proof a2m.Proof) {
 
 	// Relay once for strong termination.
 	if sender != n.self {
-		_ = transport.Broadcast(n.tr, n.m.Others(n.self), proof.Encode())
+		_ = transport.Broadcast(n.tr, n.m.Others(n.self), payload)
 	}
 	for _, d := range ready {
 		n.deliveries.Push(d)

@@ -123,7 +123,7 @@ func (n *Node) Broadcast(data []byte) (types.SeqNum, error) {
 		return 0, fmt.Errorf("trincsrb: broadcast: %w", err)
 	}
 	// Deliver locally through the same chain logic (self-channel).
-	n.accept(att, data)
+	n.accept(att, data, payload)
 	return ctr, nil
 }
 
@@ -163,18 +163,32 @@ func (n *Node) recvLoop(ctx context.Context) {
 		if err != nil {
 			continue // Byzantine garbage
 		}
-		n.accept(att, data)
+		n.accept(att, data, env.Payload)
 	}
 }
 
 // accept validates one attested message and advances the sender's chain.
 // Note the channel identity (env.From) is irrelevant: the attestation
 // itself names and authenticates the original sender, which is what makes
-// relaying by third parties sound.
-func (n *Node) accept(att trinc.Attestation, data []byte) {
+// relaying by third parties sound. payload is the message's wire encoding,
+// reused verbatim for the relay (the encoding is canonical, so a payload
+// that decoded cleanly is byte-identical to a re-encoding).
+func (n *Node) accept(att trinc.Attestation, data, payload []byte) {
 	if !n.m.Contains(att.Trinket) || att.Counter != srbCounter {
 		return
 	}
+	// Fast duplicate drop before the signature check: every process relays
+	// every first-seen message, so each attestation arrives up to n-1
+	// times; an already-seen counter value needs no re-verification. The
+	// seen flag is only ever set after a successful check, so skipping here
+	// never trusts an unverified message, and the post-check re-check below
+	// keeps the mark-once invariant when two copies race.
+	n.mu.Lock()
+	if n.closed || n.states[att.Trinket].seen[att.Seq] {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
 	if err := n.ver.CheckMessage(att, data); err != nil {
 		return
 	}
@@ -206,7 +220,6 @@ func (n *Node) accept(att trinc.Attestation, data []byte) {
 	// Relay once for strong termination (outside the lock: Send never
 	// blocks on peers but may take the network's locks).
 	if att.Trinket != n.self {
-		payload := encodeMsg(att, data)
 		_ = transport.Broadcast(n.tr, n.m.Others(n.self), payload)
 	}
 	for _, d := range ready {

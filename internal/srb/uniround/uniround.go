@@ -43,6 +43,7 @@ import (
 
 	"unidir/internal/rounds"
 	"unidir/internal/sig"
+	"unidir/internal/sig/fastverify"
 	"unidir/internal/srb"
 	"unidir/internal/syncx"
 	"unidir/internal/types"
@@ -62,6 +63,12 @@ type Node struct {
 	self types.ProcessID
 	m    types.Membership
 	ring *sig.Keyring
+	// ver is the node's signature fast path: one verified-signature cache
+	// shared by all instances, so an echo signature verified once (from the
+	// echo round) is free when it reappears inside L1 proofs, and an L1
+	// verified directly is free inside L2 proofs. See fastverify's package
+	// comment for the safety argument.
+	ver *fastverify.Verifier
 
 	instances  []*instance
 	deliveries *syncx.Queue[srb.Delivery]
@@ -88,6 +95,7 @@ func New(m types.Membership, ring *sig.Keyring, factory SystemFactory) (*Node, e
 		self:       ring.Self(),
 		m:          m,
 		ring:       ring,
+		ver:        fastverify.New(ring),
 		deliveries: syncx.NewQueue[srb.Delivery](),
 	}
 	n.instances = make([]*instance, m.N)
@@ -224,15 +232,70 @@ func newInstance(n *Node, sender types.ProcessID, sys rounds.System) *instance {
 
 // forward pumps the round system's stream into the event queue, so the run
 // goroutine has a single input source it can also receive local commands on.
+// When a spare core is available it also verifies each message's signatures
+// ahead of the state machine (see prewarm), overlapping crypto with
+// protocol processing.
 func (in *instance) forward() {
 	defer in.node.wg.Done()
+	verifyAhead := in.node.ver.Concurrent()
 	for {
 		msg, err := in.sys.Recv(in.ctx)
 		if err != nil {
 			return
 		}
+		if verifyAhead {
+			in.prewarm(msg)
+		}
 		m := msg
 		in.events.Push(event{msg: &m})
+	}
+}
+
+// prewarm pushes a message's signatures through the batch verifier so the
+// run goroutine's later checks hit the cache. Purely an optimization: the
+// result is ignored (failures are negative-cached, also cheap to re-hit)
+// and every signature is re-checked — through the cache — on the
+// authoritative ingest path, so correctness never depends on this pass.
+func (in *instance) prewarm(msg rounds.Msg) {
+	var set itemSet
+	defer set.release()
+	in.collectItems(&set, msg)
+	_ = in.node.ver.VerifyAll(set.items)
+}
+
+// collectItems appends the signature checks implied by one raw round
+// message to set. Structurally invalid messages contribute nothing (the
+// ingest path discards them anyway).
+func (in *instance) collectItems(set *itemSet, msg rounds.Msg) {
+	if len(msg.Data) == 0 || msg.From == in.node.self {
+		return
+	}
+	d := wire.NewDecoder(msg.Data)
+	switch d.Byte() {
+	case kindEcho:
+		e, err := decodeEcho(d)
+		if err != nil || e.Seq == 0 {
+			return
+		}
+		set.add(in.sender, set.stmt(func(enc *wire.Encoder) { appendValBytes(enc, in.sender, e.Seq, e.Data) }), e.SenderSig)
+		set.add(msg.From, set.stmt(func(enc *wire.Encoder) { appendEchoBytes(enc, in.sender, e.Seq, e.Data) }), e.EchoSig)
+	case kindL1:
+		p, err := decodeL1(d, in.node.m.N)
+		if err != nil || p.Prover != msg.From || !in.l1Shape(p) {
+			return
+		}
+		in.addL1Items(set, p)
+	case kindL2:
+		p, err := decodeL2(d, in.node.m.N)
+		if err != nil || p.Seq == 0 {
+			return
+		}
+		set.add(in.sender, set.stmt(func(enc *wire.Encoder) { appendValBytes(enc, in.sender, p.Seq, p.Data) }), p.SenderSig)
+		for _, l1 := range p.L1s {
+			if in.l1Shape(l1) {
+				in.addL1Items(set, l1)
+			}
+		}
 	}
 }
 
@@ -363,8 +426,20 @@ func (in *instance) run() {
 }
 
 // ingestSnapshot feeds a WaitEnd result through the same validation path as
-// stream messages (duplicates are harmless; maps deduplicate).
+// stream messages (duplicates are harmless; maps deduplicate). With a spare
+// core, the whole snapshot's signatures are first verified as one
+// concurrent batch, so the serial ingest below runs on cache hits.
 func (in *instance) ingestSnapshot(r types.Round, snapshot map[types.ProcessID][]byte) {
+	if in.node.ver.Concurrent() && len(snapshot) > 1 {
+		var set itemSet
+		for from, data := range snapshot {
+			if from != in.node.self {
+				in.collectItems(&set, rounds.Msg{From: from, Round: r, Data: data})
+			}
+		}
+		_ = in.node.ver.VerifyAll(set.items)
+		set.release()
+	}
 	for from, data := range snapshot {
 		if from == in.node.self {
 			continue
@@ -403,13 +478,53 @@ func (in *instance) ingest(msg rounds.Msg) {
 	}
 }
 
+// itemSet accumulates signature checks whose statement bytes live in
+// pooled encoders; release returns the encoders (and with them every slice
+// handed out by stmt) to the pool.
+type itemSet struct {
+	items []fastverify.Item
+	encs  []*wire.Encoder
+}
+
+// stmt encodes one signed statement into a pooled encoder and returns its
+// bytes, valid until release.
+func (s *itemSet) stmt(build func(*wire.Encoder)) []byte {
+	e := wire.GetEncoder()
+	build(e)
+	s.encs = append(s.encs, e)
+	return e.Bytes()
+}
+
+func (s *itemSet) add(from types.ProcessID, msg, sig []byte) {
+	s.items = append(s.items, fastverify.Item{From: from, Msg: msg, Sig: sig})
+}
+
+func (s *itemSet) release() {
+	for _, e := range s.encs {
+		wire.PutEncoder(e)
+	}
+	s.encs = nil
+	s.items = nil
+}
+
+// verifyStmt checks one signature over a transiently encoded statement.
+func (in *instance) verifyStmt(from types.ProcessID, sig []byte, build func(*wire.Encoder)) error {
+	e := wire.GetEncoder()
+	build(e)
+	err := in.node.ver.Verify(from, e.Bytes(), sig)
+	wire.PutEncoder(e)
+	return err
+}
+
 // acceptVal validates a sender-signed value and merges it into the seq
 // state, detecting equivocation (two differently signed values for one k).
 func (in *instance) acceptVal(k types.SeqNum, data, senderSig []byte) *seqState {
 	if k == 0 {
 		return nil
 	}
-	if err := in.node.ring.Verify(in.sender, valBytes(in.sender, k, data), senderSig); err != nil {
+	if err := in.verifyStmt(in.sender, senderSig, func(e *wire.Encoder) {
+		appendValBytes(e, in.sender, k, data)
+	}); err != nil {
 		return nil
 	}
 	st := in.state(k)
@@ -434,7 +549,9 @@ func (in *instance) acceptEcho(from types.ProcessID, e echoMsg) {
 	if !bytes.Equal(st.val.data, e.Data) {
 		return
 	}
-	if err := in.node.ring.Verify(from, echoBytes(in.sender, e.Seq, e.Data), e.EchoSig); err != nil {
+	if err := in.verifyStmt(from, e.EchoSig, func(enc *wire.Encoder) {
+		appendEchoBytes(enc, in.sender, e.Seq, e.Data)
+	}); err != nil {
 		return
 	}
 	if _, ok := st.echoes[from]; !ok {
@@ -442,13 +559,11 @@ func (in *instance) acceptEcho(from types.ProcessID, e echoMsg) {
 	}
 }
 
-// checkL1 verifies an L1 proof in isolation (used for both direct L1
-// messages and L1s inside L2 proofs).
-func (in *instance) checkL1(p l1Proof) bool {
+// l1Shape validates the signature-independent structure of an L1 proof: a
+// nonzero sequence number, a known prover, and at least t+1 distinct known
+// echoers.
+func (in *instance) l1Shape(p l1Proof) bool {
 	if p.Seq == 0 || !in.node.m.Contains(p.Prover) {
-		return false
-	}
-	if err := in.node.ring.Verify(in.sender, valBytes(in.sender, p.Seq, p.Data), p.SenderSig); err != nil {
 		return false
 	}
 	if len(p.Echoers) < in.node.m.F+1 {
@@ -460,11 +575,35 @@ func (in *instance) checkL1(p l1Proof) bool {
 			return false
 		}
 		seen[en.ID] = true
-		if err := in.node.ring.Verify(en.ID, echoBytes(in.sender, p.Seq, p.Data), en.Sig); err != nil {
-			return false
-		}
 	}
-	return in.node.ring.Verify(p.Prover, l1Bytes(in.sender, p.Seq, p.Data, p.Echoers), p.ProverSig) == nil
+	return true
+}
+
+// addL1Items appends every signature check a shape-valid L1 proof implies:
+// the sender's value binding, one echo endorsement per echoer (all over the
+// same statement bytes, encoded once), and the prover's signature over the
+// canonical proof encoding.
+func (in *instance) addL1Items(set *itemSet, p l1Proof) {
+	set.add(in.sender, set.stmt(func(e *wire.Encoder) { appendValBytes(e, in.sender, p.Seq, p.Data) }), p.SenderSig)
+	echoStmt := set.stmt(func(e *wire.Encoder) { appendEchoBytes(e, in.sender, p.Seq, p.Data) })
+	for _, en := range p.Echoers {
+		set.add(en.ID, echoStmt, en.Sig)
+	}
+	set.add(p.Prover, set.stmt(func(e *wire.Encoder) { appendL1Bytes(e, in.sender, p.Seq, p.Data, p.Echoers) }), p.ProverSig)
+}
+
+// checkL1 verifies an L1 proof in isolation (used for both direct L1
+// messages and L1s inside L2 proofs). All of the proof's signatures are
+// checked as one batch; signatures already seen — the echo round's, or a
+// previously verified copy of the same proof — come out of the cache.
+func (in *instance) checkL1(p l1Proof) bool {
+	if !in.l1Shape(p) {
+		return false
+	}
+	var set itemSet
+	defer set.release()
+	in.addL1Items(&set, p)
+	return in.node.ver.VerifyAll(set.items) == nil
 }
 
 func (in *instance) acceptL1(p l1Proof) {
@@ -486,24 +625,27 @@ func (in *instance) acceptL1(p l1Proof) {
 }
 
 func (in *instance) acceptL2(p l2Proof) {
-	if p.Seq == 0 {
+	if p.Seq == 0 || len(p.L1s) < in.node.m.F+1 {
 		return
 	}
-	if err := in.node.ring.Verify(in.sender, valBytes(in.sender, p.Seq, p.Data), p.SenderSig); err != nil {
-		return
-	}
-	if len(p.L1s) < in.node.m.F+1 {
-		return
-	}
+	// Structural pass over every constituent L1 first, then the proof's
+	// full signature set — the sender's value binding plus each L1's
+	// contents — as one batch through the cache.
 	provers := make(map[types.ProcessID]bool, len(p.L1s))
 	for _, l1 := range p.L1s {
-		if provers[l1.Prover] || l1.Seq != p.Seq || !bytes.Equal(l1.Data, p.Data) {
+		if provers[l1.Prover] || l1.Seq != p.Seq || !bytes.Equal(l1.Data, p.Data) || !in.l1Shape(l1) {
 			return
 		}
 		provers[l1.Prover] = true
-		if !in.checkL1(l1) {
-			return
-		}
+	}
+	var set itemSet
+	defer set.release()
+	set.add(in.sender, set.stmt(func(e *wire.Encoder) { appendValBytes(e, in.sender, p.Seq, p.Data) }), p.SenderSig)
+	for _, l1 := range p.L1s {
+		in.addL1Items(&set, l1)
+	}
+	if in.node.ver.VerifyAll(set.items) != nil {
+		return
 	}
 	st := in.state(p.Seq)
 	if st.l2 == nil {

@@ -8,6 +8,7 @@ import (
 
 	"unidir/internal/rounds"
 	"unidir/internal/sig"
+	"unidir/internal/sig/fastverify"
 	"unidir/internal/simnet"
 	"unidir/internal/types"
 )
@@ -217,7 +218,7 @@ func TestL2ValidationRejectsTampering(t *testing.T) {
 	valid := l2Proof{Seq: 1, Data: data, SenderSig: senderSig, L1s: l1s}
 
 	in := &instance{
-		node:   &Node{self: 2, m: m, ring: rings[2]},
+		node:   &Node{self: 2, m: m, ring: rings[2], ver: fastverify.New(rings[2])},
 		sender: sender,
 		next:   1,
 		seqs:   make(map[types.SeqNum]*seqState),
@@ -229,7 +230,7 @@ func TestL2ValidationRejectsTampering(t *testing.T) {
 
 	reject := func(name string, p l2Proof) {
 		in2 := &instance{
-			node:   &Node{self: 2, m: m, ring: rings[2]},
+			node:   &Node{self: 2, m: m, ring: rings[2], ver: fastverify.New(rings[2])},
 			sender: sender,
 			next:   1,
 			seqs:   make(map[types.SeqNum]*seqState),
@@ -265,4 +266,85 @@ func TestL2ValidationRejectsTampering(t *testing.T) {
 	thin.ProverSig = rings[thin.Prover].Sign(l1Bytes(sender, 1, data, thin.Echoers))
 	fewEchoes.L1s = []l1Proof{thin, valid.L1s[1]}
 	reject("l1 with too few echoers", fewEchoes)
+}
+
+// TestCacheDoesNotLaunderVerifiedSignatures is a regression test for the
+// signature fast path (run with -race): after a genuine L1 proof has been
+// verified — warming the verified-signature cache with every echo
+// signature it carries — a tampered proof that re-attributes one of those
+// signatures to a different process, or substitutes a forged signature
+// over the same statement, must still be rejected. The cache binds
+// (signer, statement, signature) as one triple, so a prior success for
+// one signer can never vouch for another.
+func TestCacheDoesNotLaunderVerifiedSignatures(t *testing.T) {
+	m, err := types.NewMembership(3, 1)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	rings, err := sig.NewKeyrings(m, sig.Ed25519, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatalf("NewKeyrings: %v", err)
+	}
+	sender := types.ProcessID(0)
+	data := []byte("value")
+	senderSig := rings[0].Sign(valBytes(sender, 1, data))
+	echo0 := rings[0].Sign(echoBytes(sender, 1, data))
+	echo1 := rings[1].Sign(echoBytes(sender, 1, data))
+	entries := []sigEntry{{ID: 0, Sig: echo0}, {ID: 1, Sig: echo1}}
+	genuine := l1Proof{
+		Prover:    1,
+		Seq:       1,
+		Data:      data,
+		SenderSig: senderSig,
+		Echoers:   entries,
+		ProverSig: rings[1].Sign(l1Bytes(sender, 1, data, entries)),
+	}
+
+	in := &instance{
+		node:   &Node{self: 2, m: m, ring: rings[2], ver: fastverify.New(rings[2])},
+		sender: sender,
+		next:   1,
+		seqs:   make(map[types.SeqNum]*seqState),
+	}
+
+	forge := func(name string, echoers []sigEntry) {
+		p := l1Proof{
+			Prover:    1,
+			Seq:       1,
+			Data:      data,
+			SenderSig: senderSig,
+			Echoers:   echoers,
+			ProverSig: rings[1].Sign(l1Bytes(sender, 1, data, echoers)),
+		}
+		if in.checkL1(p) {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Cold: p2's signature was never verified, and a forged one must fail.
+	reattributed := []sigEntry{{ID: 0, Sig: echo0}, {ID: 2, Sig: echo1}}
+	forge("cold re-attribution of p1's echo to p2", reattributed)
+	garbage := append([]byte(nil), echo1...)
+	garbage[0] ^= 1
+	forge("cold forged echo sig", []sigEntry{{ID: 0, Sig: echo0}, {ID: 1, Sig: garbage}})
+
+	// Warm the cache with the genuine proof...
+	if !in.checkL1(genuine) {
+		t.Fatal("genuine L1 rejected")
+	}
+	if s := in.node.ver.Stats(); s.Misses == 0 {
+		t.Fatal("genuine check did not populate the cache")
+	}
+	// ...and re-check the same attacks against the warm cache.
+	forge("warm re-attribution of p1's echo to p2", reattributed)
+	forge("warm forged echo sig", []sigEntry{{ID: 0, Sig: echo0}, {ID: 1, Sig: garbage}})
+
+	// The genuine proof itself must still verify, now fully from cache.
+	before := in.node.ver.Stats()
+	if !in.checkL1(genuine) {
+		t.Fatal("genuine L1 rejected on recheck")
+	}
+	if after := in.node.ver.Stats(); after.Misses != before.Misses {
+		t.Errorf("recheck of verified proof performed %d real verifications", after.Misses-before.Misses)
+	}
 }

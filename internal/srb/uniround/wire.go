@@ -63,30 +63,37 @@ type l2Proof struct {
 	L1s       []l1Proof
 }
 
-func valBytes(sender types.ProcessID, k types.SeqNum, m []byte) []byte {
-	e := wire.NewEncoder(48 + len(m))
+func appendValBytes(e *wire.Encoder, sender types.ProcessID, k types.SeqNum, m []byte) {
 	e.String("srb/uniround/val")
 	e.Int(int(sender))
 	e.Uint64(uint64(k))
 	e.BytesField(m)
+}
+
+func valBytes(sender types.ProcessID, k types.SeqNum, m []byte) []byte {
+	e := wire.NewEncoder(48 + len(m))
+	appendValBytes(e, sender, k, m)
 	return e.Bytes()
 }
 
-func echoBytes(sender types.ProcessID, k types.SeqNum, m []byte) []byte {
-	e := wire.NewEncoder(48 + len(m))
+func appendEchoBytes(e *wire.Encoder, sender types.ProcessID, k types.SeqNum, m []byte) {
 	e.String("srb/uniround/echo")
 	e.Int(int(sender))
 	e.Uint64(uint64(k))
 	e.BytesField(m)
+}
+
+func echoBytes(sender types.ProcessID, k types.SeqNum, m []byte) []byte {
+	e := wire.NewEncoder(48 + len(m))
+	appendEchoBytes(e, sender, k, m)
 	return e.Bytes()
 }
 
-// l1Bytes canonicalizes the echoer set (sorted by ID) so the prover's
-// signature is over a deterministic encoding.
-func l1Bytes(sender types.ProcessID, k types.SeqNum, m []byte, echoers []sigEntry) []byte {
+// appendL1Bytes canonicalizes the echoer set (sorted by ID) so the
+// prover's signature is over a deterministic encoding.
+func appendL1Bytes(e *wire.Encoder, sender types.ProcessID, k types.SeqNum, m []byte, echoers []sigEntry) {
 	sorted := append([]sigEntry(nil), echoers...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
-	e := wire.NewEncoder(64 + len(m))
 	e.String("srb/uniround/l1")
 	e.Int(int(sender))
 	e.Uint64(uint64(k))
@@ -96,6 +103,11 @@ func l1Bytes(sender types.ProcessID, k types.SeqNum, m []byte, echoers []sigEntr
 		e.Int(int(en.ID))
 		e.BytesField(en.Sig)
 	}
+}
+
+func l1Bytes(sender types.ProcessID, k types.SeqNum, m []byte, echoers []sigEntry) []byte {
+	e := wire.NewEncoder(64 + len(m))
+	appendL1Bytes(e, sender, k, m, echoers)
 	return e.Bytes()
 }
 

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"unidir/internal/sig"
+	"unidir/internal/sig/fastverify"
 	"unidir/internal/trusted/trinc"
 	"unidir/internal/types"
 	"unidir/internal/wire"
@@ -93,8 +94,7 @@ type Proof struct {
 	End   types.SeqNum // log length claimed by the TrInc responder
 }
 
-func (s *Statement) signedBytes() []byte {
-	e := wire.NewEncoder(64 + len(s.Value) + len(s.Nonce))
+func (s *Statement) appendSignedBytes(e *wire.Encoder) {
 	e.String(attestDomain)
 	e.Byte(byte(s.Kind))
 	e.Int(int(s.Device))
@@ -102,7 +102,21 @@ func (s *Statement) signedBytes() []byte {
 	e.Uint64(uint64(s.Seq))
 	e.BytesField(s.Value)
 	e.BytesField(s.Nonce)
+}
+
+func (s *Statement) signedBytes() []byte {
+	e := wire.NewEncoder(64 + len(s.Value) + len(s.Nonce))
+	s.appendSignedBytes(e)
 	return e.Bytes()
+}
+
+// hash returns the statement digest via a pooled encoder.
+func (s *Statement) hash() [sha256.Size]byte {
+	e := wire.GetEncoder()
+	s.appendSignedBytes(e)
+	h := sha256.Sum256(e.Bytes())
+	wire.PutEncoder(e)
+	return h
 }
 
 // Log is the abstract attested append-only log owned by one process.
@@ -346,7 +360,7 @@ func (l *TrIncLog) respond(kind Kind, s types.SeqNum, nonce []byte) (Proof, erro
 		Value:  append([]byte(nil), entry.value...),
 		Nonce:  append([]byte(nil), nonce...),
 	}
-	stmtHash := sha256.Sum256(stmt.signedBytes())
+	stmtHash := stmt.hash()
 	l.resp++
 	fresh, err := l.dev.Attest(l.respCounter, l.resp, respBinding(l.id, nonce, end, stmtHash))
 	if err != nil {
@@ -359,9 +373,21 @@ func (l *TrIncLog) respond(kind Kind, s types.SeqNum, nonce []byte) (Proof, erro
 // --- verification ---
 
 // Verifier checks proofs from both native devices and TrInc-backed logs.
+// Native device signatures are checked through a fastverify cache, so a
+// proof relayed by many peers costs one real verification per process; the
+// TrInc path inherits the same fast path from trinc.Verifier.
 type Verifier struct {
-	native *sig.Keyring    // verifies native device signatures; nil if unused
-	trinc  *trinc.Verifier // verifies trinc attestations; nil if unused
+	native *sig.Keyring         // verifies native device signatures; nil if unused
+	fv     *fastverify.Verifier // cached view of native; nil falls back to native
+	trinc  *trinc.Verifier      // verifies trinc attestations; nil if unused
+}
+
+// verifyNative checks a native device signature through the fast path.
+func (v *Verifier) verifyNative(from types.ProcessID, msg, sig []byte) error {
+	if v.fv != nil {
+		return v.fv.Verify(from, msg, sig)
+	}
+	return v.native.Verify(from, msg, sig)
 }
 
 // Check verifies p against its embedded statement. A proof must verify
@@ -379,7 +405,11 @@ func (v *Verifier) Check(p Proof) error {
 		if v.native == nil {
 			return fmt.Errorf("%w: no native verifier configured", ErrBadProof)
 		}
-		if err := v.native.Verify(s.Device, s.signedBytes(), p.Sig); err != nil {
+		e := wire.GetEncoder()
+		s.appendSignedBytes(e)
+		err := v.verifyNative(s.Device, e.Bytes(), p.Sig)
+		wire.PutEncoder(e)
+		if err != nil {
 			return fmt.Errorf("%w: %v", ErrBadProof, err)
 		}
 		return nil
@@ -413,7 +443,7 @@ func (v *Verifier) checkTrInc(p Proof) error {
 	if p.Fresh.Trinket != s.Device {
 		return fmt.Errorf("%w: fresh attestation from %v, statement device %v", ErrBadProof, p.Fresh.Trinket, s.Device)
 	}
-	stmtHash := sha256.Sum256(s.signedBytes())
+	stmtHash := s.hash()
 	if err := v.trinc.CheckMessage(*p.Fresh, respBinding(s.Log, s.Nonce, p.End, stmtHash)); err != nil {
 		return fmt.Errorf("%w: fresh attestation: %v", ErrBadProof, err)
 	}
@@ -444,7 +474,7 @@ func NewUniverse(m types.Membership, scheme sig.Scheme, rng *rand.Rand, tu *trin
 	}
 	u := &Universe{
 		Devices:  make([]*Device, m.N),
-		Verifier: &Verifier{native: rings[0]},
+		Verifier: &Verifier{native: rings[0], fv: fastverify.New(rings[0])},
 	}
 	if tu != nil {
 		u.Verifier.trinc = tu.Verifier

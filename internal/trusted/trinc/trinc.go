@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"unidir/internal/sig"
+	"unidir/internal/sig/fastverify"
 	"unidir/internal/types"
 	"unidir/internal/wire"
 )
@@ -56,15 +57,20 @@ type Attestation struct {
 	Sig     []byte
 }
 
-// signedBytes returns the canonical byte string the trinket signs.
-func (a *Attestation) signedBytes() []byte {
-	e := wire.NewEncoder(len(attestDomain) + 64)
+// appendSignedBytes appends the canonical byte string the trinket signs.
+func (a *Attestation) appendSignedBytes(e *wire.Encoder) {
 	e.String(attestDomain)
 	e.Int(int(a.Trinket))
 	e.Uint64(a.Counter)
 	e.Uint64(uint64(a.Prev))
 	e.Uint64(uint64(a.Seq))
 	e.BytesField(a.MsgHash[:])
+}
+
+// signedBytes returns the canonical byte string the trinket signs.
+func (a *Attestation) signedBytes() []byte {
+	e := wire.NewEncoder(len(attestDomain) + 64)
+	a.appendSignedBytes(e)
 	return e.Bytes()
 }
 
@@ -141,7 +147,10 @@ func (d *Device) Attest(counter uint64, c types.SeqNum, m []byte) (Attestation, 
 		Seq:     c,
 		MsgHash: HashMessage(m),
 	}
-	a.Sig = d.ring.Sign(a.signedBytes())
+	e := wire.GetEncoder()
+	a.appendSignedBytes(e)
+	a.Sig = d.ring.Sign(e.Bytes())
+	wire.PutEncoder(e)
 	return a, nil
 }
 
@@ -155,18 +164,58 @@ func (d *Device) LastAttested(counter uint64) types.SeqNum {
 
 // Verifier checks attestations from every trinket in a membership. It holds
 // only public verification material and is safe for concurrent use.
+//
+// Every signature check goes through a fastverify fast path (verified-sig
+// cache + batch fan-out), so an attestation relayed by many peers — the
+// normal case in trincsrb, a2msrb, and minbft's fetch protocol — costs one
+// real verification per process.
 type Verifier struct {
-	ring *sig.Keyring // any device keyring verifies all device signatures
+	ring *sig.Keyring         // any device keyring verifies all device signatures
+	fv   *fastverify.Verifier // cached/batched view of ring; nil falls back to ring
+}
+
+// NewVerifier wraps a device keyring in a cached verifier. Exposed for
+// tests and harnesses that provision keyrings directly; NewUniverse calls
+// it for the standard deployment.
+func NewVerifier(ring *sig.Keyring) *Verifier {
+	return &Verifier{ring: ring, fv: fastverify.New(ring)}
+}
+
+// Concurrent reports whether batched attestation checks can actually run
+// in parallel (false on a single-core process or when the fast path is
+// disabled). Verify-ahead pipelines consult this before spawning workers.
+func (v *Verifier) Concurrent() bool {
+	return v.fv != nil && v.fv.Concurrent()
+}
+
+// verifySig checks one trinket signature through the fast path.
+func (v *Verifier) verifySig(from types.ProcessID, msg, sig []byte) error {
+	if v.fv != nil {
+		return v.fv.Verify(from, msg, sig)
+	}
+	return v.ring.Verify(from, msg, sig)
+}
+
+// checkShape validates the signature-independent parts of an attestation.
+func checkShape(a *Attestation) error {
+	if a.Seq == 0 || a.Prev >= a.Seq {
+		return fmt.Errorf("%w: prev=%d seq=%d", ErrBadAttestation, a.Prev, a.Seq)
+	}
+	return nil
 }
 
 // Check verifies that a is a genuine attestation produced by trinket
 // a.Trinket. It does not inspect the message; use CheckMessage to also bind
 // a concrete message.
 func (v *Verifier) Check(a Attestation) error {
-	if a.Seq == 0 || a.Prev >= a.Seq {
-		return fmt.Errorf("%w: prev=%d seq=%d", ErrBadAttestation, a.Prev, a.Seq)
+	if err := checkShape(&a); err != nil {
+		return err
 	}
-	if err := v.ring.Verify(a.Trinket, a.signedBytes(), a.Sig); err != nil {
+	e := wire.GetEncoder()
+	a.appendSignedBytes(e)
+	err := v.verifySig(a.Trinket, e.Bytes(), a.Sig)
+	wire.PutEncoder(e)
+	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadAttestation, err)
 	}
 	return nil
@@ -175,11 +224,61 @@ func (v *Verifier) Check(a Attestation) error {
 // CheckMessage verifies the attestation and that it binds message m.
 // This is the paper's CheckAttestation(a, q) with q = a.Trinket.
 func (v *Verifier) CheckMessage(a Attestation, m []byte) error {
-	if err := v.Check(a); err != nil {
-		return err
-	}
 	if HashMessage(m) != a.MsgHash {
 		return fmt.Errorf("%w: message hash mismatch", ErrBadAttestation)
+	}
+	return v.Check(a)
+}
+
+// Attested pairs an attestation with the message it claims to bind, for
+// batch checking.
+type Attested struct {
+	Att Attestation
+	Msg []byte
+}
+
+// CheckMessages verifies a set of attested messages as one batch: shape
+// and hash bindings are checked first (cheap, sequential), then all
+// signatures are verified through the fast path, fanning out across
+// workers for large batches and short-circuiting on the first failure.
+// Use for quorum certificates (minbft NEW-VIEW) where one bad element
+// rejects the whole set.
+func (v *Verifier) CheckMessages(items []Attested) error {
+	if len(items) == 0 {
+		return nil
+	}
+	sigItems := make([]fastverify.Item, 0, len(items))
+	encs := make([]*wire.Encoder, 0, len(items))
+	defer func() {
+		for _, e := range encs {
+			wire.PutEncoder(e)
+		}
+	}()
+	for i := range items {
+		a := &items[i].Att
+		if err := checkShape(a); err != nil {
+			return err
+		}
+		if HashMessage(items[i].Msg) != a.MsgHash {
+			return fmt.Errorf("%w: message hash mismatch", ErrBadAttestation)
+		}
+		e := wire.GetEncoder()
+		a.appendSignedBytes(e)
+		encs = append(encs, e)
+		sigItems = append(sigItems, fastverify.Item{From: a.Trinket, Msg: e.Bytes(), Sig: a.Sig})
+	}
+	var err error
+	if v.fv != nil {
+		err = v.fv.VerifyAll(sigItems)
+	} else {
+		for _, it := range sigItems {
+			if err = v.ring.Verify(it.From, it.Msg, it.Sig); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadAttestation, err)
 	}
 	return nil
 }
@@ -202,7 +301,7 @@ func NewUniverse(m types.Membership, scheme sig.Scheme, rng *rand.Rand) (*Univer
 	}
 	u := &Universe{
 		Devices:  make([]*Device, m.N),
-		Verifier: &Verifier{ring: rings[0]},
+		Verifier: NewVerifier(rings[0]),
 	}
 	for i := 0; i < m.N; i++ {
 		u.Devices[i] = &Device{

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Maximum length accepted for a single byte-string field. This is a defensive
@@ -97,6 +98,35 @@ func (e *Encoder) BytesField(b []byte) {
 func (e *Encoder) String(s string) {
 	e.Uint32(uint32(len(s)))
 	e.buf = append(e.buf, s...)
+}
+
+// encoderPool recycles Encoders for transient encodings — statements that
+// are signed or verified and then discarded. The hot protocol paths encode
+// the same small statements (value/echo/L1 bindings, attestation bodies)
+// for every message; pooling removes those per-message allocations.
+var encoderPool = sync.Pool{
+	New: func() any { return &Encoder{buf: make([]byte, 0, 512)} },
+}
+
+// GetEncoder returns a reset Encoder from the pool. Pair with PutEncoder.
+// Use only for transient encodings: once the encoder is returned to the
+// pool, any slice obtained from Bytes is invalid. Encodings that outlive
+// the call site (message payloads handed to a transport, fields stored in
+// protocol state) must use NewEncoder instead.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns e to the pool. The caller must not use e, or any
+// slice previously returned by e.Bytes, after this call.
+func PutEncoder(e *Encoder) {
+	// Drop oversized buffers instead of pinning them in the pool.
+	if cap(e.buf) > 64<<10 {
+		return
+	}
+	encoderPool.Put(e)
 }
 
 // Decoder reads values sequentially from a buffer. The first failure is

@@ -174,3 +174,53 @@ func TestDecoderAliasesInput(t *testing.T) {
 		t.Fatalf("expected aliasing, got %q", got)
 	}
 }
+
+func TestEncoderPoolReuse(t *testing.T) {
+	e := GetEncoder()
+	e.String("hello")
+	e.Uint64(42)
+	first := append([]byte(nil), e.Bytes()...)
+	PutEncoder(e)
+
+	// A fresh pooled encoder starts empty and produces identical bytes for
+	// identical input, regardless of what a previous user wrote.
+	e2 := GetEncoder()
+	defer PutEncoder(e2)
+	if e2.Len() != 0 {
+		t.Fatalf("pooled encoder not reset: %d bytes", e2.Len())
+	}
+	e2.String("hello")
+	e2.Uint64(42)
+	if !bytes.Equal(e2.Bytes(), first) {
+		t.Fatalf("pooled encoding differs: %x vs %x", e2.Bytes(), first)
+	}
+}
+
+func TestEncoderPoolConcurrent(t *testing.T) {
+	// Pool discipline under -race: concurrent get/encode/put never shares
+	// a buffer between goroutines.
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 500; i++ {
+				e := GetEncoder()
+				e.Int(g)
+				e.Int(i)
+				d := NewDecoder(e.Bytes())
+				gotG, gotI := d.Int(), d.Int()
+				if err := d.Finish(); err != nil || gotG != g || gotI != i {
+					PutEncoder(e)
+					done <- errors.New("pooled encoder buffer corrupted")
+					return
+				}
+				PutEncoder(e)
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
