@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test bench-smoke
+# Where bench-json writes the machine-readable B1/B2 rows.
+BENCH_JSON ?= bench.json
+BENCH_OPS ?= 300
+BENCH_MSGS ?= 100
+
+.PHONY: check vet build test bench-smoke bench-json
 
 # check is the full local gate: static checks, build, the race-enabled
 # test suite, and a one-iteration smoke run of the signature fast-path
@@ -19,3 +24,8 @@ test:
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSigVerify' -benchtime 1x .
+
+# bench-json reruns the B1/B2 experiment tables and writes every row as
+# JSON to $(BENCH_JSON) for dashboards/regression tracking.
+bench-json:
+	$(GO) run ./cmd/benchharness -exp b1,b2 -msgs $(BENCH_MSGS) -ops $(BENCH_OPS) -json $(BENCH_JSON)

@@ -15,6 +15,7 @@ import (
 	"unidir/internal/sig"
 	"unidir/internal/sig/fastverify"
 	"unidir/internal/simnet"
+	"unidir/internal/smr"
 	"unidir/internal/trusted/swmr"
 	"unidir/internal/trusted/trinc"
 	"unidir/internal/types"
@@ -81,18 +82,22 @@ func BenchmarkSRB(b *testing.B) {
 // --- B2: SMR commit cost, MinBFT vs PBFT ---
 
 func BenchmarkSMR(b *testing.B) {
-	for _, p := range []struct {
+	builders := []struct {
 		name  string
-		build func(int, sig.Scheme) (*harness.SMRCluster, error)
+		build func(harness.SMRConfig) (*harness.SMRCluster, error)
 	}{
-		{"minbft", harness.BuildMinBFTScheme},
-		{"pbft", harness.BuildPBFTScheme},
-	} {
+		{"minbft", harness.BuildMinBFTCfg},
+		{"pbft", harness.BuildPBFTCfg},
+	}
+	// Closed-loop: one request outstanding per round trip (batching is
+	// irrelevant at this offered load; pinned to batch=1 for stability).
+	for _, p := range builders {
 		for _, scheme := range []sig.Scheme{sig.HMAC, sig.Ed25519} {
 			for _, f := range []int{1, 2} {
 				scheme := scheme
+				p := p
 				b.Run(fmt.Sprintf("%s/%s/f=%d", p.name, scheme, f), func(b *testing.B) {
-					c, err := p.build(f, scheme)
+					c, err := p.build(harness.SMRConfig{F: f, Scheme: scheme, Batch: 1})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -107,6 +112,39 @@ func BenchmarkSMR(b *testing.B) {
 					}
 				})
 			}
+		}
+	}
+	// Pipelined: a 32-deep window offers equal load to an unbatched
+	// (batch=1) and a batched (batch=64) primary — the A/B that isolates
+	// what consensus batching buys.
+	const window = 32
+	for _, p := range builders {
+		for _, batch := range []int{1, 64} {
+			p := p
+			batch := batch
+			b.Run(fmt.Sprintf("%s/pipelined/hmac/f=1/batch=%d", p.name, batch), func(b *testing.B) {
+				c, err := p.build(harness.SMRConfig{F: 1, Scheme: sig.HMAC, Batch: batch, Window: window})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Stop()
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+				defer cancel()
+				calls := make([]*smr.Call, 0, b.N)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					call, err := c.Pipe.PutAsync(ctx, fmt.Sprintf("key-%d", i%64), []byte("value"))
+					if err != nil {
+						b.Fatal(err)
+					}
+					calls = append(calls, call)
+				}
+				for _, call := range calls {
+					if _, err := call.Result(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

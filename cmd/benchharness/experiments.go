@@ -15,6 +15,7 @@ import (
 	"unidir/internal/separation"
 	"unidir/internal/sig"
 	"unidir/internal/simnet"
+	"unidir/internal/smr"
 	"unidir/internal/srb"
 	"unidir/internal/trusted/swmr"
 	"unidir/internal/trusted/trinc"
@@ -258,7 +259,7 @@ func expE1() error {
 
 // --- B1: SRB broadcast cost across substrates ---
 
-func expB1(msgs int) error {
+func expB1(msgs int, rep *report) error {
 	fmt.Println("B1: SRB broadcast latency/throughput by substrate and n")
 	fmt.Printf("  %-10s %4s %4s  %12s %14s\n", "impl", "n", "f", "msgs/s", "mean latency")
 	type builder struct {
@@ -288,6 +289,12 @@ func expB1(msgs int) error {
 			rate := float64(msgs) / elapsed.Seconds()
 			fmt.Printf("  %-10s %4d %4d  %12.0f %14s\n",
 				b.name, nn, f, rate, (elapsed / time.Duration(msgs)).Round(time.Microsecond))
+			rep.add(benchRow{
+				Exp: "b1", Impl: b.name, N: nn, F: f, Ops: msgs,
+				Seconds:       elapsed.Seconds(),
+				OpsPerSec:     rate,
+				MeanLatencyUS: float64(elapsed.Microseconds()) / float64(msgs),
+			})
 		}
 	}
 	return nil
@@ -327,20 +334,26 @@ func timeSRBBroadcasts(c *harness.SRBCluster, msgs int) (time.Duration, error) {
 
 // --- B2: SMR comparison (MinBFT vs PBFT) ---
 
-func expB2(ops int) error {
+func expB2(ops int, rep *report) error {
+	type protocol struct {
+		name   string
+		build  func(harness.SMRConfig) (*harness.SMRCluster, error)
+		nOf    func(int) int
+		phases int
+	}
+	protocols := []protocol{
+		{"minbft", harness.BuildMinBFTCfg, func(f int) int { return 2*f + 1 }, 2},
+		{"pbft", harness.BuildPBFTCfg, func(f int) int { return 3*f + 1 }, 3},
+	}
+
 	fmt.Println("B2: BFT SMR — MinBFT (trusted hardware, n=2f+1) vs PBFT (n=3f+1)")
+	fmt.Println("  closed-loop client (one request outstanding, batch=1):")
 	fmt.Printf("  %-8s %3s %10s %10s  %12s %14s\n", "protocol", "f", "replicas", "phases", "ops/s", "mean latency")
 	for _, f := range []int{1, 2, 3} {
-		for _, p := range []struct {
-			name   string
-			build  func(int) (*harness.SMRCluster, error)
-			nOf    func(int) int
-			phases int
-		}{
-			{"minbft", harness.BuildMinBFT, func(f int) int { return 2*f + 1 }, 2},
-			{"pbft", harness.BuildPBFT, func(f int) int { return 3*f + 1 }, 3},
-		} {
-			c, err := p.build(f)
+		for _, p := range protocols {
+			// Batch: 1 pins the seed behavior: a closed-loop client never
+			// gives the primary more than one request to pack anyway.
+			c, err := p.build(harness.SMRConfig{F: f, Scheme: sig.HMAC, Batch: 1})
 			if err != nil {
 				return err
 			}
@@ -352,6 +365,39 @@ func expB2(ops int) error {
 			rate := float64(ops) / elapsed.Seconds()
 			fmt.Printf("  %-8s %3d %10d %10d  %12.0f %14s\n",
 				p.name, f, p.nOf(f), p.phases, rate, (elapsed / time.Duration(ops)).Round(time.Microsecond))
+			rep.add(benchRow{
+				Exp: "b2", Impl: p.name, N: p.nOf(f), F: f, Phases: p.phases, Batch: 1, Ops: ops,
+				Seconds:       elapsed.Seconds(),
+				OpsPerSec:     rate,
+				MeanLatencyUS: float64(elapsed.Microseconds()) / float64(ops),
+			})
+		}
+	}
+
+	const window = 32
+	fmt.Printf("  pipelined client (window=%d), batched vs unbatched consensus, f=1:\n", window)
+	fmt.Printf("  %-8s %6s  %12s %14s\n", "protocol", "batch", "ops/s", "mean latency")
+	for _, p := range protocols {
+		for _, batch := range []int{1, 64} {
+			c, err := p.build(harness.SMRConfig{F: 1, Scheme: sig.HMAC, Batch: batch, Window: window})
+			if err != nil {
+				return err
+			}
+			elapsed, err := timeKVOpsPipelined(c.Pipe, ops)
+			c.Stop()
+			if err != nil {
+				return fmt.Errorf("%s batch=%d: %w", p.name, batch, err)
+			}
+			rate := float64(ops) / elapsed.Seconds()
+			fmt.Printf("  %-8s %6d  %12.0f %14s\n",
+				p.name, batch, rate, (elapsed / time.Duration(ops)).Round(time.Microsecond))
+			rep.add(benchRow{
+				Exp: "b2", Impl: p.name + "-pipelined", N: p.nOf(1), F: 1, Phases: p.phases,
+				Batch: batch, Window: window, Ops: ops,
+				Seconds:       elapsed.Seconds(),
+				OpsPerSec:     rate,
+				MeanLatencyUS: float64(elapsed.Microseconds()) / float64(ops),
+			})
 		}
 	}
 	return nil
@@ -363,6 +409,28 @@ func timeKVOps(kv *kvstore.Client, ops int) (time.Duration, error) {
 	start := time.Now()
 	for i := 0; i < ops; i++ {
 		if err := kv.Put(ctx, fmt.Sprintf("key-%d", i%64), []byte("value")); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// timeKVOpsPipelined issues ops puts through the pipelined client, keeping
+// up to its window in flight, and waits for every reply.
+func timeKVOpsPipelined(kv *kvstore.PipeClient, ops int) (time.Duration, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	start := time.Now()
+	calls := make([]*smr.Call, 0, ops)
+	for i := 0; i < ops; i++ {
+		call, err := kv.PutAsync(ctx, fmt.Sprintf("key-%d", i%64), []byte("value"))
+		if err != nil {
+			return 0, err
+		}
+		calls = append(calls, call)
+	}
+	for _, call := range calls {
+		if _, err := call.Result(); err != nil {
 			return 0, err
 		}
 	}

@@ -10,35 +10,74 @@
 //
 // Usage:
 //
-//	benchharness -exp all            # everything (default)
-//	benchharness -exp b2 -ops 2000   # one experiment, tuned workload
+//	benchharness -exp all                      # everything (default)
+//	benchharness -exp b2 -ops 2000             # one experiment, tuned workload
+//	benchharness -exp b2 -json BENCH_B2.json   # machine-readable B1/B2 rows
 //
 // The Go-native testing.B versions of B1-B4 live in bench_test.go at the
 // repository root (go test -bench=.).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 )
 
+// benchRow is one machine-readable measurement (B1/B2), emitted via -json.
+type benchRow struct {
+	Exp           string  `json:"exp"`
+	Impl          string  `json:"impl"`
+	N             int     `json:"n"`
+	F             int     `json:"f"`
+	Phases        int     `json:"phases,omitempty"`
+	Batch         int     `json:"batch,omitempty"`
+	Window        int     `json:"window,omitempty"`
+	Ops           int     `json:"ops"`
+	Seconds       float64 `json:"seconds"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	MeanLatencyUS float64 `json:"mean_latency_us"`
+}
+
+// report collects benchRows across experiments; nil-safe so drivers add
+// rows unconditionally.
+type report struct {
+	rows []benchRow
+}
+
+func (r *report) add(row benchRow) {
+	if r != nil {
+		r.rows = append(r.rows, row)
+	}
+}
+
+func (r *report) write(path string) error {
+	b, err := json.MarshalIndent(r.rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: f1, e1, b1, b2, b3, b4, or all")
+	exp := flag.String("exp", "all", "experiments to run: all, or a comma-separated subset of f1,e1,b1,b2,b3,b4")
 	msgs := flag.Int("msgs", 200, "broadcasts per configuration (B1)")
 	ops := flag.Int("ops", 500, "client operations per configuration (B2)")
 	iters := flag.Int("iters", 5000, "iterations per microbenchmark (B3)")
 	roundsN := flag.Int("rounds", 500, "rounds per system (B4)")
+	jsonPath := flag.String("json", "", "write machine-readable B1/B2 rows to this file")
 	flag.Parse()
 
-	if err := run(strings.ToLower(*exp), *msgs, *ops, *iters, *roundsN); err != nil {
+	if err := run(strings.ToLower(*exp), *msgs, *ops, *iters, *roundsN, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "benchharness:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, msgs, ops, iters, roundsN int) error {
+func run(exp string, msgs, ops, iters, roundsN int, jsonPath string) error {
+	rep := &report{}
 	type experiment struct {
 		id  string
 		fn  func() error
@@ -47,26 +86,38 @@ func run(exp string, msgs, ops, iters, roundsN int) error {
 	all := []experiment{
 		{"f1", expF1, true},
 		{"e1", expE1, true},
-		{"b1", func() error { return expB1(msgs) }, true},
-		{"b2", func() error { return expB2(ops) }, true},
+		{"b1", func() error { return expB1(msgs, rep) }, true},
+		{"b2", func() error { return expB2(ops, rep) }, true},
 		{"b3", func() error { return expB3(iters) }, true},
 		{"b4", func() error { return expB4(roundsN) }, false},
 	}
-	ran := false
+	want := map[string]bool{}
+	for _, id := range strings.Split(exp, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	matched := 0
 	for _, e := range all {
-		if exp != "all" && exp != e.id {
+		if !want["all"] && !want[e.id] {
 			continue
 		}
-		ran = true
+		matched++
 		if err := e.fn(); err != nil {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
-		if e.sep && exp == "all" {
+		if e.sep && (want["all"] || len(want) > matched) {
 			fmt.Println()
 		}
 	}
-	if !ran {
+	if matched == 0 {
 		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if jsonPath != "" {
+		if err := rep.write(jsonPath); err != nil {
+			return fmt.Errorf("write %s: %w", jsonPath, err)
+		}
+		fmt.Printf("wrote %d rows to %s\n", len(rep.rows), jsonPath)
 	}
 	return nil
 }

@@ -128,11 +128,25 @@ func BuildBrachaCluster(m types.Membership) (*SRBCluster, error) {
 	}}, nil
 }
 
-// SMRCluster is a running SMR deployment with one client.
+// SMRCluster is a running SMR deployment with two connected clients: KV is
+// the closed-loop client (one request outstanding), Pipe the pipelined one
+// (up to the configured window outstanding — the load shape that gives a
+// batching primary something to batch).
 type SMRCluster struct {
 	KV   *kvstore.Client
+	Pipe *kvstore.PipeClient
 	Stop func()
 }
+
+// SMRConfig parameterizes an SMR deployment.
+type SMRConfig struct {
+	F      int        // faults tolerated (n derived per protocol)
+	Scheme sig.Scheme // signature scheme for the trusted components
+	Batch  int        // consensus batch cap; 0 = smr.DefaultBatchSize(), 1 = unbatched
+	Window int        // pipelined client's in-flight window; 0 = 32
+}
+
+const defaultPipeWindow = 32
 
 // BuildMinBFT builds a MinBFT deployment with the default HMAC scheme.
 // See BuildMinBFTScheme to choose the scheme.
@@ -143,12 +157,18 @@ func BuildMinBFT(f int) (*SMRCluster, error) {
 // BuildMinBFTScheme builds a MinBFT deployment over a simulated network
 // with USIG trinkets signing under the given scheme.
 func BuildMinBFTScheme(f int, scheme sig.Scheme) (*SMRCluster, error) {
-	n := 2*f + 1
-	m, err := types.NewMembership(n, f)
+	return BuildMinBFTCfg(SMRConfig{F: f, Scheme: scheme})
+}
+
+// BuildMinBFTCfg builds a MinBFT deployment from an SMRConfig.
+func BuildMinBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
+	n := 2*cfg.F + 1
+	m, err := types.NewMembership(n, cfg.F)
 	if err != nil {
 		return nil, err
 	}
-	netM, err := types.NewMembership(n+1, f)
+	// Two extra endpoints: the closed-loop client and the pipeline.
+	netM, err := types.NewMembership(n+2, cfg.F)
 	if err != nil {
 		return nil, err
 	}
@@ -156,32 +176,38 @@ func BuildMinBFTScheme(f int, scheme sig.Scheme) (*SMRCluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	tu, err := trinc.NewUniverse(m, scheme, rand.New(rand.NewSource(3)))
+	tu, err := trinc.NewUniverse(m, cfg.Scheme, rand.New(rand.NewSource(3)))
 	if err != nil {
 		net.Close()
 		return nil, err
 	}
+	opts := []minbft.Option{minbft.WithRequestTimeout(5 * time.Second)}
+	if cfg.Batch > 0 {
+		opts = append(opts, minbft.WithBatchSize(cfg.Batch))
+	}
 	replicas := make([]*minbft.Replica, n)
 	for i := 0; i < n; i++ {
 		replicas[i], err = minbft.New(m, net.Endpoint(types.ProcessID(i)), tu.Devices[i], tu.Verifier,
-			kvstore.New(), minbft.WithRequestTimeout(5*time.Second))
+			kvstore.New(), opts...)
 		if err != nil {
 			net.Close()
 			return nil, err
 		}
 	}
-	clientID := types.ProcessID(n)
-	base, err := smr.NewClient(net.Endpoint(clientID), m.All(), m.FPlusOne(), uint64(clientID),
-		time.Second, smr.WithRequestEncoder(minbft.EncodeRequestEnvelope))
-	if err != nil {
-		net.Close()
-		return nil, err
-	}
-	return &SMRCluster{KV: kvstore.NewClient(base), Stop: func() {
+	stopReplicas := func() {
 		for _, r := range replicas {
 			_ = r.Close()
 		}
 		net.Close()
+	}
+	kv, pipe, closeClients, err := buildClients(net, m, cfg.Window, minbft.EncodeRequestEnvelope)
+	if err != nil {
+		stopReplicas()
+		return nil, err
+	}
+	return &SMRCluster{KV: kv, Pipe: pipe, Stop: func() {
+		closeClients()
+		stopReplicas()
 	}}, nil
 }
 
@@ -194,12 +220,17 @@ func BuildPBFT(f int) (*SMRCluster, error) {
 // BuildPBFTScheme builds a PBFT deployment over a simulated network with
 // replicas signing under the given scheme.
 func BuildPBFTScheme(f int, scheme sig.Scheme) (*SMRCluster, error) {
-	n := 3*f + 1
-	m, err := types.NewMembership(n, f)
+	return BuildPBFTCfg(SMRConfig{F: f, Scheme: scheme})
+}
+
+// BuildPBFTCfg builds a PBFT deployment from an SMRConfig.
+func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
+	n := 3*cfg.F + 1
+	m, err := types.NewMembership(n, cfg.F)
 	if err != nil {
 		return nil, err
 	}
-	netM, err := types.NewMembership(n+1, f)
+	netM, err := types.NewMembership(n+2, cfg.F)
 	if err != nil {
 		return nil, err
 	}
@@ -207,32 +238,63 @@ func BuildPBFTScheme(f int, scheme sig.Scheme) (*SMRCluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	rings, err := sig.NewKeyrings(m, scheme, rand.New(rand.NewSource(4)))
+	rings, err := sig.NewKeyrings(m, cfg.Scheme, rand.New(rand.NewSource(4)))
 	if err != nil {
 		net.Close()
 		return nil, err
 	}
+	var opts []pbft.Option
+	if cfg.Batch > 0 {
+		opts = append(opts, pbft.WithBatchSize(cfg.Batch))
+	}
 	replicas := make([]*pbft.Replica, n)
 	for i := 0; i < n; i++ {
-		replicas[i], err = pbft.New(m, net.Endpoint(types.ProcessID(i)), rings[i], kvstore.New())
+		replicas[i], err = pbft.New(m, net.Endpoint(types.ProcessID(i)), rings[i], kvstore.New(), opts...)
 		if err != nil {
 			net.Close()
 			return nil, err
 		}
 	}
-	clientID := types.ProcessID(n)
-	base, err := smr.NewClient(net.Endpoint(clientID), m.All(), m.FPlusOne(), uint64(clientID),
-		time.Second, smr.WithRequestEncoder(pbft.EncodeRequestEnvelope))
-	if err != nil {
-		net.Close()
-		return nil, err
-	}
-	return &SMRCluster{KV: kvstore.NewClient(base), Stop: func() {
+	stopReplicas := func() {
 		for _, r := range replicas {
 			_ = r.Close()
 		}
 		net.Close()
+	}
+	kv, pipe, closeClients, err := buildClients(net, m, cfg.Window, pbft.EncodeRequestEnvelope)
+	if err != nil {
+		stopReplicas()
+		return nil, err
+	}
+	return &SMRCluster{KV: kv, Pipe: pipe, Stop: func() {
+		closeClients()
+		stopReplicas()
 	}}, nil
+}
+
+// buildClients connects the closed-loop client (endpoint n) and the
+// pipelined client (endpoint n+1) to a running replica set.
+func buildClients(net *simnet.Network, m types.Membership, window int, encode func(smr.Request) []byte) (*kvstore.Client, *kvstore.PipeClient, func(), error) {
+	if window <= 0 {
+		window = defaultPipeWindow
+	}
+	closedID := types.ProcessID(m.N)
+	base, err := smr.NewClient(net.Endpoint(closedID), m.All(), m.FPlusOne(), uint64(closedID),
+		time.Second, smr.WithRequestEncoder(encode))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pipeID := types.ProcessID(m.N + 1)
+	pl, err := smr.NewPipeline(net.Endpoint(pipeID), m.All(), m.FPlusOne(), uint64(pipeID),
+		time.Second, window, smr.WithPipelineRequestEncoder(encode))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	closeClients := func() {
+		_ = base.Close()
+		_ = pl.Close()
+	}
+	return kvstore.NewClient(base), kvstore.NewPipeClient(pl), closeClients, nil
 }
 
 func MustMembership(n, f int) types.Membership {

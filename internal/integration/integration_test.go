@@ -267,3 +267,77 @@ func TestMuxedProtocolsShareOneTCPEndpoint(t *testing.T) {
 		}
 	}
 }
+
+func TestPipelinedClientBatchedMinBFTOverTCP(t *testing.T) {
+	// The full amortized hot path end-to-end: pipelined client keeping a
+	// window of puts in flight, batching primary packing them into shared
+	// prepares, coalescing TCP sender flushing whole bursts per syscall.
+	const n, f = 3, 1
+	m, err := types.NewMembership(n, f)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	nets := newTCPCluster(t, n+1) // +1 pipelined client
+	tu, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(66)))
+	if err != nil {
+		t.Fatalf("universe: %v", err)
+	}
+	logs := make([]*smr.ExecutionLog, n)
+	replicas := make([]*minbft.Replica, n)
+	for i := 0; i < n; i++ {
+		logs[i] = &smr.ExecutionLog{}
+		replicas[i], err = minbft.New(m, nets[i], tu.Devices[i], tu.Verifier, kvstore.New(),
+			minbft.WithRequestTimeout(2*time.Second), minbft.WithBatchSize(8),
+			minbft.WithExecutionLog(logs[i]))
+		if err != nil {
+			t.Fatalf("minbft.New: %v", err)
+		}
+		defer replicas[i].Close()
+	}
+	const window = 8
+	pl, err := smr.NewPipeline(nets[n], m.All(), m.FPlusOne(), uint64(n),
+		300*time.Millisecond, window, smr.WithPipelineRequestEncoder(minbft.EncodeRequestEnvelope))
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	defer pl.Close()
+	kv := kvstore.NewPipeClient(pl)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const ops = 40
+	calls := make([]*smr.Call, 0, ops)
+	for i := 0; i < ops; i++ {
+		call, err := kv.PutAsync(ctx, fmt.Sprintf("pipe-%d", i), []byte{byte(i)})
+		if err != nil {
+			t.Fatalf("PutAsync(%d): %v", i, err)
+		}
+		calls = append(calls, call)
+	}
+	for i, call := range calls {
+		if _, err := call.Result(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	v, err := kv.Get(ctx, "pipe-17")
+	if err != nil || len(v) != 1 || v[0] != 17 {
+		t.Fatalf("Get = %v, %v", v, err)
+	}
+	// ops puts + 1 get, all ops committed on every replica with identical order.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, log := range logs {
+		for len(log.Snapshot()) < ops+1 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if got := len(logs[i].Snapshot()); got != ops+1 {
+			t.Fatalf("replica %d executed %d commands, want %d", i, got, ops+1)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if err := smr.CheckPrefix(logs[0].Snapshot(), logs[i].Snapshot()); err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+	}
+}

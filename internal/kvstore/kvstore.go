@@ -146,6 +146,51 @@ func (c *Client) Del(ctx context.Context, key string) error {
 	return err
 }
 
+// PipeClient wraps an smr.Pipeline with typed key-value operations: the
+// synchronous calls mirror Client's, and PutAsync exposes the pipeline's
+// windowed submission for load generators that keep many puts in flight.
+type PipeClient struct {
+	p *smr.Pipeline
+}
+
+// NewPipeClient wraps p.
+func NewPipeClient(p *smr.Pipeline) *PipeClient { return &PipeClient{p: p} }
+
+// PutAsync submits a PUT and returns without waiting; it blocks only while
+// the pipeline's in-flight window is full.
+func (c *PipeClient) PutAsync(ctx context.Context, key string, value []byte) (*smr.Call, error) {
+	return c.p.Submit(ctx, EncodePut(key, value))
+}
+
+// Get fetches a key's value.
+func (c *PipeClient) Get(ctx context.Context, key string) ([]byte, error) {
+	res, err := c.p.Invoke(ctx, EncodeGet(key))
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(res)
+}
+
+// Put stores a key.
+func (c *PipeClient) Put(ctx context.Context, key string, value []byte) error {
+	res, err := c.p.Invoke(ctx, EncodePut(key, value))
+	if err != nil {
+		return err
+	}
+	_, err = decodeResult(res)
+	return err
+}
+
+// Del removes a key.
+func (c *PipeClient) Del(ctx context.Context, key string) error {
+	res, err := c.p.Invoke(ctx, EncodeDel(key))
+	if err != nil {
+		return err
+	}
+	_, err = decodeResult(res)
+	return err
+}
+
 func decodeResult(res []byte) ([]byte, error) {
 	if len(res) == 0 {
 		return nil, fmt.Errorf("kvstore: empty result")

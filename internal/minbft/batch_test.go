@@ -1,0 +1,161 @@
+package minbft_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"unidir/internal/minbft"
+	"unidir/internal/smr"
+)
+
+// checkNoDoubleExecution asserts no (client, num) pair appears twice in any
+// replica's execution log — batching plus view-change re-proposal must never
+// defeat the per-client dedup table.
+func checkNoDoubleExecution(t *testing.T, h *harness, skip map[int]bool) {
+	t.Helper()
+	for i, log := range h.logs {
+		if skip[i] {
+			continue
+		}
+		seen := make(map[[2]uint64]bool)
+		for _, cmd := range log.Snapshot() {
+			req, err := smr.DecodeRequest(cmd)
+			if err != nil {
+				t.Fatalf("replica %d: undecodable log entry: %v", i, err)
+			}
+			key := [2]uint64{req.Client, req.Num}
+			if seen[key] {
+				t.Fatalf("replica %d executed request client=%d num=%d twice", i, req.Client, req.Num)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestBatchedBurstCommits(t *testing.T) {
+	// A burst from several clients against a batching primary: everything
+	// commits, no request executes twice, logs agree.
+	h := newHarness(t, 3, 1, 4, 2*time.Second, minbft.WithBatchSize(8))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			kv := h.client(c)
+			for i := 0; i < 8; i++ {
+				if err := kv.Put(ctx, fmt.Sprintf("b%d-%d", c, i), []byte{byte(i)}); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, log := range h.logs {
+		for len(log.Snapshot()) < 32 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if got := len(log.Snapshot()); got != 32 {
+			t.Fatalf("executed %d commands, want 32", got)
+		}
+	}
+	h.checkLogsConsistent(nil)
+	checkNoDoubleExecution(t, h, nil)
+}
+
+func TestBatchedViewChangeNoLossNoDouble(t *testing.T) {
+	// Clients push batched traffic while the primary is crashed mid-stream.
+	// The view change must re-propose every pending batch under the new
+	// primary without losing or double-executing a single request.
+	h := newHarness(t, 3, 1, 3, 150*time.Millisecond, minbft.WithBatchSize(8))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	warm := make(chan struct{}, 3) // one signal per client after its 3rd put
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			kv := h.client(c)
+			for i := 0; i < 10; i++ {
+				if err := kv.Put(ctx, fmt.Sprintf("vc%d-%d", c, i), []byte{byte(i)}); err != nil {
+					errs[c] = fmt.Errorf("put %d: %w", i, err)
+					return
+				}
+				if i == 2 {
+					warm <- struct{}{}
+				}
+			}
+		}(c)
+	}
+	// Crash the primary once every client has committed work in view 0 and
+	// still has puts in flight.
+	for i := 0; i < 3; i++ {
+		<-warm
+	}
+	_ = h.replicas[0].Close()
+	h.replicas[0] = nil
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	// Totality: every acknowledged request appears in both surviving logs.
+	deadline := time.Now().Add(15 * time.Second)
+	for _, i := range []int{1, 2} {
+		for len(h.logs[i].Snapshot()) < 30 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if got := len(h.logs[i].Snapshot()); got != 30 {
+			t.Fatalf("replica %d executed %d commands, want 30 (request lost in view change)", i, got)
+		}
+	}
+	for _, i := range []int{1, 2} {
+		if got := h.replicas[i].View(); got < 1 {
+			t.Fatalf("replica %d never left view 0", i)
+		}
+	}
+	skip := map[int]bool{0: true}
+	h.checkLogsConsistent(skip)
+	checkNoDoubleExecution(t, h, skip)
+}
+
+func TestWatchdogTimersCanceledOnClose(t *testing.T) {
+	// Regression: Close must cancel every armed watchdog so no AfterFunc
+	// callback outlives the replica. A long request timeout keeps the
+	// per-request watchdogs armed well past execution.
+	h := newHarness(t, 3, 1, 1, 30*time.Second)
+	kv := h.client(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := kv.Put(ctx, "armed", []byte("x")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	for i, r := range h.replicas {
+		if r.PendingTimers() == 0 {
+			t.Fatalf("replica %d has no armed watchdogs before Close", i)
+		}
+	}
+	for i, r := range h.replicas {
+		if err := r.Close(); err != nil {
+			t.Fatalf("Close(%d): %v", i, err)
+		}
+		if got := r.PendingTimers(); got != 0 {
+			t.Fatalf("replica %d still has %d armed watchdogs after Close", i, got)
+		}
+	}
+}

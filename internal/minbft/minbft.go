@@ -16,11 +16,19 @@
 // Normal case:
 //
 //	client  --REQUEST-->  all replicas
-//	primary --PREPARE(v, req)+UI-->  all
-//	backup  --COMMIT(v, prepare-UI, digest)+UI--> all
+//	primary --PREPARE(v, batch)+UI-->  all
+//	backup  --COMMIT(v, prepare-UI, batch digest)+UI--> all
 //	executed at f+1 matching endorsements (the PREPARE counts as the
 //	primary's); replicas reply directly to the client, which accepts a
 //	result vouched for by f+1 replicas.
+//
+// The primary batches: all requests pending when a proposal slot frees are
+// packed into one PREPARE (capped by WithBatchSize), so the USIG
+// attestation, the O(n) broadcast, and the f+1 quorum certificate are paid
+// once per batch rather than once per request. A batch occupies exactly one
+// slot in the total order; requests inside it execute in their in-batch
+// order, each still deduplicated by the per-client table, so batching
+// changes the amortization, not the properties (DESIGN.md §5).
 //
 // Omission recovery: messages are authenticated by their UI rather than
 // the delivery channel, so any replica can relay any protocol message. A
@@ -77,6 +85,29 @@ func WithExecutionLog(l *smr.ExecutionLog) Option {
 	return func(r *Replica) { r.execLog = l }
 }
 
+// WithBatchSize caps how many pending requests the primary packs into one
+// PREPARE (one USIG attestation and one quorum certificate per batch).
+// k <= 1 disables batching: every request is proposed immediately in its
+// own prepare, the pre-batching behavior. The default comes from
+// smr.DefaultBatchSize (the UNIDIR_BATCH environment knob).
+func WithBatchSize(k int) Option {
+	return func(r *Replica) {
+		if k < 1 {
+			k = 1
+		}
+		if k > maxBatchDecode {
+			k = maxBatchDecode
+		}
+		r.maxBatch = k
+	}
+}
+
+// pipelineDepth bounds the primary's proposed-but-unexecuted batches when
+// batching is on: one batch committing while the next accumulates. Depth 1
+// would stall arrivals during the commit round; unbounded depth would
+// defeat batching entirely (every request its own batch).
+const pipelineDepth = 2
+
 // Replica is one MinBFT replica. Create with New, stop with Close.
 type Replica struct {
 	m   types.Membership
@@ -87,6 +118,7 @@ type Replica struct {
 
 	reqTimeout time.Duration
 	execLog    *smr.ExecutionLog
+	maxBatch   int
 
 	events *syncx.Queue[event]
 	wg     sync.WaitGroup
@@ -94,6 +126,7 @@ type Replica struct {
 
 	mu     sync.Mutex
 	closed bool
+	timers map[*time.Timer]struct{} // armed watchdogs, stopped on Close
 
 	// State below is owned by the run goroutine.
 	view       types.View
@@ -107,11 +140,14 @@ type Replica struct {
 	entries   map[entryKey]*entry
 	prepOrder []entryKey // accepted prepares of the current view, in UI order
 	execIdx   int        // next prepOrder index to execute
+	proposing bool       // re-entrancy guard for maybePropose
 
 	acceptedLog []logEntry // all prepares this replica ever endorsed
 
-	table   *smr.ClientTable
-	pending map[pendingKey]smr.Request
+	table    *smr.ClientTable
+	pending  map[pendingKey]smr.Request
+	proposed map[pendingKey]bool // requests inside an in-flight batch (leader, current view)
+	inFlight int                 // batches this leader proposed but not yet executed
 
 	vcVotes map[types.View]map[types.ProcessID]signedVC
 }
@@ -126,11 +162,12 @@ type pendingKey struct {
 }
 
 type entry struct {
-	req       *smr.Request
+	reqs      []smr.Request // nil until the prepare binds the batch
 	reqDigest [sha256.Size]byte
 	prepUI    trinc.Attestation
 	votes     map[types.ProcessID]bool
 	executed  bool
+	mine      bool // proposed by this replica (leader in-flight accounting)
 }
 
 type peerMsg struct {
@@ -178,14 +215,17 @@ func New(m types.Membership, tr transport.Transport, dev *trinc.Device, ver *tri
 		ver:        ver,
 		sm:         sm,
 		reqTimeout: 500 * time.Millisecond,
+		maxBatch:   smr.DefaultBatchSize(),
 		events:     syncx.NewQueue[event](),
 		cancel:     cancel,
+		timers:     make(map[*time.Timer]struct{}),
 		lastUI:     make(map[types.ProcessID]types.SeqNum),
 		uiBuffer:   make(map[types.ProcessID]map[types.SeqNum]peerMsg),
 		msgStore:   make(map[types.ProcessID]map[types.SeqNum]peerMsg),
 		entries:    make(map[entryKey]*entry),
 		table:      smr.NewClientTable(),
 		pending:    make(map[pendingKey]smr.Request),
+		proposed:   make(map[pendingKey]bool),
 		vcVotes:    make(map[types.View]map[types.ProcessID]signedVC),
 	}
 	for _, opt := range opts {
@@ -207,7 +247,8 @@ func (r *Replica) View() types.View {
 	return r.view
 }
 
-// Close stops the replica's goroutines.
+// Close stops the replica's goroutines and cancels every armed watchdog
+// timer, so no time.AfterFunc callback outlives the replica.
 func (r *Replica) Close() error {
 	r.mu.Lock()
 	if r.closed {
@@ -215,12 +256,24 @@ func (r *Replica) Close() error {
 		return nil
 	}
 	r.closed = true
+	for t := range r.timers {
+		t.Stop()
+	}
+	r.timers = nil
 	r.mu.Unlock()
 	r.cancel()
 	r.events.Close()
 	_ = r.tr.Close()
 	r.wg.Wait()
 	return nil
+}
+
+// PendingTimers reports the number of armed watchdog timers (zero after
+// Close; exposed for tests and monitoring).
+func (r *Replica) PendingTimers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.timers)
 }
 
 func (r *Replica) recvLoop(ctx context.Context) {
@@ -433,18 +486,79 @@ func (r *Replica) handleRequest(req smr.Request) {
 		return
 	}
 	r.pending[key] = req
-	if r.m.Leader(r.view) == r.Self() && !r.inVC {
-		r.sendPrepare(req)
-	}
+	r.maybePropose()
 	// Arm the liveness watchdog for this request.
 	r.afterTimeout(r.reqTimeout, timerEvent{kind: 't', pending: key, view: r.view})
 }
 
+// maybePropose is the primary's batching valve: it packs pending requests
+// not yet inside an in-flight batch into PREPAREs, up to maxBatch requests
+// each. With batching on, at most pipelineDepth batches are outstanding —
+// one committing while the next accumulates arrivals — which is what
+// amortizes the attestation and the O(n) broadcast. With maxBatch <= 1
+// there is no cap and every pending request goes out in its own prepare
+// immediately (the unbatched baseline).
+func (r *Replica) maybePropose() {
+	if r.m.Leader(r.view) != r.Self() || r.inVC || r.proposing {
+		return
+	}
+	r.proposing = true
+	defer func() { r.proposing = false }()
+	for {
+		if r.maxBatch > 1 && r.inFlight >= pipelineDepth {
+			return
+		}
+		batch := make([]smr.Request, 0, r.maxBatch)
+		for _, req := range sortedPending(r.pending) {
+			key := pendingKey{req.Client, req.Num}
+			if r.proposed[key] {
+				continue
+			}
+			if !r.table.ShouldExecute(req) {
+				delete(r.pending, key) // executed meanwhile (e.g. via view change)
+				continue
+			}
+			batch = append(batch, req)
+			if len(batch) >= r.maxBatch {
+				break
+			}
+		}
+		if len(batch) == 0 {
+			return
+		}
+		if !r.sendPrepare(batch) {
+			return // attest/broadcast failure; the watchdogs drive recovery
+		}
+		r.inFlight++
+		for _, req := range batch {
+			r.proposed[pendingKey{req.Client, req.Num}] = true
+		}
+	}
+}
+
+// afterTimeout arms a watchdog that pushes te into the event queue after d.
+// Timers are tracked so Close can stop them; a callback that races Close
+// observes the closed flag under the lock and becomes a no-op (the event
+// queue is closed by then anyway — this keeps the timer set itself tidy).
 func (r *Replica) afterTimeout(d time.Duration, te timerEvent) {
 	t := te
-	time.AfterFunc(d, func() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	var tm *time.Timer
+	tm = time.AfterFunc(d, func() {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		delete(r.timers, tm)
+		r.mu.Unlock()
 		r.events.Push(event{timer: &t})
 	})
+	r.timers[tm] = struct{}{}
 }
 
 func (r *Replica) handleTimer(te timerEvent) {
@@ -471,15 +585,20 @@ func (r *Replica) handleTimer(te timerEvent) {
 
 // --- normal case ---
 
-func (r *Replica) sendPrepare(req smr.Request) {
-	p := prepare{View: r.view, Req: req}
+// sendPrepare attests and broadcasts one batch, reporting success.
+func (r *Replica) sendPrepare(batch []smr.Request) bool {
+	p := prepare{View: r.view, Reqs: batch}
 	body := p.encodeBody()
 	ui, err := r.attestAndSend(kindPrepare, body)
 	if err != nil {
-		return
+		return false
 	}
 	// The primary's prepare is its own endorsement.
 	r.acceptPrepare(r.Self(), p, ui)
+	if en := r.entries[entryKey{p.View, ui.Seq}]; en != nil {
+		en.mine = true
+	}
+	return true
 }
 
 func (r *Replica) handlePrepare(from types.ProcessID, msg peerMsg) {
@@ -490,22 +609,26 @@ func (r *Replica) handlePrepare(from types.ProcessID, msg peerMsg) {
 	if r.inVC || p.View != r.view || r.m.Leader(p.View) != from {
 		return
 	}
-	if !r.table.ShouldExecute(p.Req) {
-		// Already executed; nothing to endorse, but resend the cached reply
-		// in case the client is retransmitting.
-		if result, ok := r.table.CachedReply(p.Req); ok {
-			r.reply(p.Req, result)
+	// Resend cached replies for retransmitted requests inside the batch.
+	// Stale requests are endorsed anyway: the batch is ordered as a unit and
+	// execution dedups per request through the client table, so endorsing
+	// a partially (or fully) executed batch is harmless.
+	for _, req := range p.Reqs {
+		if !r.table.ShouldExecute(req) {
+			if result, ok := r.table.CachedReply(req); ok {
+				r.reply(req, result)
+			}
 		}
-		return
 	}
 	r.acceptPrepare(from, p, msg.ui)
 
-	// Endorse: broadcast a COMMIT with our own UI.
+	// Endorse: broadcast a COMMIT with our own UI — one per batch, not per
+	// request; this is the amortization the batching buys.
 	c := commit{
 		View:      p.View,
 		Primary:   from,
 		PrepSeq:   msg.ui.Seq,
-		ReqDigest: sha256.Sum256(p.Req.Encode()),
+		ReqDigest: p.batchDigest(),
 	}
 	if _, err := r.attestAndSend(kindCommit, c.encodeBody()); err != nil {
 		return
@@ -524,22 +647,21 @@ func (r *Replica) acceptPrepare(primary types.ProcessID, p prepare, prepUI trinc
 		en = &entry{votes: make(map[types.ProcessID]bool)}
 		r.entries[key] = en
 	}
-	if en.req == nil {
-		req := p.Req
-		digest := sha256.Sum256(p.Req.Encode())
+	if en.reqs == nil {
+		digest := p.batchDigest()
 		// If commits arrived first and built a shell entry for a different
-		// request digest, those votes endorsed something else: discard them.
+		// batch digest, those votes endorsed something else: discard them.
 		if len(en.votes) > 0 && en.reqDigest != digest {
 			en.votes = make(map[types.ProcessID]bool)
 		}
-		en.req = &req
+		en.reqs = p.Reqs
 		en.reqDigest = digest
 		en.prepUI = prepUI
 		r.prepOrder = append(r.prepOrder, key)
 		r.acceptedLog = append(r.acceptedLog, logEntry{
 			View:    p.View,
 			PrepSeq: prepUI.Seq,
-			Req:     p.Req,
+			Reqs:    p.Reqs,
 			PrepUI:  prepUI,
 		})
 	}
@@ -573,23 +695,36 @@ func (r *Replica) handleCommit(from types.ProcessID, msg peerMsg) {
 	r.tryExecute()
 }
 
-// tryExecute applies committed prepares in UI order.
+// tryExecute applies committed prepares (whole batches) in UI order, then
+// gives the primary a chance to propose the next accumulated batch.
 func (r *Replica) tryExecute() {
+	executed := false
 	for r.execIdx < len(r.prepOrder) {
 		key := r.prepOrder[r.execIdx]
 		en := r.entries[key]
-		if en == nil || en.req == nil || en.executed || len(en.votes) < r.m.FPlusOne() {
-			return
+		if en == nil || en.reqs == nil || en.executed || len(en.votes) < r.m.FPlusOne() {
+			break
 		}
 		en.executed = true
 		r.execIdx++
-		r.execute(*en.req)
+		for _, req := range en.reqs {
+			r.execute(req)
+		}
+		if en.mine && r.inFlight > 0 {
+			r.inFlight--
+		}
+		executed = true
+	}
+	if executed {
+		r.maybePropose()
 	}
 }
 
 // execute applies one request (with client-table dedup) and replies.
 func (r *Replica) execute(req smr.Request) {
-	delete(r.pending, pendingKey{req.Client, req.Num})
+	key := pendingKey{req.Client, req.Num}
+	delete(r.pending, key)
+	delete(r.proposed, key)
 	if !r.table.ShouldExecute(req) {
 		if result, ok := r.table.CachedReply(req); ok {
 			r.reply(req, result)
@@ -742,7 +877,7 @@ func (r *Replica) installView(nv newView) {
 			if le.PrepUI.Trinket != primary || le.PrepUI.Seq != le.PrepSeq || le.PrepUI.Counter != usigCounter {
 				continue
 			}
-			p := prepare{View: le.View, Req: le.Req}
+			p := prepare{View: le.View, Reqs: le.Reqs}
 			// Per-entry check; entries duplicated across the f+1 logs (the
 			// common case — committed entries appear in every correct log)
 			// hit the verified-signature cache after the first copy.
@@ -763,7 +898,9 @@ func (r *Replica) installView(nv newView) {
 		return ordered[i].PrepSeq < ordered[j].PrepSeq
 	})
 	for _, le := range ordered {
-		r.execute(le.Req)
+		for _, req := range le.Reqs {
+			r.execute(req)
+		}
 	}
 
 	// Enter the new view with a clean per-view slate. (r.view is guarded
@@ -775,18 +912,19 @@ func (r *Replica) installView(nv newView) {
 	r.entries = make(map[entryKey]*entry)
 	r.prepOrder = nil
 	r.execIdx = 0
+	r.inFlight = 0
+	r.proposed = make(map[pendingKey]bool)
 	for v := range r.vcVotes {
 		if v <= r.view {
 			delete(r.vcVotes, v)
 		}
 	}
 
-	// Re-propose (or chase) requests still pending.
-	if r.m.Leader(r.view) == r.Self() {
-		for _, req := range sortedPending(r.pending) {
-			r.sendPrepare(req)
-		}
-	}
+	// Re-propose (or chase) requests still pending — re-batched: a pending
+	// batch lost with the old view comes back as (part of) a fresh batch
+	// under the new primary's UI, and per-request client-table dedup keeps
+	// any overlap with already-executed entries harmless.
+	r.maybePropose()
 	for key := range r.pending {
 		r.afterTimeout(r.reqTimeout, timerEvent{kind: 't', pending: key, view: r.view})
 	}
@@ -794,19 +932,10 @@ func (r *Replica) installView(nv newView) {
 
 // sortedPending yields pending requests in a deterministic order.
 func sortedPending(pending map[pendingKey]smr.Request) []smr.Request {
-	keys := make([]pendingKey, 0, len(pending))
-	for k := range pending {
-		keys = append(keys, k)
+	out := make([]smr.Request, 0, len(pending))
+	for _, req := range pending {
+		out = append(out, req)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].client != keys[j].client {
-			return keys[i].client < keys[j].client
-		}
-		return keys[i].num < keys[j].num
-	})
-	out := make([]smr.Request, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, pending[k])
-	}
+	smr.SortRequests(out)
 	return out
 }

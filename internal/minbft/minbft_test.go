@@ -27,7 +27,7 @@ type harness struct {
 	logs     []*smr.ExecutionLog
 }
 
-func newHarness(t *testing.T, n, f, clients int, timeout time.Duration) *harness {
+func newHarness(t *testing.T, n, f, clients int, timeout time.Duration, opts ...minbft.Option) *harness {
 	t.Helper()
 	m, err := types.NewMembership(n, f)
 	if err != nil {
@@ -56,8 +56,8 @@ func newHarness(t *testing.T, n, f, clients int, timeout time.Duration) *harness
 	for i := 0; i < n; i++ {
 		h.stores[i] = kvstore.New()
 		h.logs[i] = &smr.ExecutionLog{}
-		rep, err := minbft.New(m, net.Endpoint(types.ProcessID(i)), tu.Devices[i], tu.Verifier, h.stores[i],
-			minbft.WithRequestTimeout(timeout), minbft.WithExecutionLog(h.logs[i]))
+		all := append([]minbft.Option{minbft.WithRequestTimeout(timeout), minbft.WithExecutionLog(h.logs[i])}, opts...)
+		rep, err := minbft.New(m, net.Endpoint(types.ProcessID(i)), tu.Devices[i], tu.Verifier, h.stores[i], all...)
 		if err != nil {
 			t.Fatalf("minbft.New: %v", err)
 		}

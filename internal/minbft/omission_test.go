@@ -69,7 +69,7 @@ func newByzPrimaryFixture(t *testing.T) *byzPrimaryFixture {
 // preparePayload attests and encodes a PREPARE from the Byzantine primary.
 func (f *byzPrimaryFixture) preparePayload(t *testing.T, req smr.Request) []byte {
 	t.Helper()
-	body := prepare{View: 0, Req: req}.encodeBody()
+	body := prepare{View: 0, Reqs: []smr.Request{req}}.encodeBody()
 	dev := f.tu.Devices[0]
 	ui, err := dev.Attest(usigCounter, dev.LastAttested(usigCounter)+1, uiBinding(kindPrepare, body))
 	if err != nil {
@@ -158,8 +158,8 @@ func TestEquivocatingPrepareBlockedByUSIG(t *testing.T) {
 	dev := fix.tu.Devices[0]
 	reqA := smr.Request{Client: 3, Num: 1, Op: kvstore.EncodePut("a", nil)}
 	reqB := smr.Request{Client: 3, Num: 1, Op: kvstore.EncodePut("b", nil)}
-	bodyA := prepare{View: 0, Req: reqA}.encodeBody()
-	bodyB := prepare{View: 0, Req: reqB}.encodeBody()
+	bodyA := prepare{View: 0, Reqs: []smr.Request{reqA}}.encodeBody()
+	bodyB := prepare{View: 0, Reqs: []smr.Request{reqB}}.encodeBody()
 	next := dev.LastAttested(usigCounter) + 1
 	if _, err := dev.Attest(usigCounter, next, uiBinding(kindPrepare, bodyA)); err != nil {
 		t.Fatalf("first attest: %v", err)
@@ -174,7 +174,7 @@ func TestForgedUIRejected(t *testing.T) {
 	// claims, or over a different body, must be ignored entirely.
 	fix := newByzPrimaryFixture(t)
 	req := smr.Request{Client: 3, Num: 1, Op: kvstore.EncodePut("x", nil)}
-	body := prepare{View: 0, Req: req}.encodeBody()
+	body := prepare{View: 0, Reqs: []smr.Request{req}}.encodeBody()
 	// Attest with trinket 0 but for a different body.
 	dev := fix.tu.Devices[0]
 	ui, err := dev.Attest(usigCounter, dev.LastAttested(usigCounter)+1, uiBinding(kindCommit, body))

@@ -47,18 +47,43 @@ func uiBinding(kind byte, body []byte) []byte {
 	return e.Bytes()
 }
 
-// prepare is the primary's ordering statement for one request.
+// maxBatchDecode bounds decoded request batches (defensive; the proposer
+// side caps batches far lower).
+const maxBatchDecode = 1 << 14
+
+// encodeRequests is the canonical wire form of a request batch — the byte
+// string commits digest (one attestation and one quorum certificate cover
+// the whole batch). Shared with pbft via smr.
+func encodeRequests(reqs []smr.Request) []byte { return smr.EncodeRequests(reqs) }
+
+func decodeRequests(b []byte) ([]smr.Request, error) {
+	reqs, err := smr.DecodeRequests(b, maxBatchDecode)
+	if err != nil {
+		return nil, fmt.Errorf("minbft: %w", err)
+	}
+	return reqs, nil
+}
+
+// prepare is the primary's ordering statement for one batch of requests:
+// one UI, one slot, one quorum certificate, however many client commands.
 type prepare struct {
 	View types.View
-	Req  smr.Request
+	Reqs []smr.Request
 }
 
 func (p prepare) encodeBody() []byte {
-	req := p.Req.Encode()
-	e := wire.NewEncoder(16 + len(req))
+	reqs := encodeRequests(p.Reqs)
+	e := wire.NewEncoder(16 + len(reqs))
 	e.Uint64(uint64(p.View))
-	e.BytesField(req)
+	e.BytesField(reqs)
 	return e.Bytes()
+}
+
+// batchDigest is what commits endorse: the hash of the canonical batch
+// encoding (not of the whole prepare body, so it is recomputable from the
+// requests alone).
+func (p prepare) batchDigest() [sha256.Size]byte {
+	return sha256.Sum256(encodeRequests(p.Reqs))
 }
 
 func decodePrepareBody(b []byte) (prepare, error) {
@@ -69,16 +94,16 @@ func decodePrepareBody(b []byte) (prepare, error) {
 	if err := d.Finish(); err != nil {
 		return prepare{}, fmt.Errorf("minbft: decode prepare: %w", err)
 	}
-	req, err := smr.DecodeRequest(reqBytes)
+	reqs, err := decodeRequests(reqBytes)
 	if err != nil {
 		return prepare{}, err
 	}
-	p.Req = req
+	p.Reqs = reqs
 	return p, nil
 }
 
 // commit is a backup's endorsement of a prepare, identified by the
-// primary's UI counter value and the request digest.
+// primary's UI counter value and the batch digest.
 type commit struct {
 	View      types.View
 	Primary   types.ProcessID
@@ -112,21 +137,22 @@ func decodeCommitBody(b []byte) (commit, error) {
 	return c, nil
 }
 
-// logEntry is one accepted prepare carried inside a VIEW-CHANGE message.
-// The primary's UI attestation makes the entry self-certifying: at most one
-// request can ever exist per (primary counter value), so a Byzantine
-// view-change sender can omit entries but not fabricate or alter them.
+// logEntry is one accepted prepare (a whole batch) carried inside a
+// VIEW-CHANGE message. The primary's UI attestation makes the entry
+// self-certifying: at most one batch can ever exist per (primary counter
+// value), so a Byzantine view-change sender can omit entries but not
+// fabricate or alter them — including the batch's internal request order.
 type logEntry struct {
 	View    types.View
 	PrepSeq types.SeqNum
-	Req     smr.Request
+	Reqs    []smr.Request
 	PrepUI  trinc.Attestation
 }
 
 func encodeLogEntry(e *wire.Encoder, le logEntry) {
 	e.Uint64(uint64(le.View))
 	e.Uint64(uint64(le.PrepSeq))
-	e.BytesField(le.Req.Encode())
+	e.BytesField(encodeRequests(le.Reqs))
 	e.BytesField(le.PrepUI.Encode())
 }
 
@@ -139,7 +165,7 @@ func decodeLogEntry(d *wire.Decoder) (logEntry, error) {
 	if err := d.Err(); err != nil {
 		return logEntry{}, err
 	}
-	req, err := smr.DecodeRequest(reqBytes)
+	reqs, err := decodeRequests(reqBytes)
 	if err != nil {
 		return logEntry{}, err
 	}
@@ -147,7 +173,7 @@ func decodeLogEntry(d *wire.Decoder) (logEntry, error) {
 	if err != nil {
 		return logEntry{}, err
 	}
-	le.Req = req
+	le.Reqs = reqs
 	le.PrepUI = att
 	return le, nil
 }

@@ -5,6 +5,12 @@
 // phases and f+1 quorums at n = 2f+1 — the cost difference the paper's
 // hardware classification translates into at the application level.
 //
+// The primary batches like MinBFT's: all pending requests are packed into
+// one PRE-PREPARE (capped by WithBatchSize), so the three-phase exchange and
+// its two 2f+1 quorums are paid once per batch. A batch occupies one
+// sequence number; requests execute in in-batch order with per-client dedup,
+// so batching changes the amortization, not the properties (DESIGN.md §5).
+//
 // Scope note (DESIGN.md): view changes and checkpoints are not implemented;
 // the benchmarks compare normal-case behavior, and the liveness tests for
 // leader failure live in the MinBFT package. The view is fixed at 0.
@@ -53,17 +59,25 @@ type Replica struct {
 	mu     sync.Mutex
 	closed bool
 
+	maxBatch int
+
 	// State below is owned by the run goroutine.
-	view     types.View
-	nextSeq  types.SeqNum // primary's next assignment
-	execNext types.SeqNum // next sequence number to execute
-	slots    map[types.SeqNum]*slot
-	table    *smr.ClientTable
-	proposed map[string]bool // request digests already assigned (primary)
+	view      types.View
+	nextSeq   types.SeqNum // primary's next assignment
+	execNext  types.SeqNum // next sequence number to execute
+	slots     map[types.SeqNum]*slot
+	table     *smr.ClientTable
+	pending   map[pendingKey]smr.Request // primary's unproposed backlog
+	proposed  map[pendingKey]bool        // requests inside an assigned slot
+	proposing bool                       // re-entrancy guard for maybePropose
+}
+
+type pendingKey struct {
+	client, num uint64
 }
 
 type slot struct {
-	req       *smr.Request
+	reqs      []smr.Request // nil until the pre-prepare binds the batch
 	digest    [sha256.Size]byte
 	prepares  map[types.ProcessID]bool
 	commits   map[types.ProcessID]bool
@@ -72,12 +86,37 @@ type slot struct {
 	executed  bool
 }
 
+// maxBatchDecode bounds decoded request batches (defensive; the proposer
+// side caps batches far lower).
+const maxBatchDecode = 1 << 14
+
+// pipelineDepth bounds the primary's assigned-but-unexecuted slots when
+// batching is on: one batch working through the three phases while the next
+// accumulates (same rationale as minbft's).
+const pipelineDepth = 2
+
 // Option configures a Replica.
 type Option func(*Replica)
 
 // WithExecutionLog attaches a command log for consistency checks.
 func WithExecutionLog(l *smr.ExecutionLog) Option {
 	return func(r *Replica) { r.execLog = l }
+}
+
+// WithBatchSize caps how many pending requests the primary packs into one
+// PRE-PREPARE. k <= 1 disables batching (every request is its own slot, the
+// pre-batching behavior). The default comes from smr.DefaultBatchSize (the
+// UNIDIR_BATCH environment knob).
+func WithBatchSize(k int) Option {
+	return func(r *Replica) {
+		if k < 1 {
+			k = 1
+		}
+		if k > maxBatchDecode {
+			k = maxBatchDecode
+		}
+		r.maxBatch = k
+	}
 }
 
 // New starts a replica (requires n >= 3f+1).
@@ -97,12 +136,14 @@ func New(m types.Membership, tr transport.Transport, ring *sig.Keyring, sm smr.S
 		tr:       tr,
 		ring:     ring,
 		sm:       sm,
+		maxBatch: smr.DefaultBatchSize(),
 		events:   syncx.NewQueue[transport.Envelope](),
 		cancel:   cancel,
 		execNext: 1,
 		slots:    make(map[types.SeqNum]*slot),
 		table:    smr.NewClientTable(),
-		proposed: make(map[string]bool),
+		pending:  make(map[pendingKey]smr.Request),
+		proposed: make(map[pendingKey]bool),
 	}
 	for _, opt := range opts {
 		opt(r)
@@ -248,20 +289,70 @@ func (r *Replica) handleRequest(req smr.Request) {
 	if r.m.Leader(r.view) != r.Self() {
 		return // backups wait for the primary's pre-prepare
 	}
-	digest := sha256.Sum256(req.Encode())
-	if r.proposed[string(digest[:])] {
+	key := pendingKey{req.Client, req.Num}
+	if r.proposed[key] {
+		return // already inside an assigned slot
+	}
+	r.pending[key] = req
+	r.maybePropose()
+}
+
+// maybePropose packs the primary's backlog into PRE-PREPAREs, up to maxBatch
+// requests each. With batching on, at most pipelineDepth slots are assigned
+// but unexecuted at a time — one batch in the three-phase exchange while the
+// next accumulates; with maxBatch <= 1 every request goes out immediately in
+// its own slot (the unbatched baseline).
+func (r *Replica) maybePropose() {
+	if r.m.Leader(r.view) != r.Self() || r.proposing {
 		return
 	}
-	r.proposed[string(digest[:])] = true
-	r.nextSeq++
-	n := r.nextSeq
-	reqBytes := req.Encode()
-	r.broadcast(kindPrePrepare, n, reqBytes)
-	// The primary's pre-prepare stands for its prepare.
-	sl := r.slot(n)
-	r.adopt(sl, req, digest)
-	sl.prepares[r.Self()] = true
-	r.progress(n, sl)
+	r.proposing = true
+	defer func() { r.proposing = false }()
+	for {
+		if r.maxBatch > 1 && int(r.nextSeq)-int(r.execNext)+1 >= pipelineDepth {
+			return
+		}
+		batch := make([]smr.Request, 0, r.maxBatch)
+		for _, req := range sortedPending(r.pending) {
+			key := pendingKey{req.Client, req.Num}
+			if !r.table.ShouldExecute(req) {
+				delete(r.pending, key) // executed meanwhile
+				continue
+			}
+			batch = append(batch, req)
+			if len(batch) >= r.maxBatch {
+				break
+			}
+		}
+		if len(batch) == 0 {
+			return
+		}
+		r.nextSeq++
+		n := r.nextSeq
+		payload := smr.EncodeRequests(batch)
+		digest := sha256.Sum256(payload)
+		r.broadcast(kindPrePrepare, n, payload)
+		// The primary's pre-prepare stands for its prepare.
+		sl := r.slot(n)
+		r.adopt(sl, batch, digest)
+		sl.prepares[r.Self()] = true
+		for _, req := range batch {
+			key := pendingKey{req.Client, req.Num}
+			delete(r.pending, key)
+			r.proposed[key] = true
+		}
+		r.progress(n, sl)
+	}
+}
+
+// sortedPending yields the backlog in a deterministic order.
+func sortedPending(pending map[pendingKey]smr.Request) []smr.Request {
+	out := make([]smr.Request, 0, len(pending))
+	for _, req := range pending {
+		out = append(out, req)
+	}
+	smr.SortRequests(out)
+	return out
 }
 
 func (r *Replica) slot(n types.SeqNum) *slot {
@@ -276,28 +367,27 @@ func (r *Replica) slot(n types.SeqNum) *slot {
 	return sl
 }
 
-func (r *Replica) adopt(sl *slot, req smr.Request, digest [sha256.Size]byte) {
-	if sl.req == nil {
-		cp := req
-		sl.req = &cp
+func (r *Replica) adopt(sl *slot, reqs []smr.Request, digest [sha256.Size]byte) {
+	if sl.reqs == nil {
+		sl.reqs = reqs
 		sl.digest = digest
 	}
 }
 
-func (r *Replica) handlePrePrepare(from types.ProcessID, n types.SeqNum, reqBytes []byte) {
+func (r *Replica) handlePrePrepare(from types.ProcessID, n types.SeqNum, payload []byte) {
 	if r.m.Leader(r.view) != from || n == 0 {
 		return
 	}
-	req, err := smr.DecodeRequest(reqBytes)
+	reqs, err := smr.DecodeRequests(payload, maxBatchDecode)
 	if err != nil {
 		return
 	}
-	digest := sha256.Sum256(reqBytes)
+	digest := sha256.Sum256(payload)
 	sl := r.slot(n)
-	if sl.req != nil && sl.digest != digest {
+	if sl.reqs != nil && sl.digest != digest {
 		return // conflicting pre-prepare for a bound slot: ignore
 	}
-	r.adopt(sl, req, digest)
+	r.adopt(sl, reqs, digest)
 	sl.prepares[from] = true
 	if !sl.prepares[r.Self()] {
 		sl.prepares[r.Self()] = true
@@ -311,7 +401,7 @@ func (r *Replica) handlePrepare(from types.ProcessID, n types.SeqNum, digest []b
 		return
 	}
 	sl := r.slot(n)
-	if sl.req != nil {
+	if sl.reqs != nil {
 		var d [sha256.Size]byte
 		copy(d[:], digest)
 		if d != sl.digest {
@@ -327,7 +417,7 @@ func (r *Replica) handleCommit(from types.ProcessID, n types.SeqNum, digest []by
 		return
 	}
 	sl := r.slot(n)
-	if sl.req != nil {
+	if sl.reqs != nil {
 		var d [sha256.Size]byte
 		copy(d[:], digest)
 		if d != sl.digest {
@@ -338,12 +428,13 @@ func (r *Replica) handleCommit(from types.ProcessID, n types.SeqNum, digest []by
 	r.progress(n, sl)
 }
 
-// progress advances a slot through prepared -> committed -> executed.
+// progress advances a slot through prepared -> committed -> executed, then
+// gives the primary a chance to propose the next accumulated batch.
 func (r *Replica) progress(n types.SeqNum, sl *slot) {
 	// Prepared: pre-prepare plus 2f matching prepares (the quorum of 2f+1
 	// counting the primary's pre-prepare; our bookkeeping folds both into
 	// the prepares set).
-	if !sl.prepared && sl.req != nil && len(sl.prepares) >= r.m.Quorum() {
+	if !sl.prepared && sl.reqs != nil && len(sl.prepares) >= r.m.Quorum() {
 		sl.prepared = true
 		if !sl.commits[r.Self()] {
 			sl.commits[r.Self()] = true
@@ -353,19 +444,29 @@ func (r *Replica) progress(n types.SeqNum, sl *slot) {
 	if !sl.committed && sl.prepared && len(sl.commits) >= r.m.Quorum() {
 		sl.committed = true
 	}
-	// Execute in contiguous sequence order.
+	// Execute whole batches in contiguous sequence order.
+	executed := false
 	for {
 		next := r.slots[r.execNext]
-		if next == nil || !next.committed || next.executed || next.req == nil {
-			return
+		if next == nil || !next.committed || next.executed || next.reqs == nil {
+			break
 		}
 		next.executed = true
 		r.execNext++
-		r.execute(*next.req)
+		for _, req := range next.reqs {
+			r.execute(req)
+		}
+		executed = true
+	}
+	if executed {
+		r.maybePropose()
 	}
 }
 
 func (r *Replica) execute(req smr.Request) {
+	key := pendingKey{req.Client, req.Num}
+	delete(r.pending, key)
+	delete(r.proposed, key)
 	if !r.table.ShouldExecute(req) {
 		if result, ok := r.table.CachedReply(req); ok {
 			r.reply(req, result)

@@ -1,0 +1,247 @@
+package smr
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"unidir/internal/transport"
+	"unidir/internal/types"
+)
+
+// Call is one in-flight pipelined request. Wait on Done (or call Result,
+// which blocks) to observe completion.
+type Call struct {
+	req    Request
+	done   chan struct{}
+	result []byte
+	err    error
+}
+
+// Done is closed when the call completes (result or error).
+func (c *Call) Done() <-chan struct{} { return c.done }
+
+// Result blocks until the call completes and returns its outcome.
+func (c *Call) Result() ([]byte, error) {
+	<-c.done
+	return c.result, c.err
+}
+
+// Request returns the request this call submitted.
+func (c *Call) Request() Request { return c.req }
+
+// Pipeline is the asynchronous counterpart of Client: up to `window`
+// requests in flight at once, each still completed by `need` (f+1) matching
+// replies and retransmitted on a timer until then. A closed-loop client
+// offers a batching primary exactly one request per round trip; a pipeline
+// keeps the window full, which is what gives the primary something to
+// batch. Safe for concurrent use; it owns its transport endpoint's receive
+// side, so do not share the endpoint with other readers.
+type Pipeline struct {
+	tr       transport.Transport
+	replicas []types.ProcessID
+	need     int
+	id       uint64
+	retry    time.Duration
+	encode   func(Request) []byte
+
+	slots chan struct{} // window semaphore: acquire on submit, release on completion
+
+	mu       sync.Mutex
+	nextNum  uint64
+	inflight map[uint64]*pipeCall
+	closed   bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+type pipeCall struct {
+	call    *Call
+	payload []byte
+	votes   map[string]map[types.ProcessID]bool
+}
+
+// PipelineOption configures NewPipeline.
+type PipelineOption func(*Pipeline)
+
+// WithPipelineRequestEncoder sets the protocol-specific request envelope
+// encoder, like smr.WithRequestEncoder for the closed-loop client.
+func WithPipelineRequestEncoder(encode func(Request) []byte) PipelineOption {
+	return func(p *Pipeline) { p.encode = encode }
+}
+
+// NewPipeline creates a pipelined client with the given unique identity.
+// need is the number of matching replies required (use f+1); window is the
+// maximum number of requests in flight (Submit blocks when it is full).
+func NewPipeline(tr transport.Transport, replicas []types.ProcessID, need int, id uint64, retry time.Duration, window int, opts ...PipelineOption) (*Pipeline, error) {
+	if need < 1 || need > len(replicas) {
+		return nil, fmt.Errorf("smr: need %d of %d replicas", need, len(replicas))
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("smr: pipeline window %d", window)
+	}
+	if retry <= 0 {
+		retry = 50 * time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pipeline{
+		tr:       tr,
+		replicas: replicas,
+		need:     need,
+		id:       id,
+		retry:    retry,
+		encode:   func(r Request) []byte { return r.Encode() },
+		slots:    make(chan struct{}, window),
+		inflight: make(map[uint64]*pipeCall),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	// Wall-clock seed, same reasoning as NewClient.
+	p.nextNum = uint64(time.Now().UnixNano())
+	for _, opt := range opts {
+		opt(p)
+	}
+	p.wg.Add(2)
+	go p.recvLoop()
+	go p.retransmitLoop()
+	return p, nil
+}
+
+// Submit sends op and returns without waiting for completion. It blocks
+// only while the in-flight window is full.
+func (p *Pipeline) Submit(ctx context.Context, op []byte) (*Call, error) {
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-p.ctx.Done():
+		return nil, ErrClientClosed
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	p.nextNum++
+	req := Request{Client: p.id, Num: p.nextNum, Op: op}
+	call := &Call{req: req, done: make(chan struct{})}
+	payload := p.encode(req)
+	p.inflight[req.Num] = &pipeCall{call: call, payload: payload, votes: make(map[string]map[types.ProcessID]bool)}
+	p.mu.Unlock()
+	if err := transport.Broadcast(p.tr, p.replicas, payload); err != nil {
+		p.complete(req.Num, nil, fmt.Errorf("smr: send request: %w", err))
+		return nil, fmt.Errorf("smr: send request: %w", err)
+	}
+	return call, nil
+}
+
+// Invoke submits op and blocks until completion — Client.Invoke semantics
+// over the pipeline.
+func (p *Pipeline) Invoke(ctx context.Context, op []byte) ([]byte, error) {
+	call, err := p.Submit(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-call.done:
+		return call.result, call.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// complete finishes the in-flight call num, if still present, and frees its
+// window slot.
+func (p *Pipeline) complete(num uint64, result []byte, err error) {
+	p.mu.Lock()
+	pc := p.inflight[num]
+	if pc == nil {
+		p.mu.Unlock()
+		return
+	}
+	delete(p.inflight, num)
+	p.mu.Unlock()
+	pc.call.result = result
+	pc.call.err = err
+	close(pc.call.done)
+	<-p.slots
+}
+
+func (p *Pipeline) recvLoop() {
+	defer p.wg.Done()
+	for {
+		env, err := p.tr.Recv(p.ctx)
+		if err != nil {
+			return
+		}
+		rep, err := DecodeReply(env.Payload)
+		if err != nil || rep.Client != p.id || rep.Replica != env.From {
+			continue
+		}
+		p.mu.Lock()
+		pc := p.inflight[rep.Num]
+		if pc == nil {
+			p.mu.Unlock()
+			continue
+		}
+		key := string(rep.Result)
+		if pc.votes[key] == nil {
+			pc.votes[key] = make(map[types.ProcessID]bool)
+		}
+		pc.votes[key][rep.Replica] = true
+		agreed := len(pc.votes[key]) >= p.need
+		p.mu.Unlock()
+		if agreed {
+			p.complete(rep.Num, append([]byte(nil), rep.Result...), nil)
+		}
+	}
+}
+
+// retransmitLoop rebroadcasts every outstanding request each retry period,
+// covering loss, replica restarts, and view changes in one mechanism, like
+// the closed-loop client's per-request timer.
+func (p *Pipeline) retransmitLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.retry)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-t.C:
+		}
+		p.mu.Lock()
+		payloads := make([][]byte, 0, len(p.inflight))
+		for _, pc := range p.inflight {
+			payloads = append(payloads, pc.payload)
+		}
+		p.mu.Unlock()
+		for _, payload := range payloads {
+			_ = transport.Broadcast(p.tr, p.replicas, payload)
+		}
+	}
+}
+
+// Close stops the pipeline; outstanding calls complete with ErrClientClosed.
+// The underlying transport is not closed.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	stuck := p.inflight
+	p.inflight = make(map[uint64]*pipeCall)
+	p.mu.Unlock()
+	p.cancel()
+	for _, pc := range stuck {
+		pc.call.err = ErrClientClosed
+		close(pc.call.done)
+	}
+	p.wg.Wait()
+	return nil
+}

@@ -10,6 +10,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -17,6 +20,34 @@ import (
 	"unidir/internal/types"
 	"unidir/internal/wire"
 )
+
+// defaultBatchSize is the consensus batch cap when UNIDIR_BATCH is unset.
+const defaultBatchSize = 64
+
+// DefaultBatchSize returns the default consensus batch cap used by the SMR
+// protocols (requests per PREPARE/PRE-PREPARE), controlled by the
+// UNIDIR_BATCH environment variable, mirroring UNIDIR_FASTVERIFY:
+//
+//	unset / ""    -> 64 (batching on, the default)
+//	"off" or "0"  -> 1  (batching disabled; one request per consensus slot)
+//	integer k > 0 -> k
+//
+// Protocol options (minbft.WithBatchSize, pbft.WithBatchSize) override it
+// per replica. Batching is semantically transparent either way; the knob
+// exists for honest A/B measurement and as an operational escape hatch.
+func DefaultBatchSize() int {
+	switch v := os.Getenv("UNIDIR_BATCH"); v {
+	case "", "on":
+		return defaultBatchSize
+	case "off", "0":
+		return 1
+	default:
+		if k, err := strconv.Atoi(v); err == nil && k > 0 {
+			return k
+		}
+		return defaultBatchSize
+	}
+}
 
 // StateMachine is the deterministic application replicated by the
 // protocols. Apply must be deterministic: same command sequence, same
@@ -54,6 +85,55 @@ func DecodeRequest(b []byte) (Request, error) {
 		return Request{}, fmt.Errorf("smr: decode request: %w", err)
 	}
 	return r, nil
+}
+
+// EncodeRequests is the canonical wire form of a request batch: the count,
+// then each request's own encoding. Both SMR protocols bind their per-slot
+// consensus messages to this byte string, so one digest (and one
+// attestation, in MinBFT's case) covers the whole batch.
+func EncodeRequests(reqs []Request) []byte {
+	e := wire.NewEncoder(16 + 48*len(reqs))
+	e.Int(len(reqs))
+	for _, req := range reqs {
+		e.BytesField(req.Encode())
+	}
+	return e.Bytes()
+}
+
+// DecodeRequests parses a batch, rejecting empty batches and more than max
+// entries (defensive; proposers cap batches far lower).
+func DecodeRequests(b []byte, max int) ([]Request, error) {
+	d := wire.NewDecoder(b)
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n < 1 || n > max {
+		return nil, fmt.Errorf("smr: batch of %d requests", n)
+	}
+	reqs := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		req, err := DecodeRequest(d.BytesField())
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, req)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("smr: decode batch: %w", err)
+	}
+	return reqs, nil
+}
+
+// SortRequests orders reqs deterministically by (Client, Num) — the order
+// proposers pack batches in, so identical pending sets batch identically.
+func SortRequests(reqs []Request) {
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].Client != reqs[j].Client {
+			return reqs[i].Client < reqs[j].Client
+		}
+		return reqs[i].Num < reqs[j].Num
+	})
 }
 
 // Reply is a replica's response to a client.

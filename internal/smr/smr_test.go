@@ -240,3 +240,25 @@ func TestClientValidation(t *testing.T) {
 		t.Fatal("need 0 accepted")
 	}
 }
+
+func TestDefaultBatchSizeKnob(t *testing.T) {
+	cases := []struct {
+		env  string
+		want int
+	}{
+		{"", 64},
+		{"on", 64},
+		{"off", 1},
+		{"0", 1},
+		{"1", 1},
+		{"16", 16},
+		{"-3", 64},
+		{"bogus", 64},
+	}
+	for _, tc := range cases {
+		t.Setenv("UNIDIR_BATCH", tc.env)
+		if got := DefaultBatchSize(); got != tc.want {
+			t.Errorf("UNIDIR_BATCH=%q: DefaultBatchSize() = %d, want %d", tc.env, got, tc.want)
+		}
+	}
+}

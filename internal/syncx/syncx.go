@@ -68,6 +68,48 @@ func (q *Queue[T]) Pop(ctx context.Context) (T, error) {
 	}
 }
 
+// TryPop removes and returns the oldest item without blocking. The second
+// return is false when the queue is currently empty (closed or not).
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// PopAll removes and returns every queued item in FIFO order, blocking until
+// at least one is available, ctx is done, or the queue is closed and
+// drained. It is the batch form of Pop: a consumer that coalesces work
+// (e.g. a transport writer flushing many frames per syscall) drains the
+// whole backlog in one wakeup instead of one item per lock acquisition.
+func (q *Queue[T]) PopAll(ctx context.Context) ([]T, error) {
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			items := q.items
+			q.items = nil
+			q.mu.Unlock()
+			return items, nil
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			q.wake() // cascade, as in Pop
+			return nil, ErrQueueClosed
+		}
+		select {
+		case <-q.notify:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
 // Len returns the current number of queued items.
 func (q *Queue[T]) Len() int {
 	q.mu.Lock()

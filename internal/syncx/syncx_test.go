@@ -71,6 +71,78 @@ func TestQueueCloseDrains(t *testing.T) {
 	}
 }
 
+func TestQueueTryPop(t *testing.T) {
+	q := NewQueue[int]()
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue reported an item")
+	}
+	q.Push(7)
+	q.Push(8)
+	if v, ok := q.TryPop(); !ok || v != 7 {
+		t.Fatalf("TryPop = %d, %v", v, ok)
+	}
+	q.Close()
+	// Closed but not drained: the remaining item is still poppable.
+	if v, ok := q.TryPop(); !ok || v != 8 {
+		t.Fatalf("TryPop after close = %d, %v", v, ok)
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on drained queue reported an item")
+	}
+}
+
+func TestQueuePopAllDrainsBacklog(t *testing.T) {
+	q := NewQueue[int]()
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	items, err := q.PopAll(context.Background())
+	if err != nil {
+		t.Fatalf("PopAll: %v", err)
+	}
+	if len(items) != 5 {
+		t.Fatalf("PopAll returned %d items", len(items))
+	}
+	for i, v := range items {
+		if v != i {
+			t.Fatalf("items[%d] = %d", i, v)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after PopAll = %d", q.Len())
+	}
+}
+
+func TestQueuePopAllBlocksAndCloses(t *testing.T) {
+	q := NewQueue[int]()
+	got := make(chan []int, 1)
+	go func() {
+		items, err := q.PopAll(context.Background())
+		if err == nil {
+			got <- items
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push(42)
+	select {
+	case items := <-got:
+		if len(items) != 1 || items[0] != 42 {
+			t.Fatalf("PopAll = %v", items)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PopAll never returned")
+	}
+	q.Close()
+	if _, err := q.PopAll(context.Background()); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("PopAll after close err = %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := NewQueue[int]().PopAll(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("PopAll ctx err = %v", err)
+	}
+}
+
 func TestQueueConcurrent(t *testing.T) {
 	q := NewQueue[int]()
 	const producers, per = 4, 250

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -155,6 +156,86 @@ func TestSendBeforePeerUp(t *testing.T) {
 	env := recvOne(t, b, 10*time.Second)
 	if string(env.Payload) != "early" {
 		t.Fatalf("payload = %q", env.Payload)
+	}
+}
+
+func TestCoalescedBurstDelivery(t *testing.T) {
+	// A burst pushed while the peer is still coming up is coalesced into
+	// few flushes; every frame must still arrive, in order.
+	nets := newCluster(t, 2)
+	const count = 500
+	for i := 0; i < count; i++ {
+		if err := nets[0].Send(1, []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		env := recvOne(t, nets[1], 10*time.Second)
+		got := int(env.Payload[0]) | int(env.Payload[1])<<8
+		if got != i {
+			t.Fatalf("message %d arrived as %d", i, got)
+		}
+	}
+}
+
+func TestWriteDeadlineUnwedgesStalledPeer(t *testing.T) {
+	// A peer that accepts connections but never reads must not wedge the
+	// sender goroutine: once the kernel buffers fill, the write deadline
+	// expires, the connection is dropped, and the sender redials (observable
+	// as additional accepts on the stalled listener).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	accepts := make(chan net.Conn, 16)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepts <- c // accepted, never read
+		}
+	}()
+	defer func() {
+		close(accepts)
+		for c := range accepts {
+			_ = c.Close()
+		}
+	}()
+
+	cfg := tcpnet.Config{0: "127.0.0.1:0", 1: ln.Addr().String()}
+	nt, err := tcpnet.New(0, cfg, tcpnet.WithWriteTimeout(100*time.Millisecond))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer nt.Close()
+
+	// Enough data to overrun the socket buffers so the flush really blocks.
+	payload := make([]byte, 1<<20)
+	for i := 0; i < 64; i++ {
+		if err := nt.Send(1, payload); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	seen := 0
+	deadline := time.After(15 * time.Second)
+	for seen < 2 {
+		select {
+		case <-accepts:
+			seen++
+		case <-deadline:
+			t.Fatalf("sender never redialed after a stalled write (accepts=%d)", seen)
+		}
+	}
+	// Close must return promptly even with the peer still stalled.
+	done := make(chan struct{})
+	go func() { _ = nt.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on a stalled sender")
 	}
 }
 
