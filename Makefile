@@ -5,7 +5,7 @@ BENCH_JSON ?= bench.json
 BENCH_OPS ?= 300
 BENCH_MSGS ?= 100
 
-.PHONY: check vet build test bench-smoke bench-json
+.PHONY: check vet build test soak bench-smoke bench-json
 
 # check is the full local gate: static checks, build, the race-enabled
 # test suite, and a one-iteration smoke run of the signature fast-path
@@ -20,7 +20,13 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# soak repeats the fault-injection soak (lossy links, rolling partitions,
+# a Byzantine spammer against batched checkpointing MinBFT) under the race
+# detector; -count disables caching so each run reshuffles the schedule.
+soak:
+	$(GO) test -race -count=3 -run 'TestSoak' ./internal/minbft/
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSigVerify' -benchtime 1x .

@@ -13,6 +13,13 @@
 // then client endpoints. Kill a backup replica and the cluster keeps
 // serving; kill the primary and a view change recovers it.
 //
+// Crash-restart survival: give each replica its own -data-dir and it
+// persists the trusted-counter WAL plus the latest stable checkpoint there.
+// A replica killed outright (SIGKILL) and restarted with the same flags
+// rehydrates its counter monotonically, announces the restart, and catches
+// up via state transfer. -checkpoint sets the interval in executed batches
+// (0 uses the UNIDIR_CKPT default of 128; negative disables).
+//
 // Demo key provisioning: every process derives the same TrInc universe from
 // -seed, so trinkets and verifiers agree across OS processes. A production
 // deployment would provision real hardware or per-device keys instead.
@@ -25,6 +32,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -34,9 +42,20 @@ import (
 	"unidir/internal/sig"
 	"unidir/internal/smr"
 	"unidir/internal/tcpnet"
+	"unidir/internal/trusted/ctrstore"
 	"unidir/internal/trusted/trinc"
 	"unidir/internal/types"
 )
+
+// replicaOpts carries the replica-only tunables from flag parsing to
+// runReplica.
+type replicaOpts struct {
+	timeout      time.Duration
+	dataDir      string
+	checkpoint   int
+	dialTimeout  time.Duration
+	writeTimeout time.Duration
+}
 
 func main() {
 	role := flag.String("role", "", "replica or client")
@@ -46,15 +65,26 @@ func main() {
 	config := flag.String("config", "", "comma-separated host:port per process ID")
 	seed := flag.Int64("seed", 42, "deterministic key seed shared by the whole demo cluster")
 	timeout := flag.Duration("timeout", time.Second, "view-change request timeout (replicas)")
+	dataDir := flag.String("data-dir", "", "replica persistence dir (counter WAL + stable checkpoint); empty = volatile")
+	checkpoint := flag.Int("checkpoint", 0, "checkpoint interval in executed batches (0 = UNIDIR_CKPT default, negative disables)")
+	dialTimeout := flag.Duration("dial-timeout", 0, "TCP dial timeout per connection attempt (0 = 2s default)")
+	writeTimeout := flag.Duration("write-timeout", 0, "TCP write deadline per coalesced batch (0 = 15s default)")
 	flag.Parse()
 
-	if err := run(*role, *id, *n, *f, *config, *seed, *timeout, flag.Args()); err != nil {
+	ro := replicaOpts{
+		timeout:      *timeout,
+		dataDir:      *dataDir,
+		checkpoint:   *checkpoint,
+		dialTimeout:  *dialTimeout,
+		writeTimeout: *writeTimeout,
+	}
+	if err := run(*role, *id, *n, *f, *config, *seed, ro, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "minbft-kv:", err)
 		os.Exit(1)
 	}
 }
 
-func run(role string, id, n, f int, config string, seed int64, timeout time.Duration, args []string) error {
+func run(role string, id, n, f int, config string, seed int64, ro replicaOpts, args []string) error {
 	addrs := strings.Split(config, ",")
 	if config == "" || len(addrs) <= n {
 		return fmt.Errorf("-config must list at least n+1 addresses (replicas then clients)")
@@ -74,7 +104,7 @@ func run(role string, id, n, f int, config string, seed int64, timeout time.Dura
 
 	switch role {
 	case "replica":
-		return runReplica(m, self, cfg, seed, timeout)
+		return runReplica(m, self, cfg, seed, ro)
 	case "client":
 		return runClient(m, self, cfg, args)
 	default:
@@ -82,7 +112,7 @@ func run(role string, id, n, f int, config string, seed int64, timeout time.Dura
 	}
 }
 
-func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, seed int64, timeout time.Duration) error {
+func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, seed int64, ro replicaOpts) error {
 	if !m.Contains(self) {
 		return fmt.Errorf("replica id %v out of range [0, %d)", self, m.N)
 	}
@@ -90,12 +120,39 @@ func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, see
 	if err != nil {
 		return err
 	}
-	tr, err := tcpnet.New(self, cfg)
+	repOpts := []minbft.Option{minbft.WithRequestTimeout(ro.timeout)}
+	if ro.checkpoint != 0 {
+		repOpts = append(repOpts, minbft.WithCheckpointInterval(ro.checkpoint))
+	}
+	var counters *ctrstore.Store
+	if ro.dataDir != "" {
+		// Counter persistence before anything attests: the WAL is what
+		// keeps the rehydrated trinket monotone across SIGKILL.
+		if err := os.MkdirAll(ro.dataDir, 0o755); err != nil {
+			return err
+		}
+		counters, err = ctrstore.Open(filepath.Join(ro.dataDir, "usig.wal"))
+		if err != nil {
+			return err
+		}
+		defer counters.Close()
+		if err := universe.Devices[self].Persist(counters); err != nil {
+			return err
+		}
+		repOpts = append(repOpts, minbft.WithDataDir(ro.dataDir))
+	}
+	var netOpts []tcpnet.Option
+	if ro.dialTimeout > 0 {
+		netOpts = append(netOpts, tcpnet.WithDialTimeout(ro.dialTimeout))
+	}
+	if ro.writeTimeout > 0 {
+		netOpts = append(netOpts, tcpnet.WithWriteTimeout(ro.writeTimeout))
+	}
+	tr, err := tcpnet.New(self, cfg, netOpts...)
 	if err != nil {
 		return err
 	}
-	rep, err := minbft.New(m, tr, universe.Devices[self], universe.Verifier, kvstore.New(),
-		minbft.WithRequestTimeout(timeout))
+	rep, err := minbft.New(m, tr, universe.Devices[self], universe.Verifier, kvstore.New(), repOpts...)
 	if err != nil {
 		_ = tr.Close()
 		return err

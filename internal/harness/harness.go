@@ -144,6 +144,7 @@ type SMRConfig struct {
 	Scheme sig.Scheme // signature scheme for the trusted components
 	Batch  int        // consensus batch cap; 0 = smr.DefaultBatchSize(), 1 = unbatched
 	Window int        // pipelined client's in-flight window; 0 = 32
+	Ckpt   int        // checkpoint interval; 0 = smr.DefaultCheckpointInterval(), < 0 disables
 }
 
 const defaultPipeWindow = 32
@@ -184,6 +185,9 @@ func BuildMinBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 	opts := []minbft.Option{minbft.WithRequestTimeout(5 * time.Second)}
 	if cfg.Batch > 0 {
 		opts = append(opts, minbft.WithBatchSize(cfg.Batch))
+	}
+	if cfg.Ckpt != 0 {
+		opts = append(opts, minbft.WithCheckpointInterval(cfg.Ckpt))
 	}
 	replicas := make([]*minbft.Replica, n)
 	for i := 0; i < n; i++ {
@@ -246,6 +250,9 @@ func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 	var opts []pbft.Option
 	if cfg.Batch > 0 {
 		opts = append(opts, pbft.WithBatchSize(cfg.Batch))
+	}
+	if cfg.Ckpt != 0 {
+		opts = append(opts, pbft.WithCheckpointInterval(cfg.Ckpt))
 	}
 	replicas := make([]*pbft.Replica, n)
 	for i := 0; i < n; i++ {

@@ -7,6 +7,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"unidir/internal/smr"
 	"unidir/internal/wire"
@@ -36,7 +37,7 @@ type Store struct {
 	data map[string][]byte
 }
 
-var _ smr.StateMachine = (*Store)(nil)
+var _ smr.Snapshotter = (*Store)(nil)
 
 // New returns an empty store.
 func New() *Store {
@@ -45,6 +46,51 @@ func New() *Store {
 
 // Len returns the number of keys.
 func (s *Store) Len() int { return len(s.data) }
+
+// maxSnapshotKeys bounds decoded snapshots (defensive).
+const maxSnapshotKeys = 1 << 24
+
+// Snapshot returns a deterministic encoding of the full store: keys in
+// sorted order, so replicas that applied the same command sequence produce
+// byte-identical snapshots (checkpoint certificates vote on the digest).
+func (s *Store) Snapshot() []byte {
+	keys := make([]string, 0, len(s.data))
+	size := 16
+	for k, v := range s.data {
+		keys = append(keys, k)
+		size += 16 + len(k) + len(v)
+	}
+	sort.Strings(keys)
+	e := wire.NewEncoder(size)
+	e.Int(len(keys))
+	for _, k := range keys {
+		e.String(k)
+		e.BytesField(s.data[k])
+	}
+	return e.Bytes()
+}
+
+// Restore replaces the store's contents with a previously snapshotted state.
+func (s *Store) Restore(snap []byte) error {
+	d := wire.NewDecoder(snap)
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("kvstore: decode snapshot: %w", err)
+	}
+	if n < 0 || n > maxSnapshotKeys {
+		return fmt.Errorf("kvstore: snapshot with %d keys", n)
+	}
+	data := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		k := d.String()
+		data[k] = append([]byte(nil), d.BytesField()...)
+	}
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("kvstore: decode snapshot: %w", err)
+	}
+	s.data = data
+	return nil
+}
 
 // Apply executes one encoded command. Malformed commands yield a BadCmd
 // status deterministically (they must not crash the replica: a Byzantine

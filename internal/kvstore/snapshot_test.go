@@ -1,0 +1,52 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := New()
+	s.Apply(EncodePut("a", []byte("1")))
+	s.Apply(EncodePut("b", []byte{}))
+	s.Apply(EncodePut("c", []byte("3")))
+	s.Apply(EncodeDel("c"))
+
+	snap := s.Snapshot()
+	r := New()
+	r.Apply(EncodePut("junk", []byte("pre-restore state must vanish")))
+	if err := r.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if !bytes.Equal(r.Snapshot(), snap) {
+		t.Fatal("restored store snapshots differently")
+	}
+	if got := r.Apply(EncodeGet("a")); !bytes.Equal(got, append([]byte{statusOK}, '1')) {
+		t.Fatalf("Get a after restore = %q", got)
+	}
+	if got := r.Apply(EncodeGet("junk")); got[0] != statusNotFound {
+		t.Fatalf("pre-restore key survived: %q", got)
+	}
+	if got := r.Apply(EncodeGet("c")); got[0] != statusNotFound {
+		t.Fatalf("deleted key resurrected by restore: %q", got)
+	}
+}
+
+func TestSnapshotDeterministicAcrossInsertionOrder(t *testing.T) {
+	a, b := New(), New()
+	a.Apply(EncodePut("x", []byte("1")))
+	a.Apply(EncodePut("y", []byte("2")))
+	b.Apply(EncodePut("y", []byte("2")))
+	b.Apply(EncodePut("x", []byte("1")))
+	if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("snapshot depends on insertion order; checkpoint digests would diverge")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	s := New()
+	s.Apply(EncodePut("keep", []byte("me")))
+	if err := s.Restore([]byte{0xff, 0x01, 0x02}); err == nil {
+		t.Fatal("Restore accepted garbage")
+	}
+}

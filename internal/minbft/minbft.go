@@ -37,8 +37,17 @@
 // answer from their message stores — a Byzantine sender cannot stall
 // correct replicas by sending to only some of them.
 //
-// View change (checkpoint-free; checkpoints and garbage collection are
-// future work, as noted in DESIGN.md): on request timeout a replica
+// Checkpointing (checkpoint.go): every K executed batches the replica
+// snapshots its state machine plus client table and broadcasts an attested
+// CHECKPOINT(count, digest); f+1 matching votes make it stable, after which
+// the accepted-prepare log, the per-slot entries, and the fetch store are
+// garbage-collected below it, keeping replica memory bounded. A replica
+// proven behind a stable checkpoint installs it via state transfer, and a
+// replica restarted from a data dir (persist.go) rehydrates its trusted
+// counter and latest stable checkpoint, announces RESTART, and catches up
+// the same way.
+//
+// View change: on request timeout a replica
 // broadcasts VIEW-CHANGE(v+1, accepted-prepare log)+UI; the new primary
 // assembles f+1 of them into NEW-VIEW. Every replica deterministically
 // recomputes the union of the embedded logs — each entry self-certified by
@@ -55,6 +64,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -100,6 +110,32 @@ func WithBatchSize(k int) Option {
 		}
 		r.maxBatch = k
 	}
+}
+
+// WithCheckpointInterval sets how many executed batches separate
+// checkpoints (state snapshot + attested digest vote + log GC on
+// stability). k <= 0 disables checkpointing. The default comes from
+// smr.DefaultCheckpointInterval (the UNIDIR_CKPT environment knob).
+// Checkpointing requires the state machine to implement smr.Snapshotter;
+// with a plain smr.StateMachine the setting is ignored.
+func WithCheckpointInterval(k int) Option {
+	return func(r *Replica) {
+		if k <= 0 {
+			k = -1 // explicitly disabled (0 means "use the default")
+		}
+		r.ckptInterval = k
+	}
+}
+
+// WithDataDir makes the replica crash-restart capable: the latest stable
+// checkpoint is persisted under dir (atomically, see persist.go) and
+// reloaded by New, after which the replica announces its restart and
+// catches the rest up via state transfer. The trusted counter itself is
+// persisted by the device (trinc.Device.Persist with a ctrstore WAL under
+// the same dir), which the caller wires up — the replica only owns the
+// checkpoint file. Requires an smr.Snapshotter state machine.
+func WithDataDir(dir string) Option {
+	return func(r *Replica) { r.dataDir = dir }
 }
 
 // pipelineDepth bounds the primary's proposed-but-unexecuted batches when
@@ -150,6 +186,26 @@ type Replica struct {
 	inFlight int                 // batches this leader proposed but not yet executed
 
 	vcVotes map[types.View]map[types.ProcessID]signedVC
+
+	// Checkpointing and recovery (checkpoint.go, persist.go).
+	snap            smr.Snapshotter // nil: state machine cannot snapshot
+	ckptInterval    int             // batches between checkpoints; 0 disables
+	dataDir         string          // "" : no crash-restart persistence
+	execCount       uint64          // fresh batches executed, in total order
+	ckptVotes       map[uint64]map[types.ProcessID]signedCkpt
+	ownStates       map[uint64][]byte // our snapshots awaiting stability
+	stable          ckptCert          // latest stable checkpoint certificate
+	stableState     []byte            // the state the stable cert certifies
+	gcVoteSeqs      map[types.ProcessID]types.SeqNum // fetch-store GC watermarks
+	gcSeqFloor      types.SeqNum                     // current-view prepare seqs GC'd below
+	stateTarget     uint64                           // checkpoint count being fetched (0: none)
+	pendingNV       *newView                         // NEW-VIEW deferred behind a state fetch
+	pendingNVRaw    []byte
+	lastNVRaw       []byte // encoded NEW-VIEW envelope of the installed view
+	announceRestart bool
+
+	statsMu sync.Mutex
+	fp      Footprint
 }
 
 type entryKey struct {
@@ -182,7 +238,7 @@ type event struct {
 }
 
 type timerEvent struct {
-	kind    byte // 't' request timeout, 'v' view-change timeout, 'f' fetch
+	kind    byte // 't' request timeout, 'v' view-change timeout, 'f' fetch, 's' state fetch
 	pending pendingKey
 	view    types.View
 	peer    types.ProcessID // fetch target trinket
@@ -227,9 +283,44 @@ func New(m types.Membership, tr transport.Transport, dev *trinc.Device, ver *tri
 		pending:    make(map[pendingKey]smr.Request),
 		proposed:   make(map[pendingKey]bool),
 		vcVotes:    make(map[types.View]map[types.ProcessID]signedVC),
+		ckptVotes:  make(map[uint64]map[types.ProcessID]signedCkpt),
+		ownStates:  make(map[uint64][]byte),
+		gcVoteSeqs: make(map[types.ProcessID]types.SeqNum),
 	}
 	for _, opt := range opts {
 		opt(r)
+	}
+	if snap, ok := sm.(smr.Snapshotter); ok {
+		r.snap = snap
+	}
+	switch {
+	case r.ckptInterval == 0:
+		r.ckptInterval = smr.DefaultCheckpointInterval()
+	case r.ckptInterval < 0:
+		r.ckptInterval = 0
+	}
+	if r.dataDir != "" {
+		if r.snap == nil {
+			cancel()
+			return nil, fmt.Errorf("minbft: data dir requires a snapshotting state machine (smr.Snapshotter)")
+		}
+		if err := os.MkdirAll(r.dataDir, 0o755); err != nil {
+			cancel()
+			return nil, fmt.Errorf("minbft: data dir: %w", err)
+		}
+		loaded, err := r.loadCheckpoint()
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		if loaded {
+			r.announceRestart = true
+		}
+	}
+	if dev.LastAttested(usigCounter) > 0 {
+		// The trinket attested before this process started: we are a
+		// rehydrated restart even without a checkpoint on disk.
+		r.announceRestart = true
 	}
 	r.wg.Add(2)
 	go r.recvLoop(ctx)
@@ -318,6 +409,9 @@ func (r *Replica) checkUI(ui trinc.Attestation, kind byte, body []byte) error {
 
 func (r *Replica) run(ctx context.Context) {
 	defer r.wg.Done()
+	if r.announceRestart {
+		r.sendRestart()
+	}
 	for {
 		ev, err := r.events.Pop(ctx)
 		if err != nil {
@@ -377,6 +471,12 @@ func (r *Replica) handleEnvelope(env transport.Envelope) {
 	case kindFetch:
 		r.handleFetch(env.From, body)
 		return
+	case kindStateFetch:
+		r.handleStateFetch(env.From, body)
+		return
+	case kindStateResp:
+		r.handleStateResp(body)
+		return
 	case kindFetchResp:
 		// The response carries a stored original envelope; it is
 		// self-authenticating (UI), so feed it back through this path.
@@ -410,16 +510,52 @@ func (r *Replica) ingestReplicaMsg(kind byte, body []byte, ui *trinc.Attestation
 	if ui.Seq <= r.lastUI[from] {
 		return // already processed (retransmission or replay)
 	}
+	if kind == kindRestart {
+		// An attested counter jump: the peer crashed and restarted.
+		// Messages it attested before the crash but never delivered are
+		// permanently lost, and waiting for them would stall its cursor
+		// forever. Skipping them is omission — tolerated — not
+		// equivocation: the trinket still binds at most one body per
+		// counter value.
+		for s := range buf {
+			if s <= ui.Seq {
+				delete(buf, s)
+			}
+		}
+		r.lastUI[from] = ui.Seq
+		msg := peerMsg{kind: kind, body: body, ui: *ui}
+		r.storeMsg(from, ui.Seq, msg)
+		r.dispatch(from, msg)
+		r.drainBuffer(from)
+		return
+	}
 	buf[ui.Seq] = peerMsg{kind: kind, body: body, ui: *ui}
 	if ui.Seq > r.lastUI[from]+1 {
 		// A gap: some earlier message of this trinket never arrived
 		// (targeted omission or loss). Ask the others for it.
 		r.scheduleFetch(from, r.lastUI[from]+1)
 	}
+	r.drainBuffer(from)
+	// Self-certifying kinds act immediately even while cursor-gapped: their
+	// handlers verify all embedded evidence and are idempotent, and a
+	// replica catching up after a restart may close old gaps only through
+	// the very messages below (NEW-VIEW evidence, checkpoint stability).
+	if msg, still := buf[ui.Seq]; still && ui.Seq > r.lastUI[from] {
+		switch kind {
+		case kindNewView, kindCheckpoint:
+			r.dispatch(from, msg)
+		}
+	}
+}
+
+// drainBuffer dispatches a peer's buffered messages in cursor order for as
+// long as they are contiguous.
+func (r *Replica) drainBuffer(from types.ProcessID) {
+	buf := r.uiBuffer[from]
 	for {
 		next, ok := buf[r.lastUI[from]+1]
 		if !ok {
-			break
+			return
 		}
 		delete(buf, r.lastUI[from]+1)
 		r.lastUI[from]++
@@ -428,8 +564,8 @@ func (r *Replica) ingestReplicaMsg(kind byte, body []byte, ui *trinc.Attestation
 	}
 }
 
-// storeMsg retains a processed message so lagging peers can fetch it.
-// (Unbounded without checkpoints, like the accepted-prepare log.)
+// storeMsg retains a processed message so lagging peers can fetch it
+// (garbage-collected below the stable checkpoint, see advanceStable).
 func (r *Replica) storeMsg(from types.ProcessID, seq types.SeqNum, msg peerMsg) {
 	bySeq := r.msgStore[from]
 	if bySeq == nil {
@@ -452,6 +588,11 @@ func (r *Replica) handleFetch(from types.ProcessID, body []byte) {
 	}
 	msg, ok := r.msgStore[peer][seq]
 	if !ok {
+		// Garbage-collected below the stable checkpoint? Then the fetcher
+		// can never gap-fill its way forward — offer the state instead.
+		if seq <= r.gcVoteSeqs[peer] && r.stableState != nil {
+			r.sendStableState(from)
+		}
 		return
 	}
 	inner := encodeEnvelope(msg.kind, msg.body, &msg.ui)
@@ -468,6 +609,10 @@ func (r *Replica) dispatch(from types.ProcessID, msg peerMsg) {
 		r.handleViewChange(from, msg)
 	case kindNewView:
 		r.handleNewView(from, msg)
+	case kindCheckpoint:
+		r.handleCheckpoint(from, msg)
+	case kindRestart:
+		r.handleRestart(from, msg)
 	}
 }
 
@@ -580,6 +725,16 @@ func (r *Replica) handleTimer(te timerEvent) {
 		next := te
 		next.retries++
 		r.afterTimeout(r.reqTimeout/2, next)
+	case 's':
+		if r.stateTarget == 0 || uint64(te.seq) < r.stateTarget {
+			return // superseded by a later target (which armed its own timer)
+		}
+		if r.execCount >= r.stateTarget {
+			r.stateTarget = 0
+			return
+		}
+		r.broadcastStateFetch()
+		r.afterTimeout(r.reqTimeout, te)
 	}
 }
 
@@ -634,13 +789,21 @@ func (r *Replica) handlePrepare(from types.ProcessID, msg peerMsg) {
 		return
 	}
 	key := entryKey{p.View, msg.ui.Seq}
-	r.entries[key].votes[r.Self()] = true
+	if en := r.entries[key]; en != nil {
+		// The entry can be gone already: if commit votes arrived ahead of the
+		// prepare, acceptPrepare's own tryExecute may have executed the slot
+		// and a checkpoint boundary may have collected it.
+		en.votes[r.Self()] = true
+	}
 	r.tryExecute()
 }
 
 // acceptPrepare records an accepted prepare: entry, execution order slot,
 // endorsed log for view changes, and the primary's implicit vote.
 func (r *Replica) acceptPrepare(primary types.ProcessID, p prepare, prepUI trinc.Attestation) {
+	if prepUI.Seq <= r.gcSeqFloor {
+		return // an executed slot the stable checkpoint already collected
+	}
 	key := entryKey{p.View, prepUI.Seq}
 	en := r.entries[key]
 	if en == nil {
@@ -677,6 +840,9 @@ func (r *Replica) handleCommit(from types.ProcessID, msg peerMsg) {
 	if r.inVC || c.View != r.view || r.m.Leader(c.View) != c.Primary || from == c.Primary {
 		return
 	}
+	if c.PrepSeq <= r.gcSeqFloor {
+		return // late endorsement of a slot the stable checkpoint collected
+	}
 	key := entryKey{c.View, c.PrepSeq}
 	en := r.entries[key]
 	if en == nil {
@@ -702,9 +868,27 @@ func (r *Replica) tryExecute() {
 	for r.execIdx < len(r.prepOrder) {
 		key := r.prepOrder[r.execIdx]
 		en := r.entries[key]
-		if en == nil || en.reqs == nil || en.executed || len(en.votes) < r.m.FPlusOne() {
+		if en == nil || en.reqs == nil || en.executed {
 			break
 		}
+		// Freshness is decided before applying the batch: a batch with at
+		// least one unexecuted request advances the checkpoint count. The
+		// view-change replay path counts by the same rule, and freshness at
+		// a slot is a function of the executed prefix alone, so the count —
+		// and the state digest voted at each count — is identical across
+		// correct replicas regardless of which path executed the slot.
+		fresh := r.anyFresh(en.reqs)
+		if fresh && len(en.votes) < r.m.FPlusOne() {
+			break
+		}
+		// An all-stale batch is stepped over without waiting for a commit
+		// quorum: every request in it is already reflected in the client
+		// table (typically because a state transfer installed a checkpoint
+		// covering the slot), so applying it is a deterministic no-op at
+		// every correct replica — and the commits completing its quorum may
+		// have been garbage-collected at the peers, which would wedge the
+		// pipeline behind it forever. execute() below still resends the
+		// cached replies.
 		en.executed = true
 		r.execIdx++
 		for _, req := range en.reqs {
@@ -712,6 +896,9 @@ func (r *Replica) tryExecute() {
 		}
 		if en.mine && r.inFlight > 0 {
 			r.inFlight--
+		}
+		if fresh {
+			r.countExecuted()
 		}
 		executed = true
 	}
@@ -747,7 +934,7 @@ func (r *Replica) startViewChange(target types.View) {
 	}
 	r.inVC = true
 	r.targetView = target
-	vc := viewChange{NewView: target, Log: r.acceptedLog}
+	vc := viewChange{NewView: target, Log: r.acceptedLog, Cert: r.stable}
 	body := vc.encodeBody()
 	ui, err := r.attestAndSend(kindViewChange, body)
 	if err != nil {
@@ -764,13 +951,20 @@ func (r *Replica) handleViewChange(from types.ProcessID, msg peerMsg) {
 		return
 	}
 	if vc.NewView <= r.view {
+		// A replica still trying to leave an older view missed our NEW-VIEW
+		// (a restarted rejoiner, or targeted omission): resend the stored
+		// installation evidence, which is self-certifying.
+		if r.lastNVRaw != nil {
+			_ = r.tr.Send(from, encodeEnvelope(kindFetchResp, r.lastNVRaw, nil))
+		}
 		return
 	}
 	r.recordVC(from, signedVC{Sender: from, Body: msg.body, UI: msg.ui})
 }
 
-// maxLogEntries bounds decoded view-change logs (no checkpointing yet, so
-// generous; a real deployment would garbage-collect via checkpoints).
+// maxLogEntries bounds decoded view-change logs (generous: the accepted log
+// is garbage-collected at every stable checkpoint, so correct replicas stay
+// around two checkpoint intervals).
 const maxLogEntries = 1 << 16
 
 func (r *Replica) recordVC(from types.ProcessID, vc signedVC) {
@@ -804,10 +998,11 @@ func (r *Replica) recordVC(from types.ProcessID, vc signedVC) {
 		vcs = vcs[:r.m.FPlusOne()]
 		install := newView{NewView: nv.NewView, VCs: vcs}
 		body := install.encodeBody()
-		if _, err := r.attestAndSend(kindNewView, body); err != nil {
+		ui, err := r.attestAndSend(kindNewView, body)
+		if err != nil {
 			return
 		}
-		r.installView(install)
+		r.installView(install, encodeEnvelope(kindNewView, body, &ui))
 	}
 }
 
@@ -855,13 +1050,42 @@ func (r *Replica) handleNewView(from types.ProcessID, msg peerMsg) {
 	if r.ver.CheckMessages(batch) != nil {
 		return
 	}
-	r.installView(nv)
+	r.installView(nv, encodeEnvelope(kindNewView, msg.body, &msg.ui))
 }
 
 // installView deterministically recomputes the union log from the f+1
 // view-change messages, executes everything not yet executed in (view,
-// prepare-counter) order, and enters the new view.
-func (r *Replica) installView(nv newView) {
+// prepare-counter) order, and enters the new view. raw is the encoded
+// NEW-VIEW envelope, retained so laggards demanding an older view can be
+// handed the installation evidence directly.
+func (r *Replica) installView(nv newView, raw []byte) {
+	if nv.NewView <= r.view {
+		return
+	}
+	if r.ckptEnabled() {
+		// Checkpoint horizon: the highest verified stable checkpoint among
+		// the embedded view changes. If it is ahead of our execution, the
+		// surviving union suffix builds on state we do not have (its prefix
+		// was garbage-collected at that checkpoint) — executing it here
+		// would diverge. Install the checkpoint first, then resume.
+		var horizon ckptCert
+		for _, vc := range nv.VCs {
+			body, err := decodeViewChangeBody(vc.Body, maxLogEntries)
+			if err != nil {
+				continue
+			}
+			if body.Cert.Count > horizon.Count && r.verifyCkptCertVotes(body.Cert) == nil {
+				horizon = body.Cert
+			}
+		}
+		if horizon.Count > r.execCount {
+			nvCopy := nv
+			r.pendingNV = &nvCopy
+			r.pendingNVRaw = raw
+			r.requestState(horizon.Count)
+			return
+		}
+	}
 	union := make(map[entryKey]logEntry)
 	for _, vc := range nv.VCs {
 		body, err := decodeViewChangeBody(vc.Body, maxLogEntries)
@@ -898,8 +1122,14 @@ func (r *Replica) installView(nv newView) {
 		return ordered[i].PrepSeq < ordered[j].PrepSeq
 	})
 	for _, le := range ordered {
+		// Same freshness rule as tryExecute, so the checkpoint count stays
+		// consistent whichever path executes a slot.
+		fresh := r.anyFresh(le.Reqs)
 		for _, req := range le.Reqs {
 			r.execute(req)
+		}
+		if fresh {
+			r.countExecuted()
 		}
 	}
 
@@ -913,7 +1143,10 @@ func (r *Replica) installView(nv newView) {
 	r.prepOrder = nil
 	r.execIdx = 0
 	r.inFlight = 0
+	r.gcSeqFloor = 0
 	r.proposed = make(map[pendingKey]bool)
+	r.lastNVRaw = raw
+	r.pendingNV, r.pendingNVRaw = nil, nil
 	for v := range r.vcVotes {
 		if v <= r.view {
 			delete(r.vcVotes, v)

@@ -20,8 +20,12 @@ const (
 	kindCommit
 	kindViewChange
 	kindNewView
-	kindFetch     // unattested query: "send me peer P's message at UI seq S"
-	kindFetchResp // carries a stored original envelope, self-authenticating
+	kindFetch      // unattested query: "send me peer P's message at UI seq S"
+	kindFetchResp  // carries a stored original envelope, self-authenticating
+	kindCheckpoint // attested state digest at an execution-count boundary
+	kindStateFetch // unattested query: "send me your stable checkpoint >= count"
+	kindStateResp  // checkpoint cert + state payload, self-certifying (cert UIs)
+	kindRestart    // attested counter-jump announcement after a crash-restart
 )
 
 const uiDomain = "unidir/minbft/ui/v1"
@@ -179,10 +183,13 @@ func decodeLogEntry(d *wire.Decoder) (logEntry, error) {
 }
 
 // viewChange announces a replica's move to a new view, carrying its
-// accepted-prepare log.
+// accepted-prepare log (garbage-collected below the stable checkpoint) and
+// its stable-checkpoint certificate, so the union computed at view install
+// knows the state the surviving log suffix builds on.
 type viewChange struct {
 	NewView types.View
 	Log     []logEntry
+	Cert    ckptCert // stable checkpoint certificate (Count 0: none yet)
 }
 
 func (v viewChange) encodeBody() []byte {
@@ -192,6 +199,7 @@ func (v viewChange) encodeBody() []byte {
 	for _, le := range v.Log {
 		encodeLogEntry(e, le)
 	}
+	encodeCkptCert(e, v.Cert)
 	return e.Bytes()
 }
 
@@ -213,6 +221,11 @@ func decodeViewChangeBody(b []byte, maxEntries int) (viewChange, error) {
 		}
 		v.Log = append(v.Log, le)
 	}
+	cert, err := decodeCkptCert(d, maxCertVotes)
+	if err != nil {
+		return viewChange{}, fmt.Errorf("minbft: decode view-change: %w", err)
+	}
+	v.Cert = cert
 	if err := d.Finish(); err != nil {
 		return viewChange{}, fmt.Errorf("minbft: decode view-change: %w", err)
 	}

@@ -11,9 +11,14 @@
 // sequence number; requests execute in in-batch order with per-client dedup,
 // so batching changes the amortization, not the properties (DESIGN.md §5).
 //
-// Scope note (DESIGN.md): view changes and checkpoints are not implemented;
-// the benchmarks compare normal-case behavior, and the liveness tests for
-// leader failure live in the MinBFT package. The view is fixed at 0.
+// Checkpointing (checkpoint.go): every K executed batches the replica
+// snapshots its state and broadcasts a signed CHECKPOINT; 2f+1 matching
+// votes make it stable, releasing all slots below and enabling state
+// transfer for replicas the quorum has left behind.
+//
+// Scope note (DESIGN.md): view changes are not implemented; the benchmarks
+// compare normal-case behavior, and the liveness tests for leader failure
+// live in the MinBFT package. The view is fixed at 0.
 package pbft
 
 import (
@@ -39,6 +44,9 @@ const (
 	kindPrePrepare
 	kindPrepare
 	kindCommit
+	kindCheckpoint // signed state digest at a sequence-number boundary
+	kindStateFetch // signed query for a stable checkpoint >= n
+	kindStateResp  // stable cert (2f+1 signed votes) + state payload
 )
 
 const sigDomain = "unidir/pbft/v1"
@@ -70,6 +78,17 @@ type Replica struct {
 	pending   map[pendingKey]smr.Request // primary's unproposed backlog
 	proposed  map[pendingKey]bool        // requests inside an assigned slot
 	proposing bool                       // re-entrancy guard for maybePropose
+
+	// Checkpointing (checkpoint.go).
+	snap         smr.Snapshotter // nil: state machine cannot snapshot
+	ckptInterval int             // batches between checkpoints; 0 disables
+	ckptVotes    map[types.SeqNum]map[types.ProcessID]ckptVote
+	ownStates    map[types.SeqNum][]byte // our snapshots awaiting stability
+	stable       ckptCert                // latest stable checkpoint
+	stableState  []byte
+
+	statsMu sync.Mutex
+	fp      Footprint
 }
 
 type pendingKey struct {
@@ -119,6 +138,19 @@ func WithBatchSize(k int) Option {
 	}
 }
 
+// WithCheckpointInterval sets how many executed batches separate
+// checkpoints (k <= 0 disables; 0-default from smr.DefaultCheckpointInterval,
+// the UNIDIR_CKPT knob). Requires an smr.Snapshotter state machine;
+// ignored otherwise.
+func WithCheckpointInterval(k int) Option {
+	return func(r *Replica) {
+		if k <= 0 {
+			k = -1 // explicitly disabled (0 means "use the default")
+		}
+		r.ckptInterval = k
+	}
+}
+
 // New starts a replica (requires n >= 3f+1).
 func New(m types.Membership, tr transport.Transport, ring *sig.Keyring, sm smr.StateMachine, opts ...Option) (*Replica, error) {
 	if err := m.Validate(); err != nil {
@@ -142,11 +174,22 @@ func New(m types.Membership, tr transport.Transport, ring *sig.Keyring, sm smr.S
 		execNext: 1,
 		slots:    make(map[types.SeqNum]*slot),
 		table:    smr.NewClientTable(),
-		pending:  make(map[pendingKey]smr.Request),
-		proposed: make(map[pendingKey]bool),
+		pending:   make(map[pendingKey]smr.Request),
+		proposed:  make(map[pendingKey]bool),
+		ckptVotes: make(map[types.SeqNum]map[types.ProcessID]ckptVote),
+		ownStates: make(map[types.SeqNum][]byte),
 	}
 	for _, opt := range opts {
 		opt(r)
+	}
+	if snap, ok := sm.(smr.Snapshotter); ok {
+		r.snap = snap
+	}
+	switch {
+	case r.ckptInterval == 0:
+		r.ckptInterval = smr.DefaultCheckpointInterval()
+	case r.ckptInterval < 0:
+		r.ckptInterval = 0
 	}
 	r.wg.Add(2)
 	go r.recvLoop(ctx)
@@ -258,8 +301,11 @@ func (r *Replica) handle(env transport.Envelope) {
 		}
 		r.handleRequest(req)
 		return
-	case kindPrePrepare, kindPrepare, kindCommit:
+	case kindPrePrepare, kindPrepare, kindCommit, kindCheckpoint, kindStateFetch, kindStateResp:
 		if v != r.view {
+			return
+		}
+		if !r.m.Contains(env.From) {
 			return
 		}
 		if err := r.ring.Verify(env.From, signedBytes(kind, v, n, payload), signature); err != nil {
@@ -275,6 +321,12 @@ func (r *Replica) handle(env transport.Envelope) {
 		r.handlePrepare(env.From, n, payload)
 	case kindCommit:
 		r.handleCommit(env.From, n, payload)
+	case kindCheckpoint:
+		r.handleCheckpoint(env.From, n, payload, signature)
+	case kindStateFetch:
+		r.handleStateFetch(env.From, n)
+	case kindStateResp:
+		r.handleStateResp(payload)
 	}
 }
 
@@ -375,7 +427,7 @@ func (r *Replica) adopt(sl *slot, reqs []smr.Request, digest [sha256.Size]byte) 
 }
 
 func (r *Replica) handlePrePrepare(from types.ProcessID, n types.SeqNum, payload []byte) {
-	if r.m.Leader(r.view) != from || n == 0 {
+	if r.m.Leader(r.view) != from || n == 0 || n <= r.stable.Seq {
 		return
 	}
 	reqs, err := smr.DecodeRequests(payload, maxBatchDecode)
@@ -397,8 +449,8 @@ func (r *Replica) handlePrePrepare(from types.ProcessID, n types.SeqNum, payload
 }
 
 func (r *Replica) handlePrepare(from types.ProcessID, n types.SeqNum, digest []byte) {
-	if len(digest) != sha256.Size {
-		return
+	if len(digest) != sha256.Size || n <= r.stable.Seq {
+		return // released slots take no further votes
 	}
 	sl := r.slot(n)
 	if sl.reqs != nil {
@@ -413,8 +465,8 @@ func (r *Replica) handlePrepare(from types.ProcessID, n types.SeqNum, digest []b
 }
 
 func (r *Replica) handleCommit(from types.ProcessID, n types.SeqNum, digest []byte) {
-	if len(digest) != sha256.Size {
-		return
+	if len(digest) != sha256.Size || n <= r.stable.Seq {
+		return // released slots take no further votes
 	}
 	sl := r.slot(n)
 	if sl.reqs != nil {
@@ -452,9 +504,13 @@ func (r *Replica) progress(n types.SeqNum, sl *slot) {
 			break
 		}
 		next.executed = true
+		seq := r.execNext
 		r.execNext++
 		for _, req := range next.reqs {
 			r.execute(req)
+		}
+		if r.ckptEnabled() && uint64(seq)%uint64(r.ckptInterval) == 0 {
+			r.takeCheckpoint(seq)
 		}
 		executed = true
 	}

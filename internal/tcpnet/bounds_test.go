@@ -1,0 +1,51 @@
+package tcpnet
+
+import (
+	"testing"
+	"time"
+
+	"unidir/internal/wire"
+)
+
+// TestMaxFrameMatchesWireBound pins the framing limit to the codec's: any
+// payload wire accepts must be framable, or a legal message would be
+// silently undeliverable over TCP while working on simnet.
+func TestMaxFrameMatchesWireBound(t *testing.T) {
+	if maxFrame != wire.MaxPayload {
+		t.Fatalf("maxFrame = %d, wire.MaxPayload = %d; the transport must frame every payload the codec accepts",
+			maxFrame, wire.MaxPayload)
+	}
+}
+
+func TestWithDialTimeout(t *testing.T) {
+	cfg := Config{0: "127.0.0.1:0"}
+
+	n, err := New(0, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if n.dialTimeout != defaultDialTimeout {
+		t.Fatalf("default dial timeout = %v, want %v", n.dialTimeout, defaultDialTimeout)
+	}
+	_ = n.Close()
+
+	n, err = New(0, cfg, WithDialTimeout(123*time.Millisecond))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if n.dialTimeout != 123*time.Millisecond {
+		t.Fatalf("dial timeout = %v, want 123ms", n.dialTimeout)
+	}
+	_ = n.Close()
+
+	// Non-positive restores the default rather than disabling the bound: a
+	// dial that can hang forever would wedge the sender goroutine.
+	n, err = New(0, cfg, WithDialTimeout(-1))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if n.dialTimeout != defaultDialTimeout {
+		t.Fatalf("dial timeout after WithDialTimeout(-1) = %v, want %v", n.dialTimeout, defaultDialTimeout)
+	}
+	_ = n.Close()
+}

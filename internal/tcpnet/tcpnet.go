@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -34,16 +35,22 @@ import (
 	"unidir/internal/syncx"
 	"unidir/internal/transport"
 	"unidir/internal/types"
+	"unidir/internal/wire"
 )
 
-// maxFrame bounds a single message (defensive, matches wire.maxBytesLen).
-const maxFrame = 64 << 20
+// maxFrame bounds a single message (defensive). It must stay consistent
+// with wire.MaxPayload — a payload the codec accepts must be framable —
+// which bounds_test.go asserts.
+const maxFrame = wire.MaxPayload
 
 // defaultWriteTimeout bounds one coalesced write+flush. A peer that accepts
 // but never reads would otherwise block the sender goroutine forever once
 // the kernel buffers fill; on expiry the connection is dropped and redialed,
 // and the undelivered frames are retried on the fresh connection.
 const defaultWriteTimeout = 15 * time.Second
+
+// defaultDialTimeout bounds one connection attempt (see WithDialTimeout).
+const defaultDialTimeout = 2 * time.Second
 
 // Config maps every process to its listen address ("host:port").
 type Config map[types.ProcessID]string
@@ -59,12 +66,25 @@ func WithWriteTimeout(d time.Duration) Option {
 	return func(n *Net) { n.writeTimeout = d }
 }
 
+// WithDialTimeout bounds each outbound connection attempt (default 2s).
+// Attempts also abort when the transport closes, whatever the timeout.
+// d <= 0 restores the default.
+func WithDialTimeout(d time.Duration) Option {
+	return func(n *Net) {
+		if d <= 0 {
+			d = defaultDialTimeout
+		}
+		n.dialTimeout = d
+	}
+}
+
 // Net is one process's TCP transport endpoint.
 type Net struct {
 	self types.ProcessID
 	cfg  Config
 
 	writeTimeout time.Duration
+	dialTimeout  time.Duration
 
 	listener net.Listener
 	inbox    *syncx.Queue[transport.Envelope]
@@ -96,6 +116,7 @@ func New(self types.ProcessID, cfg Config, opts ...Option) (*Net, error) {
 		self:         self,
 		cfg:          cfg,
 		writeTimeout: defaultWriteTimeout,
+		dialTimeout:  defaultDialTimeout,
 		listener:     ln,
 		inbox:        syncx.NewQueue[transport.Envelope](),
 		senders:      make(map[types.ProcessID]*sender),
@@ -286,10 +307,15 @@ func (s *sender) run() {
 			if conn == nil {
 				conn, err = s.dial()
 				if err != nil {
+					// Jittered exponential backoff: replicas restarting
+					// together (a cluster-wide crash, a rolling restart)
+					// would otherwise redial a still-down peer in lockstep
+					// at identical deterministic intervals.
+					wait := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
 					select {
 					case <-s.net.ctx.Done():
 						return
-					case <-time.After(backoff):
+					case <-time.After(wait):
 					}
 					if backoff < time.Second {
 						backoff *= 2
@@ -345,7 +371,7 @@ func (s *sender) writeBatch(conn net.Conn, bw *bufio.Writer, batch [][]byte) err
 }
 
 func (s *sender) dial() (net.Conn, error) {
-	d := net.Dialer{Timeout: 2 * time.Second}
+	d := net.Dialer{Timeout: s.net.dialTimeout}
 	conn, err := d.DialContext(s.net.ctx, "tcp", s.addr)
 	if err != nil {
 		return nil, err

@@ -142,13 +142,47 @@ type Device struct {
 	owner types.ProcessID
 	ring  *sig.Keyring
 
-	mu   sync.Mutex
-	logs map[uint64][][]byte
-	next uint64
+	mu    sync.Mutex
+	logs  map[uint64][][]byte
+	base  map[uint64]uint64  // log -> entries lost to a restart (seq offset)
+	next  uint64
+	store trinc.CounterStore // nil: volatile device
 }
 
 // Owner returns the process this device belongs to.
 func (d *Device) Owner() types.ProcessID { return d.owner }
+
+// Persist attaches a counter store recording each log's end position
+// write-ahead of the append, and rehydrates persisted logs: the end counter
+// survives a restart (the hardware's NVRAM guarantee) while entry *values*
+// do not (they lived in RAM), so a rehydrated log resumes appending above
+// its old end — no sequence number is ever reused, hence no equivocation —
+// but Lookup/End of pre-restart entries fail until new appends arrive.
+//
+// The TrInc-backed construction (TrIncLog) needs no analogue of this:
+// persist its trinket instead, and a post-restart Append fails loudly with
+// ErrStaleSeq (the rehydrated data counter is above the rebuilt in-memory
+// chain), which is the fail-stop behavior the contiguity argument requires.
+func (d *Device) Persist(cs trinc.CounterStore) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.base == nil {
+		d.base = make(map[uint64]uint64)
+	}
+	for id, end := range cs.Last() {
+		if end > d.base[id]+uint64(len(d.logs[id])) {
+			d.base[id] = end - uint64(len(d.logs[id]))
+		}
+		if _, ok := d.logs[id]; !ok {
+			d.logs[id] = nil
+		}
+		if id > d.next {
+			d.next = id
+		}
+	}
+	d.store = cs
+	return nil
+}
 
 // CreateLog allocates a fresh empty log and returns its ID.
 func (d *Device) CreateLog() uint64 {
@@ -168,12 +202,22 @@ func (d *Device) Append(id uint64, x []byte) (types.SeqNum, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: id=%d", ErrNoSuchLog, id)
 	}
+	seq := types.SeqNum(d.base[id] + uint64(len(log)) + 1)
+	if d.store != nil {
+		// Write-ahead, like trinc.Device.Attest: the new end must be durable
+		// before any proof of this entry can exist.
+		if err := d.store.Record(id, uint64(seq)); err != nil {
+			return 0, fmt.Errorf("a2m: persist log end: %w", err)
+		}
+	}
 	cp := append([]byte(nil), x...)
 	d.logs[id] = append(log, cp)
-	return types.SeqNum(len(log) + 1), nil
+	return seq, nil
 }
 
-// Lookup returns a signed proof of the value at index s of log id.
+// Lookup returns a signed proof of the value at index s of log id. Entries
+// below a restarted log's base are gone (their values lived in RAM): the
+// device refuses rather than invent them.
 func (d *Device) Lookup(id uint64, s types.SeqNum, nonce []byte) (Proof, error) {
 	d.mu.Lock()
 	log, ok := d.logs[id]
@@ -181,11 +225,16 @@ func (d *Device) Lookup(id uint64, s types.SeqNum, nonce []byte) (Proof, error) 
 		d.mu.Unlock()
 		return Proof{}, fmt.Errorf("%w: id=%d", ErrNoSuchLog, id)
 	}
-	if s == 0 || int(s) > len(log) {
+	base := d.base[id]
+	if s == 0 || uint64(s) > base+uint64(len(log)) {
 		d.mu.Unlock()
-		return Proof{}, fmt.Errorf("%w: s=%d len=%d", ErrNoSuchEntry, s, len(log))
+		return Proof{}, fmt.Errorf("%w: s=%d len=%d", ErrNoSuchEntry, s, base+uint64(len(log)))
 	}
-	val := log[s-1]
+	if uint64(s) <= base {
+		d.mu.Unlock()
+		return Proof{}, fmt.Errorf("%w: s=%d predates restart (base=%d)", ErrNoSuchEntry, s, base)
+	}
+	val := log[uint64(s)-base-1]
 	d.mu.Unlock()
 	return d.prove(KindLookup, id, s, val, nonce), nil
 }
@@ -199,10 +248,12 @@ func (d *Device) End(id uint64, nonce []byte) (Proof, error) {
 		return Proof{}, fmt.Errorf("%w: id=%d", ErrNoSuchLog, id)
 	}
 	if len(log) == 0 {
+		// Either never appended, or every entry predates a restart; in both
+		// cases there is no value to prove.
 		d.mu.Unlock()
 		return Proof{}, fmt.Errorf("%w: id=%d", ErrEmptyLog, id)
 	}
-	s := types.SeqNum(len(log))
+	s := types.SeqNum(d.base[id] + uint64(len(log)))
 	val := log[len(log)-1]
 	d.mu.Unlock()
 	return d.prove(KindEnd, id, s, val, nonce), nil

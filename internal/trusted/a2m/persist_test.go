@@ -1,0 +1,100 @@
+package a2m
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"unidir/internal/sig"
+	"unidir/internal/types"
+)
+
+// ctrMem is an in-memory trinc.CounterStore for tests.
+type ctrMem struct{ last map[uint64]uint64 }
+
+func (m *ctrMem) Record(counter, value uint64) error {
+	if m.last == nil {
+		m.last = make(map[uint64]uint64)
+	}
+	if value > m.last[counter] {
+		m.last[counter] = value
+	}
+	return nil
+}
+
+func (m *ctrMem) Last() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m.last))
+	for k, v := range m.last {
+		out[k] = v
+	}
+	return out
+}
+
+// TestPersistedDeviceNeverReusesSeqs models the A2M NVRAM guarantee: a
+// restarted device keeps each log's end position even though the entry
+// values (RAM) are gone, so appends resume above the old end — no sequence
+// number is ever handed out twice — while proofs about lost entries are
+// refused rather than invented.
+func TestPersistedDeviceNeverReusesSeqs(t *testing.T) {
+	const seed = 21
+	m, err := types.NewMembership(3, 1)
+	if err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	cs := &ctrMem{}
+
+	u1, err := NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(seed)), nil)
+	if err != nil {
+		t.Fatalf("universe: %v", err)
+	}
+	dev := u1.Devices[0]
+	if err := dev.Persist(cs); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	id := dev.CreateLog()
+	for i := 0; i < 3; i++ {
+		if _, err := dev.Append(id, []byte{byte(i)}); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+
+	// Restart: same provisioning seed, fresh in-memory state, rehydrate.
+	u2, err := NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(seed)), nil)
+	if err != nil {
+		t.Fatalf("universe: %v", err)
+	}
+	dev2 := u2.Devices[0]
+	if err := dev2.Persist(cs); err != nil {
+		t.Fatalf("Persist after restart: %v", err)
+	}
+
+	// The entry values are gone; the device must refuse to prove them.
+	if _, err := dev2.Lookup(id, 2, []byte("n")); !errors.Is(err, ErrNoSuchEntry) {
+		t.Fatalf("Lookup of lost entry: err = %v, want ErrNoSuchEntry", err)
+	}
+	if _, err := dev2.End(id, []byte("n")); !errors.Is(err, ErrEmptyLog) {
+		t.Fatalf("End of emptied log: err = %v, want ErrEmptyLog", err)
+	}
+
+	// But the end position survived: the next append gets seq 4, never a
+	// reused number.
+	seq, err := dev2.Append(id, []byte("post"))
+	if err != nil {
+		t.Fatalf("Append after restart: %v", err)
+	}
+	if seq != 4 {
+		t.Fatalf("post-restart Append seq = %d, want 4", seq)
+	}
+	p, err := dev2.End(id, []byte("nonce"))
+	if err != nil {
+		t.Fatalf("End after new append: %v", err)
+	}
+	if p.Stmt.Seq != 4 {
+		t.Fatalf("End seq = %d, want 4", p.Stmt.Seq)
+	}
+	// The original deployment's verifier accepts the restarted device's
+	// proofs (deterministic provisioning).
+	if err := u1.Verifier.Check(p); err != nil {
+		t.Fatalf("Verifier.Check: %v", err)
+	}
+}

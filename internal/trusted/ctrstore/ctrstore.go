@@ -1,0 +1,138 @@
+// Package ctrstore persists monotone counter state for the simulated trusted
+// devices (trinc.Device, a2m.Device) across process restarts.
+//
+// The paper's classification leans on trusted counters being monotone
+// *forever* — a TrInc trinket that forgot its counter on reboot could
+// re-attest a used value and equivocate after all. Real hardware keeps the
+// counter in NVRAM; this package is that NVRAM for the in-process devices: a
+// tiny append-only write-ahead log of (counter, value) advances. A device
+// records each advance *before* releasing the attestation, so after a crash
+// the replayed maximum per counter is always >= the highest value any
+// released attestation carries, and rehydrated devices can never sign below
+// it.
+//
+// Records are appended with a single write(2) each, so they survive process
+// crashes (SIGKILL) without fsync; Sync is available for callers that also
+// want power-loss durability. A torn trailing record (crash mid-write) is
+// ignored on replay — by the write-ahead ordering, a torn record's
+// attestation was never released, so dropping it is safe.
+package ctrstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// recordSize is one WAL record: 8-byte counter ID, 8-byte value, both
+// little-endian.
+const recordSize = 16
+
+// Store is an open counter WAL. Safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	last map[uint64]uint64
+}
+
+// Open opens (creating if needed) the WAL at path and replays it.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("ctrstore: open %s: %w", path, err)
+	}
+	s := &Store{f: f, last: make(map[uint64]uint64)}
+	if err := s.replay(); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// replay scans the log, keeping the maximum value seen per counter, and
+// positions the write offset after the last complete record.
+func (s *Store) replay() error {
+	var rec [recordSize]byte
+	var off int64
+	for {
+		n, err := io.ReadFull(s.f, rec[:])
+		if err == io.EOF {
+			break
+		}
+		if err == io.ErrUnexpectedEOF {
+			// Torn trailing record: the attestation guarded by it was never
+			// released (write-ahead ordering), so drop it.
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("ctrstore: replay: %w", err)
+		}
+		_ = n
+		counter := binary.LittleEndian.Uint64(rec[:8])
+		value := binary.LittleEndian.Uint64(rec[8:])
+		if value > s.last[counter] {
+			s.last[counter] = value
+		}
+		off += recordSize
+	}
+	if _, err := s.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("ctrstore: seek: %w", err)
+	}
+	return nil
+}
+
+// Record durably appends one counter advance. It must return before the
+// attestation guarded by it is released.
+func (s *Store) Record(counter, value uint64) error {
+	var rec [recordSize]byte
+	binary.LittleEndian.PutUint64(rec[:8], counter)
+	binary.LittleEndian.PutUint64(rec[8:], value)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("ctrstore: store closed")
+	}
+	if _, err := s.f.Write(rec[:]); err != nil {
+		return fmt.Errorf("ctrstore: append: %w", err)
+	}
+	if value > s.last[counter] {
+		s.last[counter] = value
+	}
+	return nil
+}
+
+// Last returns a copy of the highest recorded value per counter.
+func (s *Store) Last() map[uint64]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint64]uint64, len(s.last))
+	for k, v := range s.last {
+		out[k] = v
+	}
+	return out
+}
+
+// Sync flushes the log to stable storage (power-loss durability; process
+// crashes are already covered by the unbuffered writes).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	return s.f.Sync()
+}
+
+// Close closes the log. Further Records fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,95 @@
+package ctrstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReplayKeepsMaxPerCounter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ctr.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, rec := range [][2]uint64{{0, 5}, {0, 9}, {1, 3}, {0, 7}} {
+		if err := s.Record(rec[0], rec[1]); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s, err = Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	last := s.Last()
+	if last[0] != 9 || last[1] != 3 {
+		t.Fatalf("replayed last = %v, want 0:9 1:3", last)
+	}
+}
+
+func TestTornTrailingRecordIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ctr.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Record(4, 11); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate a crash mid-append: a partial record at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x01}); err != nil {
+		t.Fatalf("write torn tail: %v", err)
+	}
+	_ = f.Close()
+
+	s, err = Open(path)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	if last := s.Last(); last[4] != 11 {
+		t.Fatalf("last = %v, want 4:11", last)
+	}
+	// New appends land where the complete records ended, overwriting the
+	// torn bytes, and survive another reopen.
+	if err := s.Record(4, 12); err != nil {
+		t.Fatalf("Record after torn tail: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s, err = Open(path)
+	if err != nil {
+		t.Fatalf("final reopen: %v", err)
+	}
+	defer s.Close()
+	if last := s.Last(); last[4] != 12 {
+		t.Fatalf("last after overwrite = %v, want 4:12", last)
+	}
+}
+
+func TestRecordAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ctr.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Record(0, 1); err == nil {
+		t.Fatal("Record on closed store succeeded")
+	}
+}

@@ -109,6 +109,16 @@ func DecodeAttestation(b []byte) (Attestation, error) {
 // HashMessage returns the message digest attestations bind to.
 func HashMessage(m []byte) [sha256.Size]byte { return sha256.Sum256(m) }
 
+// CounterStore persists counter advances across device restarts. Record is
+// called with every advance *before* the matching attestation is released,
+// so a crash can lose an attested-but-unsent message but never resurrect a
+// counter value; Last returns the highest recorded value per counter. See
+// internal/trusted/ctrstore for the file-backed implementation.
+type CounterStore interface {
+	Record(counter, value uint64) error
+	Last() map[uint64]uint64
+}
+
 // Device simulates one process's trinket. Devices are safe for concurrent
 // use. Counters are created implicitly on first use, starting at 0 (so the
 // first attestable sequence number is 1).
@@ -116,12 +126,31 @@ type Device struct {
 	owner types.ProcessID
 	ring  *sig.Keyring // device-private keyring, never exposed
 
-	mu   sync.Mutex
-	last map[uint64]types.SeqNum // counter -> last attested value
+	mu    sync.Mutex
+	last  map[uint64]types.SeqNum // counter -> last attested value
+	store CounterStore            // nil: volatile device (the pre-persistence model)
 }
 
 // Owner returns the process this trinket belongs to.
 func (d *Device) Owner() types.ProcessID { return d.owner }
+
+// Persist attaches a counter store to the device and rehydrates every
+// counter to at least its persisted maximum — the software form of the
+// hardware guarantee that a trinket's NVRAM counter survives reboot. From
+// here on, every Attest write-ahead-logs the advance before signing: if the
+// log write fails the attestation is refused (fail-stop), so no released
+// attestation can ever be below a future rehydrated counter.
+func (d *Device) Persist(cs CounterStore) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for counter, v := range cs.Last() {
+		if types.SeqNum(v) > d.last[counter] {
+			d.last[counter] = types.SeqNum(v)
+		}
+	}
+	d.store = cs
+	return nil
+}
 
 // Attest binds message m to sequence number c on the given counter and
 // returns the signed attestation. It fails with ErrStaleSeq if c is not
@@ -136,6 +165,15 @@ func (d *Device) Attest(counter uint64, c types.SeqNum, m []byte) (Attestation, 
 	if c <= prev {
 		d.mu.Unlock()
 		return Attestation{}, fmt.Errorf("%w: c=%d last=%d", ErrStaleSeq, c, prev)
+	}
+	if d.store != nil {
+		// Write-ahead: the advance must be durable before the attestation
+		// exists, else a crash between signing and logging could let the
+		// rehydrated counter re-attest this value.
+		if err := d.store.Record(counter, uint64(c)); err != nil {
+			d.mu.Unlock()
+			return Attestation{}, fmt.Errorf("trinc: persist counter advance: %w", err)
+		}
 	}
 	d.last[counter] = c
 	d.mu.Unlock()

@@ -22,10 +22,14 @@ import (
 	"sync"
 )
 
-// Maximum length accepted for a single byte-string field. This is a defensive
-// bound: a malformed or malicious length prefix must not cause a huge
-// allocation. 64 MiB comfortably exceeds any message this library produces.
-const maxBytesLen = 64 << 20
+// MaxPayload is the maximum length accepted for a single byte-string field.
+// This is a defensive bound: a malformed or malicious length prefix must not
+// cause a huge allocation. 64 MiB comfortably exceeds any message this
+// library produces. Transports framing wire-encoded messages (tcpnet) size
+// their frame limit from this constant so the two bounds cannot drift.
+const MaxPayload = 64 << 20
+
+const maxBytesLen = MaxPayload
 
 var (
 	// ErrTruncated reports that the input ended before the field being read.
