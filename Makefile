@@ -5,22 +5,39 @@ BENCH_JSON ?= bench.json
 BENCH_OPS ?= 300
 BENCH_MSGS ?= 100
 
-.PHONY: check vet build test soak bench-smoke bench-json
+.PHONY: check vet staticcheck build test race soak bench-smoke bench-json
 
 # check is the full local gate: static checks, build, the race-enabled
 # test suite, and a one-iteration smoke run of the signature fast-path
 # benchmarks (catches bit-rot in the bench harness without the cost of a
 # real measurement).
-check: vet build test bench-smoke
+check: vet staticcheck build test bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the tool is on PATH and is skipped (without
+# failing the gate) when it is not, so check works on a bare toolchain.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race -shuffle=on ./...
+
+# race re-runs just the concurrency regression tests (transport send/close
+# races, queue semantics, registry snapshot consistency) under the race
+# detector with caching disabled.
+race:
+	$(GO) test -race -count=5 \
+		-run 'TestSelfSend|TestConcurrentSendClose|TestSendCloseRaceWindow|TestHelloWriteDeadline|TestQueue|TestSnapshotConsistentUnderConcurrentWriters' \
+		./internal/tcpnet/ ./internal/syncx/ ./internal/obs/
 
 # soak repeats the fault-injection soak (lossy links, rolling partitions,
 # a Byzantine spammer against batched checkpointing MinBFT) under the race

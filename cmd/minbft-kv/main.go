@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -39,6 +40,7 @@ import (
 
 	"unidir/internal/kvstore"
 	"unidir/internal/minbft"
+	"unidir/internal/obs"
 	"unidir/internal/sig"
 	"unidir/internal/smr"
 	"unidir/internal/tcpnet"
@@ -55,6 +57,7 @@ type replicaOpts struct {
 	checkpoint   int
 	dialTimeout  time.Duration
 	writeTimeout time.Duration
+	debugAddr    string
 }
 
 func main() {
@@ -69,6 +72,7 @@ func main() {
 	checkpoint := flag.Int("checkpoint", 0, "checkpoint interval in executed batches (0 = UNIDIR_CKPT default, negative disables)")
 	dialTimeout := flag.Duration("dial-timeout", 0, "TCP dial timeout per connection attempt (0 = 2s default)")
 	writeTimeout := flag.Duration("write-timeout", 0, "TCP write deadline per coalesced batch (0 = 15s default)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/trace, and pprof on this host:port (replicas; empty disables)")
 	flag.Parse()
 
 	ro := replicaOpts{
@@ -77,6 +81,7 @@ func main() {
 		checkpoint:   *checkpoint,
 		dialTimeout:  *dialTimeout,
 		writeTimeout: *writeTimeout,
+		debugAddr:    *debugAddr,
 	}
 	if err := run(*role, *id, *n, *f, *config, *seed, ro, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "minbft-kv:", err)
@@ -124,6 +129,12 @@ func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, see
 	if ro.checkpoint != 0 {
 		repOpts = append(repOpts, minbft.WithCheckpointInterval(ro.checkpoint))
 	}
+	var reg *obs.Registry
+	if ro.debugAddr != "" {
+		reg = obs.NewRegistry()
+		repOpts = append(repOpts, minbft.WithMetrics(reg))
+		universe.Verifier.FastPath().AttachMetrics(reg)
+	}
 	var counters *ctrstore.Store
 	if ro.dataDir != "" {
 		// Counter persistence before anything attests: the WAL is what
@@ -148,6 +159,9 @@ func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, see
 	if ro.writeTimeout > 0 {
 		netOpts = append(netOpts, tcpnet.WithWriteTimeout(ro.writeTimeout))
 	}
+	if reg != nil {
+		netOpts = append(netOpts, tcpnet.WithMetrics(reg))
+	}
 	tr, err := tcpnet.New(self, cfg, netOpts...)
 	if err != nil {
 		return err
@@ -158,6 +172,14 @@ func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, see
 		return err
 	}
 	fmt.Printf("replica %v serving on %s (n=%d, f=%d)\n", self, tr.Addr(), m.N, m.F)
+	if reg != nil {
+		go func() {
+			fmt.Printf("debug server on http://%s/metrics\n", ro.debugAddr)
+			if err := http.ListenAndServe(ro.debugAddr, obs.Handler(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "minbft-kv: debug server:", err)
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

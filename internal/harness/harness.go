@@ -14,6 +14,7 @@ import (
 
 	"unidir/internal/kvstore"
 	"unidir/internal/minbft"
+	"unidir/internal/obs"
 	"unidir/internal/pbft"
 	"unidir/internal/rounds"
 	"unidir/internal/sig"
@@ -133,18 +134,20 @@ func BuildBrachaCluster(m types.Membership) (*SRBCluster, error) {
 // (up to the configured window outstanding — the load shape that gives a
 // batching primary something to batch).
 type SMRCluster struct {
-	KV   *kvstore.Client
-	Pipe *kvstore.PipeClient
-	Stop func()
+	KV      *kvstore.Client
+	Pipe    *kvstore.PipeClient
+	Metrics *obs.Registry // non-nil iff SMRConfig.Metrics was set
+	Stop    func()
 }
 
 // SMRConfig parameterizes an SMR deployment.
 type SMRConfig struct {
-	F      int        // faults tolerated (n derived per protocol)
-	Scheme sig.Scheme // signature scheme for the trusted components
-	Batch  int        // consensus batch cap; 0 = smr.DefaultBatchSize(), 1 = unbatched
-	Window int        // pipelined client's in-flight window; 0 = 32
-	Ckpt   int        // checkpoint interval; 0 = smr.DefaultCheckpointInterval(), < 0 disables
+	F       int           // faults tolerated (n derived per protocol)
+	Scheme  sig.Scheme    // signature scheme for the trusted components
+	Batch   int           // consensus batch cap; 0 = smr.DefaultBatchSize(), 1 = unbatched
+	Window  int           // pipelined client's in-flight window; 0 = 32
+	Ckpt    int           // checkpoint interval; 0 = smr.DefaultCheckpointInterval(), < 0 disables
+	Metrics *obs.Registry // optional: replicas, sig cache, and pipeline publish here
 }
 
 const defaultPipeWindow = 32
@@ -189,6 +192,10 @@ func BuildMinBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 	if cfg.Ckpt != 0 {
 		opts = append(opts, minbft.WithCheckpointInterval(cfg.Ckpt))
 	}
+	if cfg.Metrics != nil {
+		opts = append(opts, minbft.WithMetrics(cfg.Metrics))
+		tu.Verifier.FastPath().AttachMetrics(cfg.Metrics)
+	}
 	replicas := make([]*minbft.Replica, n)
 	for i := 0; i < n; i++ {
 		replicas[i], err = minbft.New(m, net.Endpoint(types.ProcessID(i)), tu.Devices[i], tu.Verifier,
@@ -204,12 +211,12 @@ func BuildMinBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 		}
 		net.Close()
 	}
-	kv, pipe, closeClients, err := buildClients(net, m, cfg.Window, minbft.EncodeRequestEnvelope)
+	kv, pipe, closeClients, err := buildClients(net, m, cfg.Window, cfg.Metrics, minbft.EncodeRequestEnvelope)
 	if err != nil {
 		stopReplicas()
 		return nil, err
 	}
-	return &SMRCluster{KV: kv, Pipe: pipe, Stop: func() {
+	return &SMRCluster{KV: kv, Pipe: pipe, Metrics: cfg.Metrics, Stop: func() {
 		closeClients()
 		stopReplicas()
 	}}, nil
@@ -254,6 +261,9 @@ func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 	if cfg.Ckpt != 0 {
 		opts = append(opts, pbft.WithCheckpointInterval(cfg.Ckpt))
 	}
+	if cfg.Metrics != nil {
+		opts = append(opts, pbft.WithMetrics(cfg.Metrics))
+	}
 	replicas := make([]*pbft.Replica, n)
 	for i := 0; i < n; i++ {
 		replicas[i], err = pbft.New(m, net.Endpoint(types.ProcessID(i)), rings[i], kvstore.New(), opts...)
@@ -268,12 +278,12 @@ func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 		}
 		net.Close()
 	}
-	kv, pipe, closeClients, err := buildClients(net, m, cfg.Window, pbft.EncodeRequestEnvelope)
+	kv, pipe, closeClients, err := buildClients(net, m, cfg.Window, cfg.Metrics, pbft.EncodeRequestEnvelope)
 	if err != nil {
 		stopReplicas()
 		return nil, err
 	}
-	return &SMRCluster{KV: kv, Pipe: pipe, Stop: func() {
+	return &SMRCluster{KV: kv, Pipe: pipe, Metrics: cfg.Metrics, Stop: func() {
 		closeClients()
 		stopReplicas()
 	}}, nil
@@ -281,7 +291,7 @@ func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 
 // buildClients connects the closed-loop client (endpoint n) and the
 // pipelined client (endpoint n+1) to a running replica set.
-func buildClients(net *simnet.Network, m types.Membership, window int, encode func(smr.Request) []byte) (*kvstore.Client, *kvstore.PipeClient, func(), error) {
+func buildClients(net *simnet.Network, m types.Membership, window int, reg *obs.Registry, encode func(smr.Request) []byte) (*kvstore.Client, *kvstore.PipeClient, func(), error) {
 	if window <= 0 {
 		window = defaultPipeWindow
 	}
@@ -292,8 +302,12 @@ func buildClients(net *simnet.Network, m types.Membership, window int, encode fu
 		return nil, nil, nil, err
 	}
 	pipeID := types.ProcessID(m.N + 1)
+	pipeOpts := []smr.PipelineOption{smr.WithPipelineRequestEncoder(encode)}
+	if reg != nil {
+		pipeOpts = append(pipeOpts, smr.WithPipelineMetrics(reg))
+	}
 	pl, err := smr.NewPipeline(net.Endpoint(pipeID), m.All(), m.FPlusOne(), uint64(pipeID),
-		time.Second, window, smr.WithPipelineRequestEncoder(encode))
+		time.Second, window, pipeOpts...)
 	if err != nil {
 		return nil, nil, nil, err
 	}

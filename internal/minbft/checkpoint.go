@@ -270,6 +270,8 @@ func (r *Replica) takeCheckpoint() {
 	if err != nil {
 		return
 	}
+	r.mx.ckptTaken.Inc()
+	r.mx.trace.Record("checkpoint", "count %d digest %x", c.Count, c.Digest[:4])
 	r.recordCkptVote(r.Self(), signedCkpt{Sender: r.Self(), Body: body, UI: ui})
 }
 
@@ -416,6 +418,8 @@ func (r *Replica) advanceStable(cert ckptCert, state []byte) {
 	if r.dataDir != "" {
 		r.persistCheckpoint()
 	}
+	r.mx.ckptStable.Inc()
+	r.mx.trace.Record("checkpoint-stable", "count %d stable (%d votes), logs GC'd", cert.Count, len(cert.Votes))
 	r.updateFootprint()
 }
 
@@ -523,6 +527,8 @@ func (r *Replica) installCheckpoint(cert ckptCert, state []byte) {
 	}
 	r.table = table
 	r.execCount = cert.Count
+	r.mx.stateTransfers.Inc()
+	r.mx.trace.Record("state-transfer", "installed checkpoint count %d (%d bytes)", cert.Count, len(state))
 	if r.stateTarget <= r.execCount {
 		r.stateTarget = 0
 	}
@@ -558,6 +564,7 @@ func (r *Replica) installCheckpoint(cert ckptCert, state []byte) {
 // processing forever) and push the current NEW-VIEW and stable checkpoint
 // back to help us rejoin.
 func (r *Replica) sendRestart() {
+	r.mx.trace.Record("restart", "announcing restart at count %d", r.execCount)
 	_, _ = r.attestAndSend(kindRestart, encodeRestartBody(r.execCount))
 }
 

@@ -69,6 +69,7 @@ import (
 	"sync"
 	"time"
 
+	"unidir/internal/obs"
 	"unidir/internal/smr"
 	"unidir/internal/syncx"
 	"unidir/internal/transport"
@@ -206,6 +207,9 @@ type Replica struct {
 
 	statsMu sync.Mutex
 	fp      Footprint
+
+	metricsReg *obs.Registry
+	mx         metrics // all-nil (free no-ops) without WithMetrics
 }
 
 type entryKey struct {
@@ -223,7 +227,8 @@ type entry struct {
 	prepUI    trinc.Attestation
 	votes     map[types.ProcessID]bool
 	executed  bool
-	mine      bool // proposed by this replica (leader in-flight accounting)
+	mine      bool      // proposed by this replica (leader in-flight accounting)
+	boundAt   time.Time // prepare acceptance time; zero without WithMetrics
 }
 
 type peerMsg struct {
@@ -322,6 +327,7 @@ func New(m types.Membership, tr transport.Transport, dev *trinc.Device, ver *tri
 		// rehydrated restart even without a checkpoint on disk.
 		r.announceRestart = true
 	}
+	r.initMetrics()
 	r.wg.Add(2)
 	go r.recvLoop(ctx)
 	go r.run(ctx)
@@ -675,6 +681,9 @@ func (r *Replica) maybePropose() {
 			return // attest/broadcast failure; the watchdogs drive recovery
 		}
 		r.inFlight++
+		r.mx.proposedBatches.Inc()
+		r.mx.batchSize.Observe(float64(len(batch)))
+		r.mx.inFlight.Set(int64(r.inFlight))
 		for _, req := range batch {
 			r.proposed[pendingKey{req.Client, req.Num}] = true
 		}
@@ -720,6 +729,7 @@ func (r *Replica) handleTimer(te timerEvent) {
 		if r.lastUI[te.peer] >= te.seq || te.retries >= maxFetchRetries {
 			return // gap closed, or giving up on a withholding trinket
 		}
+		r.mx.fetchesSent.Inc()
 		body := encodeFetchBody(te.peer, te.seq)
 		_ = transport.Broadcast(r.tr, r.m.Others(r.Self()), encodeEnvelope(kindFetch, body, nil))
 		next := te
@@ -820,7 +830,11 @@ func (r *Replica) acceptPrepare(primary types.ProcessID, p prepare, prepUI trinc
 		en.reqs = p.Reqs
 		en.reqDigest = digest
 		en.prepUI = prepUI
+		if r.metricsReg != nil {
+			en.boundAt = time.Now()
+		}
 		r.prepOrder = append(r.prepOrder, key)
+		r.mx.openSlots.Set(int64(len(r.prepOrder) - r.execIdx))
 		r.acceptedLog = append(r.acceptedLog, logEntry{
 			View:    p.View,
 			PrepSeq: prepUI.Seq,
@@ -897,6 +911,7 @@ func (r *Replica) tryExecute() {
 		if en.mine && r.inFlight > 0 {
 			r.inFlight--
 		}
+		r.observeExecuted(en)
 		if fresh {
 			r.countExecuted()
 		}
@@ -934,6 +949,8 @@ func (r *Replica) startViewChange(target types.View) {
 	}
 	r.inVC = true
 	r.targetView = target
+	r.mx.viewChanges.Inc()
+	r.mx.trace.Record("view-change", "demanding view %d (from view %d)", target, r.view)
 	vc := viewChange{NewView: target, Log: r.acceptedLog, Cert: r.stable}
 	body := vc.encodeBody()
 	ui, err := r.attestAndSend(kindViewChange, body)
@@ -1138,6 +1155,10 @@ func (r *Replica) installView(nv newView, raw []byte) {
 	r.mu.Lock()
 	r.view = nv.NewView
 	r.mu.Unlock()
+	r.mx.view.Set(int64(nv.NewView))
+	r.mx.openSlots.Set(0)
+	r.mx.inFlight.Set(0)
+	r.mx.trace.Record("new-view", "installed view %d (%d union entries)", nv.NewView, len(union))
 	r.inVC = false
 	r.entries = make(map[entryKey]*entry)
 	r.prepOrder = nil

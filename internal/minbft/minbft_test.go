@@ -10,6 +10,7 @@ import (
 
 	"unidir/internal/kvstore"
 	"unidir/internal/minbft"
+	"unidir/internal/obs"
 	"unidir/internal/sig"
 	"unidir/internal/simnet"
 	"unidir/internal/smr"
@@ -25,6 +26,7 @@ type harness struct {
 	replicas []*minbft.Replica
 	stores   []*kvstore.Store
 	logs     []*smr.ExecutionLog
+	metrics  *obs.Registry // shared by every replica
 }
 
 func newHarness(t *testing.T, n, f, clients int, timeout time.Duration, opts ...minbft.Option) *harness {
@@ -52,11 +54,14 @@ func newHarness(t *testing.T, n, f, clients int, timeout time.Duration, opts ...
 		replicas: make([]*minbft.Replica, n),
 		stores:   make([]*kvstore.Store, n),
 		logs:     make([]*smr.ExecutionLog, n),
+		metrics:  obs.NewRegistry(),
 	}
+	tu.Verifier.FastPath().AttachMetrics(h.metrics)
 	for i := 0; i < n; i++ {
 		h.stores[i] = kvstore.New()
 		h.logs[i] = &smr.ExecutionLog{}
-		all := append([]minbft.Option{minbft.WithRequestTimeout(timeout), minbft.WithExecutionLog(h.logs[i])}, opts...)
+		all := append([]minbft.Option{minbft.WithRequestTimeout(timeout),
+			minbft.WithExecutionLog(h.logs[i]), minbft.WithMetrics(h.metrics)}, opts...)
 		rep, err := minbft.New(m, net.Endpoint(types.ProcessID(i)), tu.Devices[i], tu.Verifier, h.stores[i], all...)
 		if err != nil {
 			t.Fatalf("minbft.New: %v", err)

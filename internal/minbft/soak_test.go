@@ -8,6 +8,7 @@ import (
 
 	"unidir/internal/byz"
 	"unidir/internal/minbft"
+	"unidir/internal/obs"
 	"unidir/internal/types"
 )
 
@@ -137,4 +138,49 @@ func TestSoak(t *testing.T) {
 	})
 	checkNoDoubleExecution(t, h, nil)
 	checkLogsMutuallyOrdered(t, h)
+
+	// The shared metrics registry must reflect the run. Stop the spammer
+	// first (Stop is idempotent; the defer is then a no-op), then wait for
+	// the work-in-progress gauges to quiesce and the sig-cache accounting to
+	// settle — the cluster is idle once the tail writes complete, but the
+	// last executions and queued garbage may still be landing.
+	spam.Stop()
+	deadline := time.Now().Add(15 * time.Second)
+	var snap obs.Snapshot
+	for {
+		snap = h.metrics.Snapshot()
+		quiet := snap.GaugeSum("minbft_open_slots") == 0 &&
+			snap.GaugeSum("minbft_batches_in_flight") == 0
+		settled := snap.Counter("sig_lookups_total") ==
+			snap.Counter("sig_cache_hits_total")+
+				snap.Counter("sig_cache_neg_hits_total")+snap.Counter("sig_verifications_total")
+		if quiet && settled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics did not quiesce: open_slots=%d in_flight=%d",
+				snap.GaugeSum("minbft_open_slots"), snap.GaugeSum("minbft_batches_in_flight"))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if got := snap.CounterSum("minbft_batches_executed_total"); got == 0 {
+		t.Fatal("metrics: no executed batches recorded")
+	}
+	if got := snap.HistogramCount("minbft_batch_size"); got == 0 {
+		t.Fatal("metrics: batch-size histogram empty")
+	}
+	if got := snap.CounterSum("minbft_checkpoints_stable_total"); got == 0 {
+		t.Fatal("metrics: no stable checkpoints recorded")
+	}
+	if snap.Counter("sig_lookups_total") == 0 {
+		t.Fatal("metrics: sig cache served no lookups")
+	}
+	// The trace rings must have retained protocol events (checkpoints at
+	// minimum; view changes and state transfers when the churn forced them).
+	for i := 0; i < n; i++ {
+		ring := h.metrics.Trace(obs.Name("minbft", "replica", types.ProcessID(i)), 1)
+		if ring.Len() == 0 {
+			t.Fatalf("metrics: replica %d trace ring empty", i)
+		}
+	}
 }

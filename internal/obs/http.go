@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition format.
+// Metric names created via Name carry their label block through to the
+// output; histogram buckets come out cumulative with the usual _bucket/_sum/
+// _count series and a trailing +Inf bucket.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	s := r.Snapshot()
+
+	typed := make(map[string]bool)
+	writeType := func(base, kind string) {
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		writeType(baseOf(name), "counter")
+		fmt.Fprintf(w, "%s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		writeType(baseOf(name), "gauge")
+		fmt.Fprintf(w, "%s %d\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		base := baseOf(name)
+		writeType(base, "histogram")
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s %d\n", withLabel(name, "le", formatBound(bound)), cum)
+		}
+		fmt.Fprintf(w, "%s %d\n", withLabel(name, "le", "+Inf"), h.Count)
+		fmt.Fprintf(w, "%s %g\n", suffixed(name, "_sum"), h.Sum)
+		fmt.Fprintf(w, "%s %d\n", suffixed(name, "_count"), h.Count)
+	}
+}
+
+// withLabel inserts one extra label into a (possibly already labelled)
+// histogram series name and appends the _bucket suffix to its base:
+// `x{peer="3"}` + le=1 -> `x_bucket{peer="3",le="1"}`.
+func withLabel(name, label, value string) string {
+	base := baseOf(name)
+	existing := ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		existing = strings.TrimSuffix(name[i+1:], "}") + ","
+	}
+	return fmt.Sprintf("%s_bucket{%s%s=%q}", base, existing, label, value)
+}
+
+// suffixed appends a suffix to the base name, keeping any label block:
+// `x{a="1"}` + _sum -> `x_sum{a="1"}`.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics       Prometheus text exposition
+//	/debug/vars    expvar-style JSON snapshot (counters, gauges, histograms)
+//	/debug/trace   JSON array of retained trace events (?name= selects a ring)
+//	/debug/pprof/  the standard runtime profiles
+//
+// Unlike the expvar package it does not touch global state, so any number of
+// registries can be served by one process.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		want := req.URL.Query().Get("name")
+		out := make(map[string][]Event)
+		if r != nil {
+			r.mu.Lock()
+			names := make([]string, 0, len(r.traces))
+			for name := range r.traces {
+				names = append(names, name)
+			}
+			r.mu.Unlock()
+			for _, name := range names {
+				if want != "" && name != want {
+					continue
+				}
+				out[name] = r.Trace(name, 1).Events()
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event is one entry in a Trace ring: a protocol-level occurrence worth
+// keeping around for postmortems (view change, checkpoint cert, state
+// transfer, redial, ...).
+type Event struct {
+	Seq    uint64    `json:"seq"`  // monotonically increasing per ring
+	Time   time.Time `json:"time"` // recording time
+	Kind   string    `json:"kind"` // short machine-readable tag, e.g. "view-change"
+	Detail string    `json:"detail"`
+}
+
+// Trace is a fixed-capacity ring buffer of recent Events. Record overwrites
+// the oldest entry once full; Events returns the survivors oldest-first.
+// All methods are safe for concurrent use and nil-safe no-ops.
+type Trace struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever recorded; buf index = seq % cap
+}
+
+// NewTrace returns a ring holding the most recent capacity events
+// (minimum 1).
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, evicting the oldest once the ring is full. The
+// detail string is formatted from args like fmt.Sprintf.
+func (t *Trace) Record(kind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	t.mu.Lock()
+	t.buf[t.next%uint64(len(t.buf))] = Event{
+		Seq:    t.next,
+		Time:   time.Now(),
+		Kind:   kind,
+		Detail: detail,
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first. Nil trace returns nil.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	capacity := uint64(len(t.buf))
+	start := uint64(0)
+	if n > capacity {
+		start = n - capacity
+	}
+	out := make([]Event, 0, n-start)
+	for seq := start; seq < n; seq++ {
+		out = append(out, t.buf[seq%capacity])
+	}
+	return out
+}
+
+// Len reports how many events the ring currently retains.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next > uint64(len(t.buf)) {
+		return len(t.buf)
+	}
+	return int(t.next)
+}

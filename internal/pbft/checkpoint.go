@@ -146,6 +146,8 @@ func (r *Replica) takeCheckpoint(n types.SeqNum) {
 	sig := r.ring.Sign(signedBytes(kindCheckpoint, r.view, n, digest[:]))
 	msg := encodeMsg(kindCheckpoint, r.view, n, digest[:], sig)
 	_ = transport.Broadcast(r.tr, r.m.Others(r.Self()), msg)
+	r.mx.ckptTaken.Inc()
+	r.mx.trace.Record("checkpoint", "seq %d digest %x", n, digest[:4])
 	r.recordCkptVote(r.Self(), n, ckptVote{digest: digest, sig: sig})
 }
 
@@ -224,6 +226,9 @@ func (r *Replica) advanceStable(cert ckptCert, state []byte) {
 			delete(r.ownStates, n)
 		}
 	}
+	r.mx.ckptStable.Inc()
+	r.mx.openSlots.Set(int64(len(r.slots)))
+	r.mx.trace.Record("checkpoint-stable", "seq %d stable (%d votes), slots released", cert.Seq, len(cert.Votes))
 	r.updateFootprint()
 }
 
@@ -282,6 +287,8 @@ func (r *Replica) handleStateResp(payload []byte) {
 	}
 	r.table = table
 	r.execNext = cert.Seq + 1
+	r.mx.stateTransfers.Inc()
+	r.mx.trace.Record("state-transfer", "installed checkpoint seq %d (%d bytes)", cert.Seq, len(state))
 	if r.nextSeq < cert.Seq {
 		r.nextSeq = cert.Seq
 	}

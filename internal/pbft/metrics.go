@@ -1,0 +1,47 @@
+package pbft
+
+// Metrics: the replica's obs instrumentation, the pbft counterpart of
+// minbft/metrics.go. Optional — without WithMetrics every handle stays nil
+// and each recording site is a free nil-check.
+
+import (
+	"unidir/internal/obs"
+)
+
+// WithMetrics publishes replica metrics into reg, labelled by replica ID:
+// batches/requests proposed and executed, batch sizes, open slots, and
+// checkpoint/state-transfer counts.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(r *Replica) { r.metricsReg = reg }
+}
+
+type metrics struct {
+	proposedBatches *obs.Counter
+	executedBatches *obs.Counter
+	executedReqs    *obs.Counter
+	batchSize       *obs.Histogram
+	openSlots       *obs.Gauge
+	ckptTaken       *obs.Counter
+	ckptStable      *obs.Counter
+	stateTransfers  *obs.Counter
+	trace           *obs.Trace
+}
+
+func (r *Replica) initMetrics() {
+	reg := r.metricsReg
+	if reg == nil {
+		return
+	}
+	id := r.Self()
+	r.mx = metrics{
+		proposedBatches: reg.Counter(obs.Name("pbft_batches_proposed_total", "replica", id)),
+		executedBatches: reg.Counter(obs.Name("pbft_batches_executed_total", "replica", id)),
+		executedReqs:    reg.Counter(obs.Name("pbft_requests_executed_total", "replica", id)),
+		batchSize:       reg.Histogram(obs.Name("pbft_batch_size", "replica", id), obs.SizeBuckets),
+		openSlots:       reg.Gauge(obs.Name("pbft_open_slots", "replica", id)),
+		ckptTaken:       reg.Counter(obs.Name("pbft_checkpoints_taken_total", "replica", id)),
+		ckptStable:      reg.Counter(obs.Name("pbft_checkpoints_stable_total", "replica", id)),
+		stateTransfers:  reg.Counter(obs.Name("pbft_state_transfers_total", "replica", id)),
+		trace:           reg.Trace(obs.Name("pbft", "replica", id), 256),
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sync"
 
+	"unidir/internal/obs"
 	"unidir/internal/sig"
 	"unidir/internal/smr"
 	"unidir/internal/syncx"
@@ -89,6 +90,9 @@ type Replica struct {
 
 	statsMu sync.Mutex
 	fp      Footprint
+
+	metricsReg *obs.Registry
+	mx         metrics // all-nil (free no-ops) without WithMetrics
 }
 
 type pendingKey struct {
@@ -191,6 +195,7 @@ func New(m types.Membership, tr transport.Transport, ring *sig.Keyring, sm smr.S
 	case r.ckptInterval < 0:
 		r.ckptInterval = 0
 	}
+	r.initMetrics()
 	r.wg.Add(2)
 	go r.recvLoop(ctx)
 	go r.run(ctx)
@@ -383,6 +388,8 @@ func (r *Replica) maybePropose() {
 		n := r.nextSeq
 		payload := smr.EncodeRequests(batch)
 		digest := sha256.Sum256(payload)
+		r.mx.proposedBatches.Inc()
+		r.mx.batchSize.Observe(float64(len(batch)))
 		r.broadcast(kindPrePrepare, n, payload)
 		// The primary's pre-prepare stands for its prepare.
 		sl := r.slot(n)
@@ -509,12 +516,15 @@ func (r *Replica) progress(n types.SeqNum, sl *slot) {
 		for _, req := range next.reqs {
 			r.execute(req)
 		}
+		r.mx.executedBatches.Inc()
+		r.mx.executedReqs.Add(uint64(len(next.reqs)))
 		if r.ckptEnabled() && uint64(seq)%uint64(r.ckptInterval) == 0 {
 			r.takeCheckpoint(seq)
 		}
 		executed = true
 	}
 	if executed {
+		r.mx.openSlots.Set(int64(len(r.slots)))
 		r.maybePropose()
 	}
 }

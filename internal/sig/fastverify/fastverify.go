@@ -42,6 +42,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"unidir/internal/obs"
 	"unidir/internal/sig"
 	"unidir/internal/types"
 )
@@ -54,11 +55,14 @@ type Item struct {
 	Sig  []byte
 }
 
-// Stats are cumulative counters for monitoring and tests.
+// Stats are cumulative counters for monitoring and tests. Every lookup is
+// exactly one of a positive hit, a negative hit, or a miss, so
+// Hits + NegHits + Misses equals the total lookups served.
 type Stats struct {
-	Hits    uint64 // positive-cache hits
-	NegHits uint64 // negative-cache hits
-	Misses  uint64 // real verifications performed
+	Hits      uint64 // positive-cache hits
+	NegHits   uint64 // negative-cache hits
+	Misses    uint64 // real verifications performed
+	Evictions uint64 // cache entries displaced by capacity (either cache)
 }
 
 // Defaults.
@@ -115,7 +119,9 @@ type Verifier struct {
 	pos lru
 	neg lru
 
-	hits, negHits, misses atomic.Uint64
+	hits, negHits, misses, evictions atomic.Uint64
+
+	mx atomic.Pointer[fvMetrics] // nil until AttachMetrics
 }
 
 var _ sig.Verifier = (*Verifier)(nil)
@@ -154,10 +160,43 @@ func (v *Verifier) Concurrent() bool { return !v.disabled && v.workers > 1 }
 // Stats returns cumulative cache counters.
 func (v *Verifier) Stats() Stats {
 	return Stats{
-		Hits:    v.hits.Load(),
-		NegHits: v.negHits.Load(),
-		Misses:  v.misses.Load(),
+		Hits:      v.hits.Load(),
+		NegHits:   v.negHits.Load(),
+		Misses:    v.misses.Load(),
+		Evictions: v.evictions.Load(),
 	}
+}
+
+// fvMetrics mirrors the Stats counters into an obs.Registry, plus the
+// batch-verify size distribution. The handles are shared: attaching several
+// verifiers (e.g. one per replica in a test harness) to one registry
+// aggregates them, preserving the lookups == hits+negHits+misses invariant.
+type fvMetrics struct {
+	lookups   *obs.Counter
+	hits      *obs.Counter
+	negHits   *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	batchSize *obs.Histogram
+}
+
+// AttachMetrics publishes the verifier's counters into reg as
+// sig_lookups_total, sig_cache_hits_total, sig_cache_neg_hits_total,
+// sig_verifications_total, sig_cache_evictions_total, and the
+// sig_batch_verify_size histogram. Safe to call at any time, including
+// while the verifier is in use.
+func (v *Verifier) AttachMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	v.mx.Store(&fvMetrics{
+		lookups:   reg.Counter("sig_lookups_total"),
+		hits:      reg.Counter("sig_cache_hits_total"),
+		negHits:   reg.Counter("sig_cache_neg_hits_total"),
+		misses:    reg.Counter("sig_verifications_total"),
+		evictions: reg.Counter("sig_cache_evictions_total"),
+		batchSize: reg.Histogram("sig_batch_verify_size", obs.SizeBuckets),
+	})
 }
 
 // key binds (signer, message, signature) into one cache key. Length
@@ -180,14 +219,24 @@ func cacheKey(from types.ProcessID, msg, sig []byte) [sha256.Size]byte {
 // verdict is nil for a cached success and the cached error for a cached
 // failure.
 func (v *Verifier) lookup(k [sha256.Size]byte) (error, bool) {
+	m := v.mx.Load()
+	if m != nil {
+		m.lookups.Inc()
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if _, ok := v.pos.get(k); ok {
 		v.hits.Add(1)
+		if m != nil {
+			m.hits.Inc()
+		}
 		return nil, true
 	}
 	if err, ok := v.neg.get(k); ok {
 		v.negHits.Add(1)
+		if m != nil {
+			m.negHits.Inc()
+		}
 		return err, true
 	}
 	return nil, false
@@ -197,11 +246,18 @@ func (v *Verifier) lookup(k [sha256.Size]byte) (error, bool) {
 // go to separate bounded caches; a failure is never recorded as a success.
 func (v *Verifier) record(k [sha256.Size]byte, err error) {
 	v.mu.Lock()
-	defer v.mu.Unlock()
+	var evicted int
 	if err == nil {
-		v.pos.put(k, nil)
+		evicted = v.pos.put(k, nil)
 	} else {
-		v.neg.put(k, err)
+		evicted = v.neg.put(k, err)
+	}
+	v.mu.Unlock()
+	if evicted > 0 {
+		v.evictions.Add(uint64(evicted))
+		if m := v.mx.Load(); m != nil {
+			m.evictions.Add(uint64(evicted))
+		}
 	}
 }
 
@@ -216,6 +272,9 @@ func (v *Verifier) Verify(from types.ProcessID, msg, sig []byte) error {
 		return err
 	}
 	v.misses.Add(1)
+	if m := v.mx.Load(); m != nil {
+		m.misses.Inc()
+	}
 	err := v.inner.Verify(from, msg, sig)
 	v.record(k, err)
 	return err
@@ -237,6 +296,9 @@ func (v *Verifier) VerifyAll(items []Item) error {
 		return nil
 	}
 
+	if m := v.mx.Load(); m != nil {
+		m.batchSize.Observe(float64(len(items)))
+	}
 	// Cache pass: resolve hits, collect misses.
 	type miss struct {
 		idx int
@@ -258,6 +320,9 @@ func (v *Verifier) VerifyAll(items []Item) error {
 		return nil
 	}
 	v.misses.Add(uint64(len(misses)))
+	if m := v.mx.Load(); m != nil {
+		m.misses.Add(uint64(len(misses)))
+	}
 
 	verifyOne := func(m miss) error {
 		it := items[m.idx]
@@ -343,9 +408,11 @@ func (l *lru) get(k [sha256.Size]byte) (error, bool) {
 	return el.Value.(*lruEntry).err, true
 }
 
-func (l *lru) put(k [sha256.Size]byte, err error) {
+// put stores or refreshes an entry and returns how many entries capacity
+// forced out to make room.
+func (l *lru) put(k [sha256.Size]byte, err error) int {
 	if l.cap <= 0 {
-		return
+		return 0
 	}
 	if l.byKey == nil {
 		l.byKey = make(map[[sha256.Size]byte]*list.Element, l.cap)
@@ -354,14 +421,17 @@ func (l *lru) put(k [sha256.Size]byte, err error) {
 	if el, ok := l.byKey[k]; ok {
 		el.Value.(*lruEntry).err = err
 		l.order.MoveToFront(el)
-		return
+		return 0
 	}
+	evicted := 0
 	for len(l.byKey) >= l.cap {
 		oldest := l.order.Back()
 		l.order.Remove(oldest)
 		delete(l.byKey, oldest.Value.(*lruEntry).key)
+		evicted++
 	}
 	l.byKey[k] = l.order.PushFront(&lruEntry{key: k, err: err})
+	return evicted
 }
 
 // len reports the number of cached entries (for tests).

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"unidir/internal/obs"
 	"unidir/internal/transport"
 	"unidir/internal/types"
 )
@@ -56,6 +57,11 @@ type Pipeline struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	// Metrics handles (nil without WithPipelineMetrics; nil-safe no-ops).
+	mxSubmitted *obs.Counter
+	mxCompleted *obs.Counter
+	mxInflight  *obs.Gauge
 }
 
 type pipeCall struct {
@@ -71,6 +77,20 @@ type PipelineOption func(*Pipeline)
 // encoder, like smr.WithRequestEncoder for the closed-loop client.
 func WithPipelineRequestEncoder(encode func(Request) []byte) PipelineOption {
 	return func(p *Pipeline) { p.encode = encode }
+}
+
+// WithPipelineMetrics publishes the pipeline's depth and throughput into
+// reg, labelled by client identity: smr_requests_submitted_total,
+// smr_requests_completed_total, and the smr_pipeline_depth gauge.
+func WithPipelineMetrics(reg *obs.Registry) PipelineOption {
+	return func(p *Pipeline) {
+		if reg == nil {
+			return
+		}
+		p.mxSubmitted = reg.Counter(obs.Name("smr_requests_submitted_total", "client", p.id))
+		p.mxCompleted = reg.Counter(obs.Name("smr_requests_completed_total", "client", p.id))
+		p.mxInflight = reg.Gauge(obs.Name("smr_pipeline_depth", "client", p.id))
+	}
 }
 
 // NewPipeline creates a pipelined client with the given unique identity.
@@ -130,7 +150,10 @@ func (p *Pipeline) Submit(ctx context.Context, op []byte) (*Call, error) {
 	call := &Call{req: req, done: make(chan struct{})}
 	payload := p.encode(req)
 	p.inflight[req.Num] = &pipeCall{call: call, payload: payload, votes: make(map[string]map[types.ProcessID]bool)}
+	depth := len(p.inflight)
 	p.mu.Unlock()
+	p.mxSubmitted.Inc()
+	p.mxInflight.Set(int64(depth))
 	if err := transport.Broadcast(p.tr, p.replicas, payload); err != nil {
 		p.complete(req.Num, nil, fmt.Errorf("smr: send request: %w", err))
 		return nil, fmt.Errorf("smr: send request: %w", err)
@@ -163,7 +186,10 @@ func (p *Pipeline) complete(num uint64, result []byte, err error) {
 		return
 	}
 	delete(p.inflight, num)
+	depth := len(p.inflight)
 	p.mu.Unlock()
+	p.mxCompleted.Inc()
+	p.mxInflight.Set(int64(depth))
 	pc.call.result = result
 	pc.call.err = err
 	close(pc.call.done)
@@ -238,6 +264,7 @@ func (p *Pipeline) Close() error {
 	p.inflight = make(map[uint64]*pipeCall)
 	p.mu.Unlock()
 	p.cancel()
+	p.mxInflight.Set(0)
 	for _, pc := range stuck {
 		pc.call.err = ErrClientClosed
 		close(pc.call.done)

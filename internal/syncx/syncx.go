@@ -27,16 +27,19 @@ func NewQueue[T any]() *Queue[T] {
 	return &Queue[T]{notify: make(chan struct{}, 1)}
 }
 
-// Push appends v. Pushes to a closed queue are dropped.
-func (q *Queue[T]) Push(v T) {
+// Push appends v and reports whether the queue accepted it. A closed queue
+// rejects pushes; callers that promise delivery (e.g. a transport Send that
+// returns nil) must check the result rather than assume acceptance.
+func (q *Queue[T]) Push(v T) bool {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return
+		return false
 	}
 	q.items = append(q.items, v)
 	q.mu.Unlock()
 	q.wake()
+	return true
 }
 
 // Pop removes and returns the oldest item, blocking until one is available,

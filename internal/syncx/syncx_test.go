@@ -54,12 +54,30 @@ func TestQueueContextCancel(t *testing.T) {
 	}
 }
 
+func TestQueuePushReportsAcceptance(t *testing.T) {
+	q := NewQueue[int]()
+	if !q.Push(1) {
+		t.Fatal("Push on open queue rejected")
+	}
+	q.Close()
+	// The rejection signal is what lets tcpnet.Send return ErrClosed instead
+	// of silently dropping when it races Close.
+	if q.Push(2) {
+		t.Fatal("Push on closed queue claimed acceptance")
+	}
+	if got := q.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1 (rejected push must not enqueue)", got)
+	}
+}
+
 func TestQueueCloseDrains(t *testing.T) {
 	q := NewQueue[int]()
 	q.Push(1)
 	q.Push(2)
 	q.Close()
-	q.Push(3) // dropped
+	if q.Push(3) {
+		t.Fatal("Push after Close accepted")
+	}
 	for want := 1; want <= 2; want++ {
 		v, err := q.Pop(context.Background())
 		if err != nil || v != want {

@@ -1,0 +1,95 @@
+package tcpnet
+
+import (
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"unidir/internal/transport"
+)
+
+// TestSendCloseRaceWindow pins the exact interleaving behind the
+// silent-drop bug: Send observes closed=false and releases the lock, then
+// Close closes the destination queue before Send pushes. Pre-fix the push
+// was silently dropped and Send returned nil; now the push reports
+// rejection and Send returns transport.ErrClosed. The test reproduces the
+// window deterministically by closing the sender queue directly (Close's
+// first half) while leaving the closed flag unset.
+func TestSendCloseRaceWindow(t *testing.T) {
+	n, err := New(0, Config{0: "127.0.0.1:0", 1: "127.0.0.1:9"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer n.Close()
+	if err := n.Send(1, []byte("first")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	n.mu.Lock()
+	s := n.senders[1]
+	closed := n.closed
+	n.mu.Unlock()
+	if s == nil || closed {
+		t.Fatalf("sender=%v closed=%v; expected live sender on open transport", s, closed)
+	}
+	s.queue.Close()
+	if err := n.Send(1, []byte("dropped")); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("Send onto closed queue = %v, want ErrClosed (silent drop)", err)
+	}
+}
+
+// wedgedConn simulates a peer that accepted the connection but never reads:
+// Write blocks forever unless a write deadline is armed, in which case it
+// fails with os.ErrDeadlineExceeded at expiry — the same observable behavior
+// as a TCP socket whose send buffer never drains.
+type wedgedConn struct {
+	mu       sync.Mutex
+	deadline time.Time
+}
+
+func (c *wedgedConn) Write(p []byte) (int, error) {
+	for {
+		c.mu.Lock()
+		d := c.deadline
+		c.mu.Unlock()
+		if !d.IsZero() && time.Now().After(d) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (c *wedgedConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *wedgedConn) Read([]byte) (int, error)       { select {} }
+func (c *wedgedConn) Close() error                   { return nil }
+func (c *wedgedConn) LocalAddr() net.Addr            { return &net.TCPAddr{} }
+func (c *wedgedConn) RemoteAddr() net.Addr           { return &net.TCPAddr{} }
+func (c *wedgedConn) SetDeadline(time.Time) error    { return nil }
+func (c *wedgedConn) SetReadDeadline(time.Time) error { return nil }
+
+// TestHelloWriteDeadline is the regression test for the unbounded hello
+// write: pre-fix, dial wrote the 8-byte hello with no deadline, so a peer
+// that accepts but never reads wedged the sender goroutine before
+// writeBatch's deadline ever applied. writeHello must fail within the
+// configured writeTimeout instead of blocking forever.
+func TestHelloWriteDeadline(t *testing.T) {
+	s := &sender{net: &Net{writeTimeout: 50 * time.Millisecond}}
+	done := make(chan error, 1)
+	go func() { done <- s.writeHello(&wedgedConn{}) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("writeHello = %v, want deadline exceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("writeHello blocked past its write deadline (hello write is unbounded)")
+	}
+}

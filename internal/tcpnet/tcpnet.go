@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"unidir/internal/obs"
 	"unidir/internal/syncx"
 	"unidir/internal/transport"
 	"unidir/internal/types"
@@ -78,6 +79,15 @@ func WithDialTimeout(d time.Duration) Option {
 	}
 }
 
+// WithMetrics publishes per-peer transport metrics into reg: frames and
+// bytes written, coalesced batch sizes, outbound queue depth, dials, and
+// dropped connections (write timeout or error), plus a "tcpnet" trace ring
+// of redial events. Without this option the instrumentation is free: every
+// metric handle stays nil and each call site is a nil-check.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(n *Net) { n.metrics = reg }
+}
+
 // Net is one process's TCP transport endpoint.
 type Net struct {
 	self types.ProcessID
@@ -85,6 +95,9 @@ type Net struct {
 
 	writeTimeout time.Duration
 	dialTimeout  time.Duration
+
+	metrics *obs.Registry
+	trace   *obs.Trace // redial / drop events; nil without WithMetrics
 
 	listener net.Listener
 	inbox    *syncx.Queue[transport.Envelope]
@@ -127,6 +140,7 @@ func New(self types.ProcessID, cfg Config, opts ...Option) (*Net, error) {
 	for _, opt := range opts {
 		opt(n)
 	}
+	n.trace = n.metrics.Trace(obs.Name("tcpnet", "self", self), 256)
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
@@ -138,10 +152,24 @@ func (n *Net) Self() types.ProcessID { return n.self }
 // Addr returns the actual listen address (useful with ":0" configs).
 func (n *Net) Addr() string { return n.listener.Addr().String() }
 
-// Send enqueues payload for delivery to the destination process.
+// Send enqueues payload for delivery to the destination process. A nil
+// return means the transport accepted the message; after Close every Send
+// reports transport.ErrClosed, even when it races the shutdown.
 func (n *Net) Send(to types.ProcessID, payload []byte) error {
 	if to == n.self {
-		n.inbox.Push(transport.Envelope{From: n.self, To: n.self, Payload: payload})
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return transport.ErrClosed
+		}
+		// Copy before delivery: the remote path hands the receiver a fresh
+		// buffer (readLoop allocates per frame), so self-delivery must too —
+		// callers reuse their encode buffers after Send returns.
+		buf := append([]byte(nil), payload...)
+		if !n.inbox.Push(transport.Envelope{From: n.self, To: n.self, Payload: buf}) {
+			return transport.ErrClosed
+		}
 		return nil
 	}
 	n.mu.Lock()
@@ -156,13 +184,18 @@ func (n *Net) Send(to types.ProcessID, payload []byte) error {
 			n.mu.Unlock()
 			return fmt.Errorf("tcpnet: no address for %v", to)
 		}
-		s = &sender{net: n, addr: addr, queue: syncx.NewQueue[[]byte]()}
+		s = newSender(n, to, addr)
 		n.senders[to] = s
 		n.wg.Add(1)
 		go s.run()
 	}
 	n.mu.Unlock()
-	s.queue.Push(payload)
+	// Push reports acceptance: Close may have closed the queue between the
+	// check above and here, and a dropped message must not look delivered.
+	if !s.queue.Push(payload) {
+		return transport.ErrClosed
+	}
+	s.queueDepth.Set(int64(s.queue.Len()))
 	return nil
 }
 
@@ -244,6 +277,11 @@ func (n *Net) readLoop(conn net.Conn) {
 	if _, ok := n.cfg[from]; !ok {
 		return // unknown peer
 	}
+	var rxFrames, rxBytes *obs.Counter
+	if n.metrics != nil {
+		rxFrames = n.metrics.Counter(obs.Name("tcpnet_rx_frames_total", "self", n.self, "peer", from))
+		rxBytes = n.metrics.Counter(obs.Name("tcpnet_rx_bytes_total", "self", n.self, "peer", from))
+	}
 	for {
 		var lenBuf [4]byte
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
@@ -257,6 +295,8 @@ func (n *Net) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
+		rxFrames.Inc()
+		rxBytes.Add(uint64(size) + 4)
 		n.inbox.Push(transport.Envelope{From: from, To: n.self, Payload: payload})
 	}
 }
@@ -279,8 +319,30 @@ const senderBufSize = 64 << 10
 // retransmitting clients that already re-send whole requests.
 type sender struct {
 	net   *Net
+	to    types.ProcessID
 	addr  string
 	queue *syncx.Queue[[]byte]
+
+	// Per-peer metric handles, all nil (free no-ops) without WithMetrics.
+	frames     *obs.Counter
+	bytes      *obs.Counter
+	dials      *obs.Counter
+	drops      *obs.Counter
+	batchSize  *obs.Histogram
+	queueDepth *obs.Gauge
+}
+
+func newSender(n *Net, to types.ProcessID, addr string) *sender {
+	s := &sender{net: n, to: to, addr: addr, queue: syncx.NewQueue[[]byte]()}
+	if reg := n.metrics; reg != nil {
+		s.frames = reg.Counter(obs.Name("tcpnet_tx_frames_total", "self", n.self, "peer", to))
+		s.bytes = reg.Counter(obs.Name("tcpnet_tx_bytes_total", "self", n.self, "peer", to))
+		s.dials = reg.Counter(obs.Name("tcpnet_dials_total", "self", n.self, "peer", to))
+		s.drops = reg.Counter(obs.Name("tcpnet_conn_drops_total", "self", n.self, "peer", to))
+		s.batchSize = reg.Histogram(obs.Name("tcpnet_batch_frames", "self", n.self, "peer", to), obs.SizeBuckets)
+		s.queueDepth = reg.Gauge(obs.Name("tcpnet_queue_depth", "self", n.self, "peer", to))
+	}
+	return s
 }
 
 func (s *sender) run() {
@@ -296,6 +358,8 @@ func (s *sender) run() {
 		_ = conn.Close()
 		s.net.untrackConn(conn)
 		conn, bw = nil, nil
+		s.drops.Inc()
+		s.net.trace.Record("conn-drop", "peer %v (%s): write failed, redialing", s.to, s.addr)
 	}
 	backoff := 10 * time.Millisecond
 	for {
@@ -324,6 +388,8 @@ func (s *sender) run() {
 				}
 				backoff = 10 * time.Millisecond
 				bw = bufio.NewWriterSize(conn, senderBufSize)
+				s.dials.Inc()
+				s.net.trace.Record("dial", "peer %v (%s) connected", s.to, s.addr)
 			}
 			// Fold in frames queued since the wakeup so the flush below
 			// covers them too.
@@ -338,6 +404,14 @@ func (s *sender) run() {
 				drop()
 				continue // re-dial and retry the batch
 			}
+			s.frames.Add(uint64(len(batch)))
+			s.batchSize.Observe(float64(len(batch)))
+			var written uint64
+			for _, p := range batch {
+				written += uint64(len(p)) + 4
+			}
+			s.bytes.Add(written)
+			s.queueDepth.Set(int64(s.queue.Len()))
 			batch = nil
 		}
 	}
@@ -380,12 +454,31 @@ func (s *sender) dial() (net.Conn, error) {
 		_ = conn.Close()
 		return nil, transport.ErrClosed
 	}
-	var hello [8]byte
-	binary.LittleEndian.PutUint64(hello[:], uint64(int64(s.net.self)))
-	if _, err := conn.Write(hello[:]); err != nil {
+	if err := s.writeHello(conn); err != nil {
 		_ = conn.Close()
 		s.net.untrackConn(conn)
 		return nil, err
 	}
 	return conn, nil
+}
+
+// writeHello sends the 8-byte identity frame under the same write deadline
+// as every batch write. Without the deadline a peer that accepts but never
+// reads could wedge the sender goroutine here, before writeBatch's deadline
+// ever applies.
+func (s *sender) writeHello(conn net.Conn) error {
+	if s.net.writeTimeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(s.net.writeTimeout)); err != nil {
+			return err
+		}
+	}
+	var hello [8]byte
+	binary.LittleEndian.PutUint64(hello[:], uint64(int64(s.net.self)))
+	if _, err := conn.Write(hello[:]); err != nil {
+		return err
+	}
+	if s.net.writeTimeout > 0 {
+		return conn.SetWriteDeadline(time.Time{})
+	}
+	return nil
 }

@@ -15,7 +15,7 @@ import (
 )
 
 // newCluster starts n endpoints on loopback with dynamic ports.
-func newCluster(t *testing.T, n int) []*tcpnet.Net {
+func newCluster(t *testing.T, n int, opts ...tcpnet.Option) []*tcpnet.Net {
 	t.Helper()
 	cfg := make(tcpnet.Config, n)
 	nets := make([]*tcpnet.Net, n)
@@ -27,7 +27,7 @@ func newCluster(t *testing.T, n int) []*tcpnet.Net {
 	for i := 0; i < n; i++ {
 		// Each node needs the *final* addresses of its peers; bind
 		// sequentially and update the shared config as we go.
-		nt, err := tcpnet.New(types.ProcessID(i), cfg)
+		nt, err := tcpnet.New(types.ProcessID(i), cfg, opts...)
 		if err != nil {
 			t.Fatalf("tcpnet.New(%d): %v", i, err)
 		}

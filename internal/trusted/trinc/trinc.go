@@ -219,6 +219,11 @@ func NewVerifier(ring *sig.Keyring) *Verifier {
 	return &Verifier{ring: ring, fv: fastverify.New(ring)}
 }
 
+// FastPath exposes the underlying fastverify.Verifier (nil when the
+// verifier was built without one), so harnesses can read cache stats or
+// attach metrics.
+func (v *Verifier) FastPath() *fastverify.Verifier { return v.fv }
+
 // Concurrent reports whether batched attestation checks can actually run
 // in parallel (false on a single-core process or when the fast path is
 // disabled). Verify-ahead pipelines consult this before spawning workers.
