@@ -5,13 +5,13 @@ BENCH_JSON ?= bench.json
 BENCH_OPS ?= 300
 BENCH_MSGS ?= 100
 
-.PHONY: check vet staticcheck build test race soak bench-smoke bench-json
+.PHONY: check vet staticcheck logcheck build test race soak bench-smoke bench-json trace-check
 
 # check is the full local gate: static checks, build, the race-enabled
 # test suite, and a one-iteration smoke run of the signature fast-path
 # benchmarks (catches bit-rot in the bench harness without the cost of a
 # real measurement).
-check: vet staticcheck build test bench-smoke
+check: vet staticcheck logcheck build test bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,17 @@ staticcheck:
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping"; \
+	fi
+
+# logcheck gates ad-hoc stdlib logging out of the library: components log
+# through log/slog (obs.NopLogger by default); log.Print* belongs only in
+# main packages under cmd/.
+logcheck:
+	@if grep -rnE '\blog\.Print(f|ln)?\(' internal/ --include='*.go'; then \
+		echo "logcheck: use log/slog (see internal/obs/logging.go), not stdlib log.Print*"; \
+		exit 1; \
+	else \
+		echo "logcheck: ok"; \
 	fi
 
 build:
@@ -44,6 +55,14 @@ race:
 # detector; -count disables caching so each run reshuffles the schedule.
 soak:
 	$(GO) test -race -count=3 -run 'TestSoak' ./internal/minbft/
+
+# trace-check re-runs the distributed-tracing test surface (context
+# propagation on the wire, span lifecycle, cross-node collection, the
+# end-to-end breakdown against live clusters) under the race detector.
+trace-check:
+	$(GO) test -race -count=2 \
+		-run 'TestTrace|TestBreakdown|TestAlignClocks|TestMerge|TestDebugSpans|TestSpan|TestFrame|TestLegacyFrame|TestTracedFrame|TestHealthAndReadiness' \
+		./internal/obs/... ./internal/tcpnet/ ./internal/simnet/ ./internal/harness/ ./cmd/minbft-kv/
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSigVerify' -benchtime 1x .

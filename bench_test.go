@@ -149,6 +149,41 @@ func BenchmarkSMR(b *testing.B) {
 	}
 }
 
+// BenchmarkSMRTrace is the tracing-overhead A/B: the same pipelined MinBFT
+// workload with tracing off, at the production default rate (1-in-64), and
+// fully sampled. The acceptance bar for the tracing layer is <2% throughput
+// regression at rate=64 versus rate=0.
+func BenchmarkSMRTrace(b *testing.B) {
+	for _, rate := range []int{0, 64, 1} {
+		rate := rate
+		b.Run(fmt.Sprintf("minbft/pipelined/rate=%d", rate), func(b *testing.B) {
+			c, err := harness.BuildMinBFTCfg(harness.SMRConfig{
+				F: 1, Scheme: sig.HMAC, Batch: 64, Window: 32, TraceRate: rate,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Stop()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			calls := make([]*smr.Call, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				call, err := c.Pipe.PutAsync(ctx, fmt.Sprintf("key-%d", i%64), []byte("value"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls = append(calls, call)
+			}
+			for _, call := range calls {
+				if _, err := call.Result(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- B5: signature fast path — single vs batch vs cached ---
 
 // BenchmarkSigVerify isolates the fastverify layer itself: raw per-call

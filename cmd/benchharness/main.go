@@ -7,12 +7,14 @@
 //	B2  BFT SMR: MinBFT (n=2f+1) vs PBFT (n=3f+1)
 //	B3  trusted hardware and signature microbenchmarks
 //	B4  round-system ablation (swmr / async / lockstep)
+//	B8  per-phase latency attribution via distributed tracing
 //
 // Usage:
 //
 //	benchharness -exp all                      # everything (default)
 //	benchharness -exp b2 -ops 2000             # one experiment, tuned workload
 //	benchharness -exp b2 -json BENCH_B2.json   # machine-readable B1/B2 rows
+//	benchharness -exp b8 -trace-out spans.json # merged spans + breakdowns
 //
 // The Go-native testing.B versions of B1-B4 live in bench_test.go at the
 // repository root (go test -bench=.).
@@ -62,21 +64,22 @@ func (r *report) write(path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: all, or a comma-separated subset of f1,e1,b1,b2,b3,b4")
+	exp := flag.String("exp", "all", "experiments to run: all, or a comma-separated subset of f1,e1,b1,b2,b3,b4,b8")
 	msgs := flag.Int("msgs", 200, "broadcasts per configuration (B1)")
 	ops := flag.Int("ops", 500, "client operations per configuration (B2)")
 	iters := flag.Int("iters", 5000, "iterations per microbenchmark (B3)")
 	roundsN := flag.Int("rounds", 500, "rounds per system (B4)")
 	jsonPath := flag.String("json", "", "write machine-readable B1/B2 rows to this file")
+	traceOut := flag.String("trace-out", "", "write B8's merged spans and per-request breakdowns to this file")
 	flag.Parse()
 
-	if err := run(strings.ToLower(*exp), *msgs, *ops, *iters, *roundsN, *jsonPath); err != nil {
+	if err := run(strings.ToLower(*exp), *msgs, *ops, *iters, *roundsN, *jsonPath, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchharness:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, msgs, ops, iters, roundsN int, jsonPath string) error {
+func run(exp string, msgs, ops, iters, roundsN int, jsonPath, traceOut string) error {
 	rep := &report{}
 	type experiment struct {
 		id  string
@@ -89,7 +92,8 @@ func run(exp string, msgs, ops, iters, roundsN int, jsonPath string) error {
 		{"b1", func() error { return expB1(msgs, rep) }, true},
 		{"b2", func() error { return expB2(ops, rep) }, true},
 		{"b3", func() error { return expB3(iters) }, true},
-		{"b4", func() error { return expB4(roundsN) }, false},
+		{"b4", func() error { return expB4(roundsN) }, true},
+		{"b8", func() error { return expB8(ops, traceOut) }, false},
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(exp, ",") {

@@ -1,0 +1,99 @@
+package main
+
+// B8: per-phase latency attribution via distributed tracing. Every request
+// is head-sampled (rate 1), the harness merges the per-node span buffers and
+// aligns clocks, and the breakdown attributes each request's client-observed
+// latency to the span taxonomy (batch-wait, propose, commit-quorum, execute,
+// reply, other). -trace-out dumps the merged spans and per-request
+// breakdowns as JSON for offline analysis.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"unidir/internal/harness"
+	"unidir/internal/obs/tracing"
+	"unidir/internal/sig"
+)
+
+// traceDump is the -trace-out file shape: one entry per configuration.
+type traceDump struct {
+	Config     string                     `json:"config"`
+	Ops        int                        `json:"ops"`
+	Summary    tracing.Summary            `json:"summary"`
+	Breakdowns []tracing.RequestBreakdown `json:"breakdowns"`
+	Spans      []tracing.Span             `json:"spans"`
+}
+
+func expB8(ops int, traceOut string) error {
+	type config struct {
+		name      string
+		cfg       harness.SMRConfig
+		pipelined bool
+	}
+	configs := []config{
+		// Window 1 makes the pipelined client (the tracing ingress)
+		// closed-loop: one request in flight, batches of one.
+		{"unbatched", harness.SMRConfig{F: 1, Scheme: sig.HMAC, Batch: 1, Window: 1, TraceRate: 1}, false},
+		{"batched+pipelined", harness.SMRConfig{F: 1, Scheme: sig.HMAC, Batch: 64, Window: 32, TraceRate: 1}, true},
+	}
+
+	fmt.Println("B8: per-phase latency attribution (minbft, f=1, every request traced)")
+	fmt.Printf("  %-18s %8s %10s | %10s %10s %10s %10s %10s %10s | %10s\n",
+		"config", "requests", "total", "batch-wait", "propose", "commit-q", "execute", "reply", "other", "ui-attest")
+
+	var dumps []traceDump
+	for _, c := range configs {
+		cl, err := harness.BuildMinBFTCfg(c.cfg)
+		if err != nil {
+			return err
+		}
+		var runErr error
+		if c.pipelined {
+			_, runErr = timeKVOpsPipelined(cl.Pipe, ops)
+		} else {
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			for i := 0; i < ops && runErr == nil; i++ {
+				runErr = cl.Pipe.Put(ctx, fmt.Sprintf("key%d", i%16), []byte("value"))
+			}
+			cancel()
+		}
+		spans := cl.CollectSpans()
+		cl.Stop()
+		if runErr != nil {
+			return fmt.Errorf("%s: %w", c.name, runErr)
+		}
+		bds := tracing.Breakdown(spans)
+		sum := tracing.Summarize(bds)
+
+		phase := func(name string) time.Duration {
+			for _, p := range sum.Phases {
+				if p.Name == name {
+					return p.Dur
+				}
+			}
+			return 0
+		}
+		us := func(d time.Duration) string { return fmt.Sprintf("%.1fus", float64(d.Nanoseconds())/1e3) }
+		fmt.Printf("  %-18s %8d %10s | %10s %10s %10s %10s %10s %10s | %10s\n",
+			c.name, sum.Requests, us(sum.Total),
+			us(phase("batch-wait")), us(phase("propose")), us(phase("commit-quorum")),
+			us(phase("execute")), us(phase("reply")), us(phase("other")), us(sum.Attest))
+		dumps = append(dumps, traceDump{Config: c.name, Ops: ops, Summary: sum, Breakdowns: bds, Spans: spans})
+	}
+
+	if traceOut != "" {
+		b, err := json.MarshalIndent(dumps, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(traceOut, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", traceOut, err)
+		}
+		fmt.Printf("  wrote merged spans + breakdowns to %s\n", traceOut)
+	}
+	return nil
+}

@@ -29,6 +29,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -41,6 +42,7 @@ import (
 	"unidir/internal/kvstore"
 	"unidir/internal/minbft"
 	"unidir/internal/obs"
+	"unidir/internal/obs/tracing"
 	"unidir/internal/sig"
 	"unidir/internal/smr"
 	"unidir/internal/tcpnet"
@@ -72,7 +74,7 @@ func main() {
 	checkpoint := flag.Int("checkpoint", 0, "checkpoint interval in executed batches (0 = UNIDIR_CKPT default, negative disables)")
 	dialTimeout := flag.Duration("dial-timeout", 0, "TCP dial timeout per connection attempt (0 = 2s default)")
 	writeTimeout := flag.Duration("write-timeout", 0, "TCP write deadline per coalesced batch (0 = 15s default)")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/trace, and pprof on this host:port (replicas; empty disables)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/trace, /debug/spans, /healthz, /readyz, and pprof on this host:port (replicas; empty disables)")
 	flag.Parse()
 
 	ro := replicaOpts{
@@ -130,10 +132,16 @@ func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, see
 		repOpts = append(repOpts, minbft.WithCheckpointInterval(ro.checkpoint))
 	}
 	var reg *obs.Registry
+	var spans *tracing.SpanBuffer
 	if ro.debugAddr != "" {
 		reg = obs.NewRegistry()
 		repOpts = append(repOpts, minbft.WithMetrics(reg))
 		universe.Verifier.FastPath().AttachMetrics(reg)
+		if rate := tracing.DefaultSampleRate(); rate > 0 {
+			spans = tracing.NewSpanBuffer(4096)
+			repOpts = append(repOpts,
+				minbft.WithTracer(tracing.NewTracer(fmt.Sprintf("r%d", self), rate, spans)))
+		}
 	}
 	var counters *ctrstore.Store
 	if ro.dataDir != "" {
@@ -142,7 +150,8 @@ func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, see
 		if err := os.MkdirAll(ro.dataDir, 0o755); err != nil {
 			return err
 		}
-		counters, err = ctrstore.Open(filepath.Join(ro.dataDir, "usig.wal"))
+		counters, err = ctrstore.Open(filepath.Join(ro.dataDir, "usig.wal"),
+			ctrstore.WithLogger(obs.NewLogger(os.Stderr, slog.LevelInfo, "ctrstore", self)))
 		if err != nil {
 			return err
 		}
@@ -173,9 +182,10 @@ func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, see
 	}
 	fmt.Printf("replica %v serving on %s (n=%d, f=%d)\n", self, tr.Addr(), m.N, m.F)
 	if reg != nil {
+		handler := obs.Handler(reg, obs.WithSpans(spans), obs.WithReadiness(rep.Ready))
 		go func() {
 			fmt.Printf("debug server on http://%s/metrics\n", ro.debugAddr)
-			if err := http.ListenAndServe(ro.debugAddr, obs.Handler(reg)); err != nil {
+			if err := http.ListenAndServe(ro.debugAddr, handler); err != nil {
 				fmt.Fprintln(os.Stderr, "minbft-kv: debug server:", err)
 			}
 		}()

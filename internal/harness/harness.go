@@ -15,6 +15,7 @@ import (
 	"unidir/internal/kvstore"
 	"unidir/internal/minbft"
 	"unidir/internal/obs"
+	"unidir/internal/obs/tracing"
 	"unidir/internal/pbft"
 	"unidir/internal/rounds"
 	"unidir/internal/sig"
@@ -138,19 +139,64 @@ type SMRCluster struct {
 	Pipe    *kvstore.PipeClient
 	Metrics *obs.Registry // non-nil iff SMRConfig.Metrics was set
 	Stop    func()
+
+	spanBufs []*tracing.SpanBuffer // per-node buffers; nil without TraceRate
 }
 
 // SMRConfig parameterizes an SMR deployment.
 type SMRConfig struct {
-	F       int           // faults tolerated (n derived per protocol)
-	Scheme  sig.Scheme    // signature scheme for the trusted components
-	Batch   int           // consensus batch cap; 0 = smr.DefaultBatchSize(), 1 = unbatched
-	Window  int           // pipelined client's in-flight window; 0 = 32
-	Ckpt    int           // checkpoint interval; 0 = smr.DefaultCheckpointInterval(), < 0 disables
-	Metrics *obs.Registry // optional: replicas, sig cache, and pipeline publish here
+	F         int           // faults tolerated (n derived per protocol)
+	Scheme    sig.Scheme    // signature scheme for the trusted components
+	Batch     int           // consensus batch cap; 0 = smr.DefaultBatchSize(), 1 = unbatched
+	Window    int           // pipelined client's in-flight window; 0 = 32
+	Ckpt      int           // checkpoint interval; 0 = smr.DefaultCheckpointInterval(), < 0 disables
+	Metrics   *obs.Registry // optional: replicas, sig cache, and pipeline publish here
+	TraceRate int           // distributed tracing: 1-in-TraceRate requests sampled; 0 disables
+	TraceBuf  int           // per-node span buffer capacity; 0 = 8192
 }
 
 const defaultPipeWindow = 32
+
+const defaultTraceBuf = 8192
+
+// smrTracers provisions one tracer per replica plus the pipeline client's,
+// which is where the head-sampling decision lives (replica tracers use rate
+// 1: they record whenever a propagated context says sampled). Returns nils
+// when tracing is off.
+func smrTracers(cfg SMRConfig, n int) (replicas []*tracing.Tracer, pipe *tracing.Tracer, bufs []*tracing.SpanBuffer) {
+	if cfg.TraceRate <= 0 {
+		return nil, nil, nil
+	}
+	cap := cfg.TraceBuf
+	if cap <= 0 {
+		cap = defaultTraceBuf
+	}
+	replicas = make([]*tracing.Tracer, n)
+	for i := range replicas {
+		buf := tracing.NewSpanBuffer(cap)
+		replicas[i] = tracing.NewTracer(fmt.Sprintf("r%d", i), 1, buf)
+		bufs = append(bufs, buf)
+	}
+	buf := tracing.NewSpanBuffer(cap)
+	pipe = tracing.NewTracer("client", cfg.TraceRate, buf)
+	bufs = append(bufs, buf)
+	return replicas, pipe, bufs
+}
+
+// CollectSpans merges every node's span buffer and aligns per-node clocks
+// over the causal cross-node edges. Returns nil when tracing was off.
+func (c *SMRCluster) CollectSpans() []tracing.Span {
+	if len(c.spanBufs) == 0 {
+		return nil
+	}
+	return tracing.AlignClocks(tracing.Merge(c.spanBufs...))
+}
+
+// Breakdowns collects spans and reduces them to per-request phase latency
+// attributions (see tracing.Breakdown).
+func (c *SMRCluster) Breakdowns() []tracing.RequestBreakdown {
+	return tracing.Breakdown(c.CollectSpans())
+}
 
 // BuildMinBFT builds a MinBFT deployment with the default HMAC scheme.
 // See BuildMinBFTScheme to choose the scheme.
@@ -196,10 +242,15 @@ func BuildMinBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 		opts = append(opts, minbft.WithMetrics(cfg.Metrics))
 		tu.Verifier.FastPath().AttachMetrics(cfg.Metrics)
 	}
+	tracers, pipeTracer, spanBufs := smrTracers(cfg, n)
 	replicas := make([]*minbft.Replica, n)
 	for i := 0; i < n; i++ {
+		ropts := opts
+		if tracers != nil {
+			ropts = append(append([]minbft.Option(nil), opts...), minbft.WithTracer(tracers[i]))
+		}
 		replicas[i], err = minbft.New(m, net.Endpoint(types.ProcessID(i)), tu.Devices[i], tu.Verifier,
-			kvstore.New(), opts...)
+			kvstore.New(), ropts...)
 		if err != nil {
 			net.Close()
 			return nil, err
@@ -211,12 +262,12 @@ func BuildMinBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 		}
 		net.Close()
 	}
-	kv, pipe, closeClients, err := buildClients(net, m, cfg.Window, cfg.Metrics, minbft.EncodeRequestEnvelope)
+	kv, pipe, closeClients, err := buildClients(net, m, cfg.Window, cfg.Metrics, pipeTracer, minbft.EncodeRequestEnvelope)
 	if err != nil {
 		stopReplicas()
 		return nil, err
 	}
-	return &SMRCluster{KV: kv, Pipe: pipe, Metrics: cfg.Metrics, Stop: func() {
+	return &SMRCluster{KV: kv, Pipe: pipe, Metrics: cfg.Metrics, spanBufs: spanBufs, Stop: func() {
 		closeClients()
 		stopReplicas()
 	}}, nil
@@ -264,9 +315,14 @@ func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 	if cfg.Metrics != nil {
 		opts = append(opts, pbft.WithMetrics(cfg.Metrics))
 	}
+	tracers, pipeTracer, spanBufs := smrTracers(cfg, n)
 	replicas := make([]*pbft.Replica, n)
 	for i := 0; i < n; i++ {
-		replicas[i], err = pbft.New(m, net.Endpoint(types.ProcessID(i)), rings[i], kvstore.New(), opts...)
+		ropts := opts
+		if tracers != nil {
+			ropts = append(append([]pbft.Option(nil), opts...), pbft.WithTracer(tracers[i]))
+		}
+		replicas[i], err = pbft.New(m, net.Endpoint(types.ProcessID(i)), rings[i], kvstore.New(), ropts...)
 		if err != nil {
 			net.Close()
 			return nil, err
@@ -278,12 +334,12 @@ func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 		}
 		net.Close()
 	}
-	kv, pipe, closeClients, err := buildClients(net, m, cfg.Window, cfg.Metrics, pbft.EncodeRequestEnvelope)
+	kv, pipe, closeClients, err := buildClients(net, m, cfg.Window, cfg.Metrics, pipeTracer, pbft.EncodeRequestEnvelope)
 	if err != nil {
 		stopReplicas()
 		return nil, err
 	}
-	return &SMRCluster{KV: kv, Pipe: pipe, Metrics: cfg.Metrics, Stop: func() {
+	return &SMRCluster{KV: kv, Pipe: pipe, Metrics: cfg.Metrics, spanBufs: spanBufs, Stop: func() {
 		closeClients()
 		stopReplicas()
 	}}, nil
@@ -291,7 +347,7 @@ func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 
 // buildClients connects the closed-loop client (endpoint n) and the
 // pipelined client (endpoint n+1) to a running replica set.
-func buildClients(net *simnet.Network, m types.Membership, window int, reg *obs.Registry, encode func(smr.Request) []byte) (*kvstore.Client, *kvstore.PipeClient, func(), error) {
+func buildClients(net *simnet.Network, m types.Membership, window int, reg *obs.Registry, tracer *tracing.Tracer, encode func(smr.Request) []byte) (*kvstore.Client, *kvstore.PipeClient, func(), error) {
 	if window <= 0 {
 		window = defaultPipeWindow
 	}
@@ -305,6 +361,9 @@ func buildClients(net *simnet.Network, m types.Membership, window int, reg *obs.
 	pipeOpts := []smr.PipelineOption{smr.WithPipelineRequestEncoder(encode)}
 	if reg != nil {
 		pipeOpts = append(pipeOpts, smr.WithPipelineMetrics(reg))
+	}
+	if tracer != nil {
+		pipeOpts = append(pipeOpts, smr.WithPipelineTracer(tracer))
 	}
 	pl, err := smr.NewPipeline(net.Endpoint(pipeID), m.All(), m.FPlusOne(), uint64(pipeID),
 		time.Second, window, pipeOpts...)

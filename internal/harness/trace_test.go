@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"unidir/internal/obs/tracing"
+	"unidir/internal/sig"
+)
+
+// runTracedOps drives the pipelined client with every request sampled and
+// returns the cluster's merged, clock-aligned breakdowns.
+func runTracedOps(t *testing.T, build func(SMRConfig) (*SMRCluster, error), cfg SMRConfig, ops int) []tracing.RequestBreakdown {
+	t.Helper()
+	cl, err := build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < ops; i++ {
+		if err := cl.Pipe.Put(ctx, fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	return cl.Breakdowns()
+}
+
+// checkBreakdowns asserts the tentpole's acceptance shape: each sampled
+// request yields a breakdown whose phase durations are non-negative and sum
+// exactly to the client-observed latency (the "other" residual is computed to
+// make that identity hold, so what this really checks is that no phase
+// overshoots Total and the expected phases were stitched across nodes).
+func checkBreakdowns(t *testing.T, bds []tracing.RequestBreakdown, ops int, wantAttest bool) {
+	t.Helper()
+	if len(bds) != ops {
+		t.Fatalf("breakdowns = %d, want one per request (%d)", len(bds), ops)
+	}
+	for _, bd := range bds {
+		if bd.Total <= 0 {
+			t.Fatalf("trace %s: total %v", bd.Trace, bd.Total)
+		}
+		var sum time.Duration
+		seen := make(map[string]bool)
+		for _, p := range bd.Phases {
+			seen[p.Name] = true
+			if p.Dur < 0 {
+				t.Fatalf("trace %s: phase %s is negative (%v) — a phase overshot the client latency",
+					bd.Trace, p.Name, p.Dur)
+			}
+			sum += p.Dur
+		}
+		if sum != bd.Total {
+			t.Fatalf("trace %s: phases sum to %v, client saw %v", bd.Trace, sum, bd.Total)
+		}
+		for _, name := range []string{"propose", "commit-quorum", "execute", "reply", "other"} {
+			if !seen[name] {
+				t.Fatalf("trace %s: phase %q missing (got %v)", bd.Trace, name, bd.Phases)
+			}
+		}
+		if bd.Node == "" {
+			t.Fatalf("trace %s: no proposing node attributed", bd.Trace)
+		}
+		if wantAttest && bd.Attest <= 0 {
+			t.Fatalf("trace %s: no ui-attest attribution on a MinBFT request", bd.Trace)
+		}
+	}
+}
+
+func TestMinBFTTraceBreakdown(t *testing.T) {
+	const ops = 8
+	bds := runTracedOps(t, BuildMinBFTCfg, SMRConfig{F: 1, Scheme: sig.HMAC, TraceRate: 1}, ops)
+	checkBreakdowns(t, bds, ops, true)
+}
+
+func TestPBFTTraceBreakdown(t *testing.T) {
+	const ops = 8
+	bds := runTracedOps(t, BuildPBFTCfg, SMRConfig{F: 1, Scheme: sig.HMAC, TraceRate: 1}, ops)
+	checkBreakdowns(t, bds, ops, false)
+}
+
+// TestTraceSampling checks that head sampling at the pipeline client bounds
+// collection: with rate 4, roughly 1/4 of requests produce breakdowns, and
+// with tracing off the cluster collects nothing.
+func TestTraceSampling(t *testing.T) {
+	const ops = 16
+	bds := runTracedOps(t, BuildMinBFTCfg, SMRConfig{F: 1, Scheme: sig.HMAC, TraceRate: 4}, ops)
+	if len(bds) == 0 || len(bds) >= ops {
+		t.Fatalf("rate 4 over %d ops yielded %d breakdowns, want strictly between 0 and %d",
+			ops, len(bds), ops)
+	}
+
+	cl, err := BuildMinBFTCfg(SMRConfig{F: 1, Scheme: sig.HMAC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := cl.Pipe.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.CollectSpans(); got != nil {
+		t.Fatalf("tracing off: CollectSpans returned %d spans", len(got))
+	}
+}

@@ -469,6 +469,7 @@ func (r *Replica) requestState(count uint64) {
 		return // already chasing this or a later checkpoint
 	}
 	r.stateTarget = count
+	r.rdyST.Store(true)
 	r.broadcastStateFetch()
 	r.afterTimeout(r.reqTimeout, timerEvent{kind: 's', seq: types.SeqNum(count)})
 }
@@ -531,6 +532,7 @@ func (r *Replica) installCheckpoint(cert ckptCert, state []byte) {
 	r.mx.trace.Record("state-transfer", "installed checkpoint count %d (%d bytes)", cert.Count, len(state))
 	if r.stateTarget <= r.execCount {
 		r.stateTarget = 0
+		r.rdyST.Store(false)
 	}
 	// Adopt via advanceStable for the shared GC + persist path.
 	r.advanceStable(cert, state)

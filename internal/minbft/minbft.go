@@ -67,9 +67,11 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unidir/internal/obs"
+	"unidir/internal/obs/tracing"
 	"unidir/internal/smr"
 	"unidir/internal/syncx"
 	"unidir/internal/transport"
@@ -194,9 +196,9 @@ type Replica struct {
 	dataDir         string          // "" : no crash-restart persistence
 	execCount       uint64          // fresh batches executed, in total order
 	ckptVotes       map[uint64]map[types.ProcessID]signedCkpt
-	ownStates       map[uint64][]byte // our snapshots awaiting stability
-	stable          ckptCert          // latest stable checkpoint certificate
-	stableState     []byte            // the state the stable cert certifies
+	ownStates       map[uint64][]byte                // our snapshots awaiting stability
+	stable          ckptCert                         // latest stable checkpoint certificate
+	stableState     []byte                           // the state the stable cert certifies
 	gcVoteSeqs      map[types.ProcessID]types.SeqNum // fetch-store GC watermarks
 	gcSeqFloor      types.SeqNum                     // current-view prepare seqs GC'd below
 	stateTarget     uint64                           // checkpoint count being fetched (0: none)
@@ -210,6 +212,17 @@ type Replica struct {
 
 	metricsReg *obs.Registry
 	mx         metrics // all-nil (free no-ops) without WithMetrics
+
+	// Distributed tracing (tracing.go); nil without WithTracer.
+	tracer       *tracing.Tracer
+	reqTrace     map[pendingKey]reqTraceInfo // sampled requests awaiting execution
+	deferred     []deferredReply             // traced replies held while an execute span is open
+	deferReplies bool
+
+	// Readiness mirrors of inVC / stateTarget, readable off the run
+	// goroutine (Ready, the /readyz endpoint).
+	rdyVC atomic.Bool // view change in progress
+	rdyST atomic.Bool // state transfer in progress
 }
 
 type entryKey struct {
@@ -229,12 +242,16 @@ type entry struct {
 	executed  bool
 	mine      bool      // proposed by this replica (leader in-flight accounting)
 	boundAt   time.Time // prepare acceptance time; zero without WithMetrics
+
+	btc        tracing.Context // batch trace (zero unless the batch is sampled)
+	quorumSpan *tracing.Active // open commit-quorum span; nil when untraced
 }
 
 type peerMsg struct {
 	kind byte
 	body []byte
 	ui   trinc.Attestation
+	tc   tracing.Context // trace context the message arrived with
 }
 
 type event struct {
@@ -291,6 +308,7 @@ func New(m types.Membership, tr transport.Transport, dev *trinc.Device, ver *tri
 		ckptVotes:  make(map[uint64]map[types.ProcessID]signedCkpt),
 		ownStates:  make(map[uint64][]byte),
 		gcVoteSeqs: make(map[types.ProcessID]types.SeqNum),
+		reqTrace:   make(map[pendingKey]reqTraceInfo),
 	}
 	for _, opt := range opts {
 		opt(r)
@@ -437,21 +455,7 @@ func (r *Replica) run(ctx context.Context) {
 // attestAndSend attests (kind, body) on the USIG and broadcasts the
 // envelope to all other replicas, returning the UI.
 func (r *Replica) attestAndSend(kind byte, body []byte) (trinc.Attestation, error) {
-	next := r.dev.LastAttested(usigCounter) + 1
-	e := wire.GetEncoder()
-	appendUIBinding(e, kind, body)
-	ui, err := r.dev.Attest(usigCounter, next, e.Bytes())
-	wire.PutEncoder(e)
-	if err != nil {
-		return trinc.Attestation{}, fmt.Errorf("minbft: usig attest: %w", err)
-	}
-	payload := encodeEnvelope(kind, body, &ui)
-	if err := transport.Broadcast(r.tr, r.m.Others(r.Self()), payload); err != nil {
-		return trinc.Attestation{}, fmt.Errorf("minbft: broadcast: %w", err)
-	}
-	// Retain own sends so lagging peers can gap-fill from us directly.
-	r.storeMsg(r.Self(), ui.Seq, peerMsg{kind: kind, body: body, ui: ui})
-	return ui, nil
+	return r.attestAndSendTraced(kind, body, nil)
 }
 
 func (r *Replica) reply(req smr.Request, result []byte) {
@@ -472,7 +476,7 @@ func (r *Replica) handleEnvelope(env transport.Envelope) {
 		if err != nil {
 			return
 		}
-		r.handleRequest(req)
+		r.handleRequest(req, env.Trace)
 		return
 	case kindFetch:
 		r.handleFetch(env.From, body)
@@ -490,17 +494,19 @@ func (r *Replica) handleEnvelope(env transport.Envelope) {
 		if err != nil || innerKind == kindFetch || innerKind == kindFetchResp || innerKind == kindRequest {
 			return
 		}
-		r.ingestReplicaMsg(innerKind, innerBody, innerUI)
+		// Relayed messages lose their original trace context; the batch
+		// trace survives via whichever replica got the direct delivery.
+		r.ingestReplicaMsg(innerKind, innerBody, innerUI, tracing.Context{})
 		return
 	}
-	r.ingestReplicaMsg(kind, body, ui)
+	r.ingestReplicaMsg(kind, body, ui, env.Trace)
 }
 
 // ingestReplicaMsg authenticates replica traffic by its UI — the
 // attestation, not the channel, names the originator, which makes every
 // protocol message relayable (the fetch protocol depends on this) — and
 // processes each trinket's messages in counter order, buffering gaps.
-func (r *Replica) ingestReplicaMsg(kind byte, body []byte, ui *trinc.Attestation) {
+func (r *Replica) ingestReplicaMsg(kind byte, body []byte, ui *trinc.Attestation, tc tracing.Context) {
 	if ui == nil || !r.m.Contains(ui.Trinket) || ui.Trinket == r.Self() || ui.Counter != usigCounter {
 		return
 	}
@@ -529,13 +535,13 @@ func (r *Replica) ingestReplicaMsg(kind byte, body []byte, ui *trinc.Attestation
 			}
 		}
 		r.lastUI[from] = ui.Seq
-		msg := peerMsg{kind: kind, body: body, ui: *ui}
+		msg := peerMsg{kind: kind, body: body, ui: *ui, tc: tc}
 		r.storeMsg(from, ui.Seq, msg)
 		r.dispatch(from, msg)
 		r.drainBuffer(from)
 		return
 	}
-	buf[ui.Seq] = peerMsg{kind: kind, body: body, ui: *ui}
+	buf[ui.Seq] = peerMsg{kind: kind, body: body, ui: *ui, tc: tc}
 	if ui.Seq > r.lastUI[from]+1 {
 		// A gap: some earlier message of this trinket never arrived
 		// (targeted omission or loss). Ask the others for it.
@@ -624,7 +630,7 @@ func (r *Replica) dispatch(from types.ProcessID, msg peerMsg) {
 
 // --- client requests ---
 
-func (r *Replica) handleRequest(req smr.Request) {
+func (r *Replica) handleRequest(req smr.Request, tc tracing.Context) {
 	if result, ok := r.table.CachedReply(req); ok {
 		r.reply(req, result)
 		return
@@ -637,6 +643,7 @@ func (r *Replica) handleRequest(req smr.Request) {
 		return
 	}
 	r.pending[key] = req
+	r.noteRequest(key, tc)
 	r.maybePropose()
 	// Arm the liveness watchdog for this request.
 	r.afterTimeout(r.reqTimeout, timerEvent{kind: 't', pending: key, view: r.view})
@@ -667,6 +674,7 @@ func (r *Replica) maybePropose() {
 			}
 			if !r.table.ShouldExecute(req) {
 				delete(r.pending, key) // executed meanwhile (e.g. via view change)
+				delete(r.reqTrace, key)
 				continue
 			}
 			batch = append(batch, req)
@@ -741,6 +749,7 @@ func (r *Replica) handleTimer(te timerEvent) {
 		}
 		if r.execCount >= r.stateTarget {
 			r.stateTarget = 0
+			r.rdyST.Store(false)
 			return
 		}
 		r.broadcastStateFetch()
@@ -754,12 +763,15 @@ func (r *Replica) handleTimer(te timerEvent) {
 func (r *Replica) sendPrepare(batch []smr.Request) bool {
 	p := prepare{View: r.view, Reqs: batch}
 	body := p.encodeBody()
-	ui, err := r.attestAndSend(kindPrepare, body)
+	span := r.startProposeSpan(batch)
+	ui, err := r.attestAndSendTraced(kindPrepare, body, span)
+	btc := span.Context() // capture before End: the handle is pooled
+	span.End()
 	if err != nil {
 		return false
 	}
 	// The primary's prepare is its own endorsement.
-	r.acceptPrepare(r.Self(), p, ui)
+	r.acceptPrepare(r.Self(), p, ui, btc)
 	if en := r.entries[entryKey{p.View, ui.Seq}]; en != nil {
 		en.mine = true
 	}
@@ -785,7 +797,7 @@ func (r *Replica) handlePrepare(from types.ProcessID, msg peerMsg) {
 			}
 		}
 	}
-	r.acceptPrepare(from, p, msg.ui)
+	r.acceptPrepare(from, p, msg.ui, msg.tc)
 
 	// Endorse: broadcast a COMMIT with our own UI — one per batch, not per
 	// request; this is the amortization the batching buys.
@@ -810,7 +822,7 @@ func (r *Replica) handlePrepare(from types.ProcessID, msg peerMsg) {
 
 // acceptPrepare records an accepted prepare: entry, execution order slot,
 // endorsed log for view changes, and the primary's implicit vote.
-func (r *Replica) acceptPrepare(primary types.ProcessID, p prepare, prepUI trinc.Attestation) {
+func (r *Replica) acceptPrepare(primary types.ProcessID, p prepare, prepUI trinc.Attestation, btc tracing.Context) {
 	if prepUI.Seq <= r.gcSeqFloor {
 		return // an executed slot the stable checkpoint already collected
 	}
@@ -833,6 +845,7 @@ func (r *Replica) acceptPrepare(primary types.ProcessID, p prepare, prepUI trinc
 		if r.metricsReg != nil {
 			en.boundAt = time.Now()
 		}
+		r.bindEntryTrace(en, btc)
 		r.prepOrder = append(r.prepOrder, key)
 		r.mx.openSlots.Set(int64(len(r.prepOrder) - r.execIdx))
 		r.acceptedLog = append(r.acceptedLog, logEntry{
@@ -905,9 +918,12 @@ func (r *Replica) tryExecute() {
 		// cached replies.
 		en.executed = true
 		r.execIdx++
+		execSpan := r.finishEntrySpans(en)
 		for _, req := range en.reqs {
 			r.execute(req)
 		}
+		execSpan.End()
+		r.flushReplies()
 		if en.mine && r.inFlight > 0 {
 			r.inFlight--
 		}
@@ -928,6 +944,7 @@ func (r *Replica) execute(req smr.Request) {
 	delete(r.pending, key)
 	delete(r.proposed, key)
 	if !r.table.ShouldExecute(req) {
+		delete(r.reqTrace, key)
 		if result, ok := r.table.CachedReply(req); ok {
 			r.reply(req, result)
 		}
@@ -938,7 +955,7 @@ func (r *Replica) execute(req smr.Request) {
 	}
 	result := r.sm.Apply(req.Op)
 	r.table.Executed(req, result)
-	r.reply(req, result)
+	r.tracedReply(key, req, result)
 }
 
 // --- view change ---
@@ -948,6 +965,7 @@ func (r *Replica) startViewChange(target types.View) {
 		return
 	}
 	r.inVC = true
+	r.rdyVC.Store(true)
 	r.targetView = target
 	r.mx.viewChanges.Inc()
 	r.mx.trace.Record("view-change", "demanding view %d (from view %d)", target, r.view)
@@ -1160,6 +1178,7 @@ func (r *Replica) installView(nv newView, raw []byte) {
 	r.mx.inFlight.Set(0)
 	r.mx.trace.Record("new-view", "installed view %d (%d union entries)", nv.NewView, len(union))
 	r.inVC = false
+	r.rdyVC.Store(false)
 	r.entries = make(map[entryKey]*entry)
 	r.prepOrder = nil
 	r.execIdx = 0

@@ -7,7 +7,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
+
+	"unidir/internal/obs/tracing"
 )
 
 // WritePrometheus renders the registry in Prometheus text exposition format.
@@ -82,16 +85,46 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
+// HandlerOption configures Handler's optional surfaces.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	spans *tracing.SpanBuffer
+	ready func() bool
+}
+
+// WithSpans serves the buffer's completed distributed-tracing spans at
+// /debug/spans as a JSON object {"total": N, "spans": [...]} (oldest first;
+// total counts spans ever added, including those the ring has evicted).
+func WithSpans(buf *tracing.SpanBuffer) HandlerOption {
+	return func(c *handlerConfig) { c.spans = buf }
+}
+
+// WithReadiness makes /readyz consult ready: 200 while it returns true, 503
+// otherwise. Without this option /readyz always reports ready.
+func WithReadiness(ready func() bool) HandlerOption {
+	return func(c *handlerConfig) { c.ready = ready }
+}
+
 // Handler returns an http.Handler exposing the registry:
 //
 //	/metrics       Prometheus text exposition
 //	/debug/vars    expvar-style JSON snapshot (counters, gauges, histograms)
-//	/debug/trace   JSON array of retained trace events (?name= selects a ring)
+//	/debug/trace   JSON map of retained trace events; ?ring=<name> (or the
+//	               older ?name=) selects one ring, ?n=<limit> keeps only the
+//	               most recent limit events per ring
+//	/debug/spans   completed tracing spans (with WithSpans)
+//	/healthz       liveness: always 200 while the process serves
+//	/readyz        readiness: 503 until the WithReadiness probe passes
 //	/debug/pprof/  the standard runtime profiles
 //
 // Unlike the expvar package it does not touch global state, so any number of
 // registries can be served by one process.
-func Handler(r *Registry) http.Handler {
+func Handler(r *Registry, opts ...HandlerOption) http.Handler {
+	var cfg handlerConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -105,7 +138,20 @@ func Handler(r *Registry) http.Handler {
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		want := req.URL.Query().Get("name")
+		q := req.URL.Query()
+		want := q.Get("ring")
+		if want == "" {
+			want = q.Get("name")
+		}
+		limit := -1
+		if v := q.Get("n"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
 		out := make(map[string][]Event)
 		if r != nil {
 			r.mu.Lock()
@@ -118,12 +164,42 @@ func Handler(r *Registry) http.Handler {
 				if want != "" && name != want {
 					continue
 				}
-				out[name] = r.Trace(name, 1).Events()
+				events := r.Trace(name, 1).Events()
+				if limit >= 0 && len(events) > limit {
+					events = events[len(events)-limit:]
+				}
+				out[name] = events
 			}
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(out)
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var body struct {
+			Total uint64         `json:"total"`
+			Spans []tracing.Span `json:"spans"`
+		}
+		if cfg.spans != nil {
+			body.Total = cfg.spans.Total()
+			body.Spans = cfg.spans.Spans()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(body)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.ready != nil && !cfg.ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ready\n")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unidir/internal/obs/tracing"
+)
+
+// TestHistogramClampsNegative is the regression test for negative-duration
+// observations: a clock anomaly must not poison Sum (it is monotone
+// non-decreasing across observations), and each clamp is counted.
+func TestHistogramClampsNegative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", LatencyBuckets)
+	h.Observe(0.5)
+	h.Observe(-3.0) // stepped clock: clamp to 0, count it
+	h.Observe(-0.1)
+
+	s := r.Snapshot()
+	hs := s.Histograms["lat"]
+	if hs.Count != 3 {
+		t.Fatalf("count = %d, want 3 (clamped observations still count)", hs.Count)
+	}
+	if hs.Sum != 0.5 {
+		t.Fatalf("sum = %v, want 0.5 (negative values must not reach the sum)", hs.Sum)
+	}
+	// Both clamped observations land in the first bucket (<= 0.0001).
+	if hs.Counts[0] != 2 {
+		t.Fatalf("first bucket = %d, want the 2 clamped observations", hs.Counts[0])
+	}
+	if got := s.Counter("lat_clock_clamps_total"); got != 2 {
+		t.Fatalf("lat_clock_clamps_total = %d, want 2", got)
+	}
+
+	// Labelled series keep the label block on the companion counter.
+	r.Histogram(Name("lat2", "peer", 3), LatencyBuckets).Observe(-1)
+	if got := r.Snapshot().Counter(`lat2_clock_clamps_total{peer="3"}`); got != 1 {
+		t.Fatalf("labelled clamp counter = %d, want 1", got)
+	}
+
+	// A histogram built outside a registry (no clamp counter) must not panic.
+	var bare Histogram
+	bare.bounds = []float64{1}
+	bare.counts = make([]atomic.Uint64, 2)
+	bare.Observe(-1)
+}
+
+// TestDebugTraceFiltering exercises the /debug/trace ?ring= and ?n= query
+// parameters.
+func TestDebugTraceFiltering(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 5; i++ {
+		r.Trace("consensus", 8).Record("view-change", "view %d", i)
+	}
+	r.Trace("net", 8).Record("drop", "peer %d", 1)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string, wantStatus int) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	var out map[string][]Event
+	if err := json.Unmarshal([]byte(get("/debug/trace?ring=consensus", 200)), &out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(out) != 1 || len(out["consensus"]) != 5 {
+		t.Fatalf("ring filter: got %d rings, %d events", len(out), len(out["consensus"]))
+	}
+
+	if err := json.Unmarshal([]byte(get("/debug/trace?ring=consensus&n=2", 200)), &out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	evs := out["consensus"]
+	if len(evs) != 2 {
+		t.Fatalf("n=2 kept %d events", len(evs))
+	}
+	// The limit keeps the most recent events.
+	if !strings.Contains(evs[1].Detail, "view 4") || !strings.Contains(evs[0].Detail, "view 3") {
+		t.Fatalf("n=2 kept the wrong tail: %+v", evs)
+	}
+
+	// n applies per ring with no ring filter.
+	if err := json.Unmarshal([]byte(get("/debug/trace?n=1", 200)), &out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(out["consensus"]) != 1 || len(out["net"]) != 1 {
+		t.Fatalf("per-ring limit: %+v", out)
+	}
+
+	get("/debug/trace?n=bogus", 400)
+	get("/debug/trace?n=-1", 400)
+}
+
+// TestHealthAndReadiness covers /healthz (always up) and /readyz driven by a
+// WithReadiness probe.
+func TestHealthAndReadiness(t *testing.T) {
+	var ready atomic.Bool
+	srv := httptest.NewServer(Handler(NewRegistry(), WithReadiness(ready.Load)))
+	defer srv.Close()
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := status("/healthz"); got != 200 {
+		t.Fatalf("/healthz = %d, want 200", got)
+	}
+	if got := status("/readyz"); got != 503 {
+		t.Fatalf("/readyz before ready = %d, want 503", got)
+	}
+	ready.Store(true)
+	if got := status("/readyz"); got != 200 {
+		t.Fatalf("/readyz after ready = %d, want 200", got)
+	}
+
+	// Without a probe, /readyz defaults to ready.
+	srv2 := httptest.NewServer(Handler(nil))
+	defer srv2.Close()
+	resp, err := srv2.Client().Get(srv2.URL + "/readyz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("default /readyz: %v %+v", err, resp)
+	}
+	resp.Body.Close()
+}
+
+// TestDebugSpans serves a span buffer and checks the JSON shape.
+func TestDebugSpans(t *testing.T) {
+	buf := tracing.NewSpanBuffer(16)
+	tr := tracing.NewTracer("n0", 1, buf)
+	root := tr.Root("client-submit")
+	child := tr.Start("execute", root.Context())
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.End()
+
+	srv := httptest.NewServer(Handler(NewRegistry(), WithSpans(buf)))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Total uint64         `json:"total"`
+		Spans []tracing.Span `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if body.Total != 2 || len(body.Spans) != 2 {
+		t.Fatalf("spans = %d/%d, want 2/2", body.Total, len(body.Spans))
+	}
+	if body.Spans[0].Name != "execute" || body.Spans[1].Name != "client-submit" {
+		t.Fatalf("unexpected span order/names: %+v", body.Spans)
+	}
+	if body.Spans[0].Trace != body.Spans[1].Trace {
+		t.Fatal("child span lost its parent's trace ID over JSON")
+	}
+	if body.Spans[0].Duration() <= 0 {
+		t.Fatalf("span duration = %v", body.Spans[0].Duration())
+	}
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"sync"
+)
+
+// Structured logging for the library's components, on stdlib log/slog. The
+// conventions, matching the metrics layer's design constraints:
+//
+//   - Components take a *slog.Logger through a WithLogger-style option and
+//     default to NopLogger, so logging is zero-config and (nearly) zero-cost
+//     when absent — no component writes to the process-global slog default.
+//   - Every line carries the component and node identity as attrs (added
+//     once via NewLogger), and protocol lines add view/seq/batch attrs —
+//     key=value fields, never formatted prose.
+//   - Lines on a traced code path attach the trace ID under TraceKey, so log
+//     lines join up with /debug/spans and the harness span collector.
+
+// TraceKey is the attr key for distributed-trace correlation: lines logged
+// on a sampled request's path carry the hex trace ID under this key.
+const TraceKey = "trace"
+
+var (
+	nopOnce sync.Once
+	nop     *slog.Logger
+)
+
+// NopLogger returns a logger that discards everything. It is the default
+// for components constructed without a WithLogger option, making every
+// logging call site unconditionally safe.
+func NopLogger() *slog.Logger {
+	nopOnce.Do(func() {
+		nop = slog.New(slog.NewTextHandler(io.Discard, nil))
+	})
+	return nop
+}
+
+// NewLogger returns a logfmt-style structured logger on w at the given
+// level, tagged with the component name and node identity. attrs are extra
+// key/value pairs appended to every line.
+func NewLogger(w io.Writer, level slog.Level, component string, node any, attrs ...any) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	args := append([]any{"component", component, "node", node}, attrs...)
+	return slog.New(h).With(args...)
+}
+
+// OrNop returns l, or the discard logger when l is nil — the normalization
+// every WithLogger option applies so call sites never nil-check.
+func OrNop(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return NopLogger()
+	}
+	return l
+}

@@ -93,12 +93,20 @@ type Histogram struct {
 	bounds []float64
 	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
 	sum    atomic.Uint64   // float64 bits, CAS-updated
+	clamps *Counter        // negative observations clamped to 0 (registry-created)
 }
 
-// Observe records one value.
+// Observe records one value. Negative values can only come from clock
+// anomalies (an interval measured across a step of a non-monotonic source);
+// recording one would permanently corrupt Sum, so they are clamped to 0 and
+// counted in the histogram's <base>_clock_clamps_total companion counter.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
+	}
+	if v < 0 {
+		v = 0
+		h.clamps.Inc()
 	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
@@ -215,6 +223,11 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if h == nil {
 		b := append([]float64(nil), bounds...)
 		h = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+		cn := suffixed(name, "_clock_clamps_total")
+		if h.clamps = r.counters[cn]; h.clamps == nil {
+			h.clamps = &Counter{}
+			r.counters[cn] = h.clamps
+		}
 		r.hists[name] = h
 	}
 	return h

@@ -1,0 +1,260 @@
+// Cross-node span collection: merge per-node buffers, align clocks, and
+// attribute each request's client-observed latency to protocol phases.
+package tracing
+
+import (
+	"sort"
+	"time"
+)
+
+// Merge concatenates the spans from every buffer (any nil buffers are
+// skipped) and sorts them by start time.
+func Merge(bufs ...*SpanBuffer) []Span {
+	var out []Span
+	for _, b := range bufs {
+		out = append(out, b.Spans()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// AlignClocks shifts each node's spans by a per-node offset chosen so that
+// causality holds across nodes: a child span observed on node B cannot start
+// before the parent span that caused it started on node A. Each cross-node
+// parent->child edge (span parents and batch links both count) is one
+// observation of the pair's clock offset; the maximum violation per node is
+// the clamp applied. Within one process the offsets are zero and this is a
+// no-op; across real machines it bounds skew by the one-way latency of the
+// fastest message on each link, which is exactly the precision the phase
+// breakdown needs.
+//
+// The input is not modified; the returned slice has adjusted Start/End.
+func AlignClocks(spans []Span) []Span {
+	out := append([]Span(nil), spans...)
+	byID := make(map[SpanID]int, len(out))
+	byTrace := make(map[TraceID][]int, len(out))
+	for i, s := range out {
+		byID[s.ID] = i
+		byTrace[s.Trace] = append(byTrace[s.Trace], i)
+	}
+	offset := make(map[string]time.Duration)
+
+	// edge reports the causal constraint "child on nc started no earlier
+	// than parent on np", bumping nc's offset when violated.
+	edge := func(np, nc string, pStart, cStart time.Time) bool {
+		if np == nc {
+			return false
+		}
+		need := pStart.Add(offset[np]).Sub(cStart.Add(offset[nc]))
+		if need > 0 {
+			offset[nc] += need
+			return true
+		}
+		return false
+	}
+
+	// Iterate to a fixpoint: bumping one node can re-violate edges into
+	// another. Bounded by the number of distinct nodes plus one.
+	for pass := 0; pass < len(out)+1; pass++ {
+		changed := false
+		for i := range out {
+			s := &out[i]
+			if !s.Parent.IsZero() {
+				if pi, ok := byID[s.Parent]; ok {
+					changed = edge(out[pi].Node, s.Node, out[pi].Start, s.Start) || changed
+				}
+			}
+			// A batch span is caused by the sampled requests it links: it
+			// cannot start before any of their roots did.
+			for _, l := range s.Links {
+				for _, ri := range byTrace[l.Trace] {
+					if out[ri].ID == l.Span {
+						changed = edge(out[ri].Node, s.Node, out[ri].Start, s.Start) || changed
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for i := range out {
+		if off := offset[out[i].Node]; off != 0 {
+			out[i].Start = out[i].Start.Add(off)
+			out[i].End = out[i].End.Add(off)
+		}
+	}
+	return out
+}
+
+// Phase is one attributed slice of a request's latency.
+type Phase struct {
+	Name string        `json:"name"`
+	Dur  time.Duration `json:"ns"`
+}
+
+// RequestBreakdown attributes one sampled request's client-observed latency
+// to protocol phases. Phases always ends with "other": the residual
+// (network transit, queueing, scheduling) that makes the phase durations sum
+// exactly to Total.
+type RequestBreakdown struct {
+	Trace  TraceID       `json:"trace"`
+	Node   string        `json:"node"` // node that proposed the carrying batch
+	Total  time.Duration `json:"total_ns"`
+	Attest time.Duration `json:"attest_ns"` // ui-attest / sign, nested inside propose
+	Phases []Phase       `json:"phases"`
+}
+
+// phaseOrder is the span taxonomy in causal order; "other" absorbs the
+// remainder so the breakdown sums to the client-observed latency.
+var phaseOrder = []string{"batch-wait", "propose", "commit-quorum", "execute", "reply"}
+
+// Breakdown computes a per-request latency attribution from a merged,
+// clock-aligned span set. Requests are traces rooted at a client-submit
+// span; phase spans are found on the request's own trace (batch-wait,
+// reply) and on the batch trace that links it (propose, commit-quorum,
+// execute). Where several nodes recorded the same phase, the breakdown
+// follows one coherent path: batch formation on the proposing primary, then
+// commit/execute/reply on the replica whose reply completed the client's
+// quorum (the critical path — the primary's own tail can outlast the client).
+func Breakdown(spans []Span) []RequestBreakdown {
+	byTrace := make(map[TraceID][]Span)
+	for _, s := range spans {
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	// Map each request trace to the batch-trace spans that link it.
+	batchFor := make(map[TraceID][]Span)
+	for _, s := range spans {
+		if s.Name != "propose" {
+			continue
+		}
+		for _, l := range s.Links {
+			batchFor[l.Trace] = append(batchFor[l.Trace], byTrace[s.Trace]...)
+		}
+	}
+
+	var out []RequestBreakdown
+	for trace, ss := range byTrace {
+		var root *Span
+		for i := range ss {
+			if ss[i].Name == "client-submit" {
+				root = &ss[i]
+				break
+			}
+		}
+		if root == nil {
+			continue // a batch trace, or a partial request trace
+		}
+		bd := RequestBreakdown{Trace: trace, Total: root.Duration()}
+
+		batch := batchFor[trace]
+		for _, s := range batch {
+			if s.Name == "propose" {
+				bd.Node = s.Node
+				break
+			}
+		}
+		// The client completes on the fastest quorum of replies, so the
+		// primary's own commit/execute/reply path can end after the client
+		// already finished. The replica whose reply completed the quorum
+		// defines the critical path; the best candidate the spans can name
+		// is the latest reply ending no later than the root did — earlier
+		// replies leave slack (attributed to "other"), later ones were not
+		// counted by the client.
+		critical := ""
+		var critEnd time.Time
+		for _, s := range ss {
+			if s.Name != "reply" || s.End.After(root.End) {
+				continue
+			}
+			if critical == "" || s.End.After(critEnd) {
+				critical, critEnd = s.Node, s.End
+			}
+		}
+		if critical == "" {
+			// Residual clock skew pushed every reply past the root's end;
+			// the earliest overshoots least.
+			for _, s := range ss {
+				if s.Name == "reply" && (critical == "" || s.End.Before(critEnd)) {
+					critical, critEnd = s.Node, s.End
+				}
+			}
+		}
+		pick := func(pool []Span, name, prefer string) (Span, bool) {
+			var got Span
+			var ok bool
+			for _, s := range pool {
+				if s.Name != name {
+					continue
+				}
+				// Prefer the named node's copy when several nodes recorded
+				// the same phase (e.g. every replica replies).
+				if !ok || (s.Node == prefer && got.Node != prefer) {
+					got, ok = s, true
+				}
+			}
+			return got, ok
+		}
+		for _, name := range phaseOrder {
+			pool, prefer := ss, bd.Node
+			switch name {
+			case "propose":
+				pool = batch
+			case "commit-quorum", "execute":
+				pool, prefer = batch, critical
+			case "reply":
+				prefer = critical
+			}
+			if s, ok := pick(pool, name, prefer); ok {
+				bd.Phases = append(bd.Phases, Phase{Name: name, Dur: s.Duration()})
+			}
+		}
+		if s, ok := pick(batch, "ui-attest", bd.Node); ok {
+			bd.Attest = s.Duration()
+		}
+		var sum time.Duration
+		for _, p := range bd.Phases {
+			sum += p.Dur
+		}
+		bd.Phases = append(bd.Phases, Phase{Name: "other", Dur: bd.Total - sum})
+		out = append(out, bd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Trace.String() < out[j].Trace.String() })
+	return out
+}
+
+// Summary averages a set of breakdowns phase-by-phase (requests missing a
+// phase contribute zero to it), for the human-readable table.
+type Summary struct {
+	Requests int           `json:"requests"`
+	Total    time.Duration `json:"total_ns"`
+	Attest   time.Duration `json:"attest_ns"`
+	Phases   []Phase       `json:"phases"`
+}
+
+// Summarize averages breakdowns into one row per phase.
+func Summarize(bds []RequestBreakdown) Summary {
+	sum := Summary{Requests: len(bds)}
+	if len(bds) == 0 {
+		return sum
+	}
+	totals := make(map[string]time.Duration)
+	var order []string
+	for _, bd := range bds {
+		sum.Total += bd.Total
+		sum.Attest += bd.Attest
+		for _, p := range bd.Phases {
+			if _, seen := totals[p.Name]; !seen {
+				order = append(order, p.Name)
+			}
+			totals[p.Name] += p.Dur
+		}
+	}
+	n := time.Duration(len(bds))
+	sum.Total /= n
+	sum.Attest /= n
+	for _, name := range order {
+		sum.Phases = append(sum.Phases, Phase{Name: name, Dur: totals[name] / n})
+	}
+	return sum
+}

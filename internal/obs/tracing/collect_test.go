@@ -1,0 +1,149 @@
+package tracing
+
+import (
+	"testing"
+	"time"
+)
+
+// mkSpan builds a span record directly, with millisecond offsets from a
+// fixed epoch, so collector tests control clocks exactly.
+func mkSpan(trace TraceID, id, parent SpanID, name, node string, startMS, endMS int64) Span {
+	epoch := time.Unix(1000, 0)
+	return Span{
+		Trace: trace, ID: id, Parent: parent, Name: name, Node: node,
+		Start: epoch.Add(time.Duration(startMS) * time.Millisecond),
+		End:   epoch.Add(time.Duration(endMS) * time.Millisecond),
+	}
+}
+
+func tid(b byte) TraceID { var t TraceID; t[0] = b; return t }
+func sid(b byte) SpanID  { var s SpanID; s[0] = b; return s }
+
+func TestAlignClocksClampsSkewedChild(t *testing.T) {
+	// Parent on client starts at 100ms; child on replica-1 claims 40ms
+	// because replica-1's clock runs 80ms behind. Alignment must shift all
+	// of replica-1 forward by >= 60ms so the child no longer precedes its
+	// cause.
+	req := tid(1)
+	spans := []Span{
+		mkSpan(req, sid(1), SpanID{}, "client-submit", "client", 100, 300),
+		mkSpan(req, sid(2), sid(1), "reply", "replica-1", 40, 50),
+	}
+	aligned := AlignClocks(spans)
+	var parent, child Span
+	for _, s := range aligned {
+		switch s.Name {
+		case "client-submit":
+			parent = s
+		case "reply":
+			child = s
+		}
+	}
+	if child.Start.Before(parent.Start) {
+		t.Fatalf("child still precedes parent after alignment: %v < %v", child.Start, parent.Start)
+	}
+	if got := child.End.Sub(child.Start); got != 10*time.Millisecond {
+		t.Fatalf("alignment changed span duration: %v", got)
+	}
+	if parent.Start != spans[0].Start {
+		t.Fatal("reference node was shifted")
+	}
+}
+
+func TestAlignClocksUsesLinks(t *testing.T) {
+	// The batch propose span links a request root on another node; that is
+	// a causal edge even with no span parent crossing nodes.
+	req, batch := tid(1), tid(2)
+	spans := []Span{
+		mkSpan(req, sid(1), SpanID{}, "client-submit", "client", 200, 400),
+	}
+	p := mkSpan(batch, sid(2), SpanID{}, "propose", "replica-0", 50, 60)
+	p.Links = []Context{{Trace: req, Span: sid(1), Sampled: true}}
+	spans = append(spans, p)
+	aligned := AlignClocks(spans)
+	for _, s := range aligned {
+		if s.Name == "propose" && s.Start.Before(aligned[0].Start) {
+			t.Fatalf("link edge not used: propose at %v before submit at %v", s.Start, aligned[0].Start)
+		}
+	}
+}
+
+func TestBreakdownSumsToClientLatency(t *testing.T) {
+	req, batch := tid(1), tid(2)
+	spans := []Span{
+		mkSpan(req, sid(1), SpanID{}, "client-submit", "client", 0, 100),
+		mkSpan(req, sid(2), sid(1), "batch-wait", "replica-0", 10, 20),
+		mkSpan(req, sid(3), sid(1), "reply", "replica-0", 85, 90),
+		// replica-1's reply is the latest one the client could have counted
+		// (it ends before the root does), so it defines the critical path.
+		mkSpan(req, sid(4), sid(1), "reply", "replica-1", 80, 99),
+		// A reply ending after the root cannot have completed the quorum.
+		mkSpan(req, sid(9), sid(1), "reply", "replica-2", 80, 130),
+	}
+	p := mkSpan(batch, sid(5), SpanID{}, "propose", "replica-0", 20, 35)
+	p.Links = []Context{{Trace: req, Span: sid(1), Sampled: true}}
+	spans = append(spans, p,
+		mkSpan(batch, sid(6), sid(5), "ui-attest", "replica-0", 22, 30),
+		mkSpan(batch, sid(7), sid(5), "commit-quorum", "replica-0", 35, 70),
+		mkSpan(batch, sid(8), sid(5), "execute", "replica-0", 70, 80),
+	)
+	bds := Breakdown(spans)
+	if len(bds) != 1 {
+		t.Fatalf("got %d breakdowns, want 1", len(bds))
+	}
+	bd := bds[0]
+	if bd.Node != "replica-0" {
+		t.Fatalf("primary attribution = %q", bd.Node)
+	}
+	if bd.Total != 100*time.Millisecond {
+		t.Fatalf("total = %v", bd.Total)
+	}
+	if bd.Attest != 8*time.Millisecond {
+		t.Fatalf("attest = %v", bd.Attest)
+	}
+	want := map[string]time.Duration{
+		"batch-wait":    10 * time.Millisecond,
+		"propose":       15 * time.Millisecond,
+		"commit-quorum": 35 * time.Millisecond,
+		"execute":       10 * time.Millisecond,
+		"reply":         19 * time.Millisecond,
+		"other":         11 * time.Millisecond,
+	}
+	var sum time.Duration
+	for _, ph := range bd.Phases {
+		if want[ph.Name] != ph.Dur {
+			t.Errorf("phase %s = %v, want %v", ph.Name, ph.Dur, want[ph.Name])
+		}
+		sum += ph.Dur
+	}
+	if sum != bd.Total {
+		t.Fatalf("phases sum to %v, total is %v", sum, bd.Total)
+	}
+	if bd.Phases[len(bd.Phases)-1].Name != "other" {
+		t.Fatal("residual phase must be last")
+	}
+
+	s := Summarize(bds)
+	if s.Requests != 1 || s.Total != bd.Total {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestBreakdownIgnoresPartialTraces(t *testing.T) {
+	// A batch trace with no linked client-submit root yields no breakdown.
+	batch := tid(9)
+	spans := []Span{mkSpan(batch, sid(1), SpanID{}, "propose", "replica-0", 0, 5)}
+	if bds := Breakdown(spans); len(bds) != 0 {
+		t.Fatalf("got %d breakdowns from a rootless trace", len(bds))
+	}
+}
+
+func TestMergeOrdersByStart(t *testing.T) {
+	b1, b2 := NewSpanBuffer(4), NewSpanBuffer(4)
+	b1.add(mkSpan(tid(1), sid(1), SpanID{}, "b", "n1", 10, 11))
+	b2.add(mkSpan(tid(2), sid(2), SpanID{}, "a", "n2", 5, 6))
+	got := Merge(b1, nil, b2)
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("merge order wrong: %+v", got)
+	}
+}

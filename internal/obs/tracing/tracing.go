@@ -1,0 +1,393 @@
+// Package tracing is a dependency-free distributed tracer for the unidir
+// protocols, in the style of W3C trace-context: a 16-byte trace ID names one
+// end-to-end request (or batch), 8-byte span IDs name the operations it
+// passed through, and a sampled flag rides along so every hop agrees on
+// whether to record. Contexts cross the wire as a fixed 25-byte block behind
+// a version-gated frame flag (see tcpnet), so traces follow requests across
+// real process boundaries, not just goroutines.
+//
+// Sampling is head-based: the client decides 1-in-N at the root span and
+// every downstream hop obeys the flag. When the decision is "no", every
+// tracer call is one branch on a nil handle — no allocation, no clock read —
+// which keeps the hot path unmeasurably close to tracing-off.
+package tracing
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID names one end-to-end request or batch.
+type TraceID [16]byte
+
+// SpanID names one operation within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is unset.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+// MarshalJSON renders the ID as a hex string.
+func (t TraceID) MarshalJSON() ([]byte, error) { return []byte(`"` + t.String() + `"`), nil }
+
+// MarshalJSON renders the ID as a hex string.
+func (s SpanID) MarshalJSON() ([]byte, error) { return []byte(`"` + s.String() + `"`), nil }
+
+// UnmarshalJSON parses the hex form written by MarshalJSON.
+func (t *TraceID) UnmarshalJSON(b []byte) error { return unhex(t[:], b) }
+
+// UnmarshalJSON parses the hex form written by MarshalJSON.
+func (s *SpanID) UnmarshalJSON(b []byte) error { return unhex(s[:], b) }
+
+func unhex(dst []byte, b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return errors.New("tracing: id not a JSON string")
+	}
+	raw, err := hex.DecodeString(string(b[1 : len(b)-1]))
+	if err != nil || len(raw) != len(dst) {
+		return fmt.Errorf("tracing: bad id %q", b)
+	}
+	copy(dst, raw)
+	return nil
+}
+
+// Context is the propagated trace state: which trace, which parent span, and
+// whether the trace is sampled. The zero Context means "no trace".
+type Context struct {
+	Trace   TraceID `json:"trace"`
+	Span    SpanID  `json:"span"`
+	Sampled bool    `json:"sampled"`
+}
+
+// Valid reports whether the context carries a trace.
+func (c Context) Valid() bool { return !c.Trace.IsZero() }
+
+// ContextWireSize is the fixed encoded size of a Context: 16-byte trace ID,
+// 8-byte span ID, 1 flag byte.
+const ContextWireSize = 25
+
+const flagSampled = 1 << 0
+
+// AppendBinary appends the fixed 25-byte wire form of c to dst.
+func (c Context) AppendBinary(dst []byte) []byte {
+	dst = append(dst, c.Trace[:]...)
+	dst = append(dst, c.Span[:]...)
+	var flags byte
+	if c.Sampled {
+		flags |= flagSampled
+	}
+	return append(dst, flags)
+}
+
+// DecodeContext parses the fixed 25-byte wire form. Extra trailing bytes are
+// an error: the block is version-gated by the frame flag, not self-sizing.
+func DecodeContext(b []byte) (Context, error) {
+	if len(b) != ContextWireSize {
+		return Context{}, fmt.Errorf("tracing: context block is %d bytes, want %d", len(b), ContextWireSize)
+	}
+	var c Context
+	copy(c.Trace[:], b[:16])
+	copy(c.Span[:], b[16:24])
+	c.Sampled = b[24]&flagSampled != 0
+	return c, nil
+}
+
+// Span is one completed operation, as stored in a SpanBuffer and serialized
+// to /debug/spans. Start/End are the local node's clock; the collector
+// aligns clocks across nodes before attributing latency.
+type Span struct {
+	Trace  TraceID   `json:"trace"`
+	ID     SpanID    `json:"id"`
+	Parent SpanID    `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Node   string    `json:"node"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+	// Links tie a batch span to the per-request traces it carries.
+	Links []Context `json:"links,omitempty"`
+}
+
+// Duration is the span's recorded wall time.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Active is a live span handle. All methods are nil-safe: an unsampled or
+// tracing-disabled code path holds a nil *Active and pays one branch per
+// call.
+type Active struct {
+	t  *Tracer
+	sp Span
+}
+
+var activePool = sync.Pool{New: func() any { return new(Active) }}
+
+// Context returns the propagation context naming this span as parent.
+func (a *Active) Context() Context {
+	if a == nil {
+		return Context{}
+	}
+	return Context{Trace: a.sp.Trace, Span: a.sp.ID, Sampled: true}
+}
+
+// Link records that this span carries the request named by c (batch spans
+// link the sampled member requests they coalesce).
+func (a *Active) Link(c Context) {
+	if a == nil || !c.Valid() {
+		return
+	}
+	a.sp.Links = append(a.sp.Links, c)
+}
+
+// End completes the span at time.Now and commits it to the tracer's buffer.
+// The handle must not be used afterwards.
+func (a *Active) End() { a.EndAt(time.Time{}) }
+
+// EndAt completes the span at the given instant (zero means now).
+func (a *Active) EndAt(at time.Time) {
+	if a == nil {
+		return
+	}
+	if at.IsZero() {
+		at = time.Now()
+	}
+	a.sp.End = at
+	if a.t != nil && a.t.buf != nil {
+		a.t.buf.add(a.sp)
+	}
+	a.sp = Span{}
+	a.t = nil
+	activePool.Put(a)
+}
+
+// Tracer mints spans for one node. A nil Tracer is valid and records
+// nothing. Safe for concurrent use.
+type Tracer struct {
+	node string
+	rate uint64 // sample 1 in rate root spans; 0 disables
+	buf  *SpanBuffer
+
+	ctr atomic.Uint64 // root-span counter for the 1-in-rate decision
+	ids atomic.Uint64 // splitmix64 state for ID generation
+}
+
+// NewTracer creates a tracer labeled with the node's name, head-sampling
+// 1-in-rate root spans (rate <= 0 disables; rate 1 samples everything) into
+// buf (nil means spans are minted but dropped).
+func NewTracer(node string, rate int, buf *SpanBuffer) *Tracer {
+	t := &Tracer{node: node, buf: buf}
+	if rate > 0 {
+		t.rate = uint64(rate)
+	}
+	var seed [8]byte
+	_, _ = rand.Read(seed[:])
+	t.ids.Store(binary.LittleEndian.Uint64(seed[:]))
+	return t
+}
+
+// Node returns the tracer's node label ("" for a nil tracer).
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
+}
+
+// Buffer returns the buffer completed spans land in.
+func (t *Tracer) Buffer() *SpanBuffer {
+	if t == nil {
+		return nil
+	}
+	return t.buf
+}
+
+// rnd returns a fresh nonzero pseudo-random 64-bit value (splitmix64 over an
+// atomic counter: lock-free, unique per call, seeded from crypto/rand).
+func (t *Tracer) rnd() uint64 {
+	for {
+		x := t.ids.Add(0x9E3779B97F4A7C15)
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	binary.LittleEndian.PutUint64(id[:8], t.rnd())
+	binary.LittleEndian.PutUint64(id[8:], t.rnd())
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	binary.LittleEndian.PutUint64(id[:], t.rnd())
+	return id
+}
+
+// Root starts a new trace, applying the head-sampling decision. It returns
+// nil (record nothing, propagate nothing) for the unsampled majority — that
+// nil check is the entire hot-path cost.
+func (t *Tracer) Root(name string) *Active {
+	if t == nil || t.rate == 0 {
+		return nil
+	}
+	if t.rate > 1 && t.ctr.Add(1)%t.rate != 0 {
+		return nil
+	}
+	return t.start(name, t.newTraceID(), SpanID{}, time.Now())
+}
+
+// Start begins a child span of parent. Returns nil unless the parent is a
+// valid sampled context, so unsampled requests stay free downstream.
+func (t *Tracer) Start(name string, parent Context) *Active {
+	return t.StartAt(name, parent, time.Time{})
+}
+
+// StartAt is Start with an explicit begin instant (zero means now); it
+// backdates spans whose beginning was only worth remembering if the request
+// turned out to be sampled (e.g. batch-wait, measured from arrival at
+// propose time).
+func (t *Tracer) StartAt(name string, parent Context, at time.Time) *Active {
+	if t == nil || !parent.Valid() || !parent.Sampled {
+		return nil
+	}
+	if at.IsZero() {
+		at = time.Now()
+	}
+	return t.start(name, parent.Trace, parent.Span, at)
+}
+
+// Fork starts a new trace unconditionally (no sampling decision). Batch
+// spans use it: a batch is its own trace, created exactly when at least one
+// sampled request is aboard, with Links back to the member requests.
+func (t *Tracer) Fork(name string) *Active {
+	if t == nil {
+		return nil
+	}
+	return t.start(name, t.newTraceID(), SpanID{}, time.Now())
+}
+
+func (t *Tracer) start(name string, trace TraceID, parent SpanID, at time.Time) *Active {
+	a := activePool.Get().(*Active)
+	a.t = t
+	a.sp = Span{
+		Trace:  trace,
+		ID:     t.newSpanID(),
+		Parent: parent,
+		Name:   name,
+		Node:   t.node,
+		Start:  at,
+	}
+	return a
+}
+
+// SpanBuffer is a bounded ring of completed spans; when full, the oldest are
+// overwritten. Safe for concurrent use.
+type SpanBuffer struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	total uint64
+}
+
+// NewSpanBuffer creates a buffer holding the last capacity spans (min 1).
+func NewSpanBuffer(capacity int) *SpanBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanBuffer{buf: make([]Span, 0, capacity)}
+}
+
+func (b *SpanBuffer) add(s Span) {
+	if b == nil {
+		return
+	}
+	// Completed spans are immutable records: copy the Links slice so the
+	// pooled Active's reuse cannot alias into the buffer.
+	if len(s.Links) > 0 {
+		s.Links = append([]Context(nil), s.Links...)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.total++
+	if len(b.buf) < cap(b.buf) {
+		b.buf = append(b.buf, s)
+		return
+	}
+	b.buf[b.next] = s
+	b.next = (b.next + 1) % len(b.buf)
+}
+
+// Spans returns the buffered spans, oldest first.
+func (b *SpanBuffer) Spans() []Span {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Span, 0, len(b.buf))
+	out = append(out, b.buf[b.next:]...)
+	out = append(out, b.buf[:b.next]...)
+	return out
+}
+
+// Len returns the number of buffered spans.
+func (b *SpanBuffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+// Total returns the number of spans ever recorded, including overwritten
+// ones.
+func (b *SpanBuffer) Total() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// DefaultSampleRate reads the UNIDIR_TRACE knob: unset means 1-in-64,
+// "off"/"0" disables, "on"/"1" samples everything, "1/N" or a bare integer N
+// samples 1-in-N. Unparseable values fall back to the default.
+func DefaultSampleRate() int {
+	v := strings.TrimSpace(os.Getenv("UNIDIR_TRACE"))
+	switch strings.ToLower(v) {
+	case "":
+		return 64
+	case "off", "0":
+		return 0
+	case "on", "1":
+		return 1
+	}
+	if rest, ok := strings.CutPrefix(v, "1/"); ok {
+		v = rest
+	}
+	if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+		return n
+	}
+	return 64
+}

@@ -1,0 +1,176 @@
+package tracing
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestContextWireRoundTrip(t *testing.T) {
+	tr := NewTracer("n0", 1, NewSpanBuffer(8))
+	sp := tr.Root("op")
+	c := sp.Context()
+	sp.End()
+	if !c.Valid() || !c.Sampled {
+		t.Fatalf("root context invalid: %+v", c)
+	}
+	enc := c.AppendBinary(nil)
+	if len(enc) != ContextWireSize {
+		t.Fatalf("encoded size = %d, want %d", len(enc), ContextWireSize)
+	}
+	got, err := DecodeContext(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip: got %+v, want %+v", got, c)
+	}
+	// Unsampled flag round-trips too.
+	c.Sampled = false
+	got, err = DecodeContext(c.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sampled {
+		t.Fatal("sampled flag leaked through")
+	}
+	if _, err := DecodeContext(enc[:24]); err == nil {
+		t.Fatal("short block decoded without error")
+	}
+	if _, err := DecodeContext(append(enc, 0)); err == nil {
+		t.Fatal("long block decoded without error")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if sp := tr.Root("x"); sp != nil {
+		t.Fatal("nil tracer minted a span")
+	}
+	var sp *Active
+	sp.Link(Context{})
+	sp.End() // must not panic
+	if c := sp.Context(); c.Valid() {
+		t.Fatal("nil span has a context")
+	}
+	var buf *SpanBuffer
+	if buf.Len() != 0 || buf.Spans() != nil || buf.Total() != 0 {
+		t.Fatal("nil buffer not empty")
+	}
+	// Disabled tracer: rate 0.
+	tr = NewTracer("n0", 0, nil)
+	if sp := tr.Root("x"); sp != nil {
+		t.Fatal("rate-0 tracer minted a span")
+	}
+	// Unsampled parent: no child.
+	tr = NewTracer("n0", 1, nil)
+	if sp := tr.Start("x", Context{}); sp != nil {
+		t.Fatal("invalid parent minted a span")
+	}
+}
+
+func TestSamplingRate(t *testing.T) {
+	tr := NewTracer("n0", 4, NewSpanBuffer(1024))
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		if sp := tr.Root("op"); sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("1-in-4 sampling took %d of 400", sampled)
+	}
+}
+
+func TestSpanBufferRing(t *testing.T) {
+	buf := NewSpanBuffer(4)
+	tr := NewTracer("n0", 1, buf)
+	for i := 0; i < 7; i++ {
+		sp := tr.Root("op")
+		sp.sp.Start = time.Unix(int64(i), 0)
+		sp.End()
+	}
+	if buf.Len() != 4 || buf.Total() != 7 {
+		t.Fatalf("len=%d total=%d, want 4/7", buf.Len(), buf.Total())
+	}
+	spans := buf.Spans()
+	for i, s := range spans {
+		if want := time.Unix(int64(3+i), 0); !s.Start.Equal(want) {
+			t.Fatalf("span %d start %v, want %v (oldest-first eviction)", i, s.Start, want)
+		}
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	buf := NewSpanBuffer(4)
+	tr := NewTracer("replica-0", 1, buf)
+	root := tr.Root("client-submit")
+	child := tr.Start("reply", root.Context())
+	child.Link(root.Context())
+	child.End()
+	root.End()
+	blob, err := json.Marshal(buf.Spans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Span
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Name != "reply" || back[1].Name != "client-submit" {
+		t.Fatalf("round trip lost spans: %s", blob)
+	}
+	if back[0].Trace != back[1].Trace || back[0].Parent != back[1].ID {
+		t.Fatal("parent linkage lost in JSON round trip")
+	}
+	if len(back[0].Links) != 1 || back[0].Links[0].Span != back[1].ID {
+		t.Fatal("links lost in JSON round trip")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	buf := NewSpanBuffer(4096)
+	tr := NewTracer("n0", 1, buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Root("op")
+				child := tr.Start("child", sp.Context())
+				child.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := buf.Total(); got != 8*200*2 {
+		t.Fatalf("recorded %d spans, want %d", got, 8*200*2)
+	}
+	seen := make(map[SpanID]bool)
+	for _, s := range buf.Spans() {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %v", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestDefaultSampleRate(t *testing.T) {
+	cases := []struct {
+		env  string
+		want int
+	}{
+		{"", 64}, {"off", 0}, {"0", 0}, {"on", 1}, {"1", 1},
+		{"1/64", 64}, {"1/8", 8}, {"16", 16}, {"bogus", 64}, {"-3", 64},
+	}
+	for _, c := range cases {
+		t.Setenv("UNIDIR_TRACE", c.env)
+		if got := DefaultSampleRate(); got != c.want {
+			t.Errorf("UNIDIR_TRACE=%q: got %d, want %d", c.env, got, c.want)
+		}
+	}
+}

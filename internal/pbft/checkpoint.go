@@ -229,6 +229,7 @@ func (r *Replica) advanceStable(cert ckptCert, state []byte) {
 	r.mx.ckptStable.Inc()
 	r.mx.openSlots.Set(int64(len(r.slots)))
 	r.mx.trace.Record("checkpoint-stable", "seq %d stable (%d votes), slots released", cert.Seq, len(cert.Votes))
+	r.lg.Info("checkpoint stable", "view", r.view, "seq", cert.Seq, "votes", len(cert.Votes), "slots", len(r.slots))
 	r.updateFootprint()
 }
 
@@ -289,6 +290,7 @@ func (r *Replica) handleStateResp(payload []byte) {
 	r.execNext = cert.Seq + 1
 	r.mx.stateTransfers.Inc()
 	r.mx.trace.Record("state-transfer", "installed checkpoint seq %d (%d bytes)", cert.Seq, len(state))
+	r.lg.Info("state transfer installed", "view", r.view, "seq", cert.Seq, "bytes", len(state))
 	if r.nextSeq < cert.Seq {
 		r.nextSeq = cert.Seq
 	}

@@ -26,9 +26,11 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"unidir/internal/obs"
+	"unidir/internal/obs/tracing"
 	"unidir/internal/sig"
 	"unidir/internal/smr"
 	"unidir/internal/syncx"
@@ -93,6 +95,14 @@ type Replica struct {
 
 	metricsReg *obs.Registry
 	mx         metrics // all-nil (free no-ops) without WithMetrics
+
+	// Distributed tracing (tracing.go); nil without WithTracer.
+	tracer       *tracing.Tracer
+	reqTrace     map[pendingKey]reqTraceInfo // sampled requests awaiting execution
+	deferred     []deferredReply             // traced replies held while an execute span is open
+	deferReplies bool
+
+	lg *slog.Logger
 }
 
 type pendingKey struct {
@@ -107,6 +117,9 @@ type slot struct {
 	prepared  bool
 	committed bool
 	executed  bool
+
+	btc        tracing.Context // batch trace (zero unless the batch is sampled)
+	quorumSpan *tracing.Active // open commit-quorum span; nil when untraced
 }
 
 // maxBatchDecode bounds decoded request batches (defensive; the proposer
@@ -142,6 +155,14 @@ func WithBatchSize(k int) Option {
 	}
 }
 
+// WithLogger attaches a structured logger; consensus progress (committed
+// batches, stable checkpoints, state transfers) is reported through it with
+// view/seq attrs, and lines on a sampled request's path carry the trace ID
+// under obs.TraceKey.
+func WithLogger(l *slog.Logger) Option {
+	return func(r *Replica) { r.lg = obs.OrNop(l) }
+}
+
 // WithCheckpointInterval sets how many executed batches separate
 // checkpoints (k <= 0 disables; 0-default from smr.DefaultCheckpointInterval,
 // the UNIDIR_CKPT knob). Requires an smr.Snapshotter state machine;
@@ -168,20 +189,22 @@ func New(m types.Membership, tr transport.Transport, ring *sig.Keyring, sm smr.S
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Replica{
-		m:        m,
-		tr:       tr,
-		ring:     ring,
-		sm:       sm,
-		maxBatch: smr.DefaultBatchSize(),
-		events:   syncx.NewQueue[transport.Envelope](),
-		cancel:   cancel,
-		execNext: 1,
-		slots:    make(map[types.SeqNum]*slot),
-		table:    smr.NewClientTable(),
+		m:         m,
+		tr:        tr,
+		ring:      ring,
+		sm:        sm,
+		maxBatch:  smr.DefaultBatchSize(),
+		events:    syncx.NewQueue[transport.Envelope](),
+		cancel:    cancel,
+		execNext:  1,
+		slots:     make(map[types.SeqNum]*slot),
+		table:     smr.NewClientTable(),
 		pending:   make(map[pendingKey]smr.Request),
 		proposed:  make(map[pendingKey]bool),
 		ckptVotes: make(map[types.SeqNum]map[types.ProcessID]ckptVote),
 		ownStates: make(map[types.SeqNum][]byte),
+		reqTrace:  make(map[pendingKey]reqTraceInfo),
+		lg:        obs.NopLogger(),
 	}
 	for _, opt := range opts {
 		opt(r)
@@ -286,9 +309,7 @@ func EncodeRequestEnvelope(req smr.Request) []byte {
 }
 
 func (r *Replica) broadcast(kind byte, n types.SeqNum, payload []byte) {
-	signature := r.ring.Sign(signedBytes(kind, r.view, n, payload))
-	msg := encodeMsg(kind, r.view, n, payload, signature)
-	_ = transport.Broadcast(r.tr, r.m.Others(r.Self()), msg)
+	r.broadcastTraced(kind, n, payload, tracing.Context{})
 }
 
 // --- handlers ---
@@ -304,7 +325,7 @@ func (r *Replica) handle(env transport.Envelope) {
 		if err != nil {
 			return
 		}
-		r.handleRequest(req)
+		r.handleRequest(req, env.Trace)
 		return
 	case kindPrePrepare, kindPrepare, kindCommit, kindCheckpoint, kindStateFetch, kindStateResp:
 		if v != r.view {
@@ -321,7 +342,7 @@ func (r *Replica) handle(env transport.Envelope) {
 	}
 	switch kind {
 	case kindPrePrepare:
-		r.handlePrePrepare(env.From, n, payload)
+		r.handlePrePrepare(env.From, n, payload, env.Trace)
 	case kindPrepare:
 		r.handlePrepare(env.From, n, payload)
 	case kindCommit:
@@ -335,7 +356,7 @@ func (r *Replica) handle(env transport.Envelope) {
 	}
 }
 
-func (r *Replica) handleRequest(req smr.Request) {
+func (r *Replica) handleRequest(req smr.Request, tc tracing.Context) {
 	if result, ok := r.table.CachedReply(req); ok {
 		r.reply(req, result)
 		return
@@ -343,10 +364,11 @@ func (r *Replica) handleRequest(req smr.Request) {
 	if !r.table.ShouldExecute(req) {
 		return
 	}
+	key := pendingKey{req.Client, req.Num}
+	r.noteRequest(key, tc)
 	if r.m.Leader(r.view) != r.Self() {
 		return // backups wait for the primary's pre-prepare
 	}
-	key := pendingKey{req.Client, req.Num}
 	if r.proposed[key] {
 		return // already inside an assigned slot
 	}
@@ -374,6 +396,7 @@ func (r *Replica) maybePropose() {
 			key := pendingKey{req.Client, req.Num}
 			if !r.table.ShouldExecute(req) {
 				delete(r.pending, key) // executed meanwhile
+				delete(r.reqTrace, key)
 				continue
 			}
 			batch = append(batch, req)
@@ -390,10 +413,14 @@ func (r *Replica) maybePropose() {
 		digest := sha256.Sum256(payload)
 		r.mx.proposedBatches.Inc()
 		r.mx.batchSize.Observe(float64(len(batch)))
-		r.broadcast(kindPrePrepare, n, payload)
+		span := r.startProposeSpan(batch)
+		btc := span.Context()
+		r.broadcastTraced(kindPrePrepare, n, payload, btc)
+		span.End()
 		// The primary's pre-prepare stands for its prepare.
 		sl := r.slot(n)
 		r.adopt(sl, batch, digest)
+		r.bindSlotTrace(sl, btc)
 		sl.prepares[r.Self()] = true
 		for _, req := range batch {
 			key := pendingKey{req.Client, req.Num}
@@ -433,7 +460,7 @@ func (r *Replica) adopt(sl *slot, reqs []smr.Request, digest [sha256.Size]byte) 
 	}
 }
 
-func (r *Replica) handlePrePrepare(from types.ProcessID, n types.SeqNum, payload []byte) {
+func (r *Replica) handlePrePrepare(from types.ProcessID, n types.SeqNum, payload []byte, tc tracing.Context) {
 	if r.m.Leader(r.view) != from || n == 0 || n <= r.stable.Seq {
 		return
 	}
@@ -447,6 +474,7 @@ func (r *Replica) handlePrePrepare(from types.ProcessID, n types.SeqNum, payload
 		return // conflicting pre-prepare for a bound slot: ignore
 	}
 	r.adopt(sl, reqs, digest)
+	r.bindSlotTrace(sl, tc)
 	sl.prepares[from] = true
 	if !sl.prepares[r.Self()] {
 		sl.prepares[r.Self()] = true
@@ -502,6 +530,11 @@ func (r *Replica) progress(n types.SeqNum, sl *slot) {
 	}
 	if !sl.committed && sl.prepared && len(sl.commits) >= r.m.Quorum() {
 		sl.committed = true
+		if sl.btc.Sampled {
+			r.lg.Debug("batch committed", "view", r.view, "seq", n, "reqs", len(sl.reqs), obs.TraceKey, sl.btc.Trace)
+		} else {
+			r.lg.Debug("batch committed", "view", r.view, "seq", n, "reqs", len(sl.reqs))
+		}
 	}
 	// Execute whole batches in contiguous sequence order.
 	executed := false
@@ -513,9 +546,12 @@ func (r *Replica) progress(n types.SeqNum, sl *slot) {
 		next.executed = true
 		seq := r.execNext
 		r.execNext++
+		execSpan := r.finishSlotSpans(next)
 		for _, req := range next.reqs {
 			r.execute(req)
 		}
+		execSpan.End()
+		r.flushReplies()
 		r.mx.executedBatches.Inc()
 		r.mx.executedReqs.Add(uint64(len(next.reqs)))
 		if r.ckptEnabled() && uint64(seq)%uint64(r.ckptInterval) == 0 {
@@ -534,6 +570,7 @@ func (r *Replica) execute(req smr.Request) {
 	delete(r.pending, key)
 	delete(r.proposed, key)
 	if !r.table.ShouldExecute(req) {
+		delete(r.reqTrace, key)
 		if result, ok := r.table.CachedReply(req); ok {
 			r.reply(req, result)
 		}
@@ -544,7 +581,7 @@ func (r *Replica) execute(req smr.Request) {
 	}
 	result := r.sm.Apply(req.Op)
 	r.table.Executed(req, result)
-	r.reply(req, result)
+	r.tracedReply(key, req, result)
 }
 
 func (r *Replica) reply(req smr.Request, result []byte) {

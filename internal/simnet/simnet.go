@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"unidir/internal/obs/tracing"
 	"unidir/internal/transport"
 	"unidir/internal/types"
 )
@@ -108,9 +109,15 @@ type linkKey struct {
 
 type linkState struct {
 	blocked  bool
-	buffered [][]byte // messages held while blocked, FIFO
+	buffered []heldMsg // messages held while blocked, FIFO
 	dropRate float64
 	delay    time.Duration
+}
+
+// heldMsg is one buffered message with the trace context that rode with it.
+type heldMsg struct {
+	payload []byte
+	tc      tracing.Context
 }
 
 // Pending is one message awaiting release in manual mode.
@@ -119,6 +126,9 @@ type Pending struct {
 	From    types.ProcessID
 	To      types.ProcessID
 	Payload []byte
+	// Trace is the context propagated with the message (zero when the
+	// sender attached none); it survives hold/release unchanged.
+	Trace tracing.Context
 }
 
 // New creates a simulated network for membership m with one endpoint per
@@ -232,8 +242,8 @@ func (n *Network) Heal(from, to types.ProcessID) {
 	buffered := ls.buffered
 	ls.buffered = nil
 	n.mu.Unlock()
-	for _, payload := range buffered {
-		n.inject(from, to, payload)
+	for _, m := range buffered {
+		n.inject(from, to, m.payload, m.tc)
 	}
 }
 
@@ -242,7 +252,7 @@ func (n *Network) HealAll() {
 	n.mu.Lock()
 	type flush struct {
 		from, to types.ProcessID
-		payloads [][]byte
+		payloads []heldMsg
 	}
 	var flushes []flush
 	for key, ls := range n.links {
@@ -254,8 +264,8 @@ func (n *Network) HealAll() {
 	}
 	n.mu.Unlock()
 	for _, f := range flushes {
-		for _, payload := range f.payloads {
-			n.inject(f.from, f.to, payload)
+		for _, m := range f.payloads {
+			n.inject(f.from, f.to, m.payload, m.tc)
 		}
 	}
 }
@@ -303,7 +313,7 @@ func (n *Network) Resume() {
 	n.pending = nil
 	n.mu.Unlock()
 	for _, p := range pending {
-		n.inject(p.From, p.To, p.Payload)
+		n.inject(p.From, p.To, p.Payload, p.Trace)
 	}
 }
 
@@ -333,7 +343,7 @@ func (n *Network) Release(id uint64) bool {
 	if msg == nil {
 		return false
 	}
-	n.inject(msg.From, msg.To, msg.Payload)
+	n.inject(msg.From, msg.To, msg.Payload, msg.Trace)
 	return true
 }
 
@@ -355,7 +365,7 @@ func (n *Network) ReleaseWhere(pred func(Pending) bool) int {
 	n.pending = keep
 	n.mu.Unlock()
 	for _, p := range release {
-		n.inject(p.From, p.To, p.Payload)
+		n.inject(p.From, p.To, p.Payload, p.Trace)
 	}
 	return len(release)
 }
@@ -400,7 +410,7 @@ func (n *Network) matching(pred func(Pending) bool) []Pending {
 
 // send is called by endpoints. It applies, in order: closed check, manual
 // hold, drop rate, block buffering, delay, then direct injection.
-func (n *Network) send(from, to types.ProcessID, payload []byte) error {
+func (n *Network) send(from, to types.ProcessID, payload []byte, tc tracing.Context) error {
 	if !n.m.Contains(to) {
 		return fmt.Errorf("simnet: send to non-member %v", to)
 	}
@@ -414,7 +424,7 @@ func (n *Network) send(from, to types.ProcessID, payload []byte) error {
 	}
 	if n.held {
 		n.nextID++
-		n.pending = append(n.pending, Pending{ID: n.nextID, From: from, To: to, Payload: payload})
+		n.pending = append(n.pending, Pending{ID: n.nextID, From: from, To: to, Payload: payload, Trace: tc})
 		n.mu.Unlock()
 		return nil
 	}
@@ -427,7 +437,7 @@ func (n *Network) send(from, to types.ProcessID, payload []byte) error {
 		return nil
 	}
 	if ls.blocked {
-		ls.buffered = append(ls.buffered, payload)
+		ls.buffered = append(ls.buffered, heldMsg{payload: payload, tc: tc})
 		n.mu.Unlock()
 		return nil
 	}
@@ -441,20 +451,20 @@ func (n *Network) send(from, to types.ProcessID, payload []byte) error {
 			n.mu.Lock()
 			delete(n.timers, timer)
 			n.mu.Unlock()
-			n.inject(from, to, payload)
+			n.inject(from, to, payload, tc)
 		})
 		n.timers[timer] = struct{}{}
 		n.mu.Unlock()
 		return nil
 	}
 	n.mu.Unlock()
-	n.inject(from, to, payload)
+	n.inject(from, to, payload, tc)
 	return nil
 }
 
 // inject delivers a message to the destination mailbox, bypassing all link
 // rules. It is the single point through which every delivery flows.
-func (n *Network) inject(from, to types.ProcessID, payload []byte) {
+func (n *Network) inject(from, to types.ProcessID, payload []byte, tc tracing.Context) {
 	n.mu.Lock()
 	closed := n.closed
 	trace := n.trace
@@ -465,14 +475,14 @@ func (n *Network) inject(from, to types.ProcessID, payload []byte) {
 	if trace != nil {
 		trace(Event{Kind: EventDeliver, From: from, To: to, Payload: payload, Time: time.Now()})
 	}
-	n.endpoints[to].enqueue(transport.Envelope{From: from, To: to, Payload: payload})
+	n.endpoints[to].enqueue(transport.Envelope{From: from, To: to, Payload: payload, Trace: tc})
 }
 
 // Inject delivers a fabricated message, bypassing link rules. Byzantine
 // tests use it to model messages from compromised processes without running
 // protocol code for them.
 func (n *Network) Inject(from, to types.ProcessID, payload []byte) {
-	n.inject(from, to, payload)
+	n.inject(from, to, payload, tracing.Context{})
 }
 
 // traceLocked invokes the trace hook while holding n.mu. Hooks must not call
@@ -492,14 +502,23 @@ type Endpoint struct {
 	closed bool
 }
 
-var _ transport.Transport = (*Endpoint)(nil)
+var (
+	_ transport.Transport   = (*Endpoint)(nil)
+	_ transport.TraceSender = (*Endpoint)(nil)
+)
 
 // Self returns the endpoint's process ID.
 func (e *Endpoint) Self() types.ProcessID { return e.self }
 
 // Send enqueues payload for delivery to the destination process.
 func (e *Endpoint) Send(to types.ProcessID, payload []byte) error {
-	return e.net.send(e.self, to, payload)
+	return e.net.send(e.self, to, payload, tracing.Context{})
+}
+
+// SendTraced is Send with a trace context that rides through every link
+// rule (hold, block, delay) to the destination's Envelope.
+func (e *Endpoint) SendTraced(to types.ProcessID, payload []byte, tc tracing.Context) error {
+	return e.net.send(e.self, to, payload, tc)
 }
 
 // Recv returns the next delivered message, blocking until one arrives, ctx

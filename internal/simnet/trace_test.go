@@ -1,0 +1,80 @@
+package simnet_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"unidir/internal/obs/tracing"
+	"unidir/internal/simnet"
+	"unidir/internal/types"
+)
+
+// TestTraceSurvivesLinkRules proves the trace context rides through every
+// simnet delivery path: direct, held/released (manual mode), and
+// blocked/healed links.
+func TestTraceSurvivesLinkRules(t *testing.T) {
+	m, err := types.NewMembership(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := simnet.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	tr := tracing.NewTracer("n0", 1, nil)
+	sp := tr.Root("op")
+	tc := sp.Context()
+	defer sp.End()
+
+	recv := func(id types.ProcessID) tracing.Context {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		env, err := net.Endpoint(id).Recv(ctx)
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		return env.Trace
+	}
+
+	// Direct.
+	if err := net.Endpoint(0).SendTraced(1, []byte("direct"), tc); err != nil {
+		t.Fatal(err)
+	}
+	if got := recv(1); got != tc {
+		t.Fatalf("direct delivery lost trace: %+v", got)
+	}
+
+	// Held and released in manual mode.
+	net.Hold()
+	if err := net.Endpoint(0).SendTraced(1, []byte("held"), tc); err != nil {
+		t.Fatal(err)
+	}
+	pend := net.Pending()
+	if len(pend) != 1 || pend[0].Trace != tc {
+		t.Fatalf("pending snapshot lost trace: %+v", pend)
+	}
+	net.Resume()
+	if got := recv(1); got != tc {
+		t.Fatalf("release lost trace: %+v", got)
+	}
+
+	// Buffered on a blocked link, then healed.
+	net.Block(0, 2)
+	if err := net.Endpoint(0).SendTraced(2, []byte("blocked"), tc); err != nil {
+		t.Fatal(err)
+	}
+	net.Heal(0, 2)
+	if got := recv(2); got != tc {
+		t.Fatalf("heal lost trace: %+v", got)
+	}
+
+	// Plain Send still delivers a zero context.
+	if err := net.Endpoint(0).Send(1, []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recv(1); got.Valid() {
+		t.Fatalf("plain send grew a trace: %+v", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"unidir/internal/obs"
+	"unidir/internal/obs/tracing"
 	"unidir/internal/transport"
 	"unidir/internal/types"
 )
@@ -58,6 +59,10 @@ type Pipeline struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	// tracer mints the client-submit root span per sampled request (nil
+	// without WithPipelineTracer; every call is nil-safe).
+	tracer *tracing.Tracer
+
 	// Metrics handles (nil without WithPipelineMetrics; nil-safe no-ops).
 	mxSubmitted *obs.Counter
 	mxCompleted *obs.Counter
@@ -68,6 +73,8 @@ type pipeCall struct {
 	call    *Call
 	payload []byte
 	votes   map[string]map[types.ProcessID]bool
+	span    *tracing.Active // client-submit root; nil when unsampled
+	tc      tracing.Context // propagated with every (re)broadcast
 }
 
 // PipelineOption configures NewPipeline.
@@ -91,6 +98,14 @@ func WithPipelineMetrics(reg *obs.Registry) PipelineOption {
 		p.mxCompleted = reg.Counter(obs.Name("smr_requests_completed_total", "client", p.id))
 		p.mxInflight = reg.Gauge(obs.Name("smr_pipeline_depth", "client", p.id))
 	}
+}
+
+// WithPipelineTracer makes the pipeline the head-sampling point of the
+// request lifecycle: each Submit that wins the sampling decision opens a
+// client-submit root span, propagates its context with the request (and all
+// retransmits), and ends the span when f+1 matching replies arrive.
+func WithPipelineTracer(t *tracing.Tracer) PipelineOption {
+	return func(p *Pipeline) { p.tracer = t }
 }
 
 // NewPipeline creates a pipelined client with the given unique identity.
@@ -149,12 +164,18 @@ func (p *Pipeline) Submit(ctx context.Context, op []byte) (*Call, error) {
 	req := Request{Client: p.id, Num: p.nextNum, Op: op}
 	call := &Call{req: req, done: make(chan struct{})}
 	payload := p.encode(req)
-	p.inflight[req.Num] = &pipeCall{call: call, payload: payload, votes: make(map[string]map[types.ProcessID]bool)}
+	span := p.tracer.Root("client-submit")
+	tc := span.Context()
+	p.inflight[req.Num] = &pipeCall{
+		call: call, payload: payload,
+		votes: make(map[string]map[types.ProcessID]bool),
+		span:  span, tc: tc,
+	}
 	depth := len(p.inflight)
 	p.mu.Unlock()
 	p.mxSubmitted.Inc()
 	p.mxInflight.Set(int64(depth))
-	if err := transport.Broadcast(p.tr, p.replicas, payload); err != nil {
+	if err := transport.BroadcastTraced(p.tr, p.replicas, payload, tc); err != nil {
 		p.complete(req.Num, nil, fmt.Errorf("smr: send request: %w", err))
 		return nil, fmt.Errorf("smr: send request: %w", err)
 	}
@@ -188,6 +209,7 @@ func (p *Pipeline) complete(num uint64, result []byte, err error) {
 	delete(p.inflight, num)
 	depth := len(p.inflight)
 	p.mu.Unlock()
+	pc.span.End()
 	p.mxCompleted.Inc()
 	p.mxInflight.Set(int64(depth))
 	pc.call.result = result
@@ -240,13 +262,15 @@ func (p *Pipeline) retransmitLoop() {
 		case <-t.C:
 		}
 		p.mu.Lock()
-		payloads := make([][]byte, 0, len(p.inflight))
+		resend := make([]*pipeCall, 0, len(p.inflight))
 		for _, pc := range p.inflight {
-			payloads = append(payloads, pc.payload)
+			resend = append(resend, pc)
 		}
 		p.mu.Unlock()
-		for _, payload := range payloads {
-			_ = transport.Broadcast(p.tr, p.replicas, payload)
+		for _, pc := range resend {
+			// Retransmits carry the same context: wherever the request
+			// finally lands, it stays on its trace.
+			_ = transport.BroadcastTraced(p.tr, p.replicas, pc.payload, pc.tc)
 		}
 	}
 }
@@ -266,6 +290,7 @@ func (p *Pipeline) Close() error {
 	p.cancel()
 	p.mxInflight.Set(0)
 	for _, pc := range stuck {
+		pc.span.End()
 		pc.call.err = ErrClientClosed
 		close(pc.call.done)
 	}

@@ -17,7 +17,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
+
+	"unidir/internal/obs"
 
 	"unidir/internal/srb"
 	"unidir/internal/syncx"
@@ -49,6 +52,17 @@ type Node struct {
 	deliveries *syncx.Queue[srb.Delivery]
 	cancel     context.CancelFunc
 	done       chan struct{}
+
+	lg *slog.Logger
+}
+
+// Option configures New.
+type Option func(*Node)
+
+// WithLogger attaches a structured logger; rejected proofs and delivery
+// progress are reported through it with sender/seq attrs.
+func WithLogger(l *slog.Logger) Option {
+	return func(n *Node) { n.lg = obs.OrNop(l) }
 }
 
 var _ srb.Node = (*Node)(nil)
@@ -68,7 +82,7 @@ type senderState struct {
 // the same at every process — a protocol configuration constant, as in
 // A2M-PBFT). Without the agreed ID, a Byzantine sender running two logs
 // could show different receivers different streams.
-func New(m types.Membership, tr transport.Transport, log a2m.Log, ver *a2m.Verifier) (*Node, error) {
+func New(m types.Membership, tr transport.Transport, log a2m.Log, ver *a2m.Verifier, opts ...Option) (*Node, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -86,6 +100,10 @@ func New(m types.Membership, tr transport.Transport, log a2m.Log, ver *a2m.Verif
 		deliveries: syncx.NewQueue[srb.Delivery](),
 		cancel:     cancel,
 		done:       make(chan struct{}),
+		lg:         obs.NopLogger(),
+	}
+	for _, opt := range opts {
+		opt(n)
 	}
 	for i := range n.states {
 		n.states[i] = &senderState{
@@ -160,6 +178,7 @@ func (n *Node) recvLoop(ctx context.Context) {
 		}
 		proof, err := a2m.DecodeProof(env.Payload)
 		if err != nil {
+			n.lg.Warn("dropping undecodable proof", "from", env.From, "err", err)
 			continue // Byzantine garbage
 		}
 		n.accept(proof, env.Payload)
@@ -173,11 +192,13 @@ func (n *Node) recvLoop(ctx context.Context) {
 func (n *Node) accept(proof a2m.Proof, payload []byte) {
 	sender := proof.Stmt.Device
 	if !n.m.Contains(sender) || proof.Stmt.Kind != a2m.KindLookup {
+		n.lg.Debug("rejecting proof", "sender", sender, "seq", proof.Stmt.Seq, "reason", "non-member or non-lookup")
 		return
 	}
 	// Only the agreed protocol log counts: a Byzantine sender running
 	// several logs cannot split the stream across receivers.
 	if proof.Stmt.Log != n.log.ID() {
+		n.lg.Debug("rejecting proof", "sender", sender, "seq", proof.Stmt.Seq, "reason", "wrong log id", "log", proof.Stmt.Log, "want", n.log.ID())
 		return
 	}
 	// Fast duplicate drop before the signature check: every process relays
@@ -191,6 +212,9 @@ func (n *Node) accept(proof a2m.Proof, payload []byte) {
 	}
 	n.mu.Unlock()
 	if err := n.ver.Check(proof); err != nil {
+		// A proof that decodes but fails verification is hard evidence of a
+		// faulty sender or relay, worth surfacing above debug level.
+		n.lg.Warn("rejecting proof", "sender", sender, "seq", proof.Stmt.Seq, "reason", "bad proof", "err", err)
 		return
 	}
 	n.mu.Lock()
@@ -222,6 +246,7 @@ func (n *Node) accept(proof a2m.Proof, payload []byte) {
 		_ = transport.Broadcast(n.tr, n.m.Others(n.self), payload)
 	}
 	for _, d := range ready {
+		n.lg.Debug("delivering", "sender", d.Sender, "seq", d.Seq, "bytes", len(d.Data))
 		n.deliveries.Push(d)
 	}
 }

@@ -17,7 +17,12 @@
 //
 // Wire format: a connection opens with a hello frame carrying the sender's
 // process ID, then length-prefixed message frames (uint32 little-endian
-// length, then the payload).
+// length, then the payload). Bit 31 of the length prefix
+// (wire.FrameTraceFlag) version-gates an optional trailing trace-context
+// block (tracing.ContextWireSize bytes) so sampled requests carry their
+// trace across process boundaries; frames without the flag — including
+// everything ever emitted before the flag existed — decode exactly as
+// before.
 package tcpnet
 
 import (
@@ -33,6 +38,7 @@ import (
 	"time"
 
 	"unidir/internal/obs"
+	"unidir/internal/obs/tracing"
 	"unidir/internal/syncx"
 	"unidir/internal/transport"
 	"unidir/internal/types"
@@ -112,7 +118,70 @@ type Net struct {
 	wg     sync.WaitGroup
 }
 
-var _ transport.Transport = (*Net)(nil)
+var (
+	_ transport.Transport   = (*Net)(nil)
+	_ transport.TraceSender = (*Net)(nil)
+)
+
+// outFrame is one queued outbound message: the payload plus the optional
+// trace context that rides behind it on the wire.
+type outFrame struct {
+	payload []byte
+	tc      tracing.Context
+}
+
+// wireSize is the frame's full on-wire size: length prefix, payload, and
+// trace block when present.
+func (f outFrame) wireSize() uint64 {
+	n := uint64(len(f.payload)) + 4
+	if f.tc.Valid() {
+		n += tracing.ContextWireSize
+	}
+	return n
+}
+
+// appendFrame encodes one frame — length prefix (trace flag in bit 31),
+// payload, optional trace block. writeBatch streams the same layout through
+// its buffered writer; frame_test asserts the two stay identical.
+func appendFrame(dst []byte, payload []byte, tc tracing.Context) []byte {
+	traced := tc.Valid()
+	dst = binary.LittleEndian.AppendUint32(dst, wire.EncodeFrameSize(len(payload), traced))
+	dst = append(dst, payload...)
+	if traced {
+		dst = tc.AppendBinary(dst)
+	}
+	return dst
+}
+
+// readFrame reads one frame from r: the length prefix (validated against
+// maxFrame after masking the trace flag), the payload, and — when the flag
+// is set — the fixed-size trace block.
+func readFrame(r io.Reader) ([]byte, tracing.Context, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, tracing.Context{}, err
+	}
+	size, traced := wire.DecodeFrameSize(binary.LittleEndian.Uint32(lenBuf[:]))
+	if size > maxFrame {
+		return nil, tracing.Context{}, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, tracing.Context{}, err
+	}
+	if !traced {
+		return payload, tracing.Context{}, nil
+	}
+	var tcBuf [tracing.ContextWireSize]byte
+	if _, err := io.ReadFull(r, tcBuf[:]); err != nil {
+		return nil, tracing.Context{}, err
+	}
+	tc, err := tracing.DecodeContext(tcBuf[:])
+	if err != nil {
+		return nil, tracing.Context{}, err
+	}
+	return payload, tc, nil
+}
 
 // New starts listening on cfg[self] and returns the endpoint.
 func New(self types.ProcessID, cfg Config, opts ...Option) (*Net, error) {
@@ -156,6 +225,15 @@ func (n *Net) Addr() string { return n.listener.Addr().String() }
 // return means the transport accepted the message; after Close every Send
 // reports transport.ErrClosed, even when it races the shutdown.
 func (n *Net) Send(to types.ProcessID, payload []byte) error {
+	return n.send(to, outFrame{payload: payload})
+}
+
+// SendTraced is Send with a trace context attached to the frame.
+func (n *Net) SendTraced(to types.ProcessID, payload []byte, tc tracing.Context) error {
+	return n.send(to, outFrame{payload: payload, tc: tc})
+}
+
+func (n *Net) send(to types.ProcessID, f outFrame) error {
 	if to == n.self {
 		n.mu.Lock()
 		closed := n.closed
@@ -166,8 +244,8 @@ func (n *Net) Send(to types.ProcessID, payload []byte) error {
 		// Copy before delivery: the remote path hands the receiver a fresh
 		// buffer (readLoop allocates per frame), so self-delivery must too —
 		// callers reuse their encode buffers after Send returns.
-		buf := append([]byte(nil), payload...)
-		if !n.inbox.Push(transport.Envelope{From: n.self, To: n.self, Payload: buf}) {
+		buf := append([]byte(nil), f.payload...)
+		if !n.inbox.Push(transport.Envelope{From: n.self, To: n.self, Payload: buf, Trace: f.tc}) {
 			return transport.ErrClosed
 		}
 		return nil
@@ -192,7 +270,7 @@ func (n *Net) Send(to types.ProcessID, payload []byte) error {
 	n.mu.Unlock()
 	// Push reports acceptance: Close may have closed the queue between the
 	// check above and here, and a dropped message must not look delivered.
-	if !s.queue.Push(payload) {
+	if !s.queue.Push(f) {
 		return transport.ErrClosed
 	}
 	s.queueDepth.Set(int64(s.queue.Len()))
@@ -282,22 +360,15 @@ func (n *Net) readLoop(conn net.Conn) {
 		rxFrames = n.metrics.Counter(obs.Name("tcpnet_rx_frames_total", "self", n.self, "peer", from))
 		rxBytes = n.metrics.Counter(obs.Name("tcpnet_rx_bytes_total", "self", n.self, "peer", from))
 	}
+	br := bufio.NewReaderSize(conn, senderBufSize)
 	for {
-		var lenBuf [4]byte
-		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
-			return
-		}
-		size := binary.LittleEndian.Uint32(lenBuf[:])
-		if size > maxFrame {
-			return
-		}
-		payload := make([]byte, size)
-		if _, err := io.ReadFull(conn, payload); err != nil {
+		payload, tc, err := readFrame(br)
+		if err != nil {
 			return
 		}
 		rxFrames.Inc()
-		rxBytes.Add(uint64(size) + 4)
-		n.inbox.Push(transport.Envelope{From: from, To: n.self, Payload: payload})
+		rxBytes.Add(outFrame{payload: payload, tc: tc}.wireSize())
+		n.inbox.Push(transport.Envelope{From: from, To: n.self, Payload: payload, Trace: tc})
 	}
 }
 
@@ -321,7 +392,7 @@ type sender struct {
 	net   *Net
 	to    types.ProcessID
 	addr  string
-	queue *syncx.Queue[[]byte]
+	queue *syncx.Queue[outFrame]
 
 	// Per-peer metric handles, all nil (free no-ops) without WithMetrics.
 	frames     *obs.Counter
@@ -333,7 +404,7 @@ type sender struct {
 }
 
 func newSender(n *Net, to types.ProcessID, addr string) *sender {
-	s := &sender{net: n, to: to, addr: addr, queue: syncx.NewQueue[[]byte]()}
+	s := &sender{net: n, to: to, addr: addr, queue: syncx.NewQueue[outFrame]()}
 	if reg := n.metrics; reg != nil {
 		s.frames = reg.Counter(obs.Name("tcpnet_tx_frames_total", "self", n.self, "peer", to))
 		s.bytes = reg.Counter(obs.Name("tcpnet_tx_bytes_total", "self", n.self, "peer", to))
@@ -394,11 +465,11 @@ func (s *sender) run() {
 			// Fold in frames queued since the wakeup so the flush below
 			// covers them too.
 			for {
-				payload, ok := s.queue.TryPop()
+				f, ok := s.queue.TryPop()
 				if !ok {
 					break
 				}
-				batch = append(batch, payload)
+				batch = append(batch, f)
 			}
 			if err := s.writeBatch(conn, bw, batch); err != nil {
 				drop()
@@ -407,8 +478,8 @@ func (s *sender) run() {
 			s.frames.Add(uint64(len(batch)))
 			s.batchSize.Observe(float64(len(batch)))
 			var written uint64
-			for _, p := range batch {
-				written += uint64(len(p)) + 4
+			for _, f := range batch {
+				written += f.wireSize()
 			}
 			s.bytes.Add(written)
 			s.queueDepth.Set(int64(s.queue.Len()))
@@ -418,21 +489,31 @@ func (s *sender) run() {
 }
 
 // writeBatch frames every payload into the buffered writer and flushes
-// once, under one write deadline covering the whole batch.
-func (s *sender) writeBatch(conn net.Conn, bw *bufio.Writer, batch [][]byte) error {
+// once, under one write deadline covering the whole batch. The layout per
+// frame is exactly appendFrame's: length prefix with the trace flag, the
+// payload, then the trace block when one rides along.
+func (s *sender) writeBatch(conn net.Conn, bw *bufio.Writer, batch []outFrame) error {
 	if s.net.writeTimeout > 0 {
 		if err := conn.SetWriteDeadline(time.Now().Add(s.net.writeTimeout)); err != nil {
 			return err
 		}
 	}
 	var lenBuf [4]byte
-	for _, payload := range batch {
-		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	var tcBuf []byte
+	for _, f := range batch {
+		traced := f.tc.Valid()
+		binary.LittleEndian.PutUint32(lenBuf[:], wire.EncodeFrameSize(len(f.payload), traced))
 		if _, err := bw.Write(lenBuf[:]); err != nil {
 			return err
 		}
-		if _, err := bw.Write(payload); err != nil {
+		if _, err := bw.Write(f.payload); err != nil {
 			return err
+		}
+		if traced {
+			tcBuf = f.tc.AppendBinary(tcBuf[:0])
+			if _, err := bw.Write(tcBuf); err != nil {
+				return err
+			}
 		}
 	}
 	if err := bw.Flush(); err != nil {

@@ -1,0 +1,45 @@
+package tcpnet_test
+
+import (
+	"testing"
+	"time"
+
+	"unidir/internal/obs/tracing"
+	"unidir/internal/transport"
+)
+
+// TestTracePropagationOverTCP proves a sampled trace context crosses a real
+// TCP connection intact, both remote and via the self-send shortcut, while
+// untraced sends keep delivering zero contexts.
+func TestTracePropagationOverTCP(t *testing.T) {
+	nets := newCluster(t, 2)
+	tr := tracing.NewTracer("n0", 1, tracing.NewSpanBuffer(8))
+	sp := tr.Root("client-submit")
+	tc := sp.Context()
+	defer sp.End()
+
+	if err := transport.SendTraced(nets[0], 1, []byte("traced"), tc); err != nil {
+		t.Fatalf("SendTraced: %v", err)
+	}
+	env := recvOne(t, nets[1], 5*time.Second)
+	if string(env.Payload) != "traced" || env.Trace != tc {
+		t.Fatalf("trace lost over TCP: %+v", env)
+	}
+
+	if err := nets[0].Send(1, []byte("plain")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	env = recvOne(t, nets[1], 5*time.Second)
+	if env.Trace.Valid() {
+		t.Fatalf("untraced send delivered a context: %+v", env.Trace)
+	}
+
+	// Self-send keeps the context without touching the wire.
+	if err := nets[0].SendTraced(0, []byte("self"), tc); err != nil {
+		t.Fatalf("SendTraced self: %v", err)
+	}
+	env = recvOne(t, nets[0], time.Second)
+	if env.Trace != tc {
+		t.Fatalf("self-send dropped the trace: %+v", env.Trace)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 
+	"unidir/internal/obs/tracing"
 	"unidir/internal/types"
 )
 
@@ -30,6 +31,10 @@ type Envelope struct {
 	From    types.ProcessID
 	To      types.ProcessID
 	Payload []byte
+	// Trace is the sender's trace context, when one rode along with the
+	// message (zero otherwise). Transports propagate it out of band of the
+	// payload, so signed and attested message bodies are unaffected.
+	Trace tracing.Context
 }
 
 // Transport is one process's connection to the network.
@@ -51,12 +56,39 @@ type Transport interface {
 	Close() error
 }
 
+// TraceSender is optionally implemented by transports that can carry a
+// trace context alongside a payload (simnet and tcpnet both do). Protocols
+// never depend on it directly; they go through SendTraced, which degrades to
+// a plain Send on transports without trace support.
+type TraceSender interface {
+	SendTraced(to types.ProcessID, payload []byte, tc tracing.Context) error
+}
+
+// SendTraced sends payload with tc attached when the transport supports
+// trace propagation and tc carries a trace; otherwise it is exactly Send.
+func SendTraced(t Transport, to types.ProcessID, payload []byte, tc tracing.Context) error {
+	if ts, ok := t.(TraceSender); ok && tc.Valid() {
+		return ts.SendTraced(to, payload, tc)
+	}
+	return t.Send(to, payload)
+}
+
 // Broadcast sends payload to every process in ids (typically
 // Membership.All() or Membership.Others(self)). It stops at the first send
 // error. Sending to self is allowed and delivers locally.
 func Broadcast(t Transport, ids []types.ProcessID, payload []byte) error {
 	for _, id := range ids {
 		if err := t.Send(id, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BroadcastTraced is Broadcast with a trace context attached to every copy.
+func BroadcastTraced(t Transport, ids []types.ProcessID, payload []byte, tc tracing.Context) error {
+	for _, id := range ids {
+		if err := SendTraced(t, id, payload, tc); err != nil {
 			return err
 		}
 	}

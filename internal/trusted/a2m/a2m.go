@@ -22,8 +22,11 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sync"
+
+	"unidir/internal/obs"
 
 	"unidir/internal/sig"
 	"unidir/internal/sig/fastverify"
@@ -147,6 +150,26 @@ type Device struct {
 	base  map[uint64]uint64  // log -> entries lost to a restart (seq offset)
 	next  uint64
 	store trinc.CounterStore // nil: volatile device
+	lg    *slog.Logger
+}
+
+// SetLogger attaches a structured logger (restart recovery and refused
+// lookups are reported through it). Devices default to a discard logger.
+func (d *Device) SetLogger(l *slog.Logger) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lg = obs.OrNop(l)
+}
+
+// logger returns the device's logger, defaulting to discard. Callers must
+// not hold d.mu (it takes the lock itself).
+func (d *Device) logger() *slog.Logger {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lg == nil {
+		return obs.NopLogger()
+	}
+	return d.lg
 }
 
 // Owner returns the process this device belongs to.
@@ -169,9 +192,17 @@ func (d *Device) Persist(cs trinc.CounterStore) error {
 	if d.base == nil {
 		d.base = make(map[uint64]uint64)
 	}
+	lg := d.lg
+	if lg == nil {
+		lg = obs.NopLogger()
+	}
 	for id, end := range cs.Last() {
 		if end > d.base[id]+uint64(len(d.logs[id])) {
 			d.base[id] = end - uint64(len(d.logs[id]))
+			// Entry values below base lived in RAM and are gone; only the
+			// monotone end survived. Worth a line: lookups below base will
+			// now fail until fresh appends arrive.
+			lg.Info("rehydrated log above lost entries", "log", id, "end", end, "lost", d.base[id])
 		}
 		if _, ok := d.logs[id]; !ok {
 			d.logs[id] = nil
@@ -232,6 +263,7 @@ func (d *Device) Lookup(id uint64, s types.SeqNum, nonce []byte) (Proof, error) 
 	}
 	if uint64(s) <= base {
 		d.mu.Unlock()
+		d.logger().Debug("refusing lookup below restart base", "log", id, "seq", s, "base", base)
 		return Proof{}, fmt.Errorf("%w: s=%d predates restart (base=%d)", ErrNoSuchEntry, s, base)
 	}
 	val := log[uint64(s)-base-1]

@@ -22,8 +22,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sync"
+
+	"unidir/internal/obs"
 )
 
 // recordSize is one WAL record: 8-byte counter ID, 8-byte value, both
@@ -35,20 +38,43 @@ type Store struct {
 	mu   sync.Mutex
 	f    *os.File
 	last map[uint64]uint64
+	log  *slog.Logger
+}
+
+// Option configures Open.
+type Option func(*Store)
+
+// WithLogger attaches a structured logger; replay anomalies (torn trailing
+// records) and recovery summaries are reported through it.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Store) { s.log = obs.OrNop(l) }
 }
 
 // Open opens (creating if needed) the WAL at path and replays it.
-func Open(path string) (*Store, error) {
+func Open(path string, opts ...Option) (*Store, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("ctrstore: open %s: %w", path, err)
 	}
-	s := &Store{f: f, last: make(map[uint64]uint64)}
+	s := &Store{f: f, last: make(map[uint64]uint64), log: obs.NopLogger()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	if err := s.replay(); err != nil {
 		_ = f.Close()
 		return nil, err
 	}
+	s.log.Info("counter store opened", "path", path, "counters", len(s.last), "bytes", recordSize*countRecords(s))
 	return s, nil
+}
+
+// countRecords derives the replayed record count from the write offset.
+func countRecords(s *Store) int64 {
+	off, err := s.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0
+	}
+	return off / recordSize
 }
 
 // replay scans the log, keeping the maximum value seen per counter, and
@@ -64,12 +90,12 @@ func (s *Store) replay() error {
 		if err == io.ErrUnexpectedEOF {
 			// Torn trailing record: the attestation guarded by it was never
 			// released (write-ahead ordering), so drop it.
+			s.log.Warn("dropping torn trailing record", "offset", off, "partial_bytes", n)
 			break
 		}
 		if err != nil {
 			return fmt.Errorf("ctrstore: replay: %w", err)
 		}
-		_ = n
 		counter := binary.LittleEndian.Uint64(rec[:8])
 		value := binary.LittleEndian.Uint64(rec[8:])
 		if value > s.last[counter] {

