@@ -5,7 +5,7 @@ BENCH_JSON ?= bench.json
 BENCH_OPS ?= 300
 BENCH_MSGS ?= 100
 
-.PHONY: check vet staticcheck logcheck build test race soak bench-smoke bench-json trace-check
+.PHONY: check vet staticcheck logcheck build test race soak bench-smoke bench-json bench-regress trace-check
 
 # check is the full local gate: static checks, build, the race-enabled
 # test suite, and a one-iteration smoke run of the signature fast-path
@@ -67,7 +67,15 @@ trace-check:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSigVerify' -benchtime 1x .
 
-# bench-json reruns the B1/B2 experiment tables and writes every row as
+# bench-json reruns the B1/B2/B9 experiment tables and writes every row as
 # JSON to $(BENCH_JSON) for dashboards/regression tracking.
 bench-json:
-	$(GO) run ./cmd/benchharness -exp b1,b2 -msgs $(BENCH_MSGS) -ops $(BENCH_OPS) -json $(BENCH_JSON)
+	$(GO) run ./cmd/benchharness -exp b1,b2,b9 -msgs $(BENCH_MSGS) -ops $(BENCH_OPS) -json $(BENCH_JSON)
+
+# bench-regress reruns bench-json into a scratch file and compares every
+# row's ops_per_sec against the newest checked-in BENCH_*.json; a drop of
+# more than 20% on any matching row fails. With no baseline checked in the
+# comparison is skipped (exits zero).
+bench-regress:
+	$(GO) run ./cmd/benchharness -exp b1,b2,b9 -msgs $(BENCH_MSGS) -ops $(BENCH_OPS) -json /tmp/bench-regress.json
+	$(GO) run ./cmd/benchregress -current /tmp/bench-regress.json

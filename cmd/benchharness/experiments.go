@@ -6,6 +6,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 	"time"
 	"unidir/internal/harness"
 
@@ -357,7 +359,7 @@ func expB2(ops int, rep *report) error {
 			if err != nil {
 				return err
 			}
-			elapsed, err := timeKVOps(c.KV, ops)
+			elapsed, lats, err := timeKVOps(c.KV, ops)
 			c.Stop()
 			if err != nil {
 				return fmt.Errorf("%s f=%d: %w", p.name, f, err)
@@ -370,6 +372,8 @@ func expB2(ops int, rep *report) error {
 				Seconds:       elapsed.Seconds(),
 				OpsPerSec:     rate,
 				MeanLatencyUS: float64(elapsed.Microseconds()) / float64(ops),
+				P50LatencyUS:  percentileUS(lats, 0.50),
+				P99LatencyUS:  percentileUS(lats, 0.99),
 			})
 		}
 	}
@@ -383,7 +387,7 @@ func expB2(ops int, rep *report) error {
 			if err != nil {
 				return err
 			}
-			elapsed, err := timeKVOpsPipelined(c.Pipe, ops)
+			elapsed, lats, err := timeKVOpsPipelined(c.Pipe, ops)
 			c.Stop()
 			if err != nil {
 				return fmt.Errorf("%s batch=%d: %w", p.name, batch, err)
@@ -397,44 +401,78 @@ func expB2(ops int, rep *report) error {
 				Seconds:       elapsed.Seconds(),
 				OpsPerSec:     rate,
 				MeanLatencyUS: float64(elapsed.Microseconds()) / float64(ops),
+				P50LatencyUS:  percentileUS(lats, 0.50),
+				P99LatencyUS:  percentileUS(lats, 0.99),
 			})
 		}
 	}
 	return nil
 }
 
-func timeKVOps(kv *kvstore.Client, ops int) (time.Duration, error) {
+func timeKVOps(kv *kvstore.Client, ops int) (time.Duration, []time.Duration, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
+	lats := make([]time.Duration, 0, ops)
 	start := time.Now()
 	for i := 0; i < ops; i++ {
+		t0 := time.Now()
 		if err := kv.Put(ctx, fmt.Sprintf("key-%d", i%64), []byte("value")); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
+		lats = append(lats, time.Since(t0))
 	}
-	return time.Since(start), nil
+	return time.Since(start), lats, nil
 }
 
 // timeKVOpsPipelined issues ops puts through the pipelined client, keeping
-// up to its window in flight, and waits for every reply.
-func timeKVOpsPipelined(kv *kvstore.PipeClient, ops int) (time.Duration, error) {
+// up to its window in flight, and waits for every reply. The returned
+// latencies are submit-to-completion (they include window queueing).
+func timeKVOpsPipelined(kv *kvstore.PipeClient, ops int) (time.Duration, []time.Duration, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
 	start := time.Now()
 	calls := make([]*smr.Call, 0, ops)
+	lats := make([]time.Duration, ops)
+	var wg sync.WaitGroup
 	for i := 0; i < ops; i++ {
+		t0 := time.Now()
 		call, err := kv.PutAsync(ctx, fmt.Sprintf("key-%d", i%64), []byte("value"))
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		calls = append(calls, call)
+		wg.Add(1)
+		go func(i int, call *smr.Call, t0 time.Time) {
+			defer wg.Done()
+			<-call.Done()
+			lats[i] = time.Since(t0)
+		}(i, call, t0)
 	}
 	for _, call := range calls {
 		if _, err := call.Result(); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 	}
-	return time.Since(start), nil
+	wg.Wait()
+	return time.Since(start), lats, nil
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of lats by nearest-rank,
+// in microseconds. Zero when empty.
+func percentileUS(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx].Microseconds())
 }
 
 // --- B3: trusted hardware microbenchmarks ---

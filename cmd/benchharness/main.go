@@ -8,12 +8,14 @@
 //	B3  trusted hardware and signature microbenchmarks
 //	B4  round-system ablation (swmr / async / lockstep)
 //	B8  per-phase latency attribution via distributed tracing
+//	B9  latency/throughput frontier: adaptive batching + admission control
+//	    + backpressure vs the fixed baseline, across an offered-load sweep
 //
 // Usage:
 //
 //	benchharness -exp all                      # everything (default)
 //	benchharness -exp b2 -ops 2000             # one experiment, tuned workload
-//	benchharness -exp b2 -json BENCH_B2.json   # machine-readable B1/B2 rows
+//	benchharness -exp b2 -json BENCH_B2.json   # machine-readable B1/B2/B9 rows
 //	benchharness -exp b8 -trace-out spans.json # merged spans + breakdowns
 //
 // The Go-native testing.B versions of B1-B4 live in bench_test.go at the
@@ -41,6 +43,14 @@ type benchRow struct {
 	Seconds       float64 `json:"seconds"`
 	OpsPerSec     float64 `json:"ops_per_sec"`
 	MeanLatencyUS float64 `json:"mean_latency_us"`
+	P50LatencyUS  float64 `json:"p50_latency_us,omitempty"`
+	P99LatencyUS  float64 `json:"p99_latency_us,omitempty"`
+
+	// B9 (latency/throughput frontier) fields.
+	Mode          string  `json:"mode,omitempty"`            // "adaptive" or "fixed"
+	OfferedPerSec float64 `json:"offered_per_sec,omitempty"` // open-loop target rate
+	Sheds         int     `json:"sheds,omitempty"`           // requests shed (ErrOverloaded)
+	WindowEnd     int     `json:"window_end,omitempty"`      // effective client window at the end
 }
 
 // report collects benchRows across experiments; nil-safe so drivers add
@@ -64,7 +74,7 @@ func (r *report) write(path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: all, or a comma-separated subset of f1,e1,b1,b2,b3,b4,b8")
+	exp := flag.String("exp", "all", "experiments to run: all, or a comma-separated subset of f1,e1,b1,b2,b3,b4,b8,b9")
 	msgs := flag.Int("msgs", 200, "broadcasts per configuration (B1)")
 	ops := flag.Int("ops", 500, "client operations per configuration (B2)")
 	iters := flag.Int("iters", 5000, "iterations per microbenchmark (B3)")
@@ -94,6 +104,7 @@ func run(exp string, msgs, ops, iters, roundsN int, jsonPath, traceOut string) e
 		{"b3", func() error { return expB3(iters) }, true},
 		{"b4", func() error { return expB4(roundsN) }, true},
 		{"b8", func() error { return expB8(ops, traceOut) }, false},
+		{"b9", func() error { return expB9(ops, rep) }, true},
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(exp, ",") {

@@ -53,7 +53,7 @@ func expB8(ops int, traceOut string) error {
 		}
 		var runErr error
 		if c.pipelined {
-			_, runErr = timeKVOpsPipelined(cl.Pipe, ops)
+			_, _, runErr = timeKVOpsPipelined(cl.Pipe, ops)
 		} else {
 			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 			for i := 0; i < ops && runErr == nil; i++ {

@@ -1,0 +1,152 @@
+// Command benchregress compares two benchharness -json files and fails when
+// throughput regressed. It is the gate behind `make bench-regress`: the
+// baseline is the newest checked-in BENCH_*.json, the current file is a
+// fresh run, and any row whose ops_per_sec dropped more than -threshold
+// (default 20%) against the matching baseline row fails the build.
+//
+// Rows are matched by their full configuration key — experiment, impl, n,
+// f, batch, window, and (for B9) mode and offered rate. Rows present in
+// only one file are reported but do not fail: experiments come and go
+// across PRs, and a missing row is a coverage question, not a regression.
+// With no baseline (first run in a fresh checkout) the tool prints a notice
+// and exits zero so the target degrades gracefully.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// row mirrors the benchharness benchRow fields that form the key plus the
+// measurement under comparison.
+type row struct {
+	Exp           string  `json:"exp"`
+	Impl          string  `json:"impl"`
+	N             int     `json:"n"`
+	F             int     `json:"f"`
+	Phases        int     `json:"phases,omitempty"`
+	Batch         int     `json:"batch,omitempty"`
+	Window        int     `json:"window,omitempty"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	Mode          string  `json:"mode,omitempty"`
+	OfferedPerSec float64 `json:"offered_per_sec,omitempty"`
+}
+
+func (r row) key() string {
+	return fmt.Sprintf("%s|%s|n=%d|f=%d|ph=%d|b=%d|w=%d|%s|%.0f",
+		r.Exp, r.Impl, r.N, r.F, r.Phases, r.Batch, r.Window, r.Mode, r.OfferedPerSec)
+}
+
+func load(path string) (map[string]row, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(b, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]row, len(rows))
+	for _, r := range rows {
+		m[r.key()] = r
+	}
+	return m, nil
+}
+
+// newestBaseline picks the lexically greatest BENCH_*.json in dir — the
+// files are numbered per PR, so lexical order tracks recency well enough
+// (and tie-breaking by name is deterministic).
+func newestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", nil
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline benchharness -json file (default: newest BENCH_*.json in -dir)")
+	current := flag.String("current", "", "fresh benchharness -json file to check (required)")
+	dir := flag.String("dir", ".", "directory searched for BENCH_*.json when -baseline is unset")
+	threshold := flag.Float64("threshold", 0.20, "fail when ops_per_sec drops more than this fraction below baseline")
+	flag.Parse()
+
+	if err := run(*baseline, *current, *dir, *threshold); err != nil {
+		fmt.Fprintln(os.Stderr, "benchregress:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baseline, current, dir string, threshold float64) error {
+	if current == "" {
+		return fmt.Errorf("-current is required")
+	}
+	if baseline == "" {
+		found, err := newestBaseline(dir)
+		if err != nil {
+			return err
+		}
+		if found == "" {
+			fmt.Printf("benchregress: no BENCH_*.json baseline in %s; nothing to compare (ok)\n", dir)
+			return nil
+		}
+		baseline = found
+	}
+	base, err := load(baseline)
+	if err != nil {
+		return err
+	}
+	cur, err := load(current)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchregress: %s (current) vs %s (baseline), threshold %.0f%%\n",
+		current, baseline, threshold*100)
+
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var failed, compared, skipped int
+	for _, k := range keys {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok {
+			skipped++
+			fmt.Printf("  skip (not in current): %s\n", k)
+			continue
+		}
+		if b.OpsPerSec <= 0 {
+			skipped++
+			continue
+		}
+		compared++
+		delta := (c.OpsPerSec - b.OpsPerSec) / b.OpsPerSec
+		status := "ok"
+		if delta < -threshold {
+			status = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("  %-9s %-60s %10.0f -> %10.0f  (%+.1f%%)\n",
+			status, k, b.OpsPerSec, c.OpsPerSec, delta*100)
+	}
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			fmt.Printf("  new (not in baseline): %s\n", k)
+		}
+	}
+	fmt.Printf("benchregress: %d compared, %d skipped, %d regressed\n", compared, skipped, failed)
+	if failed > 0 {
+		return fmt.Errorf("%d row(s) regressed more than %.0f%%", failed, threshold*100)
+	}
+	return nil
+}

@@ -54,12 +54,17 @@ import (
 // replicaOpts carries the replica-only tunables from flag parsing to
 // runReplica.
 type replicaOpts struct {
-	timeout      time.Duration
-	dataDir      string
-	checkpoint   int
-	dialTimeout  time.Duration
-	writeTimeout time.Duration
-	debugAddr    string
+	timeout       time.Duration
+	dataDir       string
+	checkpoint    int
+	dialTimeout   time.Duration
+	writeTimeout  time.Duration
+	debugAddr     string
+	batchDeadline time.Duration
+	admitPending  int
+	admitRate     float64
+	admitBurst    int
+	paceDepth     int
 }
 
 func main() {
@@ -75,15 +80,25 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 0, "TCP dial timeout per connection attempt (0 = 2s default)")
 	writeTimeout := flag.Duration("write-timeout", 0, "TCP write deadline per coalesced batch (0 = 15s default)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/trace, /debug/spans, /healthz, /readyz, and pprof on this host:port (replicas; empty disables)")
+	batchDeadline := flag.Duration("batch-deadline", 0, "adaptive batch deadline (0 = UNIDIR_BATCH_DEADLINE default of 100µs, negative disables)")
+	admitPending := flag.Int("admit-pending", -1, "shed requests past this pending-queue depth (-1 = UNIDIR_ADMIT_PENDING default of 4096, 0 unbounded)")
+	admitRate := flag.Float64("admit-rate", -1, "per-client admission rate in req/s (-1 = UNIDIR_ADMIT_RATE default, 0 unlimited)")
+	admitBurst := flag.Int("admit-burst", -1, "per-client admission burst (-1 = UNIDIR_ADMIT_BURST default of rate/10)")
+	paceDepth := flag.Int("pace-depth", 0, "pause proposing while a peer's send queue holds this many frames (0 = UNIDIR_PACE_DEPTH default of 4096, negative disables)")
 	flag.Parse()
 
 	ro := replicaOpts{
-		timeout:      *timeout,
-		dataDir:      *dataDir,
-		checkpoint:   *checkpoint,
-		dialTimeout:  *dialTimeout,
-		writeTimeout: *writeTimeout,
-		debugAddr:    *debugAddr,
+		timeout:       *timeout,
+		dataDir:       *dataDir,
+		checkpoint:    *checkpoint,
+		dialTimeout:   *dialTimeout,
+		writeTimeout:  *writeTimeout,
+		debugAddr:     *debugAddr,
+		batchDeadline: *batchDeadline,
+		admitPending:  *admitPending,
+		admitRate:     *admitRate,
+		admitBurst:    *admitBurst,
+		paceDepth:     *paceDepth,
 	}
 	if err := run(*role, *id, *n, *f, *config, *seed, ro, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "minbft-kv:", err)
@@ -130,6 +145,26 @@ func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, see
 	repOpts := []minbft.Option{minbft.WithRequestTimeout(ro.timeout)}
 	if ro.checkpoint != 0 {
 		repOpts = append(repOpts, minbft.WithCheckpointInterval(ro.checkpoint))
+	}
+	if ro.batchDeadline != 0 {
+		repOpts = append(repOpts, minbft.WithBatchDeadline(ro.batchDeadline))
+	}
+	if ro.admitPending >= 0 || ro.admitRate >= 0 || ro.admitBurst >= 0 {
+		// Flags override the UNIDIR_ADMIT_* environment defaults per field.
+		admit := smr.DefaultAdmissionConfig()
+		if ro.admitPending >= 0 {
+			admit.MaxPending = ro.admitPending
+		}
+		if ro.admitRate >= 0 {
+			admit.Rate = ro.admitRate
+		}
+		if ro.admitBurst >= 0 {
+			admit.Burst = ro.admitBurst
+		}
+		repOpts = append(repOpts, minbft.WithAdmission(admit))
+	}
+	if ro.paceDepth != 0 {
+		repOpts = append(repOpts, minbft.WithProposalPacing(ro.paceDepth))
 	}
 	var reg *obs.Registry
 	var spans *tracing.SpanBuffer

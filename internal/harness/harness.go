@@ -153,6 +153,30 @@ type SMRConfig struct {
 	Metrics   *obs.Registry // optional: replicas, sig cache, and pipeline publish here
 	TraceRate int           // distributed tracing: 1-in-TraceRate requests sampled; 0 disables
 	TraceBuf  int           // per-node span buffer capacity; 0 = 8192
+
+	// Flow control (the B9 latency/throughput frontier knobs).
+
+	// BatchDeadline is the adaptive size-or-deadline batch trigger: 0 keeps
+	// the replica default (UNIDIR_BATCH_DEADLINE, 100µs), < 0 disables
+	// deadline batching (legacy cut-immediately), > 0 sets it explicitly.
+	BatchDeadline time.Duration
+	// FixedBatchWindow holds every partial batch for the full BatchDeadline
+	// regardless of load (the non-adaptive baseline the B9 experiment
+	// compares against). Only meaningful with BatchDeadline > 0.
+	FixedBatchWindow bool
+	// Admission overrides the replicas' admission bounds; nil keeps the
+	// replica default (UNIDIR_ADMIT_* environment knobs).
+	Admission *smr.AdmissionConfig
+	// PaceDepth overrides proposal pacing: 0 keeps the replica default
+	// (UNIDIR_PACE_DEPTH), < 0 disables pacing, > 0 sets the queue-depth
+	// threshold. No effect over simnet (no QueueDepther).
+	PaceDepth int
+	// SubmitTimeout bounds Pipeline.Submit on an exhausted window; past it
+	// Submit sheds with smr.ErrOverloaded. 0 blocks indefinitely (legacy).
+	SubmitTimeout time.Duration
+	// AdaptiveWindow > 0 turns on AIMD window adaptation in the pipelined
+	// client, shrinking toward this minimum under overload.
+	AdaptiveWindow int
 }
 
 const defaultPipeWindow = 32
@@ -238,6 +262,18 @@ func BuildMinBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 	if cfg.Ckpt != 0 {
 		opts = append(opts, minbft.WithCheckpointInterval(cfg.Ckpt))
 	}
+	if cfg.BatchDeadline != 0 {
+		opts = append(opts, minbft.WithBatchDeadline(cfg.BatchDeadline))
+	}
+	if cfg.FixedBatchWindow {
+		opts = append(opts, minbft.WithFixedBatchWindow())
+	}
+	if cfg.Admission != nil {
+		opts = append(opts, minbft.WithAdmission(*cfg.Admission))
+	}
+	if cfg.PaceDepth != 0 {
+		opts = append(opts, minbft.WithProposalPacing(cfg.PaceDepth))
+	}
 	if cfg.Metrics != nil {
 		opts = append(opts, minbft.WithMetrics(cfg.Metrics))
 		tu.Verifier.FastPath().AttachMetrics(cfg.Metrics)
@@ -262,7 +298,7 @@ func BuildMinBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 		}
 		net.Close()
 	}
-	kv, pipe, closeClients, err := buildClients(net, m, cfg.Window, cfg.Metrics, pipeTracer, minbft.EncodeRequestEnvelope)
+	kv, pipe, closeClients, err := buildClients(net, m, cfg, pipeTracer, minbft.EncodeRequestEnvelope)
 	if err != nil {
 		stopReplicas()
 		return nil, err
@@ -312,6 +348,18 @@ func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 	if cfg.Ckpt != 0 {
 		opts = append(opts, pbft.WithCheckpointInterval(cfg.Ckpt))
 	}
+	if cfg.BatchDeadline != 0 {
+		opts = append(opts, pbft.WithBatchDeadline(cfg.BatchDeadline))
+	}
+	if cfg.FixedBatchWindow {
+		opts = append(opts, pbft.WithFixedBatchWindow())
+	}
+	if cfg.Admission != nil {
+		opts = append(opts, pbft.WithAdmission(*cfg.Admission))
+	}
+	if cfg.PaceDepth != 0 {
+		opts = append(opts, pbft.WithProposalPacing(cfg.PaceDepth))
+	}
 	if cfg.Metrics != nil {
 		opts = append(opts, pbft.WithMetrics(cfg.Metrics))
 	}
@@ -334,7 +382,7 @@ func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 		}
 		net.Close()
 	}
-	kv, pipe, closeClients, err := buildClients(net, m, cfg.Window, cfg.Metrics, pipeTracer, pbft.EncodeRequestEnvelope)
+	kv, pipe, closeClients, err := buildClients(net, m, cfg, pipeTracer, pbft.EncodeRequestEnvelope)
 	if err != nil {
 		stopReplicas()
 		return nil, err
@@ -347,7 +395,8 @@ func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 
 // buildClients connects the closed-loop client (endpoint n) and the
 // pipelined client (endpoint n+1) to a running replica set.
-func buildClients(net *simnet.Network, m types.Membership, window int, reg *obs.Registry, tracer *tracing.Tracer, encode func(smr.Request) []byte) (*kvstore.Client, *kvstore.PipeClient, func(), error) {
+func buildClients(net *simnet.Network, m types.Membership, cfg SMRConfig, tracer *tracing.Tracer, encode func(smr.Request) []byte) (*kvstore.Client, *kvstore.PipeClient, func(), error) {
+	window, reg := cfg.Window, cfg.Metrics
 	if window <= 0 {
 		window = defaultPipeWindow
 	}
@@ -364,6 +413,12 @@ func buildClients(net *simnet.Network, m types.Membership, window int, reg *obs.
 	}
 	if tracer != nil {
 		pipeOpts = append(pipeOpts, smr.WithPipelineTracer(tracer))
+	}
+	if cfg.SubmitTimeout > 0 {
+		pipeOpts = append(pipeOpts, smr.WithSubmitTimeout(cfg.SubmitTimeout))
+	}
+	if cfg.AdaptiveWindow > 0 {
+		pipeOpts = append(pipeOpts, smr.WithAdaptiveWindow(cfg.AdaptiveWindow))
 	}
 	pl, err := smr.NewPipeline(net.Endpoint(pipeID), m.All(), m.FPlusOne(), uint64(pipeID),
 		time.Second, window, pipeOpts...)

@@ -208,6 +208,10 @@ func (c *PipeClient) PutAsync(ctx context.Context, key string, value []byte) (*s
 	return c.p.Submit(ctx, EncodePut(key, value))
 }
 
+// Window reports the pipeline's current effective in-flight window (shrinks
+// under overload when AIMD adaptation is on).
+func (c *PipeClient) Window() int { return c.p.Window() }
+
 // Get fetches a key's value.
 func (c *PipeClient) Get(ctx context.Context, key string) ([]byte, error) {
 	res, err := c.p.Invoke(ctx, EncodeGet(key))

@@ -35,6 +35,10 @@ type metrics struct {
 	ckptStable      *obs.Counter
 	stateTransfers  *obs.Counter
 	fetchesSent     *obs.Counter
+	sheds           *obs.Counter   // requests refused by admission control
+	pendingDepth    *obs.Gauge     // pending-request queue depth
+	batchWait       *obs.Histogram // oldest-arrival-to-cut wait per batch
+	pacedProposals  *obs.Counter   // proposal deferrals due to peer queue depth
 	trace           *obs.Trace
 }
 
@@ -58,6 +62,10 @@ func (r *Replica) initMetrics() {
 		ckptStable:      reg.Counter(obs.Name("minbft_checkpoints_stable_total", "replica", id)),
 		stateTransfers:  reg.Counter(obs.Name("minbft_state_transfers_total", "replica", id)),
 		fetchesSent:     reg.Counter(obs.Name("minbft_fetches_sent_total", "replica", id)),
+		sheds:           reg.Counter(obs.Name("minbft_requests_shed_total", "replica", id)),
+		pendingDepth:    reg.Gauge(obs.Name("minbft_pending_requests", "replica", id)),
+		batchWait:       reg.Histogram(obs.Name("minbft_batch_wait_seconds", "replica", id), obs.LatencyBuckets),
+		pacedProposals:  reg.Counter(obs.Name("minbft_paced_proposals_total", "replica", id)),
 		trace:           reg.Trace(obs.Name("minbft", "replica", id), 256),
 	}
 }
@@ -72,4 +80,5 @@ func (r *Replica) observeExecuted(en *entry) {
 	}
 	r.mx.openSlots.Set(int64(len(r.prepOrder) - r.execIdx))
 	r.mx.inFlight.Set(int64(r.inFlight))
+	r.mx.pendingDepth.Set(int64(len(r.pending)))
 }

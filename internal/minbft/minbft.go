@@ -115,6 +115,59 @@ func WithBatchSize(k int) Option {
 	}
 }
 
+// WithBatchDeadline sets the adaptive batching deadline: a partially filled
+// batch is held open at most this long before the primary cuts it (the
+// size-or-deadline trigger; see smr.BatchTrigger). The trigger adapts below
+// the deadline — at light load it cuts immediately, killing batch-wait; near
+// saturation it holds until the cap plausibly fills. d == 0 disables
+// deadline triggering entirely and restores the fixed two-deep proposal
+// pipeline (the pre-adaptive behavior). The default comes from
+// smr.DefaultBatchDeadline (the UNIDIR_BATCH_DEADLINE environment knob).
+func WithBatchDeadline(d time.Duration) Option {
+	return func(r *Replica) {
+		if d < 0 {
+			d = 0
+		}
+		r.batchDeadline = d
+		r.batchDeadlineSet = true
+	}
+}
+
+// WithFixedBatchWindow makes the primary hold every partial batch for the
+// full batch deadline regardless of load or pipeline state — the classic
+// fixed batch timer, kept as the A/B baseline for the adaptive trigger
+// (benchharness B9's "fixed" mode).
+func WithFixedBatchWindow() Option {
+	return func(r *Replica) { r.batchFixed = true }
+}
+
+// WithAdmission sets the replica's admission bounds (pending-queue cap and
+// per-client token bucket; see smr.AdmissionConfig). Requests past the
+// bounds are shed with an overload-coded reply instead of queued — the
+// client sees a retryable smr.ErrOverloaded once f+1 replicas agree. The
+// default comes from smr.DefaultAdmissionConfig (the UNIDIR_ADMIT_*
+// environment knobs).
+func WithAdmission(cfg smr.AdmissionConfig) Option {
+	return func(r *Replica) {
+		r.admission = smr.NewAdmission(cfg)
+	}
+}
+
+// WithProposalPacing makes the primary defer cutting new batches while any
+// peer's transport send queue holds depth or more frames (requires a
+// transport implementing transport.QueueDepther; otherwise a no-op).
+// depth <= 0 disables pacing. The default comes from smr.DefaultPaceDepth
+// (the UNIDIR_PACE_DEPTH environment knob).
+func WithProposalPacing(depth int) Option {
+	return func(r *Replica) {
+		if depth < 0 {
+			depth = 0
+		}
+		r.paceDepth = depth
+		r.paceDepthSet = true
+	}
+}
+
 // WithCheckpointInterval sets how many executed batches separate
 // checkpoints (state snapshot + attested digest vote + log GC on
 // stability). k <= 0 disables checkpointing. The default comes from
@@ -143,8 +196,9 @@ func WithDataDir(dir string) Option {
 
 // pipelineDepth bounds the primary's proposed-but-unexecuted batches when
 // batching is on: one batch committing while the next accumulates. Depth 1
-// would stall arrivals during the commit round; unbounded depth would
-// defeat batching entirely (every request its own batch).
+// would stall arrivals during the commit round; a deeper pipeline measurably
+// hurts on a fast fabric — free proposal slots drain arrivals into tiny
+// batches, and per-batch authentication overhead then dominates.
 const pipelineDepth = 2
 
 // Replica is one MinBFT replica. Create with New, stop with Close.
@@ -158,6 +212,19 @@ type Replica struct {
 	reqTimeout time.Duration
 	execLog    *smr.ExecutionLog
 	maxBatch   int
+
+	// Flow control (see smr/flowcontrol.go). All run-goroutine-owned.
+	batchDeadline    time.Duration // max hold on a partial batch; 0: cut immediately
+	batchDeadlineSet bool
+	batchFixed       bool // non-adaptive baseline: always wait out the deadline
+	trigger          *smr.BatchTrigger
+	admission        *smr.Admission
+	batchStart       time.Time // arrival of the oldest unproposed pending request
+	batchTimerArmed  bool      // a 'b' deadline timer is outstanding
+	maxInFlight      int       // pipelineDepth, or adaptivePipelineDepth with a deadline
+	paceDepth        int       // defer proposals past this peer send-queue depth; 0: off
+	paceDepthSet     bool
+	qd               transport.QueueDepther // nil unless the transport exposes depths
 
 	events *syncx.Queue[event]
 	wg     sync.WaitGroup
@@ -260,7 +327,7 @@ type event struct {
 }
 
 type timerEvent struct {
-	kind    byte // 't' request timeout, 'v' view-change timeout, 'f' fetch, 's' state fetch
+	kind    byte // 't' request timeout, 'v' view-change timeout, 'f' fetch, 's' state fetch, 'b' batch deadline/pacing recheck
 	pending pendingKey
 	view    types.View
 	peer    types.ProcessID // fetch target trinket
@@ -312,6 +379,24 @@ func New(m types.Membership, tr transport.Transport, dev *trinc.Device, ver *tri
 	}
 	for _, opt := range opts {
 		opt(r)
+	}
+	if !r.batchDeadlineSet {
+		r.batchDeadline = smr.DefaultBatchDeadline()
+	}
+	if !r.paceDepthSet {
+		r.paceDepth = smr.DefaultPaceDepth()
+	}
+	if r.admission == nil {
+		r.admission = smr.NewAdmission(smr.DefaultAdmissionConfig())
+	}
+	if r.batchFixed {
+		r.trigger = smr.NewFixedBatchTrigger(r.maxBatch, r.batchDeadline)
+	} else {
+		r.trigger = smr.NewBatchTrigger(r.maxBatch, r.batchDeadline)
+	}
+	r.maxInFlight = pipelineDepth
+	if qd, ok := tr.(transport.QueueDepther); ok {
+		r.qd = qd
 	}
 	if snap, ok := sm.(smr.Snapshotter); ok {
 		r.snap = snap
@@ -460,6 +545,14 @@ func (r *Replica) attestAndSend(kind byte, body []byte) (trinc.Attestation, erro
 
 func (r *Replica) reply(req smr.Request, result []byte) {
 	rep := smr.Reply{Replica: r.Self(), Client: req.Client, Num: req.Num, Result: result}
+	_ = r.tr.Send(types.ProcessID(req.Client), rep.Encode())
+}
+
+// replyOverloaded sheds a request with an overload-coded reply. The client
+// counts these as votes like any other reply, so it backs off only when f+1
+// replicas independently shed — one Byzantine replica cannot fake overload.
+func (r *Replica) replyOverloaded(req smr.Request) {
+	rep := smr.Reply{Replica: r.Self(), Client: req.Client, Num: req.Num, Code: smr.ReplyOverloaded}
 	_ = r.tr.Send(types.ProcessID(req.Client), rep.Encode())
 }
 
@@ -635,14 +728,43 @@ func (r *Replica) handleRequest(req smr.Request, tc tracing.Context) {
 		r.reply(req, result)
 		return
 	}
-	if !r.table.ShouldExecute(req) {
-		return // older than the client's last executed request
-	}
 	key := pendingKey{req.Client, req.Num}
+	if !r.table.ShouldExecute(req) {
+		// Below the client's last executed num with the reply cache moved
+		// on: the table's per-client order means this request can never
+		// execute. That happens when an earlier shed left a num gap that the
+		// pipeline's later requests overtook. Purge any stranded pending
+		// copy — its watchdog must not blame the primary — and answer with
+		// an overload reply so the client's vote count converges instead of
+		// retransmitting forever.
+		if _, stranded := r.pending[key]; stranded {
+			delete(r.pending, key)
+			delete(r.proposed, key)
+			delete(r.reqTrace, key)
+			r.mx.pendingDepth.Set(int64(len(r.pending)))
+		}
+		r.mx.sheds.Inc()
+		r.replyOverloaded(req)
+		return
+	}
 	if _, dup := r.pending[key]; dup {
 		return
 	}
+	now := time.Now()
+	if !r.admission.Admit(req.Client, len(r.pending), now) {
+		// Shed before the request enters pending: no watchdog is armed, so
+		// overload cannot masquerade as a faulty primary and trigger view
+		// changes. A later retransmission is re-admitted on its own merits.
+		r.mx.sheds.Inc()
+		r.replyOverloaded(req)
+		return
+	}
 	r.pending[key] = req
+	r.mx.pendingDepth.Set(int64(len(r.pending)))
+	r.trigger.Arrive(now)
+	if r.batchStart.IsZero() {
+		r.batchStart = now
+	}
 	r.noteRequest(key, tc)
 	r.maybePropose()
 	// Arm the liveness watchdog for this request.
@@ -651,11 +773,14 @@ func (r *Replica) handleRequest(req smr.Request, tc tracing.Context) {
 
 // maybePropose is the primary's batching valve: it packs pending requests
 // not yet inside an in-flight batch into PREPAREs, up to maxBatch requests
-// each. With batching on, at most pipelineDepth batches are outstanding —
-// one committing while the next accumulates arrivals — which is what
-// amortizes the attestation and the O(n) broadcast. With maxBatch <= 1
-// there is no cap and every pending request goes out in its own prepare
-// immediately (the unbatched baseline).
+// each. With batching on, at most maxInFlight batches are outstanding —
+// committing while the next accumulates arrivals — which is what amortizes
+// the attestation and the O(n) broadcast. With a batch deadline configured
+// the cut is size-or-deadline: a partial batch goes out immediately at
+// light load (the EWMA trigger says waiting cannot amortize anything) and
+// is otherwise held — never past the deadline — to fill toward the cap.
+// With maxBatch <= 1 there is no cap and every pending request goes out in
+// its own prepare immediately (the unbatched baseline).
 func (r *Replica) maybePropose() {
 	if r.m.Leader(r.view) != r.Self() || r.inVC || r.proposing {
 		return
@@ -663,7 +788,15 @@ func (r *Replica) maybePropose() {
 	r.proposing = true
 	defer func() { r.proposing = false }()
 	for {
-		if r.maxBatch > 1 && r.inFlight >= pipelineDepth {
+		if r.maxBatch > 1 && r.inFlight >= r.maxInFlight {
+			return
+		}
+		// Backpressure: while some peer's send queue is saturated, pushing
+		// more batches only grows it. Defer and recheck on a timer.
+		if r.paceDepth > 0 && r.qd != nil &&
+			transport.MaxQueueDepth(r.tr, r.m.Others(r.Self())) >= r.paceDepth {
+			r.mx.pacedProposals.Inc()
+			r.armBatchTimer(r.paceRecheck())
 			return
 		}
 		batch := make([]smr.Request, 0, r.maxBatch)
@@ -683,7 +816,17 @@ func (r *Replica) maybePropose() {
 			}
 		}
 		if len(batch) == 0 {
+			r.batchStart = time.Time{}
 			return
+		}
+		if r.maxBatch > 1 && len(batch) < r.maxBatch {
+			if wait := r.trigger.Wait(len(batch), r.inFlight, r.batchStart, time.Now()); wait > 0 {
+				r.armBatchTimer(wait)
+				return
+			}
+		}
+		if !r.batchStart.IsZero() {
+			r.mx.batchWait.Observe(time.Since(r.batchStart).Seconds())
 		}
 		if !r.sendPrepare(batch) {
 			return // attest/broadcast failure; the watchdogs drive recovery
@@ -695,7 +838,32 @@ func (r *Replica) maybePropose() {
 		for _, req := range batch {
 			r.proposed[pendingKey{req.Client, req.Num}] = true
 		}
+		// Anything still unproposed starts accumulating a fresh batch now.
+		if len(r.pending) > len(r.proposed) {
+			r.batchStart = time.Now()
+		} else {
+			r.batchStart = time.Time{}
+		}
 	}
+}
+
+// paceRecheck is how long a paced primary waits before re-inspecting peer
+// queue depths.
+func (r *Replica) paceRecheck() time.Duration {
+	if r.batchDeadline > 0 {
+		return r.batchDeadline
+	}
+	return 100 * time.Microsecond
+}
+
+// armBatchTimer schedules one deadline/pacing recheck; at most one is
+// outstanding so deferred cuts cannot pile up timer events.
+func (r *Replica) armBatchTimer(d time.Duration) {
+	if r.batchTimerArmed {
+		return
+	}
+	r.batchTimerArmed = true
+	r.afterTimeout(d, timerEvent{kind: 'b'})
 }
 
 // afterTimeout arms a watchdog that pushes te into the event queue after d.
@@ -725,6 +893,11 @@ func (r *Replica) afterTimeout(d time.Duration, te timerEvent) {
 
 func (r *Replica) handleTimer(te timerEvent) {
 	switch te.kind {
+	case 'b':
+		// Batch deadline (or pacing recheck) expired: cut whatever is
+		// pending, however partial.
+		r.batchTimerArmed = false
+		r.maybePropose()
 	case 't':
 		if _, still := r.pending[te.pending]; still && te.view == r.view && !r.inVC {
 			r.startViewChange(r.view + 1)
@@ -1176,6 +1349,7 @@ func (r *Replica) installView(nv newView, raw []byte) {
 	r.mx.view.Set(int64(nv.NewView))
 	r.mx.openSlots.Set(0)
 	r.mx.inFlight.Set(0)
+	r.mx.pendingDepth.Set(int64(len(r.pending)))
 	r.mx.trace.Record("new-view", "installed view %d (%d union entries)", nv.NewView, len(union))
 	r.inVC = false
 	r.rdyVC.Store(false)

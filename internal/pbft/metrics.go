@@ -24,6 +24,10 @@ type metrics struct {
 	ckptTaken       *obs.Counter
 	ckptStable      *obs.Counter
 	stateTransfers  *obs.Counter
+	sheds           *obs.Counter   // requests refused by admission control
+	pendingDepth    *obs.Gauge     // pending-request queue depth
+	batchWait       *obs.Histogram // oldest-arrival-to-cut wait per batch
+	pacedProposals  *obs.Counter   // proposal deferrals due to peer queue depth
 	trace           *obs.Trace
 }
 
@@ -42,6 +46,10 @@ func (r *Replica) initMetrics() {
 		ckptTaken:       reg.Counter(obs.Name("pbft_checkpoints_taken_total", "replica", id)),
 		ckptStable:      reg.Counter(obs.Name("pbft_checkpoints_stable_total", "replica", id)),
 		stateTransfers:  reg.Counter(obs.Name("pbft_state_transfers_total", "replica", id)),
+		sheds:           reg.Counter(obs.Name("pbft_requests_shed_total", "replica", id)),
+		pendingDepth:    reg.Gauge(obs.Name("pbft_pending_requests", "replica", id)),
+		batchWait:       reg.Histogram(obs.Name("pbft_batch_wait_seconds", "replica", id), obs.LatencyBuckets),
+		pacedProposals:  reg.Counter(obs.Name("pbft_paced_proposals_total", "replica", id)),
 		trace:           reg.Trace(obs.Name("pbft", "replica", id), 256),
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"time"
 
 	"unidir/internal/obs"
 	"unidir/internal/obs/tracing"
@@ -63,14 +64,29 @@ type Replica struct {
 
 	execLog *smr.ExecutionLog
 
-	events *syncx.Queue[transport.Envelope]
+	events *syncx.Queue[event]
 	wg     sync.WaitGroup
 	cancel context.CancelFunc
 
 	mu     sync.Mutex
 	closed bool
+	timers map[*time.Timer]struct{} // armed batch-deadline timers, stopped on Close
 
 	maxBatch int
+
+	// Flow control (see smr/flowcontrol.go), mirroring minbft's. All
+	// run-goroutine-owned.
+	batchDeadline    time.Duration // max hold on a partial batch; 0: cut immediately
+	batchDeadlineSet bool
+	batchFixed       bool // non-adaptive baseline: always wait out the deadline
+	trigger          *smr.BatchTrigger
+	admission        *smr.Admission
+	batchStart       time.Time // arrival of the oldest unproposed pending request
+	batchTimerArmed  bool      // a batch deadline timer is outstanding
+	maxInFlight      int       // pipelineDepth, or adaptivePipelineDepth with a deadline
+	paceDepth        int       // defer proposals past this peer send-queue depth; 0: off
+	paceDepthSet     bool
+	qd               transport.QueueDepther // nil unless the transport exposes depths
 
 	// State below is owned by the run goroutine.
 	view      types.View
@@ -109,6 +125,18 @@ type pendingKey struct {
 	client, num uint64
 }
 
+// event is one unit of work for the run goroutine: a received envelope or
+// an expired timer (pbft grew timers with the adaptive batch deadline;
+// minbft has had the same union shape since its view-change watchdogs).
+type event struct {
+	env   *transport.Envelope
+	timer *timerEvent
+}
+
+type timerEvent struct {
+	kind byte // 'b' batch deadline / pacing recheck
+}
+
 type slot struct {
 	reqs      []smr.Request // nil until the pre-prepare binds the batch
 	digest    [sha256.Size]byte
@@ -128,7 +156,8 @@ const maxBatchDecode = 1 << 14
 
 // pipelineDepth bounds the primary's assigned-but-unexecuted slots when
 // batching is on: one batch working through the three phases while the next
-// accumulates (same rationale as minbft's).
+// accumulates (same rationale as minbft's: deeper pipelines drain arrivals
+// into tiny batches and per-batch authentication overhead dominates).
 const pipelineDepth = 2
 
 // Option configures a Replica.
@@ -152,6 +181,58 @@ func WithBatchSize(k int) Option {
 			k = maxBatchDecode
 		}
 		r.maxBatch = k
+	}
+}
+
+// WithBatchDeadline sets the adaptive batching deadline, exactly as
+// minbft.WithBatchDeadline: a size-or-deadline trigger whose EWMA of the
+// arrival rate cuts partial batches immediately at light load and holds
+// them — never past d — to fill toward the cap near saturation. d == 0
+// disables deadline triggering (fixed two-deep pipeline, the pre-adaptive
+// behavior). The default comes from smr.DefaultBatchDeadline (the
+// UNIDIR_BATCH_DEADLINE environment knob).
+func WithBatchDeadline(d time.Duration) Option {
+	return func(r *Replica) {
+		if d < 0 {
+			d = 0
+		}
+		r.batchDeadline = d
+		r.batchDeadlineSet = true
+	}
+}
+
+// WithFixedBatchWindow makes the primary hold every partial batch for the
+// full batch deadline regardless of load or pipeline state — the classic
+// fixed batch timer, kept as the A/B baseline for the adaptive trigger
+// (benchharness B9's "fixed" mode).
+func WithFixedBatchWindow() Option {
+	return func(r *Replica) { r.batchFixed = true }
+}
+
+// WithAdmission sets the replica's admission bounds (pending-queue cap and
+// per-client token bucket; see smr.AdmissionConfig). Shed requests get an
+// overload-coded reply; with n = 3f+1 and uniform bounds, at least f+1
+// correct replicas shed together and the client observes a quorum-backed
+// retryable smr.ErrOverloaded. The default comes from
+// smr.DefaultAdmissionConfig (the UNIDIR_ADMIT_* environment knobs).
+func WithAdmission(cfg smr.AdmissionConfig) Option {
+	return func(r *Replica) {
+		r.admission = smr.NewAdmission(cfg)
+	}
+}
+
+// WithProposalPacing makes the primary defer cutting new batches while any
+// peer's transport send queue holds depth or more frames (requires a
+// transport.QueueDepther transport; otherwise a no-op). depth <= 0 disables
+// pacing. The default comes from smr.DefaultPaceDepth (the UNIDIR_PACE_DEPTH
+// environment knob).
+func WithProposalPacing(depth int) Option {
+	return func(r *Replica) {
+		if depth < 0 {
+			depth = 0
+		}
+		r.paceDepth = depth
+		r.paceDepthSet = true
 	}
 }
 
@@ -194,8 +275,9 @@ func New(m types.Membership, tr transport.Transport, ring *sig.Keyring, sm smr.S
 		ring:      ring,
 		sm:        sm,
 		maxBatch:  smr.DefaultBatchSize(),
-		events:    syncx.NewQueue[transport.Envelope](),
+		events:    syncx.NewQueue[event](),
 		cancel:    cancel,
+		timers:    make(map[*time.Timer]struct{}),
 		execNext:  1,
 		slots:     make(map[types.SeqNum]*slot),
 		table:     smr.NewClientTable(),
@@ -208,6 +290,24 @@ func New(m types.Membership, tr transport.Transport, ring *sig.Keyring, sm smr.S
 	}
 	for _, opt := range opts {
 		opt(r)
+	}
+	if !r.batchDeadlineSet {
+		r.batchDeadline = smr.DefaultBatchDeadline()
+	}
+	if !r.paceDepthSet {
+		r.paceDepth = smr.DefaultPaceDepth()
+	}
+	if r.admission == nil {
+		r.admission = smr.NewAdmission(smr.DefaultAdmissionConfig())
+	}
+	if r.batchFixed {
+		r.trigger = smr.NewFixedBatchTrigger(r.maxBatch, r.batchDeadline)
+	} else {
+		r.trigger = smr.NewBatchTrigger(r.maxBatch, r.batchDeadline)
+	}
+	r.maxInFlight = pipelineDepth
+	if qd, ok := tr.(transport.QueueDepther); ok {
+		r.qd = qd
 	}
 	if snap, ok := sm.(smr.Snapshotter); ok {
 		r.snap = snap
@@ -228,7 +328,8 @@ func New(m types.Membership, tr transport.Transport, ring *sig.Keyring, sm smr.S
 // Self returns the replica's process ID.
 func (r *Replica) Self() types.ProcessID { return r.tr.Self() }
 
-// Close stops the replica.
+// Close stops the replica and cancels any armed batch timer, so no
+// time.AfterFunc callback outlives the replica.
 func (r *Replica) Close() error {
 	r.mu.Lock()
 	if r.closed {
@@ -236,6 +337,10 @@ func (r *Replica) Close() error {
 		return nil
 	}
 	r.closed = true
+	for t := range r.timers {
+		t.Stop()
+	}
+	r.timers = nil
 	r.mu.Unlock()
 	r.cancel()
 	r.events.Close()
@@ -251,18 +356,58 @@ func (r *Replica) recvLoop(ctx context.Context) {
 		if err != nil {
 			return
 		}
-		r.events.Push(env)
+		e := env
+		r.events.Push(event{env: &e})
 	}
 }
 
 func (r *Replica) run(ctx context.Context) {
 	defer r.wg.Done()
 	for {
-		env, err := r.events.Pop(ctx)
+		ev, err := r.events.Pop(ctx)
 		if err != nil {
 			return
 		}
-		r.handle(env)
+		switch {
+		case ev.env != nil:
+			r.handle(*ev.env)
+		case ev.timer != nil:
+			r.handleTimer(*ev.timer)
+		}
+	}
+}
+
+// afterTimeout arms a timer that pushes te into the event queue after d
+// (the same shape as minbft's watchdog plumbing; pbft only uses it for the
+// batch deadline). Timers are tracked so Close can stop them.
+func (r *Replica) afterTimeout(d time.Duration, te timerEvent) {
+	t := te
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	var tm *time.Timer
+	tm = time.AfterFunc(d, func() {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		delete(r.timers, tm)
+		r.mu.Unlock()
+		r.events.Push(event{timer: &t})
+	})
+	r.timers[tm] = struct{}{}
+}
+
+func (r *Replica) handleTimer(te timerEvent) {
+	switch te.kind {
+	case 'b':
+		// Batch deadline (or pacing recheck) expired: cut whatever is
+		// pending, however partial.
+		r.batchTimerArmed = false
+		r.maybePropose()
 	}
 }
 
@@ -361,26 +506,57 @@ func (r *Replica) handleRequest(req smr.Request, tc tracing.Context) {
 		r.reply(req, result)
 		return
 	}
+	key := pendingKey{req.Client, req.Num}
 	if !r.table.ShouldExecute(req) {
+		// Same reasoning as minbft: a num below the client's last executed
+		// one can never execute (per-client order in the table), which
+		// happens when an earlier shed left a gap that later pipelined
+		// requests overtook. Purge any stranded pending copy and reply
+		// overloaded so the client's vote count converges.
+		if _, stranded := r.pending[key]; stranded {
+			delete(r.pending, key)
+			delete(r.reqTrace, key)
+			r.mx.pendingDepth.Set(int64(len(r.pending)))
+		}
+		r.mx.sheds.Inc()
+		r.replyOverloaded(req)
 		return
 	}
-	key := pendingKey{req.Client, req.Num}
-	r.noteRequest(key, tc)
-	if r.m.Leader(r.view) != r.Self() {
-		return // backups wait for the primary's pre-prepare
+	if _, dup := r.pending[key]; dup {
+		return
 	}
 	if r.proposed[key] {
 		return // already inside an assigned slot
 	}
+	// Admission runs at every replica — backups track pending (awaiting a
+	// covering pre-prepare) purely for this accounting — so under uniform
+	// overload at least f+1 correct replicas shed together and the client
+	// observes a quorum-backed ErrOverloaded, not one replica's claim.
+	now := time.Now()
+	if !r.admission.Admit(req.Client, len(r.pending), now) {
+		r.mx.sheds.Inc()
+		r.replyOverloaded(req)
+		return
+	}
+	r.noteRequest(key, tc)
 	r.pending[key] = req
+	r.mx.pendingDepth.Set(int64(len(r.pending)))
+	if r.m.Leader(r.view) != r.Self() {
+		return // backups wait for the primary's pre-prepare
+	}
+	r.trigger.Arrive(now)
+	if r.batchStart.IsZero() {
+		r.batchStart = now
+	}
 	r.maybePropose()
 }
 
 // maybePropose packs the primary's backlog into PRE-PREPAREs, up to maxBatch
-// requests each. With batching on, at most pipelineDepth slots are assigned
-// but unexecuted at a time — one batch in the three-phase exchange while the
-// next accumulates; with maxBatch <= 1 every request goes out immediately in
-// its own slot (the unbatched baseline).
+// requests each. With batching on, at most maxInFlight slots are assigned
+// but unexecuted at a time — working through the three phases while the
+// next accumulates; with a batch deadline the cut is size-or-deadline (see
+// minbft's maybePropose, the same valve); with maxBatch <= 1 every request
+// goes out immediately in its own slot (the unbatched baseline).
 func (r *Replica) maybePropose() {
 	if r.m.Leader(r.view) != r.Self() || r.proposing {
 		return
@@ -388,7 +564,15 @@ func (r *Replica) maybePropose() {
 	r.proposing = true
 	defer func() { r.proposing = false }()
 	for {
-		if r.maxBatch > 1 && int(r.nextSeq)-int(r.execNext)+1 >= pipelineDepth {
+		if r.maxBatch > 1 && int(r.nextSeq)-int(r.execNext)+1 >= r.maxInFlight {
+			return
+		}
+		// Backpressure: defer cutting while some peer's send queue is
+		// saturated, rechecking on a timer.
+		if r.paceDepth > 0 && r.qd != nil &&
+			transport.MaxQueueDepth(r.tr, r.m.Others(r.Self())) >= r.paceDepth {
+			r.mx.pacedProposals.Inc()
+			r.armBatchTimer(r.paceRecheck())
 			return
 		}
 		batch := make([]smr.Request, 0, r.maxBatch)
@@ -405,7 +589,18 @@ func (r *Replica) maybePropose() {
 			}
 		}
 		if len(batch) == 0 {
+			r.batchStart = time.Time{}
 			return
+		}
+		if r.maxBatch > 1 && len(batch) < r.maxBatch {
+			inflight := int(r.nextSeq) - int(r.execNext) + 1
+			if wait := r.trigger.Wait(len(batch), inflight, r.batchStart, time.Now()); wait > 0 {
+				r.armBatchTimer(wait)
+				return
+			}
+		}
+		if !r.batchStart.IsZero() {
+			r.mx.batchWait.Observe(time.Since(r.batchStart).Seconds())
 		}
 		r.nextSeq++
 		n := r.nextSeq
@@ -427,8 +622,33 @@ func (r *Replica) maybePropose() {
 			delete(r.pending, key)
 			r.proposed[key] = true
 		}
+		// Anything still unproposed starts accumulating a fresh batch now.
+		if len(r.pending) > 0 {
+			r.batchStart = time.Now()
+		} else {
+			r.batchStart = time.Time{}
+		}
 		r.progress(n, sl)
 	}
+}
+
+// paceRecheck is how long a paced primary waits before re-inspecting peer
+// queue depths.
+func (r *Replica) paceRecheck() time.Duration {
+	if r.batchDeadline > 0 {
+		return r.batchDeadline
+	}
+	return 100 * time.Microsecond
+}
+
+// armBatchTimer schedules one deadline/pacing recheck; at most one is
+// outstanding so deferred cuts cannot pile up timer events.
+func (r *Replica) armBatchTimer(d time.Duration) {
+	if r.batchTimerArmed {
+		return
+	}
+	r.batchTimerArmed = true
+	r.afterTimeout(d, timerEvent{kind: 'b'})
 }
 
 // sortedPending yields the backlog in a deterministic order.
@@ -561,6 +781,7 @@ func (r *Replica) progress(n types.SeqNum, sl *slot) {
 	}
 	if executed {
 		r.mx.openSlots.Set(int64(len(r.slots)))
+		r.mx.pendingDepth.Set(int64(len(r.pending)))
 		r.maybePropose()
 	}
 }
@@ -586,5 +807,12 @@ func (r *Replica) execute(req smr.Request) {
 
 func (r *Replica) reply(req smr.Request, result []byte) {
 	rep := smr.Reply{Replica: r.Self(), Client: req.Client, Num: req.Num, Result: result}
+	_ = r.tr.Send(types.ProcessID(req.Client), rep.Encode())
+}
+
+// replyOverloaded sheds a request with an overload-coded reply; the client
+// acts on it only once f+1 replicas agree (see smr.Reply).
+func (r *Replica) replyOverloaded(req smr.Request) {
+	rep := smr.Reply{Replica: r.Self(), Client: req.Client, Num: req.Num, Code: smr.ReplyOverloaded}
 	_ = r.tr.Send(types.ProcessID(req.Client), rep.Encode())
 }

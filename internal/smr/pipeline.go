@@ -2,6 +2,7 @@ package smr
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -40,6 +41,12 @@ func (c *Call) Request() Request { return c.req }
 // keeps the window full, which is what gives the primary something to
 // batch. Safe for concurrent use; it owns its transport endpoint's receive
 // side, so do not share the endpoint with other readers.
+//
+// With WithAdaptiveWindow the effective window becomes the client half of
+// end-to-end backpressure: it shrinks multiplicatively when the cluster
+// sheds (ErrOverloaded completions) or the retransmit timer finds requests
+// still outstanding, and grows back additively — one slot per window of
+// clean completions — up to the configured maximum.
 type Pipeline struct {
 	tr       transport.Transport
 	replicas []types.ProcessID
@@ -48,12 +55,24 @@ type Pipeline struct {
 	retry    time.Duration
 	encode   func(Request) []byte
 
-	slots chan struct{} // window semaphore: acquire on submit, release on completion
+	// avail holds the window tokens: Submit takes one, completion returns
+	// one (unless swallowed to pay down a window decrease — see debt).
+	avail         chan struct{}
+	winMax        int
+	winMin        int // 0: fixed window (no adaptation)
+	submitTimeout time.Duration
 
-	mu       sync.Mutex
-	nextNum  uint64
-	inflight map[uint64]*pipeCall
-	closed   bool
+	mu        sync.Mutex
+	nextNum   uint64
+	inflight  map[uint64]*pipeCall
+	closed    bool
+	curWindow int
+	// debt counts tokens owed after a window decrease: completions swallow
+	// their token instead of returning it until debt reaches zero. The
+	// invariant is tokens-in-circulation == curWindow + debt.
+	debt       int
+	succ       int // clean completions since the last additive increase
+	lastShrink time.Time
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -64,9 +83,12 @@ type Pipeline struct {
 	tracer *tracing.Tracer
 
 	// Metrics handles (nil without WithPipelineMetrics; nil-safe no-ops).
-	mxSubmitted *obs.Counter
-	mxCompleted *obs.Counter
-	mxInflight  *obs.Gauge
+	mxSubmitted     *obs.Counter
+	mxCompleted     *obs.Counter
+	mxInflight      *obs.Gauge
+	mxWindow        *obs.Gauge
+	mxSubmitSheds   *obs.Counter
+	mxOverloadVotes *obs.Counter
 }
 
 type pipeCall struct {
@@ -88,7 +110,9 @@ func WithPipelineRequestEncoder(encode func(Request) []byte) PipelineOption {
 
 // WithPipelineMetrics publishes the pipeline's depth and throughput into
 // reg, labelled by client identity: smr_requests_submitted_total,
-// smr_requests_completed_total, and the smr_pipeline_depth gauge.
+// smr_requests_completed_total, the smr_pipeline_depth and
+// smr_pipeline_window gauges, and the smr_submit_sheds_total /
+// smr_overload_replies_total shed counters.
 func WithPipelineMetrics(reg *obs.Registry) PipelineOption {
 	return func(p *Pipeline) {
 		if reg == nil {
@@ -97,6 +121,9 @@ func WithPipelineMetrics(reg *obs.Registry) PipelineOption {
 		p.mxSubmitted = reg.Counter(obs.Name("smr_requests_submitted_total", "client", p.id))
 		p.mxCompleted = reg.Counter(obs.Name("smr_requests_completed_total", "client", p.id))
 		p.mxInflight = reg.Gauge(obs.Name("smr_pipeline_depth", "client", p.id))
+		p.mxWindow = reg.Gauge(obs.Name("smr_pipeline_window", "client", p.id))
+		p.mxSubmitSheds = reg.Counter(obs.Name("smr_submit_sheds_total", "client", p.id))
+		p.mxOverloadVotes = reg.Counter(obs.Name("smr_overload_replies_total", "client", p.id))
 	}
 }
 
@@ -106,6 +133,27 @@ func WithPipelineMetrics(reg *obs.Registry) PipelineOption {
 // retransmits), and ends the span when f+1 matching replies arrive.
 func WithPipelineTracer(t *tracing.Tracer) PipelineOption {
 	return func(p *Pipeline) { p.tracer = t }
+}
+
+// WithSubmitTimeout bounds how long Submit may block on an exhausted
+// window before giving up with ErrOverloaded — the client-side admission
+// deadline. Zero (the default) keeps the legacy behavior of blocking until
+// a slot frees or the context ends.
+func WithSubmitTimeout(d time.Duration) PipelineOption {
+	return func(p *Pipeline) { p.submitTimeout = d }
+}
+
+// WithAdaptiveWindow turns on AIMD window adaptation between min in-flight
+// slots and the configured window: multiplicative decrease on overload
+// sheds and retransmissions, additive increase on clean completions. min
+// values below 1 are raised to 1.
+func WithAdaptiveWindow(min int) PipelineOption {
+	return func(p *Pipeline) {
+		if min < 1 {
+			min = 1
+		}
+		p.winMin = min
+	}
 }
 
 // NewPipeline creates a pipelined client with the given unique identity.
@@ -123,22 +171,31 @@ func NewPipeline(tr transport.Transport, replicas []types.ProcessID, need int, i
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pipeline{
-		tr:       tr,
-		replicas: replicas,
-		need:     need,
-		id:       id,
-		retry:    retry,
-		encode:   func(r Request) []byte { return r.Encode() },
-		slots:    make(chan struct{}, window),
-		inflight: make(map[uint64]*pipeCall),
-		ctx:      ctx,
-		cancel:   cancel,
+		tr:        tr,
+		replicas:  replicas,
+		need:      need,
+		id:        id,
+		retry:     retry,
+		encode:    func(r Request) []byte { return r.Encode() },
+		avail:     make(chan struct{}, window),
+		winMax:    window,
+		curWindow: window,
+		inflight:  make(map[uint64]*pipeCall),
+		ctx:       ctx,
+		cancel:    cancel,
 	}
 	// Wall-clock seed, same reasoning as NewClient.
 	p.nextNum = uint64(time.Now().UnixNano())
 	for _, opt := range opts {
 		opt(p)
 	}
+	if p.winMin > p.winMax {
+		p.winMin = p.winMax
+	}
+	for i := 0; i < p.curWindow; i++ {
+		p.avail <- struct{}{}
+	}
+	p.mxWindow.Set(int64(p.curWindow))
 	p.wg.Add(2)
 	go p.recvLoop()
 	go p.retransmitLoop()
@@ -146,10 +203,22 @@ func NewPipeline(tr transport.Transport, replicas []types.ProcessID, need int, i
 }
 
 // Submit sends op and returns without waiting for completion. It blocks
-// only while the in-flight window is full.
+// only while the in-flight window is full; with a submit timeout set, a
+// window still full past the deadline fails fast with ErrOverloaded
+// instead of wedging the caller.
 func (p *Pipeline) Submit(ctx context.Context, op []byte) (*Call, error) {
+	var timeout <-chan time.Time
+	if p.submitTimeout > 0 {
+		tm := time.NewTimer(p.submitTimeout)
+		defer tm.Stop()
+		timeout = tm.C
+	}
 	select {
-	case p.slots <- struct{}{}:
+	case <-p.avail:
+	case <-timeout:
+		p.mxSubmitSheds.Inc()
+		p.noteOverload()
+		return nil, fmt.Errorf("smr: window exhausted for %v: %w", p.submitTimeout, ErrOverloaded)
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case <-p.ctx.Done():
@@ -197,8 +266,64 @@ func (p *Pipeline) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 	}
 }
 
-// complete finishes the in-flight call num, if still present, and frees its
-// window slot.
+// Window reports the current effective window (== the configured window
+// unless adaptation shrank it).
+func (p *Pipeline) Window() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.curWindow
+}
+
+// noteOverload registers one congestion signal: multiplicative decrease,
+// rate-limited to one cut per retry interval so a burst of sheds from a
+// single overloaded window counts once.
+func (p *Pipeline) noteOverload() {
+	if p.winMin <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.shrinkLocked(time.Now())
+}
+
+func (p *Pipeline) shrinkLocked(now time.Time) {
+	if gap := p.retry / 4; now.Sub(p.lastShrink) < gap {
+		return
+	}
+	p.lastShrink = now
+	p.succ = 0
+	next := p.curWindow / 2
+	if next < p.winMin {
+		next = p.winMin
+	}
+	if next == p.curWindow {
+		return
+	}
+	p.debt += p.curWindow - next
+	p.curWindow = next
+	p.mxWindow.Set(int64(p.curWindow))
+}
+
+// growLocked credits one clean completion and, once a full window of them
+// accumulates, widens the window by one slot — paying down decrease debt
+// first so tokens in circulation stay equal to curWindow + debt.
+func (p *Pipeline) growLocked() bool {
+	p.succ++
+	if p.succ < p.curWindow || p.curWindow >= p.winMax {
+		return false
+	}
+	p.succ = 0
+	p.curWindow++
+	p.mxWindow.Set(int64(p.curWindow))
+	if p.debt > 0 {
+		p.debt--
+		return false // reused a token already in circulation
+	}
+	return true // release one extra token
+}
+
+// complete finishes the in-flight call num, if still present, and returns
+// its window token — unless a pending window decrease swallows it.
 func (p *Pipeline) complete(num uint64, result []byte, err error) {
 	p.mu.Lock()
 	pc := p.inflight[num]
@@ -208,6 +333,18 @@ func (p *Pipeline) complete(num uint64, result []byte, err error) {
 	}
 	delete(p.inflight, num)
 	depth := len(p.inflight)
+	extra := false
+	if p.winMin > 0 {
+		if errors.Is(err, ErrOverloaded) {
+			p.shrinkLocked(time.Now())
+		} else if err == nil {
+			extra = p.growLocked()
+		}
+	}
+	swallow := p.debt > 0
+	if swallow {
+		p.debt--
+	}
 	p.mu.Unlock()
 	pc.span.End()
 	p.mxCompleted.Inc()
@@ -215,7 +352,12 @@ func (p *Pipeline) complete(num uint64, result []byte, err error) {
 	pc.call.result = result
 	pc.call.err = err
 	close(pc.call.done)
-	<-p.slots
+	if !swallow {
+		p.avail <- struct{}{}
+	}
+	if extra {
+		p.avail <- struct{}{}
+	}
 }
 
 func (p *Pipeline) recvLoop() {
@@ -235,22 +377,30 @@ func (p *Pipeline) recvLoop() {
 			p.mu.Unlock()
 			continue
 		}
-		key := string(rep.Result)
+		key := rep.voteKey()
 		if pc.votes[key] == nil {
 			pc.votes[key] = make(map[types.ProcessID]bool)
 		}
 		pc.votes[key][rep.Replica] = true
 		agreed := len(pc.votes[key]) >= p.need
 		p.mu.Unlock()
-		if agreed {
-			p.complete(rep.Num, append([]byte(nil), rep.Result...), nil)
+		if !agreed {
+			continue
 		}
+		if rep.Code == ReplyOverloaded {
+			p.mxOverloadVotes.Inc()
+			p.complete(rep.Num, nil, fmt.Errorf("smr: request %d shed by %d replicas: %w", rep.Num, p.need, ErrOverloaded))
+			continue
+		}
+		p.complete(rep.Num, append([]byte(nil), rep.Result...), nil)
 	}
 }
 
 // retransmitLoop rebroadcasts every outstanding request each retry period,
 // covering loss, replica restarts, and view changes in one mechanism, like
-// the closed-loop client's per-request timer.
+// the closed-loop client's per-request timer. A non-empty resend set is
+// also a congestion signal for the adaptive window: requests outlived a
+// full retry period without f+1 replies.
 func (p *Pipeline) retransmitLoop() {
 	defer p.wg.Done()
 	t := time.NewTicker(p.retry)
@@ -265,6 +415,9 @@ func (p *Pipeline) retransmitLoop() {
 		resend := make([]*pipeCall, 0, len(p.inflight))
 		for _, pc := range p.inflight {
 			resend = append(resend, pc)
+		}
+		if p.winMin > 0 && len(resend) > 0 {
+			p.shrinkLocked(time.Now())
 		}
 		p.mu.Unlock()
 		for _, pc := range resend {

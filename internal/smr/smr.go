@@ -136,25 +136,31 @@ func SortRequests(reqs []Request) {
 	})
 }
 
-// Reply is a replica's response to a client.
+// Reply is a replica's response to a client. Code distinguishes a committed
+// result (ReplyOK) from an admission-control shed (ReplyOverloaded); clients
+// treat either kind as a vote and act only on f+1 matching ones, so a single
+// Byzantine replica cannot fail a request by claiming overload.
 type Reply struct {
 	Replica types.ProcessID
 	Client  uint64
 	Num     uint64
 	Result  []byte
+	Code    byte
 }
 
 // Encode returns the wire form.
 func (r Reply) Encode() []byte {
-	e := wire.NewEncoder(32 + len(r.Result))
+	e := wire.NewEncoder(33 + len(r.Result))
 	e.Int(int(r.Replica))
 	e.Uint64(r.Client)
 	e.Uint64(r.Num)
 	e.BytesField(r.Result)
+	e.Byte(r.Code)
 	return e.Bytes()
 }
 
-// DecodeReply parses a reply.
+// DecodeReply parses a reply. The trailing code byte is optional on the
+// wire: replies encoded before it existed decode as ReplyOK.
 func DecodeReply(b []byte) (Reply, error) {
 	d := wire.NewDecoder(b)
 	var r Reply
@@ -162,10 +168,19 @@ func DecodeReply(b []byte) (Reply, error) {
 	r.Client = d.Uint64()
 	r.Num = d.Uint64()
 	r.Result = append([]byte(nil), d.BytesField()...)
+	if d.Err() == nil && d.Remaining() > 0 {
+		r.Code = d.Byte()
+	}
 	if err := d.Finish(); err != nil {
 		return Reply{}, fmt.Errorf("smr: decode reply: %w", err)
 	}
 	return r, nil
+}
+
+// voteKey groups reply votes: replies agree only when both the code and the
+// result match.
+func (r Reply) voteKey() string {
+	return string([]byte{r.Code}) + string(r.Result)
 }
 
 // ClientTable dedups request execution per client and caches the last
@@ -300,12 +315,15 @@ func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 		if err != nil || rep.Client != c.id || rep.Num != req.Num || rep.Replica != env.From {
 			continue
 		}
-		key := string(rep.Result)
+		key := rep.voteKey()
 		if votes[key] == nil {
 			votes[key] = make(map[types.ProcessID]bool)
 		}
 		votes[key][rep.Replica] = true
 		if len(votes[key]) >= c.need {
+			if rep.Code == ReplyOverloaded {
+				return nil, fmt.Errorf("smr: request %d shed by %d replicas: %w", req.Num, c.need, ErrOverloaded)
+			}
 			return append([]byte(nil), rep.Result...), nil
 		}
 	}

@@ -68,11 +68,11 @@ func (c *wedgedConn) SetWriteDeadline(t time.Time) error {
 	return nil
 }
 
-func (c *wedgedConn) Read([]byte) (int, error)       { select {} }
-func (c *wedgedConn) Close() error                   { return nil }
-func (c *wedgedConn) LocalAddr() net.Addr            { return &net.TCPAddr{} }
-func (c *wedgedConn) RemoteAddr() net.Addr           { return &net.TCPAddr{} }
-func (c *wedgedConn) SetDeadline(time.Time) error    { return nil }
+func (c *wedgedConn) Read([]byte) (int, error)        { select {} }
+func (c *wedgedConn) Close() error                    { return nil }
+func (c *wedgedConn) LocalAddr() net.Addr             { return &net.TCPAddr{} }
+func (c *wedgedConn) RemoteAddr() net.Addr            { return &net.TCPAddr{} }
+func (c *wedgedConn) SetDeadline(time.Time) error     { return nil }
 func (c *wedgedConn) SetReadDeadline(time.Time) error { return nil }
 
 // TestHelloWriteDeadline is the regression test for the unbounded hello

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -119,5 +120,116 @@ func TestMetricsCountTraffic(t *testing.T) {
 	env, err := bare[0].Recv(context.Background())
 	if err != nil || string(env.Payload) != "ok" {
 		t.Fatalf("Recv without metrics: %v %q", err, env.Payload)
+	}
+}
+
+// TestWriteTimeoutUnwedgeCounted: a peer that accepts connections but never
+// reads eventually blocks the sender in a kernel-buffer-full write; the
+// write deadline must trip, the stalled connection must be dropped, and the
+// unwedge must be visible under its dedicated counter (regression: it used
+// to be indistinguishable from an ordinary conn drop).
+func TestWriteTimeoutUnwedgeCounted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	var held []net.Conn
+	var heldMu sync.Mutex
+	defer func() {
+		heldMu.Lock()
+		for _, c := range held {
+			_ = c.Close()
+		}
+		heldMu.Unlock()
+	}()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			heldMu.Lock()
+			held = append(held, c) // accept and never read
+			heldMu.Unlock()
+		}
+	}()
+
+	reg := obs.NewRegistry()
+	cfg := tcpnet.Config{0: "127.0.0.1:0", 1: ln.Addr().String()}
+	nt, err := tcpnet.New(0, cfg,
+		tcpnet.WithWriteTimeout(100*time.Millisecond),
+		tcpnet.WithMetrics(reg))
+	if err != nil {
+		t.Fatalf("tcpnet.New: %v", err)
+	}
+	defer nt.Close()
+
+	// Keep the outbound queue loaded with large frames until the kernel
+	// buffers fill and the deadline expires.
+	payload := make([]byte, 256<<10)
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 8; i++ {
+			if err := nt.Send(1, payload); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+		}
+		s := reg.Snapshot()
+		if s.CounterSum("tcpnet_write_timeout_unwedges_total") >= 1 {
+			if s.CounterSum("tcpnet_conn_drops_total") < 1 {
+				t.Fatal("unwedge counted without a conn drop")
+			}
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("write deadline never tripped the unwedge counter")
+}
+
+// TestQueueBoundDropsCounted: with WithQueueBound, frames past the bound for
+// an unreachable peer are dropped (Send still reports acceptance — the
+// semantics stay lossy-tolerated) and counted, and the queue stays bounded.
+func TestQueueBoundDropsCounted(t *testing.T) {
+	// An address that refuses connections: bind a listener, note the port,
+	// close it again.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	deadAddr := ln.Addr().String()
+	_ = ln.Close()
+
+	const bound = 4
+	reg := obs.NewRegistry()
+	cfg := tcpnet.Config{0: "127.0.0.1:0", 1: deadAddr}
+	nt, err := tcpnet.New(0, cfg,
+		tcpnet.WithQueueBound(bound),
+		tcpnet.WithDialTimeout(50*time.Millisecond),
+		tcpnet.WithMetrics(reg))
+	if err != nil {
+		t.Fatalf("tcpnet.New: %v", err)
+	}
+	defer nt.Close()
+
+	// First frame wakes the sender; give it time to pop the frame and start
+	// failing dials so the queue accounting below is deterministic.
+	if err := nt.Send(1, []byte("wake")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	const extra = bound + 6
+	for i := 0; i < extra; i++ {
+		if err := nt.Send(1, []byte(fmt.Sprintf("f-%d", i))); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	if got := nt.QueueDepth(1); got > bound {
+		t.Fatalf("QueueDepth = %d, want <= %d", got, bound)
+	}
+	drops := reg.Snapshot().CounterSum("tcpnet_queue_dropped_frames_total")
+	if drops < extra-bound {
+		t.Fatalf("queue drops = %d, want >= %d", drops, extra-bound)
 	}
 }

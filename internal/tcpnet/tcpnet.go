@@ -87,11 +87,29 @@ func WithDialTimeout(d time.Duration) Option {
 
 // WithMetrics publishes per-peer transport metrics into reg: frames and
 // bytes written, coalesced batch sizes, outbound queue depth, dials, and
-// dropped connections (write timeout or error), plus a "tcpnet" trace ring
-// of redial events. Without this option the instrumentation is free: every
-// metric handle stays nil and each call site is a nil-check.
+// dropped connections (write timeout or error) — write-timeout unwedges and
+// queue-overflow drops under their own counters — plus a "tcpnet" trace
+// ring of redial events. Without this option the instrumentation is free:
+// every metric handle stays nil and each call site is a nil-check.
 func WithMetrics(reg *obs.Registry) Option {
 	return func(n *Net) { n.metrics = reg }
+}
+
+// WithQueueBound caps each peer's outbound queue at `frames` frames. A Send
+// that would grow the queue past the bound drops the frame instead (counted
+// under tcpnet_queue_dropped_frames_total) and still returns nil: the
+// semantics stay "asynchronous, lossy-tolerated" — every protocol here
+// retransmits and dedups — but a slow or dead peer can no longer grow the
+// buffer without bound. The check is a racy snapshot, so the bound is
+// approximate under concurrent senders. frames <= 0 (the default) keeps the
+// queue unbounded.
+func WithQueueBound(frames int) Option {
+	return func(n *Net) {
+		if frames < 0 {
+			frames = 0
+		}
+		n.queueBound = frames
+	}
 }
 
 // Net is one process's TCP transport endpoint.
@@ -101,6 +119,7 @@ type Net struct {
 
 	writeTimeout time.Duration
 	dialTimeout  time.Duration
+	queueBound   int // max queued frames per peer; 0: unbounded
 
 	metrics *obs.Registry
 	trace   *obs.Trace // redial / drop events; nil without WithMetrics
@@ -119,8 +138,9 @@ type Net struct {
 }
 
 var (
-	_ transport.Transport   = (*Net)(nil)
-	_ transport.TraceSender = (*Net)(nil)
+	_ transport.Transport    = (*Net)(nil)
+	_ transport.TraceSender  = (*Net)(nil)
+	_ transport.QueueDepther = (*Net)(nil)
 )
 
 // outFrame is one queued outbound message: the payload plus the optional
@@ -268,6 +288,13 @@ func (n *Net) send(to types.ProcessID, f outFrame) error {
 		go s.run()
 	}
 	n.mu.Unlock()
+	if n.queueBound > 0 && s.queue.Len() >= n.queueBound {
+		// Backpressure floor: drop rather than buffer without bound. The
+		// frame is lost here exactly like on a dropped connection mid-batch;
+		// the retransmission machinery above recovers.
+		s.queueDrops.Inc()
+		return nil
+	}
 	// Push reports acceptance: Close may have closed the queue between the
 	// check above and here, and a dropped message must not look delivered.
 	if !s.queue.Push(f) {
@@ -275,6 +302,21 @@ func (n *Net) send(to types.ProcessID, f outFrame) error {
 	}
 	s.queueDepth.Set(int64(s.queue.Len()))
 	return nil
+}
+
+// QueueDepth reports the number of frames currently buffered for delivery
+// to one peer (0 for self or an unknown peer), implementing
+// transport.QueueDepther: upper layers read it to pace proposals instead of
+// letting a slow peer's queue absorb load silently. The value is a racy
+// snapshot, fit for heuristics only.
+func (n *Net) QueueDepth(to types.ProcessID) int {
+	n.mu.Lock()
+	s := n.senders[to]
+	n.mu.Unlock()
+	if s == nil {
+		return 0
+	}
+	return s.queue.Len()
 }
 
 // Recv returns the next received message.
@@ -399,6 +441,8 @@ type sender struct {
 	bytes      *obs.Counter
 	dials      *obs.Counter
 	drops      *obs.Counter
+	unwedges   *obs.Counter // conn drops caused by the write deadline expiring
+	queueDrops *obs.Counter // frames dropped at the queue bound
 	batchSize  *obs.Histogram
 	queueDepth *obs.Gauge
 }
@@ -410,6 +454,8 @@ func newSender(n *Net, to types.ProcessID, addr string) *sender {
 		s.bytes = reg.Counter(obs.Name("tcpnet_tx_bytes_total", "self", n.self, "peer", to))
 		s.dials = reg.Counter(obs.Name("tcpnet_dials_total", "self", n.self, "peer", to))
 		s.drops = reg.Counter(obs.Name("tcpnet_conn_drops_total", "self", n.self, "peer", to))
+		s.unwedges = reg.Counter(obs.Name("tcpnet_write_timeout_unwedges_total", "self", n.self, "peer", to))
+		s.queueDrops = reg.Counter(obs.Name("tcpnet_queue_dropped_frames_total", "self", n.self, "peer", to))
 		s.batchSize = reg.Histogram(obs.Name("tcpnet_batch_frames", "self", n.self, "peer", to), obs.SizeBuckets)
 		s.queueDepth = reg.Gauge(obs.Name("tcpnet_queue_depth", "self", n.self, "peer", to))
 	}
@@ -425,11 +471,20 @@ func (s *sender) run() {
 			_ = conn.Close()
 		}
 	}()
-	drop := func() {
+	drop := func(cause error) {
 		_ = conn.Close()
 		s.net.untrackConn(conn)
 		conn, bw = nil, nil
 		s.drops.Inc()
+		// A deadline expiry is the stalled-peer unwedge working as designed
+		// (the peer accepted but stopped reading); surface it separately
+		// from ordinary connection errors.
+		var ne net.Error
+		if errors.As(cause, &ne) && ne.Timeout() {
+			s.unwedges.Inc()
+			s.net.trace.Record("write-timeout", "peer %v (%s): write deadline expired, unwedging sender", s.to, s.addr)
+			return
+		}
 		s.net.trace.Record("conn-drop", "peer %v (%s): write failed, redialing", s.to, s.addr)
 	}
 	backoff := 10 * time.Millisecond
@@ -472,7 +527,7 @@ func (s *sender) run() {
 				batch = append(batch, f)
 			}
 			if err := s.writeBatch(conn, bw, batch); err != nil {
-				drop()
+				drop(err)
 				continue // re-dial and retry the batch
 			}
 			s.frames.Add(uint64(len(batch)))

@@ -73,6 +73,34 @@ func SendTraced(t Transport, to types.ProcessID, payload []byte, tc tracing.Cont
 	return t.Send(to, payload)
 }
 
+// QueueDepther is optionally implemented by transports whose Send buffers
+// outbound traffic per peer (tcpnet's per-peer sender queues). It exposes
+// the current depth so upper layers can apply backpressure — a proposer can
+// pause cutting batches for a peer whose queue is growing instead of letting
+// the buffer absorb load without bound. simnet does not implement it
+// (delivery is immediate); callers must treat absence as depth 0.
+type QueueDepther interface {
+	// QueueDepth reports the number of frames buffered for delivery to one
+	// peer. It is a racy snapshot, suitable only for pacing heuristics.
+	QueueDepth(to types.ProcessID) int
+}
+
+// MaxQueueDepth returns the deepest send queue among ids, or 0 when the
+// transport does not expose queue depths.
+func MaxQueueDepth(t Transport, ids []types.ProcessID) int {
+	qd, ok := t.(QueueDepther)
+	if !ok {
+		return 0
+	}
+	max := 0
+	for _, id := range ids {
+		if d := qd.QueueDepth(id); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
 // Broadcast sends payload to every process in ids (typically
 // Membership.All() or Membership.Others(self)). It stops at the first send
 // error. Sending to self is allowed and delivers locally.

@@ -147,7 +147,7 @@ type Device struct {
 
 	mu    sync.Mutex
 	logs  map[uint64][][]byte
-	base  map[uint64]uint64  // log -> entries lost to a restart (seq offset)
+	base  map[uint64]uint64 // log -> entries lost to a restart (seq offset)
 	next  uint64
 	store trinc.CounterStore // nil: volatile device
 	lg    *slog.Logger
