@@ -10,6 +10,8 @@
 //	B8  per-phase latency attribution via distributed tracing
 //	B9  latency/throughput frontier: adaptive batching + admission control
 //	    + backpressure vs the fixed baseline, across an offered-load sweep
+//	B10 read fast path: leased linearizable reads vs consensus-path reads
+//	    over a mixed workload (-read-ratio; default sweeps 90% and 100%)
 //
 // Usage:
 //
@@ -47,10 +49,16 @@ type benchRow struct {
 	P99LatencyUS  float64 `json:"p99_latency_us,omitempty"`
 
 	// B9 (latency/throughput frontier) fields.
-	Mode          string  `json:"mode,omitempty"`            // "adaptive" or "fixed"
+	Mode          string  `json:"mode,omitempty"`            // B9: "adaptive"/"fixed"; B10: "lease"/"consensus"
 	OfferedPerSec float64 `json:"offered_per_sec,omitempty"` // open-loop target rate
 	Sheds         int     `json:"sheds,omitempty"`           // requests shed (ErrOverloaded)
 	WindowEnd     int     `json:"window_end,omitempty"`      // effective client window at the end
+
+	// B10 (read fast path) fields.
+	ReadRatio   float64 `json:"read_ratio,omitempty"` // fraction of ops that are reads
+	ReadsPerSec float64 `json:"reads_per_sec,omitempty"`
+	ReadP50US   float64 `json:"read_p50_us,omitempty"`
+	ReadP99US   float64 `json:"read_p99_us,omitempty"`
 }
 
 // report collects benchRows across experiments; nil-safe so drivers add
@@ -74,22 +82,23 @@ func (r *report) write(path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: all, or a comma-separated subset of f1,e1,b1,b2,b3,b4,b8,b9")
+	exp := flag.String("exp", "all", "experiments to run: all, or a comma-separated subset of f1,e1,b1,b2,b3,b4,b8,b9,b10")
 	msgs := flag.Int("msgs", 200, "broadcasts per configuration (B1)")
 	ops := flag.Int("ops", 500, "client operations per configuration (B2)")
 	iters := flag.Int("iters", 5000, "iterations per microbenchmark (B3)")
 	roundsN := flag.Int("rounds", 500, "rounds per system (B4)")
 	jsonPath := flag.String("json", "", "write machine-readable B1/B2 rows to this file")
 	traceOut := flag.String("trace-out", "", "write B8's merged spans and per-request breakdowns to this file")
+	readRatio := flag.Float64("read-ratio", -1, "B10 read fraction in [0,1] (-1 sweeps 0.9 and 1.0)")
 	flag.Parse()
 
-	if err := run(strings.ToLower(*exp), *msgs, *ops, *iters, *roundsN, *jsonPath, *traceOut); err != nil {
+	if err := run(strings.ToLower(*exp), *msgs, *ops, *iters, *roundsN, *readRatio, *jsonPath, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchharness:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, msgs, ops, iters, roundsN int, jsonPath, traceOut string) error {
+func run(exp string, msgs, ops, iters, roundsN int, readRatio float64, jsonPath, traceOut string) error {
 	rep := &report{}
 	type experiment struct {
 		id  string
@@ -105,6 +114,7 @@ func run(exp string, msgs, ops, iters, roundsN int, jsonPath, traceOut string) e
 		{"b4", func() error { return expB4(roundsN) }, true},
 		{"b8", func() error { return expB8(ops, traceOut) }, false},
 		{"b9", func() error { return expB9(ops, rep) }, true},
+		{"b10", func() error { return expB10(ops, readRatio, rep) }, true},
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(exp, ",") {

@@ -4,6 +4,13 @@
 // fresh run, and any row whose ops_per_sec dropped more than -threshold
 // (default 20%) against the matching baseline row fails the build.
 //
+// B10 lease-mode rows are additionally gated on the read fast path: a
+// reads_per_sec drop past -threshold or a read_p99_us rise past
+// -read-p99-threshold (default 1.0: fail beyond 2x baseline) fails. The
+// consensus-mode rows are reported but not gated at all — they measure a
+// deliberately saturated baseline whose collapse point is noisy across
+// runs, and the gate exists to protect the fast path.
+//
 // Rows are matched by their full configuration key — experiment, impl, n,
 // f, batch, window, and (for B9) mode and offered rate. Rows present in
 // only one file are reported but do not fail: experiments come and go
@@ -34,11 +41,20 @@ type row struct {
 	OpsPerSec     float64 `json:"ops_per_sec"`
 	Mode          string  `json:"mode,omitempty"`
 	OfferedPerSec float64 `json:"offered_per_sec,omitempty"`
+	ReadRatio     float64 `json:"read_ratio,omitempty"`
+	ReadsPerSec   float64 `json:"reads_per_sec,omitempty"`
+	ReadP99US     float64 `json:"read_p99_us,omitempty"`
 }
 
 func (r row) key() string {
-	return fmt.Sprintf("%s|%s|n=%d|f=%d|ph=%d|b=%d|w=%d|%s|%.0f",
-		r.Exp, r.Impl, r.N, r.F, r.Phases, r.Batch, r.Window, r.Mode, r.OfferedPerSec)
+	return fmt.Sprintf("%s|%s|n=%d|f=%d|ph=%d|b=%d|w=%d|%s|%.0f|r=%.2f",
+		r.Exp, r.Impl, r.N, r.F, r.Phases, r.Batch, r.Window, r.Mode, r.OfferedPerSec, r.ReadRatio)
+}
+
+// gateReads reports whether a row's read columns are regression-gated: only
+// the B10 lease-mode rows (see the package comment).
+func (r row) gateReads() bool {
+	return r.Mode == "lease" && r.ReadsPerSec > 0
 }
 
 func load(path string) (map[string]row, error) {
@@ -76,16 +92,17 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline benchharness -json file (default: newest BENCH_*.json in -dir)")
 	current := flag.String("current", "", "fresh benchharness -json file to check (required)")
 	dir := flag.String("dir", ".", "directory searched for BENCH_*.json when -baseline is unset")
-	threshold := flag.Float64("threshold", 0.20, "fail when ops_per_sec drops more than this fraction below baseline")
+	threshold := flag.Float64("threshold", 0.20, "fail when ops_per_sec (or lease-mode reads_per_sec) drops more than this fraction below baseline")
+	readP99 := flag.Float64("read-p99-threshold", 1.0, "fail when a lease-mode row's read_p99_us rises more than this fraction above baseline")
 	flag.Parse()
 
-	if err := run(*baseline, *current, *dir, *threshold); err != nil {
+	if err := run(*baseline, *current, *dir, *threshold, *readP99); err != nil {
 		fmt.Fprintln(os.Stderr, "benchregress:", err)
 		os.Exit(1)
 	}
 }
 
-func run(baseline, current, dir string, threshold float64) error {
+func run(baseline, current, dir string, threshold, readP99Threshold float64) error {
 	if current == "" {
 		return fmt.Errorf("-current is required")
 	}
@@ -130,14 +147,40 @@ func run(baseline, current, dir string, threshold float64) error {
 			continue
 		}
 		compared++
+		// B10 consensus rows run the ordering path past saturation on
+		// purpose; where it collapses varies too much run-to-run to gate.
+		gated := !(b.Exp == "b10" && b.Mode == "consensus")
 		delta := (c.OpsPerSec - b.OpsPerSec) / b.OpsPerSec
 		status := "ok"
-		if delta < -threshold {
+		if !gated {
+			status = "ungated"
+		} else if delta < -threshold {
 			status = "REGRESSED"
 			failed++
 		}
 		fmt.Printf("  %-9s %-60s %10.0f -> %10.0f  (%+.1f%%)\n",
 			status, k, b.OpsPerSec, c.OpsPerSec, delta*100)
+		if !b.gateReads() {
+			continue
+		}
+		rdelta := (c.ReadsPerSec - b.ReadsPerSec) / b.ReadsPerSec
+		status = "ok"
+		if rdelta < -threshold {
+			status = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("  %-9s %-60s %10.0f -> %10.0f  (%+.1f%%) reads/s\n",
+			status, k, b.ReadsPerSec, c.ReadsPerSec, rdelta*100)
+		if b.ReadP99US > 0 {
+			pdelta := (c.ReadP99US - b.ReadP99US) / b.ReadP99US
+			status = "ok"
+			if pdelta > readP99Threshold {
+				status = "REGRESSED"
+				failed++
+			}
+			fmt.Printf("  %-9s %-60s %10.0f -> %10.0f  (%+.1f%%) read p99 (µs)\n",
+				status, k, b.ReadP99US, c.ReadP99US, pdelta*100)
+		}
 	}
 	for k := range cur {
 		if _, ok := base[k]; !ok {

@@ -9,6 +9,11 @@
 //	minbft-kv -role client  -id 3 -n 3 -f 1 -config 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7010 put greeting hello
 //	minbft-kv -role client  -id 3 -n 3 -f 1 -config ...                                                          get greeting
 //
+// `rget KEY` reads through the leased fast path instead of the ordering
+// path: the leader answers locally under a trusted-counter-attested lease,
+// falling back to f+1 matching votes when no lease is live (-lease-term,
+// UNIDIR_LEASE; see DESIGN.md §8).
+//
 // The config lists one address per process ID, replicas first (IDs 0..n-1),
 // then client endpoints. Kill a backup replica and the cluster keeps
 // serving; kill the primary and a view change recovers it.
@@ -65,6 +70,7 @@ type replicaOpts struct {
 	admitRate     float64
 	admitBurst    int
 	paceDepth     int
+	leaseTerm     time.Duration
 }
 
 func main() {
@@ -85,6 +91,7 @@ func main() {
 	admitRate := flag.Float64("admit-rate", -1, "per-client admission rate in req/s (-1 = UNIDIR_ADMIT_RATE default, 0 unlimited)")
 	admitBurst := flag.Int("admit-burst", -1, "per-client admission burst (-1 = UNIDIR_ADMIT_BURST default of rate/10)")
 	paceDepth := flag.Int("pace-depth", 0, "pause proposing while a peer's send queue holds this many frames (0 = UNIDIR_PACE_DEPTH default of 4096, negative disables)")
+	leaseTerm := flag.Duration("lease-term", 0, "leader lease term for the read fast path (0 = UNIDIR_LEASE default of 250ms, negative disables)")
 	flag.Parse()
 
 	ro := replicaOpts{
@@ -99,6 +106,7 @@ func main() {
 		admitRate:     *admitRate,
 		admitBurst:    *admitBurst,
 		paceDepth:     *paceDepth,
+		leaseTerm:     *leaseTerm,
 	}
 	if err := run(*role, *id, *n, *f, *config, *seed, ro, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "minbft-kv:", err)
@@ -165,6 +173,9 @@ func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, see
 	}
 	if ro.paceDepth != 0 {
 		repOpts = append(repOpts, minbft.WithProposalPacing(ro.paceDepth))
+	}
+	if ro.leaseTerm != 0 {
+		repOpts = append(repOpts, minbft.WithLeaseTerm(ro.leaseTerm))
 	}
 	var reg *obs.Registry
 	var spans *tracing.SpanBuffer
@@ -235,21 +246,45 @@ func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, see
 
 func runClient(m types.Membership, self types.ProcessID, cfg tcpnet.Config, args []string) error {
 	if len(args) < 2 {
-		return fmt.Errorf("usage: ... put KEY VALUE | get KEY | del KEY")
+		return fmt.Errorf("usage: ... put KEY VALUE | get KEY | rget KEY | del KEY")
 	}
 	tr, err := tcpnet.New(self, cfg)
 	if err != nil {
 		return err
 	}
 	defer tr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if args[0] == "rget" {
+		// Read fast path: answered by one leased reply from the leader, or by
+		// f+1 matching fallback votes when no lease is live (smr/read.go).
+		// Built instead of the ordering-path client: one receiver per
+		// transport endpoint.
+		pl, err := smr.NewPipeline(tr, m.All(), m.FPlusOne(), uint64(self),
+			200*time.Millisecond, 1,
+			smr.WithPipelineRequestEncoder(minbft.EncodeRequestEnvelope),
+			smr.WithPipelineReadEncoder(minbft.EncodeReadRequestEnvelope),
+			smr.WithPipelineReadBatchEncoder(minbft.EncodeReadBatchEnvelope),
+			smr.WithReadQuorum(m.FPlusOne()))
+		if err != nil {
+			return err
+		}
+		defer pl.Close()
+		v, err := kvstore.NewPipeClient(pl).GetFast(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(v))
+		return nil
+	}
+
 	base, err := smr.NewClient(tr, m.All(), m.FPlusOne(), uint64(self), 200*time.Millisecond,
 		smr.WithRequestEncoder(minbft.EncodeRequestEnvelope))
 	if err != nil {
 		return err
 	}
 	kv := kvstore.NewClient(base)
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
 
 	switch args[0] {
 	case "put":

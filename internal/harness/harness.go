@@ -136,8 +136,9 @@ func BuildBrachaCluster(m types.Membership) (*SRBCluster, error) {
 // batching primary something to batch).
 type SMRCluster struct {
 	KV      *kvstore.Client
-	Pipe    *kvstore.PipeClient
-	Metrics *obs.Registry // non-nil iff SMRConfig.Metrics was set
+	Pipe    *kvstore.PipeClient   // Pipes[0]
+	Pipes   []*kvstore.PipeClient // all pipelined clients (SMRConfig.PipeClients)
+	Metrics *obs.Registry         // non-nil iff SMRConfig.Metrics was set
 	Stop    func()
 
 	spanBufs []*tracing.SpanBuffer // per-node buffers; nil without TraceRate
@@ -177,6 +178,20 @@ type SMRConfig struct {
 	// AdaptiveWindow > 0 turns on AIMD window adaptation in the pipelined
 	// client, shrinking toward this minimum under overload.
 	AdaptiveWindow int
+
+	// Read fast path (leader leases; see smr/read.go and DESIGN.md §8).
+
+	// LeaseTerm overrides the replicas' lease term: 0 keeps the replica
+	// default (UNIDIR_LEASE, 250ms), < 0 disables leases, > 0 sets the term
+	// explicitly.
+	LeaseTerm time.Duration
+	// ReadWindow is the pipelined client's in-flight read window; 0 keeps
+	// the pipeline default (UNIDIR_READ_WINDOW, else the write window).
+	ReadWindow int
+	// PipeClients is how many pipelined clients to connect (0 = 1). Extra
+	// clients let read benchmarks push past a single receive loop's
+	// message-processing ceiling and saturate the replicas instead.
+	PipeClients int
 }
 
 const defaultPipeWindow = 32
@@ -241,8 +256,8 @@ func BuildMinBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Two extra endpoints: the closed-loop client and the pipeline.
-	netM, err := types.NewMembership(n+2, cfg.F)
+	// Extra endpoints: the closed-loop client and the pipeline(s).
+	netM, err := types.NewMembership(n+1+pipeCount(cfg), cfg.F)
 	if err != nil {
 		return nil, err
 	}
@@ -274,6 +289,9 @@ func BuildMinBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 	if cfg.PaceDepth != 0 {
 		opts = append(opts, minbft.WithProposalPacing(cfg.PaceDepth))
 	}
+	if cfg.LeaseTerm != 0 {
+		opts = append(opts, minbft.WithLeaseTerm(cfg.LeaseTerm))
+	}
 	if cfg.Metrics != nil {
 		opts = append(opts, minbft.WithMetrics(cfg.Metrics))
 		tu.Verifier.FastPath().AttachMetrics(cfg.Metrics)
@@ -298,12 +316,14 @@ func BuildMinBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 		}
 		net.Close()
 	}
-	kv, pipe, closeClients, err := buildClients(net, m, cfg, pipeTracer, minbft.EncodeRequestEnvelope)
+	kv, pipes, closeClients, err := buildClients(net, m, cfg, pipeTracer,
+		minbft.EncodeRequestEnvelope, minbft.EncodeReadRequestEnvelope,
+		minbft.EncodeReadBatchEnvelope, m.FPlusOne())
 	if err != nil {
 		stopReplicas()
 		return nil, err
 	}
-	return &SMRCluster{KV: kv, Pipe: pipe, Metrics: cfg.Metrics, spanBufs: spanBufs, Stop: func() {
+	return &SMRCluster{KV: kv, Pipe: pipes[0], Pipes: pipes, Metrics: cfg.Metrics, spanBufs: spanBufs, Stop: func() {
 		closeClients()
 		stopReplicas()
 	}}, nil
@@ -328,7 +348,7 @@ func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	netM, err := types.NewMembership(n+2, cfg.F)
+	netM, err := types.NewMembership(n+1+pipeCount(cfg), cfg.F)
 	if err != nil {
 		return nil, err
 	}
@@ -360,6 +380,9 @@ func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 	if cfg.PaceDepth != 0 {
 		opts = append(opts, pbft.WithProposalPacing(cfg.PaceDepth))
 	}
+	if cfg.LeaseTerm != 0 {
+		opts = append(opts, pbft.WithLeaseTerm(cfg.LeaseTerm))
+	}
 	if cfg.Metrics != nil {
 		opts = append(opts, pbft.WithMetrics(cfg.Metrics))
 	}
@@ -382,20 +405,26 @@ func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 		}
 		net.Close()
 	}
-	kv, pipe, closeClients, err := buildClients(net, m, cfg, pipeTracer, pbft.EncodeRequestEnvelope)
+	kv, pipes, closeClients, err := buildClients(net, m, cfg, pipeTracer,
+		pbft.EncodeRequestEnvelope, pbft.EncodeReadRequestEnvelope,
+		pbft.EncodeReadBatchEnvelope, m.Quorum())
 	if err != nil {
 		stopReplicas()
 		return nil, err
 	}
-	return &SMRCluster{KV: kv, Pipe: pipe, Metrics: cfg.Metrics, spanBufs: spanBufs, Stop: func() {
+	return &SMRCluster{KV: kv, Pipe: pipes[0], Pipes: pipes, Metrics: cfg.Metrics, spanBufs: spanBufs, Stop: func() {
 		closeClients()
 		stopReplicas()
 	}}, nil
 }
 
 // buildClients connects the closed-loop client (endpoint n) and the
-// pipelined client (endpoint n+1) to a running replica set.
-func buildClients(net *simnet.Network, m types.Membership, cfg SMRConfig, tracer *tracing.Tracer, encode func(smr.Request) []byte) (*kvstore.Client, *kvstore.PipeClient, func(), error) {
+// pipelined client (endpoint n+1) to a running replica set. readNeed is the
+// fallback-read vote quorum — f+1 for MinBFT, 2f+1 for PBFT (one more than
+// the possible equivocators among the repliers; see DESIGN.md §8).
+func buildClients(net *simnet.Network, m types.Membership, cfg SMRConfig, tracer *tracing.Tracer,
+	encode func(smr.Request) []byte, readEncode func(smr.ReadRequest) []byte,
+	readBatchEncode func([][]byte) []byte, readNeed int) (*kvstore.Client, []*kvstore.PipeClient, func(), error) {
 	window, reg := cfg.Window, cfg.Metrics
 	if window <= 0 {
 		window = defaultPipeWindow
@@ -406,30 +435,59 @@ func buildClients(net *simnet.Network, m types.Membership, cfg SMRConfig, tracer
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	pipeID := types.ProcessID(m.N + 1)
-	pipeOpts := []smr.PipelineOption{smr.WithPipelineRequestEncoder(encode)}
-	if reg != nil {
-		pipeOpts = append(pipeOpts, smr.WithPipelineMetrics(reg))
-	}
-	if tracer != nil {
-		pipeOpts = append(pipeOpts, smr.WithPipelineTracer(tracer))
-	}
-	if cfg.SubmitTimeout > 0 {
-		pipeOpts = append(pipeOpts, smr.WithSubmitTimeout(cfg.SubmitTimeout))
-	}
-	if cfg.AdaptiveWindow > 0 {
-		pipeOpts = append(pipeOpts, smr.WithAdaptiveWindow(cfg.AdaptiveWindow))
-	}
-	pl, err := smr.NewPipeline(net.Endpoint(pipeID), m.All(), m.FPlusOne(), uint64(pipeID),
-		time.Second, window, pipeOpts...)
-	if err != nil {
-		return nil, nil, nil, err
-	}
+	pipes := make([]*smr.Pipeline, pipeCount(cfg))
 	closeClients := func() {
 		_ = base.Close()
-		_ = pl.Close()
+		for _, pl := range pipes {
+			if pl != nil {
+				_ = pl.Close()
+			}
+		}
 	}
-	return kvstore.NewClient(base), kvstore.NewPipeClient(pl), closeClients, nil
+	for i := range pipes {
+		pipeID := types.ProcessID(m.N + 1 + i)
+		pipeOpts := []smr.PipelineOption{
+			smr.WithPipelineRequestEncoder(encode),
+			smr.WithPipelineReadEncoder(readEncode),
+			smr.WithPipelineReadBatchEncoder(readBatchEncode),
+			smr.WithReadQuorum(readNeed),
+		}
+		if cfg.ReadWindow > 0 {
+			pipeOpts = append(pipeOpts, smr.WithReadWindow(cfg.ReadWindow))
+		}
+		if reg != nil {
+			pipeOpts = append(pipeOpts, smr.WithPipelineMetrics(reg))
+		}
+		if tracer != nil && i == 0 {
+			// Tracing stays on the first pipeline: one head-sampling site.
+			pipeOpts = append(pipeOpts, smr.WithPipelineTracer(tracer))
+		}
+		if cfg.SubmitTimeout > 0 {
+			pipeOpts = append(pipeOpts, smr.WithSubmitTimeout(cfg.SubmitTimeout))
+		}
+		if cfg.AdaptiveWindow > 0 {
+			pipeOpts = append(pipeOpts, smr.WithAdaptiveWindow(cfg.AdaptiveWindow))
+		}
+		pipes[i], err = smr.NewPipeline(net.Endpoint(pipeID), m.All(), m.FPlusOne(), uint64(pipeID),
+			time.Second, window, pipeOpts...)
+		if err != nil {
+			closeClients()
+			return nil, nil, nil, err
+		}
+	}
+	kvPipes := make([]*kvstore.PipeClient, len(pipes))
+	for i, pl := range pipes {
+		kvPipes[i] = kvstore.NewPipeClient(pl)
+	}
+	return kvstore.NewClient(base), kvPipes, closeClients, nil
+}
+
+// pipeCount is how many pipelined clients an SMRConfig asks for (>= 1).
+func pipeCount(cfg SMRConfig) int {
+	if cfg.PipeClients > 1 {
+		return cfg.PipeClients
+	}
+	return 1
 }
 
 func MustMembership(n, f int) types.Membership {

@@ -37,7 +37,10 @@ type Store struct {
 	data map[string][]byte
 }
 
-var _ smr.Snapshotter = (*Store)(nil)
+var (
+	_ smr.Snapshotter = (*Store)(nil)
+	_ smr.Querier     = (*Store)(nil)
+)
 
 // New returns an empty store.
 func New() *Store {
@@ -90,6 +93,24 @@ func (s *Store) Restore(snap []byte) error {
 	}
 	s.data = data
 	return nil
+}
+
+// Query answers a read-only command without mutating the store; it is the
+// smr.Querier hook behind the leased-read fast path. Only GET is read-only:
+// PUT, DEL, and malformed commands answer BadCmd (a correct client never
+// routes them here, and the status is deterministic for fallback votes).
+func (s *Store) Query(cmd []byte) []byte {
+	d := wire.NewDecoder(cmd)
+	op := d.Byte()
+	key := d.String()
+	if op != opGet || d.Finish() != nil {
+		return []byte{statusBadCmd}
+	}
+	v, ok := s.data[key]
+	if !ok {
+		return []byte{statusNotFound}
+	}
+	return append([]byte{statusOK}, v...)
 }
 
 // Apply executes one encoded command. Malformed commands yield a BadCmd
@@ -206,6 +227,30 @@ func NewPipeClient(p *smr.Pipeline) *PipeClient { return &PipeClient{p: p} }
 // the pipeline's in-flight window is full.
 func (c *PipeClient) PutAsync(ctx context.Context, key string, value []byte) (*smr.Call, error) {
 	return c.p.Submit(ctx, EncodePut(key, value))
+}
+
+// GetAsync submits a GET on the read fast path and returns without waiting;
+// it blocks only while the pipeline's read window is full. The read is
+// answered by a single leased reply from the leader or by a quorum of
+// matching fallback votes (see smr/read.go).
+func (c *PipeClient) GetAsync(ctx context.Context, key string) (*smr.ReadCall, error) {
+	return c.p.SubmitRead(ctx, EncodeGet(key))
+}
+
+// GetFast fetches a key's value on the read fast path, waiting for the
+// reply.
+func (c *PipeClient) GetFast(ctx context.Context, key string) ([]byte, error) {
+	res, err := c.p.InvokeRead(ctx, EncodeGet(key))
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(res)
+}
+
+// GetOrderedAsync submits a GET through the ordering path — the
+// consensus-read baseline the leased fast path is measured against.
+func (c *PipeClient) GetOrderedAsync(ctx context.Context, key string) (*smr.Call, error) {
+	return c.p.Submit(ctx, EncodeGet(key))
 }
 
 // Window reports the pipeline's current effective in-flight window (shrinks

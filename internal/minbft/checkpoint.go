@@ -398,6 +398,18 @@ func (r *Replica) advanceStable(cert ckptCert, state []byte) {
 				r.gcSeqFloor = key.seq
 			}
 		}
+		// Queued leased reads hold watermarks that index prepOrder; rebase
+		// them with it or they can exceed len(prepOrder) forever and the
+		// reads never flush. Every queued read has wm > execIdx (reads at or
+		// below it were answered by the execute that advanced it), so the
+		// rebased watermark stays positive.
+		for i := range r.leaseReads {
+			if r.leaseReads[i].wm >= r.execIdx {
+				r.leaseReads[i].wm -= r.execIdx
+			} else {
+				r.leaseReads[i].wm = 0
+			}
+		}
 		rest := make([]entryKey, len(r.prepOrder)-r.execIdx)
 		copy(rest, r.prepOrder[r.execIdx:])
 		r.prepOrder = rest

@@ -168,6 +168,24 @@ func WithProposalPacing(depth int) Option {
 	}
 }
 
+// WithLeaseTerm sets the leader-lease term for the linearizable read fast
+// path (lease.go). d > 0 sets the term explicitly; d < 0 disables leases
+// (every read is answered as a quorum-read fallback vote); d == 0 keeps the
+// default from smr.DefaultLeaseTerm (the UNIDIR_LEASE environment knob).
+// All replicas of a cluster must agree on the term: a grantor's promise
+// horizon and the holder's expiry are both derived from it.
+func WithLeaseTerm(d time.Duration) Option {
+	return func(r *Replica) {
+		if d < 0 {
+			d = 0
+		} else if d == 0 {
+			return // keep the environment default
+		}
+		r.leaseTerm = d
+		r.leaseTermSet = true
+	}
+}
+
 // WithCheckpointInterval sets how many executed batches separate
 // checkpoints (state snapshot + attested digest vote + log GC on
 // stability). k <= 0 disables checkpointing. The default comes from
@@ -257,6 +275,22 @@ type Replica struct {
 
 	vcVotes map[types.View]map[types.ProcessID]signedVC
 
+	// Leader leases for the read fast path (lease.go). Run-goroutine-owned.
+	leaseTerm       time.Duration // 0: leases (and leased reads) disabled
+	leaseTermSet    bool
+	leaseFull       bool         // require grants from all n replicas, not f+1
+	querier         smr.Querier  // nil: the state machine cannot answer reads
+	leaseRound      types.SeqNum // UI seq of our outstanding LEASE-REQUEST
+	leaseSentAt     time.Time
+	leaseGrants     map[types.ProcessID]bool
+	leaseUntil      time.Time           // zero: no lease held
+	renewArmed      bool                // an 'l' renewal timer is outstanding
+	grantUntil      time.Time           // our outstanding grantor promise horizon
+	deferredVC      types.View          // view change deferred behind grantUntil (0: none)
+	grantTimerArmed bool                // a 'g' grant-expiry timer is outstanding
+	leaseReads      []pendingRead       // leased reads waiting for the execute watermark
+	readReplies     map[uint64][][]byte // per-client read replies coalesced within one event-loop drain
+
 	// Checkpointing and recovery (checkpoint.go, persist.go).
 	snap            smr.Snapshotter // nil: state machine cannot snapshot
 	ckptInterval    int             // batches between checkpoints; 0 disables
@@ -327,7 +361,7 @@ type event struct {
 }
 
 type timerEvent struct {
-	kind    byte // 't' request timeout, 'v' view-change timeout, 'f' fetch, 's' state fetch, 'b' batch deadline/pacing recheck
+	kind    byte // 't' request timeout, 'v' view-change timeout, 'f' fetch, 's' state fetch, 'b' batch deadline/pacing recheck, 'l' lease renewal, 'g' grantor-promise expiry
 	pending pendingKey
 	view    types.View
 	peer    types.ProcessID // fetch target trinket
@@ -401,6 +435,18 @@ func New(m types.Membership, tr transport.Transport, dev *trinc.Device, ver *tri
 	if snap, ok := sm.(smr.Snapshotter); ok {
 		r.snap = snap
 	}
+	if q, ok := sm.(smr.Querier); ok {
+		r.querier = q
+	}
+	if !r.leaseTermSet {
+		r.leaseTerm = smr.DefaultLeaseTerm()
+	}
+	if r.querier == nil {
+		// Without a Querier nothing can answer a read, leased or fallback,
+		// so skip the lease traffic entirely.
+		r.leaseTerm = 0
+	}
+	r.leaseFull = smr.DefaultLeaseQuorumFull()
 	switch {
 	case r.ckptInterval == 0:
 		r.ckptInterval = smr.DefaultCheckpointInterval()
@@ -521,17 +567,26 @@ func (r *Replica) run(ctx context.Context) {
 	if r.announceRestart {
 		r.sendRestart()
 	}
+	// The view-0 leader solicits its first lease up front so the read fast
+	// path is live before the first read arrives.
+	r.renewLease()
 	for {
-		ev, err := r.events.Pop(ctx)
+		// Draining the whole backlog per wakeup lets read replies produced
+		// while processing one burst coalesce into one frame per client
+		// (flushReadReplies) instead of one frame per read.
+		evs, err := r.events.PopAll(ctx)
 		if err != nil {
 			return
 		}
-		switch {
-		case ev.env != nil:
-			r.handleEnvelope(*ev.env)
-		case ev.timer != nil:
-			r.handleTimer(*ev.timer)
+		for _, ev := range evs {
+			switch {
+			case ev.env != nil:
+				r.handleEnvelope(*ev.env)
+			case ev.timer != nil:
+				r.handleTimer(*ev.timer)
+			}
 		}
+		r.flushReadReplies()
 	}
 }
 
@@ -570,6 +625,9 @@ func (r *Replica) handleEnvelope(env transport.Envelope) {
 			return
 		}
 		r.handleRequest(req, env.Trace)
+		return
+	case kindReadRequest:
+		r.handleReadRequest(body)
 		return
 	case kindFetch:
 		r.handleFetch(env.From, body)
@@ -718,6 +776,10 @@ func (r *Replica) dispatch(from types.ProcessID, msg peerMsg) {
 		r.handleCheckpoint(from, msg)
 	case kindRestart:
 		r.handleRestart(from, msg)
+	case kindLeaseRequest:
+		r.handleLeaseRequest(from, msg)
+	case kindLeaseGrant:
+		r.handleLeaseGrant(from, msg)
 	}
 }
 
@@ -927,6 +989,11 @@ func (r *Replica) handleTimer(te timerEvent) {
 		}
 		r.broadcastStateFetch()
 		r.afterTimeout(r.reqTimeout, te)
+	case 'l':
+		r.renewArmed = false
+		r.renewLease()
+	case 'g':
+		r.grantExpired()
 	}
 }
 
@@ -1107,6 +1174,7 @@ func (r *Replica) tryExecute() {
 		executed = true
 	}
 	if executed {
+		r.flushLeaseReads()
 		r.maybePropose()
 	}
 }
@@ -1137,6 +1205,27 @@ func (r *Replica) startViewChange(target types.View) {
 	if target <= r.view {
 		return
 	}
+	// Grantor deferral: while our lease promise to the current primary is
+	// live, demanding a new view could let a NEW-VIEW form (and a new
+	// primary serve writes) while the old primary still serves leased reads.
+	// Deferring just our VIEW-CHANGE send is enough: any valid NEW-VIEW
+	// needs f+1 view-changes, and any f+1 set intersects the f+1 grantor
+	// set in at least one replica (n = 2f+1) that will not send its VC until
+	// its promise — which outlasts the primary's lease — has expired. While
+	// deferred we also refuse new grants (handleLeaseRequest), so the
+	// primary's lease runs out within one term and the 'g' timer resumes
+	// the view change.
+	if hold := time.Until(r.grantUntil); hold > 0 && r.leaseTerm > 0 {
+		if target > r.deferredVC {
+			r.deferredVC = target
+		}
+		if !r.grantTimerArmed {
+			r.grantTimerArmed = true
+			r.afterTimeout(hold, timerEvent{kind: 'g'})
+		}
+		return
+	}
+	r.revokeLease()
 	r.inVC = true
 	r.rdyVC.Store(true)
 	r.targetView = target
@@ -1366,6 +1455,15 @@ func (r *Replica) installView(nv newView, raw []byte) {
 			delete(r.vcVotes, v)
 		}
 	}
+	// Lease revocation: any lease we held belonged to the old view; queued
+	// leased reads are flushed as fallback votes (their watermark indexed
+	// the old view's prepOrder). Our grantor promise, if any, simply runs
+	// out on its own. The new leader solicits a fresh lease immediately.
+	r.revokeLease()
+	if r.deferredVC <= r.view {
+		r.deferredVC = 0
+	}
+	r.renewLease()
 
 	// Re-propose (or chase) requests still pending — re-batched: a pending
 	// batch lost with the old view comes back as (part of) a fresh batch

@@ -20,12 +20,15 @@ const (
 	kindCommit
 	kindViewChange
 	kindNewView
-	kindFetch      // unattested query: "send me peer P's message at UI seq S"
-	kindFetchResp  // carries a stored original envelope, self-authenticating
-	kindCheckpoint // attested state digest at an execution-count boundary
-	kindStateFetch // unattested query: "send me your stable checkpoint >= count"
-	kindStateResp  // checkpoint cert + state payload, self-certifying (cert UIs)
-	kindRestart    // attested counter-jump announcement after a crash-restart
+	kindFetch        // unattested query: "send me peer P's message at UI seq S"
+	kindFetchResp    // carries a stored original envelope, self-authenticating
+	kindCheckpoint   // attested state digest at an execution-count boundary
+	kindStateFetch   // unattested query: "send me your stable checkpoint >= count"
+	kindStateResp    // checkpoint cert + state payload, self-certifying (cert UIs)
+	kindRestart      // attested counter-jump announcement after a crash-restart
+	kindReadRequest  // client read-only request, served off the ordering path
+	kindLeaseRequest // primary's attested lease solicitation (body: view)
+	kindLeaseGrant   // grantor's attested lease promise (body: view, request UI seq)
 )
 
 const uiDomain = "unidir/minbft/ui/v1"
@@ -313,6 +316,59 @@ func decodeFetchBody(b []byte) (types.ProcessID, types.SeqNum, error) {
 // pass it to smr.WithRequestEncoder when building a client.
 func EncodeRequestEnvelope(req smr.Request) []byte {
 	return encodeEnvelope(kindRequest, req.Encode(), nil)
+}
+
+// EncodeReadRequestEnvelope wraps a client read for the fast path; pass it
+// to smr.WithPipelineReadEncoder when building a pipelined client.
+func EncodeReadRequestEnvelope(req smr.ReadRequest) []byte {
+	return encodeEnvelope(kindReadRequest, req.Encode(), nil)
+}
+
+// EncodeReadBatchEnvelope wraps a coalesced batch of encoded reads; pass it
+// to smr.WithPipelineReadBatchEncoder when building a pipelined client.
+func EncodeReadBatchEnvelope(reqs [][]byte) []byte {
+	return encodeEnvelope(kindReadRequest, smr.EncodeReadRequestBatch(reqs), nil)
+}
+
+// encodeLeaseRequestBody is the primary's lease solicitation: just the view
+// it claims leadership of. The UI over this body is what binds the lease
+// round to the primary's trusted counter — the grant echoes that counter
+// value, so the round a grant answers is unforgeable and totally ordered
+// against everything else the primary ever attested.
+func encodeLeaseRequestBody(view types.View) []byte {
+	e := wire.NewEncoder(8)
+	e.Uint64(uint64(view))
+	return e.Bytes()
+}
+
+func decodeLeaseRequestBody(b []byte) (types.View, error) {
+	d := wire.NewDecoder(b)
+	v := types.View(d.Uint64())
+	if err := d.Finish(); err != nil {
+		return 0, fmt.Errorf("minbft: decode lease request: %w", err)
+	}
+	return v, nil
+}
+
+// encodeLeaseGrantBody is a grantor's promise for one lease round: the view
+// it grants in and the UI counter value of the primary's LEASE-REQUEST it
+// answers. Grants are broadcast (not sent point-to-point) because every
+// attested message must reach every peer to keep UI cursors gap-free.
+func encodeLeaseGrantBody(view types.View, reqSeq types.SeqNum) []byte {
+	e := wire.NewEncoder(16)
+	e.Uint64(uint64(view))
+	e.Uint64(uint64(reqSeq))
+	return e.Bytes()
+}
+
+func decodeLeaseGrantBody(b []byte) (types.View, types.SeqNum, error) {
+	d := wire.NewDecoder(b)
+	v := types.View(d.Uint64())
+	seq := types.SeqNum(d.Uint64())
+	if err := d.Finish(); err != nil {
+		return 0, 0, fmt.Errorf("minbft: decode lease grant: %w", err)
+	}
+	return v, seq, nil
 }
 
 // envelope wraps kind, body, and the sender's UI attestation for replica

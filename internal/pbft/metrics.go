@@ -28,6 +28,11 @@ type metrics struct {
 	pendingDepth    *obs.Gauge     // pending-request queue depth
 	batchWait       *obs.Histogram // oldest-arrival-to-cut wait per batch
 	pacedProposals  *obs.Counter   // proposal deferrals due to peer queue depth
+	leaseGrants     *obs.Counter   // grants this replica issued as a backup
+	leaseRenewals   *obs.Counter   // lease rounds this replica started as primary
+	leaseExpiries   *obs.Counter   // renewals that found the previous lease lapsed
+	leasedReads     *obs.Counter   // reads answered from the lease
+	fallbackReads   *obs.Counter   // reads answered as quorum-read fallback votes
 	trace           *obs.Trace
 }
 
@@ -50,6 +55,11 @@ func (r *Replica) initMetrics() {
 		pendingDepth:    reg.Gauge(obs.Name("pbft_pending_requests", "replica", id)),
 		batchWait:       reg.Histogram(obs.Name("pbft_batch_wait_seconds", "replica", id), obs.LatencyBuckets),
 		pacedProposals:  reg.Counter(obs.Name("pbft_paced_proposals_total", "replica", id)),
+		leaseGrants:     reg.Counter(obs.Name("pbft_lease_grants_total", "replica", id)),
+		leaseRenewals:   reg.Counter(obs.Name("pbft_lease_renewals_total", "replica", id)),
+		leaseExpiries:   reg.Counter(obs.Name("pbft_lease_expiries_total", "replica", id)),
+		leasedReads:     reg.Counter(obs.Name("pbft_leased_reads_total", "replica", id)),
+		fallbackReads:   reg.Counter(obs.Name("pbft_fallback_reads_total", "replica", id)),
 		trace:           reg.Trace(obs.Name("pbft", "replica", id), 256),
 	}
 }

@@ -48,9 +48,12 @@ const (
 	kindPrePrepare
 	kindPrepare
 	kindCommit
-	kindCheckpoint // signed state digest at a sequence-number boundary
-	kindStateFetch // signed query for a stable checkpoint >= n
-	kindStateResp  // stable cert (2f+1 signed votes) + state payload
+	kindCheckpoint   // signed state digest at a sequence-number boundary
+	kindStateFetch   // signed query for a stable checkpoint >= n
+	kindStateResp    // stable cert (2f+1 signed votes) + state payload
+	kindLeaseRequest // primary's signed lease solicitation (n: lease round)
+	kindLeaseGrant   // backup's signed lease promise (n: granted round)
+	kindReadRequest  // client read-only request, served off the ordering path
 )
 
 const sigDomain = "unidir/pbft/v1"
@@ -98,6 +101,23 @@ type Replica struct {
 	proposed  map[pendingKey]bool        // requests inside an assigned slot
 	proposing bool                       // re-entrancy guard for maybePropose
 
+	// Leader leases for the read fast path (lease.go). Run-goroutine-owned.
+	// With the view fixed at 0 the primary is the unique proposer forever,
+	// so the 2f+1-grant lease here proves liveness agreement rather than
+	// guarding against a competing primary; the freshness watermark is what
+	// makes leased reads linearizable (see DESIGN.md §8).
+	leaseTerm    time.Duration // 0: leases (and leased reads) disabled
+	leaseTermSet bool
+	leaseFull    bool         // require grants from all n replicas, not 2f+1
+	querier      smr.Querier  // nil: the state machine cannot answer reads
+	leaseRound   types.SeqNum // round counter of our outstanding LEASE-REQUEST
+	leaseSentAt  time.Time
+	leaseGrants  map[types.ProcessID]bool
+	leaseUntil   time.Time           // zero: no lease held
+	renewArmed   bool                // an 'l' renewal timer is outstanding
+	leaseReads   []pendingRead       // leased reads waiting for the execute watermark
+	readReplies  map[uint64][][]byte // per-client read replies coalesced within one event-loop drain
+
 	// Checkpointing (checkpoint.go).
 	snap         smr.Snapshotter // nil: state machine cannot snapshot
 	ckptInterval int             // batches between checkpoints; 0 disables
@@ -134,7 +154,7 @@ type event struct {
 }
 
 type timerEvent struct {
-	kind byte // 'b' batch deadline / pacing recheck
+	kind byte // 'b' batch deadline / pacing recheck, 'l' lease renewal
 }
 
 type slot struct {
@@ -236,6 +256,22 @@ func WithProposalPacing(depth int) Option {
 	}
 }
 
+// WithLeaseTerm sets the leader-lease term for the linearizable read fast
+// path (lease.go), exactly as minbft.WithLeaseTerm: d > 0 sets it, d < 0
+// disables leases, d == 0 keeps the smr.DefaultLeaseTerm default (the
+// UNIDIR_LEASE environment knob). All replicas must agree on the term.
+func WithLeaseTerm(d time.Duration) Option {
+	return func(r *Replica) {
+		if d < 0 {
+			d = 0
+		} else if d == 0 {
+			return // keep the environment default
+		}
+		r.leaseTerm = d
+		r.leaseTermSet = true
+	}
+}
+
 // WithLogger attaches a structured logger; consensus progress (committed
 // batches, stable checkpoints, state transfers) is reported through it with
 // view/seq attrs, and lines on a sampled request's path carry the trace ID
@@ -312,6 +348,17 @@ func New(m types.Membership, tr transport.Transport, ring *sig.Keyring, sm smr.S
 	if snap, ok := sm.(smr.Snapshotter); ok {
 		r.snap = snap
 	}
+	if q, ok := sm.(smr.Querier); ok {
+		r.querier = q
+	}
+	if !r.leaseTermSet {
+		r.leaseTerm = smr.DefaultLeaseTerm()
+	}
+	if r.querier == nil {
+		// Without a Querier nothing can answer a read; skip lease traffic.
+		r.leaseTerm = 0
+	}
+	r.leaseFull = smr.DefaultLeaseQuorumFull()
 	switch {
 	case r.ckptInterval == 0:
 		r.ckptInterval = smr.DefaultCheckpointInterval()
@@ -363,17 +410,26 @@ func (r *Replica) recvLoop(ctx context.Context) {
 
 func (r *Replica) run(ctx context.Context) {
 	defer r.wg.Done()
+	// The primary solicits its first lease up front so the read fast path
+	// is live before the first read arrives.
+	r.renewLease()
 	for {
-		ev, err := r.events.Pop(ctx)
+		// Draining the whole backlog per wakeup lets read replies produced
+		// while processing one burst coalesce into one frame per client
+		// (flushReadReplies) instead of one frame per read.
+		evs, err := r.events.PopAll(ctx)
 		if err != nil {
 			return
 		}
-		switch {
-		case ev.env != nil:
-			r.handle(*ev.env)
-		case ev.timer != nil:
-			r.handleTimer(*ev.timer)
+		for _, ev := range evs {
+			switch {
+			case ev.env != nil:
+				r.handle(*ev.env)
+			case ev.timer != nil:
+				r.handleTimer(*ev.timer)
+			}
 		}
+		r.flushReadReplies()
 	}
 }
 
@@ -408,6 +464,9 @@ func (r *Replica) handleTimer(te timerEvent) {
 		// pending, however partial.
 		r.batchTimerArmed = false
 		r.maybePropose()
+	case 'l':
+		r.renewArmed = false
+		r.renewLease()
 	}
 }
 
@@ -453,8 +512,27 @@ func EncodeRequestEnvelope(req smr.Request) []byte {
 	return encodeMsg(kindRequest, 0, 0, req.Encode(), nil)
 }
 
+// EncodeReadRequestEnvelope wraps a client read for the fast path; pass it
+// to smr.WithPipelineReadEncoder when building a pipelined client.
+func EncodeReadRequestEnvelope(req smr.ReadRequest) []byte {
+	return encodeMsg(kindReadRequest, 0, 0, req.Encode(), nil)
+}
+
+// EncodeReadBatchEnvelope wraps a coalesced batch of encoded reads; pass it
+// to smr.WithPipelineReadBatchEncoder when building a pipelined client.
+func EncodeReadBatchEnvelope(reqs [][]byte) []byte {
+	return encodeMsg(kindReadRequest, 0, 0, smr.EncodeReadRequestBatch(reqs), nil)
+}
+
 func (r *Replica) broadcast(kind byte, n types.SeqNum, payload []byte) {
 	r.broadcastTraced(kind, n, payload, tracing.Context{})
+}
+
+// sendSigned signs and sends one message point-to-point (lease grants go
+// only to the primary; everything quorum-forming is broadcast).
+func (r *Replica) sendSigned(to types.ProcessID, kind byte, n types.SeqNum, payload []byte) {
+	signature := r.ring.Sign(signedBytes(kind, r.view, n, payload))
+	_ = r.tr.Send(to, encodeMsg(kind, r.view, n, payload, signature))
 }
 
 // --- handlers ---
@@ -472,7 +550,11 @@ func (r *Replica) handle(env transport.Envelope) {
 		}
 		r.handleRequest(req, env.Trace)
 		return
-	case kindPrePrepare, kindPrepare, kindCommit, kindCheckpoint, kindStateFetch, kindStateResp:
+	case kindReadRequest:
+		r.handleReadRequest(payload)
+		return
+	case kindPrePrepare, kindPrepare, kindCommit, kindCheckpoint, kindStateFetch, kindStateResp,
+		kindLeaseRequest, kindLeaseGrant:
 		if v != r.view {
 			return
 		}
@@ -498,6 +580,10 @@ func (r *Replica) handle(env transport.Envelope) {
 		r.handleStateFetch(env.From, n)
 	case kindStateResp:
 		r.handleStateResp(payload)
+	case kindLeaseRequest:
+		r.handleLeaseRequest(env.From, n)
+	case kindLeaseGrant:
+		r.handleLeaseGrant(env.From, n)
 	}
 }
 
@@ -782,6 +868,7 @@ func (r *Replica) progress(n types.SeqNum, sl *slot) {
 	if executed {
 		r.mx.openSlots.Set(int64(len(r.slots)))
 		r.mx.pendingDepth.Set(int64(len(r.pending)))
+		r.flushLeaseReads()
 		r.maybePropose()
 	}
 }

@@ -24,7 +24,7 @@ type harness struct {
 	logs     []*smr.ExecutionLog
 }
 
-func newHarness(t *testing.T, n, f, clients int) *harness {
+func newHarness(t *testing.T, n, f, clients int, opts ...pbft.Option) *harness {
 	t.Helper()
 	m, err := types.NewMembership(n, f)
 	if err != nil {
@@ -47,8 +47,8 @@ func newHarness(t *testing.T, n, f, clients int) *harness {
 		logs:     make([]*smr.ExecutionLog, n)}
 	for i := 0; i < n; i++ {
 		h.logs[i] = &smr.ExecutionLog{}
-		rep, err := pbft.New(m, net.Endpoint(types.ProcessID(i)), rings[i], kvstore.New(),
-			pbft.WithExecutionLog(h.logs[i]))
+		all := append([]pbft.Option{pbft.WithExecutionLog(h.logs[i])}, opts...)
+		rep, err := pbft.New(m, net.Endpoint(types.ProcessID(i)), rings[i], kvstore.New(), all...)
 		if err != nil {
 			t.Fatalf("pbft.New: %v", err)
 		}

@@ -9,6 +9,7 @@ import (
 
 	"unidir/internal/obs"
 	"unidir/internal/obs/tracing"
+	"unidir/internal/syncx"
 	"unidir/internal/transport"
 	"unidir/internal/types"
 )
@@ -48,12 +49,21 @@ func (c *Call) Request() Request { return c.req }
 // still outstanding, and grows back additively — one slot per window of
 // clean completions — up to the configured maximum.
 type Pipeline struct {
-	tr       transport.Transport
-	replicas []types.ProcessID
-	need     int
-	id       uint64
-	retry    time.Duration
-	encode   func(Request) []byte
+	tr         transport.Transport
+	replicas   []types.ProcessID
+	need       int
+	id         uint64
+	retry      time.Duration
+	encode     func(Request) []byte
+	readEncode func(ReadRequest) []byte
+	// readBatchEncode wraps several encoded ReadRequest bodies in one
+	// protocol envelope; the read send loop uses it to coalesce every read
+	// queued while the previous frame was in flight into a single frame.
+	readBatchEncode func([][]byte) []byte
+	// readOut feeds the send loop: SubmitRead enqueues, readSendLoop
+	// drains and sends one (possibly batched) frame per wakeup.
+	readOut  *syncx.Queue[readOutItem]
+	readNeed int // matching fallback votes required (default: need)
 
 	// avail holds the window tokens: Submit takes one, completion returns
 	// one (unless swallowed to pay down a window decrease — see debt).
@@ -62,11 +72,28 @@ type Pipeline struct {
 	winMin        int // 0: fixed window (no adaptation)
 	submitTimeout time.Duration
 
-	mu        sync.Mutex
-	nextNum   uint64
-	inflight  map[uint64]*pipeCall
-	closed    bool
-	curWindow int
+	// readAvail holds the read-window tokens. Reads have their own window
+	// (they never occupy a consensus slot, so they should not compete with
+	// writes for in-flight budget) and no AIMD: a leased read is one round
+	// trip to one replica, and fallback reads already self-limit by needing
+	// a quorum of replies.
+	readAvail  chan struct{}
+	readWindow int
+
+	mu       sync.Mutex
+	nextNum  uint64
+	inflight map[uint64]*pipeCall
+	// readInflight tracks outstanding reads. Nums are drawn from the same
+	// nextNum counter as writes, so a number identifies exactly one of the
+	// two maps and reply routing cannot confuse a read with a write.
+	readInflight map[uint64]*readCall
+	// leaderHint is the replica first reads are sent to: the last replica
+	// that answered with a leased reply, or replicas[0] before any has.
+	// Sending the first copy only there is what makes a leased read two
+	// messages instead of a broadcast and a quorum of replies.
+	leaderHint types.ProcessID
+	closed     bool
+	curWindow  int
 	// debt counts tokens owed after a window decrease: completions swallow
 	// their token instead of returning it until debt reaches zero. The
 	// invariant is tokens-in-circulation == curWindow + debt.
@@ -89,6 +116,14 @@ type Pipeline struct {
 	mxWindow        *obs.Gauge
 	mxSubmitSheds   *obs.Counter
 	mxOverloadVotes *obs.Counter
+
+	// Read-path metrics (nil-safe like the rest).
+	mxReadsSubmitted  *obs.Counter
+	mxReadsCompleted  *obs.Counter
+	mxLeasedReads     *obs.Counter
+	mxFallbackReads   *obs.Counter
+	mxReadEscalations *obs.Counter
+	mxReadLatency     *obs.Histogram
 }
 
 type pipeCall struct {
@@ -124,6 +159,12 @@ func WithPipelineMetrics(reg *obs.Registry) PipelineOption {
 		p.mxWindow = reg.Gauge(obs.Name("smr_pipeline_window", "client", p.id))
 		p.mxSubmitSheds = reg.Counter(obs.Name("smr_submit_sheds_total", "client", p.id))
 		p.mxOverloadVotes = reg.Counter(obs.Name("smr_overload_replies_total", "client", p.id))
+		p.mxReadsSubmitted = reg.Counter(obs.Name("smr_reads_submitted_total", "client", p.id))
+		p.mxReadsCompleted = reg.Counter(obs.Name("smr_reads_completed_total", "client", p.id))
+		p.mxLeasedReads = reg.Counter(obs.Name("smr_leased_reads_total", "client", p.id))
+		p.mxFallbackReads = reg.Counter(obs.Name("smr_fallback_reads_total", "client", p.id))
+		p.mxReadEscalations = reg.Counter(obs.Name("smr_read_escalations_total", "client", p.id))
+		p.mxReadLatency = reg.Histogram(obs.Name("smr_read_latency_seconds", "client", p.id), obs.LatencyBuckets)
 	}
 }
 
@@ -141,6 +182,32 @@ func WithPipelineTracer(t *tracing.Tracer) PipelineOption {
 // a slot frees or the context ends.
 func WithSubmitTimeout(d time.Duration) PipelineOption {
 	return func(p *Pipeline) { p.submitTimeout = d }
+}
+
+// WithPipelineReadEncoder sets the protocol-specific read-request envelope
+// encoder and thereby enables the read fast path (SubmitRead/InvokeRead).
+func WithPipelineReadEncoder(encode func(ReadRequest) []byte) PipelineOption {
+	return func(p *Pipeline) { p.readEncode = encode }
+}
+
+// WithPipelineReadBatchEncoder sets the protocol-specific envelope encoder
+// for coalesced read submissions. Without it the raw smr batch body is
+// sent, which suits transports that deliver bodies unenveloped (tests).
+func WithPipelineReadBatchEncoder(encode func([][]byte) []byte) PipelineOption {
+	return func(p *Pipeline) { p.readBatchEncode = encode }
+}
+
+// WithReadQuorum sets how many matching fallback votes complete a quorum
+// read. Defaults to the write quorum (f+1); PBFT clients pass 2f+1 so a
+// fallback read intersects every committed write's executor set.
+func WithReadQuorum(n int) PipelineOption {
+	return func(p *Pipeline) { p.readNeed = n }
+}
+
+// WithReadWindow bounds in-flight reads independently of the write window.
+// Zero (the default) follows UNIDIR_READ_WINDOW, then the write window.
+func WithReadWindow(k int) PipelineOption {
+	return func(p *Pipeline) { p.readWindow = k }
 }
 
 // WithAdaptiveWindow turns on AIMD window adaptation between min in-flight
@@ -171,18 +238,24 @@ func NewPipeline(tr transport.Transport, replicas []types.ProcessID, need int, i
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pipeline{
-		tr:        tr,
-		replicas:  replicas,
-		need:      need,
-		id:        id,
-		retry:     retry,
-		encode:    func(r Request) []byte { return r.Encode() },
-		avail:     make(chan struct{}, window),
-		winMax:    window,
-		curWindow: window,
-		inflight:  make(map[uint64]*pipeCall),
-		ctx:       ctx,
-		cancel:    cancel,
+		tr:              tr,
+		replicas:        replicas,
+		need:            need,
+		id:              id,
+		retry:           retry,
+		encode:          func(r Request) []byte { return r.Encode() },
+		readEncode:      func(r ReadRequest) []byte { return r.Encode() },
+		readBatchEncode: EncodeReadRequestBatch,
+		readOut:         syncx.NewQueue[readOutItem](),
+		readNeed:        need,
+		avail:           make(chan struct{}, window),
+		winMax:          window,
+		curWindow:       window,
+		inflight:        make(map[uint64]*pipeCall),
+		readInflight:    make(map[uint64]*readCall),
+		leaderHint:      replicas[0],
+		ctx:             ctx,
+		cancel:          cancel,
 	}
 	// Wall-clock seed, same reasoning as NewClient.
 	p.nextNum = uint64(time.Now().UnixNano())
@@ -192,13 +265,28 @@ func NewPipeline(tr transport.Transport, replicas []types.ProcessID, need int, i
 	if p.winMin > p.winMax {
 		p.winMin = p.winMax
 	}
+	if p.readNeed < 1 || p.readNeed > len(replicas) {
+		return nil, fmt.Errorf("smr: read quorum %d of %d replicas", p.readNeed, len(replicas))
+	}
+	if p.readWindow <= 0 {
+		if k := DefaultReadWindow(); k > 0 {
+			p.readWindow = k
+		} else {
+			p.readWindow = window
+		}
+	}
+	p.readAvail = make(chan struct{}, p.readWindow)
+	for i := 0; i < p.readWindow; i++ {
+		p.readAvail <- struct{}{}
+	}
 	for i := 0; i < p.curWindow; i++ {
 		p.avail <- struct{}{}
 	}
 	p.mxWindow.Set(int64(p.curWindow))
-	p.wg.Add(2)
+	p.wg.Add(3)
 	go p.recvLoop()
 	go p.retransmitLoop()
+	go p.readSendLoop()
 	return p, nil
 }
 
@@ -367,8 +455,26 @@ func (p *Pipeline) recvLoop() {
 		if err != nil {
 			return
 		}
+		// A replica that answered several of our reads in one event-loop
+		// drain coalesces them into a sentinel-prefixed batch frame; the
+		// check is one integer compare for every other frame shape.
+		if reps, berr := DecodeReadReplyBatch(env.Payload); berr == nil {
+			for _, rr := range reps {
+				p.handleReadReply(rr, env.From)
+			}
+			continue
+		}
 		rep, err := DecodeReply(env.Payload)
-		if err != nil || rep.Client != p.id || rep.Replica != env.From {
+		if err != nil {
+			// Not a write reply; a read reply carries the same prefix plus
+			// the trailing exec watermark, so DecodeReply fails on the
+			// leftover bytes and we try the read shape.
+			if rr, rerr := DecodeReadReply(env.Payload); rerr == nil {
+				p.handleReadReply(rr, env.From)
+			}
+			continue
+		}
+		if rep.Client != p.id || rep.Replica != env.From {
 			continue
 		}
 		p.mu.Lock()
@@ -419,11 +525,32 @@ func (p *Pipeline) retransmitLoop() {
 		if p.winMin > 0 && len(resend) > 0 {
 			p.shrinkLocked(time.Now())
 		}
+		// Reads that outlived a retry period lost their leader hint (or the
+		// leader lost its lease mid-read): go wide and finish as a quorum
+		// read. A read still wide after ANOTHER full period is stuck on
+		// mismatched votes — hand it to the ordering path instead of asking
+		// the same diverging replicas again.
+		now := time.Now()
+		resendReads := make([][]byte, 0, len(p.readInflight))
+		for num, rc := range p.readInflight {
+			if rc.ordered || now.Sub(rc.start) < p.retry {
+				continue
+			}
+			if rc.broadcasted {
+				p.escalateReadLocked(num, rc)
+				continue
+			}
+			rc.broadcasted = true
+			resendReads = append(resendReads, p.readPayloadLocked(rc))
+		}
 		p.mu.Unlock()
 		for _, pc := range resend {
 			// Retransmits carry the same context: wherever the request
 			// finally lands, it stays on its trace.
 			_ = transport.BroadcastTraced(p.tr, p.replicas, pc.payload, pc.tc)
+		}
+		for _, payload := range resendReads {
+			_ = transport.Broadcast(p.tr, p.replicas, payload)
 		}
 	}
 }
@@ -439,6 +566,8 @@ func (p *Pipeline) Close() error {
 	p.closed = true
 	stuck := p.inflight
 	p.inflight = make(map[uint64]*pipeCall)
+	stuckReads := p.readInflight
+	p.readInflight = make(map[uint64]*readCall)
 	p.mu.Unlock()
 	p.cancel()
 	p.mxInflight.Set(0)
@@ -446,6 +575,10 @@ func (p *Pipeline) Close() error {
 		pc.span.End()
 		pc.call.err = ErrClientClosed
 		close(pc.call.done)
+	}
+	for _, rc := range stuckReads {
+		rc.call.err = ErrClientClosed
+		close(rc.call.done)
 	}
 	p.wg.Wait()
 	return nil

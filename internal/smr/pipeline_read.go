@@ -1,0 +1,296 @@
+package smr
+
+// The pipeline's read fast path. SubmitRead sends a ReadRequest to the
+// leader hint only — two messages per read when the leader holds a lease —
+// and escalates to a full broadcast the moment any replica answers with a
+// fallback vote (no lease; the read must gather p.readNeed matching
+// (code, execSeq, result) votes instead). A ReadLeased reply completes the
+// read by itself and updates the leader hint for subsequent reads.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"unidir/internal/transport"
+	"unidir/internal/types"
+)
+
+// ReadCall is one in-flight fast-path read, the read analogue of Call.
+type ReadCall struct {
+	req    ReadRequest
+	done   chan struct{}
+	result []byte
+	err    error
+}
+
+// Done is closed when the read completes (result or error).
+func (c *ReadCall) Done() <-chan struct{} { return c.done }
+
+// Result blocks until the read completes and returns its outcome.
+func (c *ReadCall) Result() ([]byte, error) {
+	<-c.done
+	return c.result, c.err
+}
+
+// Request returns the read request this call submitted.
+func (c *ReadCall) Request() ReadRequest { return c.req }
+
+// readCall is the pipeline's internal state for one in-flight read.
+type readCall struct {
+	call *ReadCall
+	// payload is the enveloped single-read wire form, built on first
+	// resend or broadcast (the common leased path never needs it).
+	payload []byte
+	votes   map[string]map[types.ProcessID]bool
+	voters  map[types.ProcessID]bool // distinct replicas that voted fallback
+	// broadcasted flips when the read goes from leader-hint-only to
+	// all-replicas (first fallback vote, or a retransmit tick).
+	broadcasted bool
+	// ordered flips when the read is handed to the ordering path; a late
+	// vote quorum may still complete it first, but no more resends happen.
+	ordered bool
+	leased  bool // completed by a leased reply (for metrics)
+	start   time.Time
+}
+
+// SubmitRead sends a read-only op off the ordering path and returns without
+// waiting. It blocks only while the read window is full, with the same
+// submit-timeout escape hatch as Submit.
+func (p *Pipeline) SubmitRead(ctx context.Context, op []byte) (*ReadCall, error) {
+	var timeout <-chan time.Time
+	if p.submitTimeout > 0 {
+		tm := time.NewTimer(p.submitTimeout)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	select {
+	case <-p.readAvail:
+	case <-timeout:
+		p.mxSubmitSheds.Inc()
+		return nil, fmt.Errorf("smr: read window exhausted for %v: %w", p.submitTimeout, ErrOverloaded)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-p.ctx.Done():
+		return nil, ErrClientClosed
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	p.nextNum++
+	req := ReadRequest{Client: p.id, Num: p.nextNum, Op: op}
+	call := &ReadCall{req: req, done: make(chan struct{})}
+	p.readInflight[req.Num] = &readCall{
+		call:  call,
+		votes: make(map[string]map[types.ProcessID]bool),
+		start: time.Now(),
+	}
+	p.mu.Unlock()
+	p.mxReadsSubmitted.Inc()
+	// The send loop drains everything queued since its last wakeup into one
+	// frame, so under load a burst of reads costs the leader one receive
+	// instead of one per read. Push only fails once the queue is closed.
+	if !p.readOut.Push(readOutItem{num: req.Num, req: req}) {
+		p.completeRead(req.Num, nil, ErrClientClosed)
+		return nil, ErrClientClosed
+	}
+	return call, nil
+}
+
+// readOutItem is one queued read submission; the wire forms are built at
+// send time so a batched read never pays for the single-read envelope.
+type readOutItem struct {
+	num uint64
+	req ReadRequest
+}
+
+// maxReadSubmitBatch caps reads coalesced into one frame so a deep backlog
+// cannot produce an arbitrarily large message.
+const maxReadSubmitBatch = 512
+
+// readSendLoop drains queued read submissions and sends them to the
+// current leader hint — one frame per wakeup: the bare payload when a
+// single read is queued (wire-identical to the unbatched path), a batch
+// frame when the window refilled faster than the last frame round-tripped.
+func (p *Pipeline) readSendLoop() {
+	defer p.wg.Done()
+	for {
+		items, err := p.readOut.PopAll(p.ctx)
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		leader := p.leaderHint
+		p.mu.Unlock()
+		for len(items) > 0 {
+			chunk := items
+			if len(chunk) > maxReadSubmitBatch {
+				chunk = items[:maxReadSubmitBatch]
+			}
+			items = items[len(chunk):]
+			var frame []byte
+			if len(chunk) == 1 {
+				frame = p.readEncode(chunk[0].req)
+			} else {
+				bodies := make([][]byte, len(chunk))
+				for i, it := range chunk {
+					bodies[i] = it.req.Encode()
+				}
+				frame = p.readBatchEncode(bodies)
+			}
+			if err := p.tr.Send(leader, frame); err != nil {
+				for _, it := range chunk {
+					p.completeRead(it.num, nil, fmt.Errorf("smr: send read: %w", err))
+				}
+			}
+		}
+	}
+}
+
+// InvokeRead submits a read and blocks until it completes.
+func (p *Pipeline) InvokeRead(ctx context.Context, op []byte) ([]byte, error) {
+	call, err := p.SubmitRead(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-call.done:
+		return call.result, call.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// handleReadReply routes one replica's answer to its in-flight read. Called
+// from recvLoop.
+func (p *Pipeline) handleReadReply(rep ReadReply, from types.ProcessID) {
+	if rep.Client != p.id || rep.Replica != from {
+		return
+	}
+	p.mu.Lock()
+	rc := p.readInflight[rep.Num]
+	if rc == nil {
+		p.mu.Unlock()
+		return
+	}
+	if rep.Code == ReadLeased {
+		// The lease holder's answer is authoritative on its own; remember
+		// who holds the lease so the next read goes straight there.
+		rc.leased = true
+		p.leaderHint = from
+		p.mu.Unlock()
+		// DecodeReadReply copied Result out of the frame, so handing the
+		// slice to the caller is safe without another copy.
+		p.completeRead(rep.Num, rep.Result, nil)
+		return
+	}
+	key := rep.voteKey()
+	if rc.votes[key] == nil {
+		rc.votes[key] = make(map[types.ProcessID]bool)
+	}
+	rc.votes[key][from] = true
+	if rc.voters == nil {
+		rc.voters = make(map[types.ProcessID]bool)
+	}
+	rc.voters[from] = true
+	agreed := len(rc.votes[key]) >= p.readNeed
+	widen := !rc.broadcasted && !agreed
+	if widen {
+		rc.broadcasted = true
+	}
+	// Every replica has voted and no (code, execSeq, result) class reached
+	// quorum: under a live write stream the replicas' execute positions may
+	// never line up, so re-asking would stall the read until the system
+	// quiesces. Hand it to the ordering path instead, which always converges.
+	if !agreed && !rc.ordered && len(rc.voters) >= len(p.replicas) {
+		p.escalateReadLocked(rep.Num, rc)
+	}
+	var payload []byte
+	if widen {
+		payload = p.readPayloadLocked(rc)
+	}
+	p.mu.Unlock()
+	if agreed {
+		p.completeRead(rep.Num, rep.Result, nil)
+		return
+	}
+	if widen {
+		// The replica we asked has no lease: this read finishes as a quorum
+		// read, so get the remaining votes moving now rather than waiting
+		// for the retransmit tick.
+		_ = transport.Broadcast(p.tr, p.replicas, payload)
+	}
+}
+
+// escalateReadLocked resubmits a read that cannot gather matching fallback
+// votes as a regular ordered request — the slow path of the slow path, and
+// the only one guaranteed to converge while writes keep the replicas'
+// execute positions apart. Called with p.mu held.
+func (p *Pipeline) escalateReadLocked(num uint64, rc *readCall) {
+	rc.ordered = true
+	p.mxReadEscalations.Inc()
+	go p.orderRead(num, rc.call.req.Op)
+}
+
+// orderRead drives one escalated read through the ordering path and
+// completes it with the consensus result. Runs outside the mutex: Submit
+// blocks on the write window, and an overloaded window is retried rather
+// than failing a read the caller already holds a ReadCall for.
+func (p *Pipeline) orderRead(num uint64, op []byte) {
+	for {
+		call, err := p.Submit(p.ctx, op)
+		if err == nil {
+			res, rerr := call.Result()
+			p.completeRead(num, res, rerr)
+			return
+		}
+		if !errors.Is(err, ErrOverloaded) {
+			p.completeRead(num, nil, err)
+			return
+		}
+		select {
+		case <-time.After(p.retry):
+		case <-p.ctx.Done():
+			p.completeRead(num, nil, ErrClientClosed)
+			return
+		}
+	}
+}
+
+// completeRead finishes the in-flight read num, if still present, and
+// returns its read-window token.
+func (p *Pipeline) completeRead(num uint64, result []byte, err error) {
+	p.mu.Lock()
+	rc := p.readInflight[num]
+	if rc == nil {
+		p.mu.Unlock()
+		return
+	}
+	delete(p.readInflight, num)
+	p.mu.Unlock()
+	p.mxReadsCompleted.Inc()
+	if err == nil {
+		if rc.leased {
+			p.mxLeasedReads.Inc()
+		} else {
+			p.mxFallbackReads.Inc()
+		}
+		p.mxReadLatency.Observe(time.Since(rc.start).Seconds())
+	}
+	rc.call.result = result
+	rc.call.err = err
+	close(rc.call.done)
+	p.readAvail <- struct{}{}
+}
+
+// readPayloadLocked returns rc's enveloped single-read wire form, building
+// and caching it on first use. Caller holds p.mu.
+func (p *Pipeline) readPayloadLocked(rc *readCall) []byte {
+	if rc.payload == nil {
+		rc.payload = p.readEncode(rc.call.req)
+	}
+	return rc.payload
+}

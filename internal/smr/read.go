@@ -1,0 +1,298 @@
+package smr
+
+// The linearizable read fast path's shared pieces: a read-only request
+// class (ReadRequest/ReadReply) served off the ordering path, the reply
+// codes distinguishing a lease-holder answer from a quorum-read vote, the
+// Querier interface a state machine implements to answer reads without
+// going through Apply, and the UNIDIR_LEASE* environment knobs.
+//
+// Two ways a read completes (see DESIGN.md §8):
+//
+//   - Leased: the current primary holds a lease granted by a replica quorum
+//     and answers locally once its execute watermark covers every request
+//     admitted before the read arrived. One ReadLeased reply completes the
+//     read on its own.
+//   - Fallback: when no valid lease is held (view change in flight, lease
+//     expired, or leases disabled) every replica answers immediately with a
+//     ReadFallback reply carrying its current executed sequence number; the
+//     client accepts a result once enough replicas agree on the same
+//     (executed seq, value) pair — the PR 6 reply-vote machinery applied to
+//     reads.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"unidir/internal/types"
+	"unidir/internal/wire"
+)
+
+// Read reply codes. A fallback-coded reply is one vote in a quorum read; a
+// leased-coded reply is the lease holder's authoritative answer and
+// completes the read alone.
+const (
+	ReadFallback byte = 0
+	ReadLeased   byte = 1
+)
+
+// Querier answers read-only commands against the current state without
+// mutating it. Like Apply it runs on the replica's single execution
+// goroutine, so implementations need not be concurrency-safe. A command
+// that would mutate state must be answered with a deterministic error
+// result, never applied.
+type Querier interface {
+	Query(cmd []byte) []byte
+}
+
+// ReadRequest is a client read submitted off the ordering path. It shares
+// the request identity scheme with Request (client ID plus client-local
+// number) so replies route through the same per-client matching.
+type ReadRequest struct {
+	Client uint64
+	Num    uint64
+	Op     []byte // read-only application command
+}
+
+// Encode returns the canonical wire form.
+func (r ReadRequest) Encode() []byte {
+	e := wire.NewEncoder(24 + len(r.Op))
+	e.Uint64(r.Client)
+	e.Uint64(r.Num)
+	e.BytesField(r.Op)
+	return e.Bytes()
+}
+
+// DecodeReadRequest parses a read request.
+func DecodeReadRequest(b []byte) (ReadRequest, error) {
+	d := wire.NewDecoder(b)
+	var r ReadRequest
+	r.Client = d.Uint64()
+	r.Num = d.Uint64()
+	r.Op = append([]byte(nil), d.BytesField()...)
+	if err := d.Finish(); err != nil {
+		return ReadRequest{}, fmt.Errorf("smr: decode read request: %w", err)
+	}
+	// The sentinel is reserved to open batch frames; no correct client uses
+	// it as an ID, so rejecting it here makes batch/single discrimination
+	// independent of which decoder a handler tries first.
+	if r.Client == readBatchSentinel {
+		return ReadRequest{}, fmt.Errorf("smr: decode read request: reserved client id")
+	}
+	return r, nil
+}
+
+// ReadReply is a replica's answer to a ReadRequest. ExecSeq is the
+// replica's executed-sequence watermark at answer time (executed fresh
+// batches in MinBFT, executed slots in PBFT — deterministic across correct
+// replicas), which is what fallback votes must agree on: matching ExecSeq
+// plus matching Result means the voters answered from the same state.
+type ReadReply struct {
+	Replica types.ProcessID
+	Client  uint64
+	Num     uint64
+	Result  []byte
+	Code    byte
+	ExecSeq uint64
+}
+
+// Encode returns the wire form. The trailing Code and ExecSeq ride after
+// Result, mirroring how Reply gained its code byte.
+func (r ReadReply) Encode() []byte {
+	e := wire.NewEncoder(41 + len(r.Result))
+	e.Int(int(r.Replica))
+	e.Uint64(r.Client)
+	e.Uint64(r.Num)
+	e.BytesField(r.Result)
+	e.Byte(r.Code)
+	e.Uint64(r.ExecSeq)
+	return e.Bytes()
+}
+
+// DecodeReadReply parses a read reply. The trailing Code and ExecSeq are
+// optional on the wire (legacy-tolerant, like Reply's code byte): replies
+// without them decode as a fallback vote at watermark zero.
+func DecodeReadReply(b []byte) (ReadReply, error) {
+	d := wire.NewDecoder(b)
+	var r ReadReply
+	r.Replica = types.ProcessID(d.Int())
+	r.Client = d.Uint64()
+	r.Num = d.Uint64()
+	r.Result = append([]byte(nil), d.BytesField()...)
+	if d.Err() == nil && d.Remaining() > 0 {
+		r.Code = d.Byte()
+	}
+	if d.Err() == nil && d.Remaining() > 0 {
+		r.ExecSeq = d.Uint64()
+	}
+	if err := d.Finish(); err != nil {
+		return ReadReply{}, fmt.Errorf("smr: decode read reply: %w", err)
+	}
+	return r, nil
+}
+
+// voteKey groups fallback read votes: replies agree only when code,
+// executed watermark, and result all match.
+func (r ReadReply) voteKey() string {
+	e := wire.NewEncoder(16 + len(r.Result))
+	e.Byte(r.Code)
+	e.Uint64(r.ExecSeq)
+	e.BytesField(r.Result)
+	return string(e.Bytes())
+}
+
+// defaultLeaseTerm is the leader-lease term when UNIDIR_LEASE is unset.
+const defaultLeaseTerm = 250 * time.Millisecond
+
+// DefaultLeaseTerm returns the default leader-lease term, controlled by the
+// UNIDIR_LEASE environment variable:
+//
+//	unset / "on"    -> 250ms (leases on, the default)
+//	"off" or "0"    -> 0     (leases disabled; every read quorum-reads)
+//	duration string -> parsed (e.g. "100ms", "1s")
+//
+// Protocol options (minbft.WithLeaseTerm, pbft.WithLeaseTerm) override it
+// per replica. The term is the grantor's promise horizon; the holder
+// renews at half the term and treats its lease as expired one eighth of a
+// term early, so clock rate skew below ~12% cannot open a stale window.
+func DefaultLeaseTerm() time.Duration {
+	switch v := os.Getenv("UNIDIR_LEASE"); v {
+	case "", "on":
+		return defaultLeaseTerm
+	case "off", "0":
+		return 0
+	default:
+		if d, err := time.ParseDuration(v); err == nil && d >= 0 {
+			return d
+		}
+		return defaultLeaseTerm
+	}
+}
+
+// DefaultLeaseQuorumFull reports whether leases require a full grant quorum
+// (every replica in MinBFT) rather than the protocol's default, controlled
+// by the UNIDIR_LEASE_QUORUM environment variable ("full" enables it).
+//
+// MinBFT's default lease quorum is f+1 of 2f+1, which is safe under crash
+// and timing faults but lets a single Byzantine grantor defect (provably —
+// its trusted counter orders the grant before its view-change — but not
+// preventably). A full quorum makes the grant set intersect every f+1
+// view-change quorum in at least one correct replica at the cost of
+// requiring all replicas up to establish a lease. See DESIGN.md §8.
+func DefaultLeaseQuorumFull() bool {
+	return os.Getenv("UNIDIR_LEASE_QUORUM") == "full"
+}
+
+// DefaultReadWindow returns the pipelined client's default read window (the
+// in-flight bound for SubmitRead, separate from the write window),
+// controlled by the UNIDIR_READ_WINDOW environment variable:
+//
+//	unset / ""    -> 0 (follow the write window)
+//	integer k > 0 -> k
+func DefaultReadWindow() int {
+	if v := os.Getenv("UNIDIR_READ_WINDOW"); v != "" {
+		var k int
+		if _, err := fmt.Sscanf(v, "%d", &k); err == nil && k > 0 {
+			return k
+		}
+	}
+	return 0
+}
+
+// readBatchSentinel opens a coalesced read-reply frame. Every Reply and
+// ReadReply begins with the sender's replica ID, which correct replicas
+// never encode as -1, so the prefix cleanly separates batch frames from
+// single replies on the shared client delivery path.
+const readBatchSentinel = ^uint64(0)
+
+// EncodeReadReplyBatch coalesces several encoded ReadReply payloads bound
+// for one client into a single transport frame. Replicas answering a burst
+// of reads in one event-loop drain send one frame per client instead of
+// one per read, which is most of the leased fast path's message cost at
+// saturation; a burst of one is sent as the bare reply, so the low-load
+// wire format is unchanged.
+func EncodeReadReplyBatch(reps [][]byte) []byte {
+	n := 16
+	for _, r := range reps {
+		n += 8 + len(r)
+	}
+	e := wire.NewEncoder(n)
+	e.Uint64(readBatchSentinel)
+	e.Uint64(uint64(len(reps)))
+	for _, r := range reps {
+		e.BytesField(r)
+	}
+	return e.Bytes()
+}
+
+// DecodeReadReplyBatch parses a coalesced read-reply frame, failing fast
+// (one integer compare) on anything without the sentinel prefix.
+func DecodeReadReplyBatch(b []byte) ([]ReadReply, error) {
+	d := wire.NewDecoder(b)
+	if d.Uint64() != readBatchSentinel || d.Err() != nil {
+		return nil, fmt.Errorf("smr: not a read reply batch")
+	}
+	count := d.Uint64()
+	// Each entry costs at least its 8-byte length prefix, so a count the
+	// buffer cannot hold is malformed; checking first bounds the alloc.
+	if count > uint64(d.Remaining())/8 {
+		return nil, fmt.Errorf("smr: read reply batch count %d exceeds frame", count)
+	}
+	reps := make([]ReadReply, 0, count)
+	for i := uint64(0); i < count; i++ {
+		rr, err := DecodeReadReply(d.BytesField())
+		if err != nil {
+			return nil, fmt.Errorf("smr: read reply batch entry %d: %w", i, err)
+		}
+		reps = append(reps, rr)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("smr: decode read reply batch: %w", err)
+	}
+	return reps, nil
+}
+
+// EncodeReadRequestBatch coalesces several encoded ReadRequest payloads
+// from one client into a single body, the submission-side mirror of
+// EncodeReadReplyBatch: the client's read send loop packs every read
+// queued while the previous frame was in flight. The sentinel occupies the
+// Client field's position, and no real client encodes ID ^uint64(0), so
+// replicas can discriminate batch from single read with one compare.
+func EncodeReadRequestBatch(reqs [][]byte) []byte {
+	n := 16
+	for _, r := range reqs {
+		n += 8 + len(r)
+	}
+	e := wire.NewEncoder(n)
+	e.Uint64(readBatchSentinel)
+	e.Uint64(uint64(len(reqs)))
+	for _, r := range reqs {
+		e.BytesField(r)
+	}
+	return e.Bytes()
+}
+
+// DecodeReadRequestBatch parses a coalesced read-request body, failing
+// fast (one integer compare) on a single-read body.
+func DecodeReadRequestBatch(b []byte) ([]ReadRequest, error) {
+	d := wire.NewDecoder(b)
+	if d.Uint64() != readBatchSentinel || d.Err() != nil {
+		return nil, fmt.Errorf("smr: not a read request batch")
+	}
+	count := d.Uint64()
+	if count > uint64(d.Remaining())/8 {
+		return nil, fmt.Errorf("smr: read request batch count %d exceeds frame", count)
+	}
+	reqs := make([]ReadRequest, 0, count)
+	for i := uint64(0); i < count; i++ {
+		rr, err := DecodeReadRequest(d.BytesField())
+		if err != nil {
+			return nil, fmt.Errorf("smr: read request batch entry %d: %w", i, err)
+		}
+		reqs = append(reqs, rr)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("smr: decode read request batch: %w", err)
+	}
+	return reqs, nil
+}

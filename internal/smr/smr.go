@@ -159,6 +159,13 @@ func (r Reply) Encode() []byte {
 	return e.Bytes()
 }
 
+// errReplyTrailing distinguishes a well-formed prefix with extra bytes — a
+// ReadReply, which carries a trailing ExecSeq — from a corrupt reply. It is
+// a preallocated sentinel because the pipeline client hits this path once
+// per read reply (it tries DecodeReply first); formatting an error there
+// measurably slows read-heavy workloads.
+var errReplyTrailing = errors.New("smr: decode reply: trailing bytes")
+
 // DecodeReply parses a reply. The trailing code byte is optional on the
 // wire: replies encoded before it existed decode as ReplyOK.
 func DecodeReply(b []byte) (Reply, error) {
@@ -167,13 +174,17 @@ func DecodeReply(b []byte) (Reply, error) {
 	r.Replica = types.ProcessID(d.Int())
 	r.Client = d.Uint64()
 	r.Num = d.Uint64()
-	r.Result = append([]byte(nil), d.BytesField()...)
+	res := d.BytesField()
 	if d.Err() == nil && d.Remaining() > 0 {
 		r.Code = d.Byte()
+	}
+	if d.Err() == nil && d.Remaining() > 0 {
+		return Reply{}, errReplyTrailing
 	}
 	if err := d.Finish(); err != nil {
 		return Reply{}, fmt.Errorf("smr: decode reply: %w", err)
 	}
+	r.Result = append([]byte(nil), res...)
 	return r, nil
 }
 
