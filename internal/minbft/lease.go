@@ -6,10 +6,11 @@ package minbft
 // answers with an attested LEASE-GRANT echoing the request's UI counter
 // value — the grant is thereby bound to the grantor's trusted counter and
 // totally ordered against every other message the grantor ever attests, in
-// particular any later VIEW-CHANGE. Holding grants from f+1 replicas
-// (including itself; all n with UNIDIR_LEASE_QUORUM=full), the primary
-// answers reads locally until leaseSentAt + term − term/8, without touching
-// the ordering path.
+// particular any later VIEW-CHANGE. Holding grants from all n replicas
+// (including itself; only f+1 with UNIDIR_LEASE_QUORUM=fplus1, which is
+// safe under crash and timing faults but not against a Byzantine grantor —
+// see DESIGN.md §8), the primary answers reads locally until
+// leaseSentAt + term − term/8, without touching the ordering path.
 //
 // Freshness: a read is served from the lease only once the execute index
 // covers every slot that was in prepOrder when the read arrived. Any write
@@ -69,10 +70,19 @@ func (r *Replica) leaseValid(now time.Time) bool {
 // renewal at half the term so a healthy leader's lease never lapses.
 // Called at startup (view-0 leader), from installView (a new leader), and
 // from the 'l' renewal timer. Bails — without re-arming — when this replica
-// is not the leader, a view change is in flight, or leases are disabled.
+// is not the leader, a view change is in flight, or leases are disabled
+// (installView restarts renewal when leadership returns). A failed
+// attest/send, by contrast, must NOT stop the timer: the 'l' handler just
+// cleared renewArmed, so the timer is re-armed before anything can fail, or
+// one transient failure would silently end renewal until the next view
+// change and strand every read on the fallback path.
 func (r *Replica) renewLease() {
 	if r.leaseTerm <= 0 || r.inVC || r.m.Leader(r.view) != r.Self() {
 		return
+	}
+	if !r.renewArmed {
+		r.renewArmed = true
+		r.afterTimeout(r.leaseTerm/2, timerEvent{kind: 'l'})
 	}
 	now := time.Now()
 	if !r.leaseUntil.IsZero() && !now.Before(r.leaseUntil) {
@@ -92,10 +102,6 @@ func (r *Replica) renewLease() {
 	// The self-grant carries the same promise any grantor makes.
 	r.promiseGrant(now)
 	r.noteGrant(r.Self())
-	if !r.renewArmed {
-		r.renewArmed = true
-		r.afterTimeout(r.leaseTerm/2, timerEvent{kind: 'l'})
-	}
 }
 
 // promiseGrant extends the grantor promise horizon: no VIEW-CHANGE from us

@@ -278,7 +278,7 @@ type Replica struct {
 	// Leader leases for the read fast path (lease.go). Run-goroutine-owned.
 	leaseTerm       time.Duration // 0: leases (and leased reads) disabled
 	leaseTermSet    bool
-	leaseFull       bool         // require grants from all n replicas, not f+1
+	leaseFull       bool         // require grants from all n replicas (default), not f+1
 	querier         smr.Querier  // nil: the state machine cannot answer reads
 	leaseRound      types.SeqNum // UI seq of our outstanding LEASE-REQUEST
 	leaseSentAt     time.Time
@@ -446,7 +446,9 @@ func New(m types.Membership, tr transport.Transport, dev *trinc.Device, ver *tri
 		// so skip the lease traffic entirely.
 		r.leaseTerm = 0
 	}
-	r.leaseFull = smr.DefaultLeaseQuorumFull()
+	// MinBFT's f+1 minimum grant quorum is not Byzantine-safe, so the
+	// default is the full quorum; UNIDIR_LEASE_QUORUM=fplus1 opts out.
+	r.leaseFull = smr.LeaseQuorumFull(false)
 	switch {
 	case r.ckptInterval == 0:
 		r.ckptInterval = smr.DefaultCheckpointInterval()

@@ -358,7 +358,9 @@ func New(m types.Membership, tr transport.Transport, ring *sig.Keyring, sm smr.S
 		// Without a Querier nothing can answer a read; skip lease traffic.
 		r.leaseTerm = 0
 	}
-	r.leaseFull = smr.DefaultLeaseQuorumFull()
+	// PBFT's 2f+1 minimum grant quorum already intersects every view-change
+	// quorum in a correct replica, so the minimum is the default.
+	r.leaseFull = smr.LeaseQuorumFull(true)
 	switch {
 	case r.ckptInterval == 0:
 		r.ckptInterval = smr.DefaultCheckpointInterval()

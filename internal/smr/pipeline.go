@@ -87,10 +87,12 @@ type Pipeline struct {
 	// nextNum counter as writes, so a number identifies exactly one of the
 	// two maps and reply routing cannot confuse a read with a write.
 	readInflight map[uint64]*readCall
-	// leaderHint is the replica first reads are sent to: the last replica
-	// that answered with a leased reply, or replicas[0] before any has.
-	// Sending the first copy only there is what makes a leased read two
-	// messages instead of a broadcast and a quorum of replies.
+	// leaderHint is the replica first reads are sent to: the last *targeted*
+	// replica that answered with a leased reply, or replicas[0] before any
+	// has. Sending the first copy only there is what makes a leased read two
+	// messages instead of a broadcast and a quorum of replies. The hint only
+	// ever moves when the targeted replica confirms or disclaims a lease
+	// (or goes silent) — an unsolicited leased reply cannot capture it.
 	leaderHint types.ProcessID
 	closed     bool
 	curWindow  int
@@ -541,6 +543,9 @@ func (p *Pipeline) retransmitLoop() {
 				continue
 			}
 			rc.broadcasted = true
+			if rc.sent {
+				p.advanceHintLocked(rc.sentTo)
+			}
 			resendReads = append(resendReads, p.readPayloadLocked(rc))
 		}
 		p.mu.Unlock()

@@ -5,7 +5,11 @@ package smr
 // and escalates to a full broadcast the moment any replica answers with a
 // fallback vote (no lease; the read must gather p.readNeed matching
 // (code, execSeq, result) votes instead). A ReadLeased reply completes the
-// read by itself and updates the leader hint for subsequent reads.
+// read by itself, but only when it comes from the replica the read was
+// actually sent to: a leased reply from anyone else is demoted to a single
+// unverified fallback vote, or one Byzantine replica could answer broadcast
+// reads with arbitrary results and capture the leader hint for every read
+// after (DESIGN.md §8).
 
 import (
 	"context"
@@ -45,6 +49,13 @@ type readCall struct {
 	payload []byte
 	votes   map[string]map[types.ProcessID]bool
 	voters  map[types.ProcessID]bool // distinct replicas that voted fallback
+	// maxSeq is the freshest executed watermark any vote has carried; only
+	// a vote class at this watermark may win (see handleReadReply).
+	maxSeq uint64
+	// sentTo is the replica the first copy was aimed at (valid once sent
+	// flips) — the only replica whose ReadLeased reply is authoritative.
+	sentTo types.ProcessID
+	sent   bool
 	// broadcasted flips when the read goes from leader-hint-only to
 	// all-replicas (first fallback vote, or a retransmit tick).
 	broadcasted bool
@@ -124,6 +135,13 @@ func (p *Pipeline) readSendLoop() {
 		}
 		p.mu.Lock()
 		leader := p.leaderHint
+		// Stamp the target before anything is on the wire: a leased reply is
+		// only trusted when it comes from the replica the read was aimed at.
+		for _, it := range items {
+			if rc := p.readInflight[it.num]; rc != nil {
+				rc.sentTo, rc.sent = leader, true
+			}
+		}
 		p.mu.Unlock()
 		for len(items) > 0 {
 			chunk := items
@@ -177,15 +195,26 @@ func (p *Pipeline) handleReadReply(rep ReadReply, from types.ProcessID) {
 		return
 	}
 	if rep.Code == ReadLeased {
-		// The lease holder's answer is authoritative on its own; remember
-		// who holds the lease so the next read goes straight there.
-		rc.leased = true
-		p.leaderHint = from
-		p.mu.Unlock()
-		// DecodeReadReply copied Result out of the frame, so handing the
-		// slice to the caller is safe without another copy.
-		p.completeRead(rep.Num, rep.Result, nil)
-		return
+		if rc.sent && from == rc.sentTo {
+			// The targeted replica's leased answer is authoritative (the
+			// trusted-leaseholder assumption, DESIGN.md §8); remember who
+			// holds the lease so the next read goes straight there.
+			rc.leased = true
+			p.leaderHint = from
+			p.mu.Unlock()
+			// DecodeReadReply copied Result out of the frame, so handing the
+			// slice to the caller is safe without another copy.
+			p.completeRead(rep.Num, rep.Result, nil)
+			return
+		}
+		// A replica this read was never aimed at claims the lease. Trusting
+		// it would let a single Byzantine replica answer broadcast reads
+		// with arbitrary results and poison the leader hint for every read
+		// after, so demote the reply to one unverified fallback vote.
+		rep.Code = ReadFallback
+	}
+	if rep.ExecSeq > rc.maxSeq {
+		rc.maxSeq = rep.ExecSeq
 	}
 	key := rep.voteKey()
 	if rc.votes[key] == nil {
@@ -196,10 +225,21 @@ func (p *Pipeline) handleReadReply(rep ReadReply, from types.ProcessID) {
 		rc.voters = make(map[types.ProcessID]bool)
 	}
 	rc.voters[from] = true
-	agreed := len(rc.votes[key]) >= p.readNeed
+	// A class wins only while it carries the freshest executed watermark
+	// collected so far: on bare f+1 matching votes, one Byzantine voter
+	// echoing f lagging-but-correct replicas' watermark could carry a stale
+	// class past quorum even after a fresher vote exposed it. A stuck-below-
+	// max class ends at the escalation below, never as a completed read.
+	agreed := len(rc.votes[key]) >= p.readNeed && rep.ExecSeq >= rc.maxSeq
 	widen := !rc.broadcasted && !agreed
 	if widen {
 		rc.broadcasted = true
+		if rc.sent && from == rc.sentTo {
+			// The replica this read targeted answered without a lease: move
+			// the hint along so later reads probe the next replica (views
+			// rotate through the replica set) instead of re-asking it.
+			p.advanceHintLocked(from)
+		}
 	}
 	// Every replica has voted and no (code, execSeq, result) class reached
 	// quorum: under a live write stream the replicas' execute positions may
@@ -284,6 +324,25 @@ func (p *Pipeline) completeRead(num uint64, result []byte, err error) {
 	rc.call.err = err
 	close(rc.call.done)
 	p.readAvail <- struct{}{}
+}
+
+// advanceHintLocked rotates the leader hint off a replica that answered a
+// targeted read without a lease (or never answered at all). Leadership
+// rotates through the replica set as views advance, so probing the next
+// replica converges on the actual leaseholder within one lap — without ever
+// letting a replica claim the hint by merely asserting a lease. Only the
+// read's own stale target rotates the hint, so a burst of concurrently
+// widening reads advances it once, not once each. Caller holds p.mu.
+func (p *Pipeline) advanceHintLocked(stale types.ProcessID) {
+	if p.leaderHint != stale {
+		return
+	}
+	for i, id := range p.replicas {
+		if id == stale {
+			p.leaderHint = p.replicas[(i+1)%len(p.replicas)]
+			return
+		}
+	}
 }
 
 // readPayloadLocked returns rc's enveloped single-read wire form, building

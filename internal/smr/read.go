@@ -169,18 +169,35 @@ func DefaultLeaseTerm() time.Duration {
 	}
 }
 
-// DefaultLeaseQuorumFull reports whether leases require a full grant quorum
-// (every replica in MinBFT) rather than the protocol's default, controlled
-// by the UNIDIR_LEASE_QUORUM environment variable ("full" enables it).
+// LeaseQuorumFull reports whether leases require a full (all-n) grant
+// quorum rather than the protocol's minimum, controlled by the
+// UNIDIR_LEASE_QUORUM environment variable:
 //
-// MinBFT's default lease quorum is f+1 of 2f+1, which is safe under crash
-// and timing faults but lets a single Byzantine grantor defect (provably —
-// its trusted counter orders the grant before its view-change — but not
-// preventably). A full quorum makes the grant set intersect every f+1
-// view-change quorum in at least one correct replica at the cost of
-// requiring all replicas up to establish a lease. See DESIGN.md §8.
-func DefaultLeaseQuorumFull() bool {
-	return os.Getenv("UNIDIR_LEASE_QUORUM") == "full"
+//	"full"           -> all n replicas
+//	"min" / "fplus1" -> the protocol minimum (f+1 MinBFT, 2f+1 PBFT)
+//	unset / other    -> the protocol's Byzantine-safe default
+//
+// minIsByzantineSafe tells the knob what the caller's minimum already
+// guarantees. PBFT's 2f+1-of-3f+1 grant quorum intersects every view-change
+// quorum in a correct replica, so its minimum doubles as its default.
+// MinBFT's f+1-of-2f+1 minimum is safe under crash and timing faults only:
+// a single Byzantine grantor can grant a lease and still vote a new primary
+// in (its trusted counter makes the defection provable, not preventable),
+// leaving the deposed holder serving stale leased reads. MinBFT therefore
+// defaults to the full quorum, and f+1 is the explicit opt-in performance
+// mode for deployments that rule out Byzantine grantors — at the price that
+// a full quorum needs every replica up to establish a lease (reads degrade
+// to quorum-read fallbacks otherwise, never to wrong answers). See
+// DESIGN.md §8.
+func LeaseQuorumFull(minIsByzantineSafe bool) bool {
+	switch os.Getenv("UNIDIR_LEASE_QUORUM") {
+	case "full":
+		return true
+	case "min", "fplus1":
+		return false
+	default:
+		return !minIsByzantineSafe
+	}
 }
 
 // DefaultReadWindow returns the pipelined client's default read window (the
