@@ -70,12 +70,12 @@ bench-smoke:
 # bench-json reruns the B1/B2/B9/B10 experiment tables and writes every row as
 # JSON to $(BENCH_JSON) for dashboards/regression tracking.
 bench-json:
-	$(GO) run ./cmd/benchharness -exp b1,b2,b9,b10 -msgs $(BENCH_MSGS) -ops $(BENCH_OPS) -json $(BENCH_JSON)
+	$(GO) run ./cmd/benchharness -exp b1,b2,b9,b10,b11 -msgs $(BENCH_MSGS) -ops $(BENCH_OPS) -json $(BENCH_JSON)
 
 # bench-regress reruns bench-json into a scratch file and compares every
 # row's ops_per_sec against the newest checked-in BENCH_*.json; a drop of
 # more than 20% on any matching row fails. With no baseline checked in the
 # comparison is skipped (exits zero).
 bench-regress:
-	$(GO) run ./cmd/benchharness -exp b1,b2,b9,b10 -msgs $(BENCH_MSGS) -ops $(BENCH_OPS) -json /tmp/bench-regress.json
+	$(GO) run ./cmd/benchharness -exp b1,b2,b9,b10,b11 -msgs $(BENCH_MSGS) -ops $(BENCH_OPS) -json /tmp/bench-regress.json
 	$(GO) run ./cmd/benchregress -current /tmp/bench-regress.json

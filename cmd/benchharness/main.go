@@ -12,6 +12,9 @@
 //	    + backpressure vs the fixed baseline, across an offered-load sweep
 //	B10 read fast path: leased linearizable reads vs consensus-path reads
 //	    over a mixed workload (-read-ratio; default sweeps 90% and 100%)
+//	B11 sharded multi-group SMR: aggregate write throughput across 1/2/4
+//	    shards in a latency-bound regime, plus router overhead on the
+//	    leased-read path
 //
 // Usage:
 //
@@ -39,6 +42,7 @@ type benchRow struct {
 	N             int     `json:"n"`
 	F             int     `json:"f"`
 	Phases        int     `json:"phases,omitempty"`
+	Shards        int     `json:"shards,omitempty"` // B11: consensus groups behind the router
 	Batch         int     `json:"batch,omitempty"`
 	Window        int     `json:"window,omitempty"`
 	Ops           int     `json:"ops"`
@@ -82,7 +86,7 @@ func (r *report) write(path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: all, or a comma-separated subset of f1,e1,b1,b2,b3,b4,b8,b9,b10")
+	exp := flag.String("exp", "all", "experiments to run: all, or a comma-separated subset of f1,e1,b1,b2,b3,b4,b8,b9,b10,b11")
 	msgs := flag.Int("msgs", 200, "broadcasts per configuration (B1)")
 	ops := flag.Int("ops", 500, "client operations per configuration (B2)")
 	iters := flag.Int("iters", 5000, "iterations per microbenchmark (B3)")
@@ -115,6 +119,7 @@ func run(exp string, msgs, ops, iters, roundsN int, readRatio float64, jsonPath,
 		{"b8", func() error { return expB8(ops, traceOut) }, false},
 		{"b9", func() error { return expB9(ops, rep) }, true},
 		{"b10", func() error { return expB10(ops, readRatio, rep) }, true},
+		{"b11", func() error { return expB11(ops, rep) }, true},
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(exp, ",") {

@@ -4,15 +4,17 @@
 // fresh run, and any row whose ops_per_sec dropped more than -threshold
 // (default 20%) against the matching baseline row fails the build.
 //
-// B10 lease-mode rows are additionally gated on the read fast path: a
-// reads_per_sec drop past -threshold or a read_p99_us rise past
+// B10 and B11 lease-mode rows are additionally gated on the read fast
+// path: a reads_per_sec drop past -threshold or a read_p99_us rise past
 // -read-p99-threshold (default 1.0: fail beyond 2x baseline) fails. The
-// consensus-mode rows are reported but not gated at all — they measure a
-// deliberately saturated baseline whose collapse point is noisy across
-// runs, and the gate exists to protect the fast path.
+// B10 consensus-mode rows are reported but not gated at all — they measure
+// a deliberately saturated baseline whose collapse point is noisy across
+// runs, and the gate exists to protect the fast path. B11's sharded rows
+// (write scaling per shard count, lease-through-router) are gated like any
+// other throughput row, keyed additionally by shard count.
 //
 // Rows are matched by their full configuration key — experiment, impl, n,
-// f, batch, window, and (for B9) mode and offered rate. Rows present in
+// f, shards, batch, window, and (for B9) mode and offered rate. Rows present in
 // only one file are reported but do not fail: experiments come and go
 // across PRs, and a missing row is a coverage question, not a regression.
 // With no baseline (first run in a fresh checkout) the tool prints a notice
@@ -36,6 +38,7 @@ type row struct {
 	N             int     `json:"n"`
 	F             int     `json:"f"`
 	Phases        int     `json:"phases,omitempty"`
+	Shards        int     `json:"shards,omitempty"`
 	Batch         int     `json:"batch,omitempty"`
 	Window        int     `json:"window,omitempty"`
 	OpsPerSec     float64 `json:"ops_per_sec"`
@@ -47,8 +50,8 @@ type row struct {
 }
 
 func (r row) key() string {
-	return fmt.Sprintf("%s|%s|n=%d|f=%d|ph=%d|b=%d|w=%d|%s|%.0f|r=%.2f",
-		r.Exp, r.Impl, r.N, r.F, r.Phases, r.Batch, r.Window, r.Mode, r.OfferedPerSec, r.ReadRatio)
+	return fmt.Sprintf("%s|%s|n=%d|f=%d|s=%d|ph=%d|b=%d|w=%d|%s|%.0f|r=%.2f",
+		r.Exp, r.Impl, r.N, r.F, r.Shards, r.Phases, r.Batch, r.Window, r.Mode, r.OfferedPerSec, r.ReadRatio)
 }
 
 // gateReads reports whether a row's read columns are regression-gated: only

@@ -18,6 +18,15 @@
 // then client endpoints. Kill a backup replica and the cluster keeps
 // serving; kill the primary and a view change recovers it.
 //
+// Sharding: -shards s runs s independent consensus groups and routes every
+// key to the group owning it (internal/shard; UNIDIR_SHARDS sets the
+// default). The config becomes shard-major: s*n replica addresses (group
+// 0's replicas, then group 1's, ...), then s addresses per client — one
+// endpoint per group, since a client process reaches whichever group its
+// key routes to. Replica IDs are global: replica id serves group id/n as
+// local replica id%n. Client IDs start at s*n. With -shards 1 (the
+// default) this collapses to the layout above.
+//
 // Crash-restart survival: give each replica its own -data-dir and it
 // persists the trusted-counter WAL plus the latest stable checkpoint there.
 // A replica killed outright (SIGKILL) and restarted with the same flags
@@ -35,24 +44,21 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
-	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
+	"unidir/internal/cluster"
 	"unidir/internal/kvstore"
-	"unidir/internal/minbft"
 	"unidir/internal/obs"
 	"unidir/internal/obs/tracing"
+	"unidir/internal/shard"
 	"unidir/internal/sig"
 	"unidir/internal/smr"
 	"unidir/internal/tcpnet"
-	"unidir/internal/trusted/ctrstore"
-	"unidir/internal/trusted/trinc"
 	"unidir/internal/types"
 )
 
@@ -78,7 +84,8 @@ func main() {
 	id := flag.Int("id", -1, "this process's ID (replicas: 0..n-1; clients: >= n)")
 	n := flag.Int("n", 3, "number of replicas")
 	f := flag.Int("f", 1, "failure threshold (n must be >= 2f+1)")
-	config := flag.String("config", "", "comma-separated host:port per process ID")
+	config := flag.String("config", "", "comma-separated host:port per process ID (shard-major with -shards > 1)")
+	shards := flag.Int("shards", shard.DefaultShards(), "independent consensus groups; keys route by hash (UNIDIR_SHARDS sets the default)")
 	seed := flag.Int64("seed", 42, "deterministic key seed shared by the whole demo cluster")
 	timeout := flag.Duration("timeout", time.Second, "view-change request timeout (replicas)")
 	dataDir := flag.String("data-dir", "", "replica persistence dir (counter WAL + stable checkpoint); empty = volatile")
@@ -108,54 +115,80 @@ func main() {
 		paceDepth:     *paceDepth,
 		leaseTerm:     *leaseTerm,
 	}
-	if err := run(*role, *id, *n, *f, *config, *seed, ro, flag.Args()); err != nil {
+	if err := run(*role, *id, *n, *f, *shards, *config, *seed, ro, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "minbft-kv:", err)
 		os.Exit(1)
 	}
 }
 
-func run(role string, id, n, f int, config string, seed int64, ro replicaOpts, args []string) error {
-	addrs := strings.Split(config, ",")
-	if config == "" || len(addrs) <= n {
-		return fmt.Errorf("-config must list at least n+1 addresses (replicas then clients)")
+func run(role string, id, n, f, shards int, config string, seed int64, ro replicaOpts, args []string) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", shards)
 	}
-	cfg := make(tcpnet.Config, len(addrs))
-	for i, addr := range addrs {
-		cfg[types.ProcessID(i)] = strings.TrimSpace(addr)
+	addrs := strings.Split(config, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	// Shard-major layout: shards*n replica addresses, then shards per
+	// client. With shards=1 this is the classic replicas-then-clients list.
+	if config == "" || len(addrs)%shards != 0 || len(addrs)/shards <= n {
+		return fmt.Errorf("-config must list shards*n replica addresses then shards per client (got %d addresses for n=%d shards=%d)",
+			len(addrs), n, shards)
 	}
 	m, err := types.NewMembership(n, f)
 	if err != nil {
 		return err
 	}
-	self := types.ProcessID(id)
-	if _, ok := cfg[self]; !ok {
-		return fmt.Errorf("id %d has no address in -config", id)
-	}
 
 	switch role {
 	case "replica":
-		return runReplica(m, self, cfg, seed, ro)
+		if id < 0 || id >= shards*n {
+			return fmt.Errorf("replica id %d out of range [0, %d)", id, shards*n)
+		}
+		g, local := id/n, types.ProcessID(id%n)
+		// Each group derives its own trusted-hardware universe: same seed
+		// convention, offset by group, so all processes of a group agree
+		// and distinct groups hold distinct keys.
+		return runReplica(m, local, shardConfig(addrs, n, shards, g), seed+int64(g), ro)
 	case "client":
-		return runClient(m, self, cfg, args)
+		if id < shards*n {
+			return fmt.Errorf("client id %d must be >= shards*n (%d)", id, shards*n)
+		}
+		return runClient(m, n, shards, id-shards*n, addrs, args)
 	default:
 		return fmt.Errorf("-role must be replica or client")
 	}
 }
 
-func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, seed int64, ro replicaOpts) error {
-	if !m.Contains(self) {
-		return fmt.Errorf("replica id %v out of range [0, %d)", self, m.N)
+// shardConfig projects the shard-major global address list onto group g's
+// local process space: local IDs 0..n-1 are the group's replicas, local n+j
+// is client j's group-g endpoint.
+func shardConfig(addrs []string, n, shards, g int) tcpnet.Config {
+	clients := len(addrs)/shards - n
+	cfg := make(tcpnet.Config, n+clients)
+	for i := 0; i < n; i++ {
+		cfg[types.ProcessID(i)] = addrs[g*n+i]
 	}
-	universe, err := trinc.NewUniverse(m, sig.HMAC, rand.New(rand.NewSource(seed)))
-	if err != nil {
-		return err
+	for j := 0; j < clients; j++ {
+		cfg[types.ProcessID(n+j)] = addrs[shards*n+j*shards+g]
 	}
-	repOpts := []minbft.Option{minbft.WithRequestTimeout(ro.timeout)}
-	if ro.checkpoint != 0 {
-		repOpts = append(repOpts, minbft.WithCheckpointInterval(ro.checkpoint))
-	}
-	if ro.batchDeadline != 0 {
-		repOpts = append(repOpts, minbft.WithBatchDeadline(ro.batchDeadline))
+	return cfg
+}
+
+// replicaSpec translates the replica flags into the group-agnostic
+// cluster.Spec shared with the in-process harness.
+func replicaSpec(m types.Membership, seed int64, ro replicaOpts) cluster.Spec {
+	spec := cluster.Spec{
+		Protocol:      cluster.MinBFT,
+		F:             m.F,
+		Scheme:        sig.HMAC,
+		Timeout:       ro.timeout,
+		Ckpt:          ro.checkpoint,
+		BatchDeadline: ro.batchDeadline,
+		PaceDepth:     ro.paceDepth,
+		LeaseTerm:     ro.leaseTerm,
+		DataDir:       ro.dataDir,
+		Seed:          seed,
 	}
 	if ro.admitPending >= 0 || ro.admitRate >= 0 || ro.admitBurst >= 0 {
 		// Flags override the UNIDIR_ADMIT_* environment defaults per field.
@@ -169,43 +202,41 @@ func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, see
 		if ro.admitBurst >= 0 {
 			admit.Burst = ro.admitBurst
 		}
-		repOpts = append(repOpts, minbft.WithAdmission(admit))
+		spec.Admission = &admit
 	}
-	if ro.paceDepth != 0 {
-		repOpts = append(repOpts, minbft.WithProposalPacing(ro.paceDepth))
+	return spec
+}
+
+func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, seed int64, ro replicaOpts) error {
+	if !m.Contains(self) {
+		return fmt.Errorf("replica id %v out of range [0, %d)", self, m.N)
 	}
-	if ro.leaseTerm != 0 {
-		repOpts = append(repOpts, minbft.WithLeaseTerm(ro.leaseTerm))
-	}
+	spec := replicaSpec(m, seed, ro)
 	var reg *obs.Registry
 	var spans *tracing.SpanBuffer
+	var tracer *tracing.Tracer
 	if ro.debugAddr != "" {
 		reg = obs.NewRegistry()
-		repOpts = append(repOpts, minbft.WithMetrics(reg))
-		universe.Verifier.FastPath().AttachMetrics(reg)
+		spec.Metrics = reg
 		if rate := tracing.DefaultSampleRate(); rate > 0 {
 			spans = tracing.NewSpanBuffer(4096)
-			repOpts = append(repOpts,
-				minbft.WithTracer(tracing.NewTracer(fmt.Sprintf("r%d", self), rate, spans)))
+			tracer = tracing.NewTracer(fmt.Sprintf("r%d", self), rate, spans)
 		}
 	}
-	var counters *ctrstore.Store
+	keys, err := cluster.ProvisionKeys(spec, m)
+	if err != nil {
+		return err
+	}
+	keys.AttachMetrics(reg)
 	if ro.dataDir != "" {
 		// Counter persistence before anything attests: the WAL is what
 		// keeps the rehydrated trinket monotone across SIGKILL.
-		if err := os.MkdirAll(ro.dataDir, 0o755); err != nil {
-			return err
-		}
-		counters, err = ctrstore.Open(filepath.Join(ro.dataDir, "usig.wal"),
-			ctrstore.WithLogger(obs.NewLogger(os.Stderr, slog.LevelInfo, "ctrstore", self)))
+		counters, err := keys.Persist(self, ro.dataDir,
+			obs.NewLogger(os.Stderr, slog.LevelInfo, "ctrstore", self))
 		if err != nil {
 			return err
 		}
 		defer counters.Close()
-		if err := universe.Devices[self].Persist(counters); err != nil {
-			return err
-		}
-		repOpts = append(repOpts, minbft.WithDataDir(ro.dataDir))
 	}
 	var netOpts []tcpnet.Option
 	if ro.dialTimeout > 0 {
@@ -221,14 +252,14 @@ func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, see
 	if err != nil {
 		return err
 	}
-	rep, err := minbft.New(m, tr, universe.Devices[self], universe.Verifier, kvstore.New(), repOpts...)
+	rep, err := cluster.NewReplica(spec, m, self, tr, keys, kvstore.New(), tracer)
 	if err != nil {
 		_ = tr.Close()
 		return err
 	}
 	fmt.Printf("replica %v serving on %s (n=%d, f=%d)\n", self, tr.Addr(), m.N, m.F)
 	if reg != nil {
-		handler := obs.Handler(reg, obs.WithSpans(spans), obs.WithReadiness(rep.Ready))
+		handler := obs.Handler(reg, obs.WithSpans(spans), obs.WithReadiness(cluster.Readiness(rep)))
 		go func() {
 			fmt.Printf("debug server on http://%s/metrics\n", ro.debugAddr)
 			if err := http.ListenAndServe(ro.debugAddr, handler); err != nil {
@@ -244,10 +275,21 @@ func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, see
 	return rep.Close()
 }
 
-func runClient(m types.Membership, self types.ProcessID, cfg tcpnet.Config, args []string) error {
+func runClient(m types.Membership, n, shards, clientIdx int, addrs []string, args []string) error {
 	if len(args) < 2 {
 		return fmt.Errorf("usage: ... put KEY VALUE | get KEY | rget KEY | del KEY")
 	}
+	// Route the key, then talk to its group exactly like an unsharded
+	// client: every CLI invocation is a single-key operation, so routing is
+	// just picking which group's endpoints to dial. All clients share the
+	// deterministic uniform view, so they agree on placement with no
+	// coordination (shard.View).
+	view, err := shard.NewUniformView(1, shards)
+	if err != nil {
+		return err
+	}
+	cfg := shardConfig(addrs, n, shards, view.Group(args[1]))
+	self := types.ProcessID(n + clientIdx)
 	tr, err := tcpnet.New(self, cfg)
 	if err != nil {
 		return err
@@ -256,6 +298,8 @@ func runClient(m types.Membership, self types.ProcessID, cfg tcpnet.Config, args
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
+	spec := cluster.Spec{Protocol: cluster.MinBFT, F: m.F}
+	enc := spec.Encoders()
 	if args[0] == "rget" {
 		// Read fast path: answered by one leased reply from the leader, or by
 		// f+1 matching fallback votes when no lease is live (smr/read.go).
@@ -263,10 +307,10 @@ func runClient(m types.Membership, self types.ProcessID, cfg tcpnet.Config, args
 		// transport endpoint.
 		pl, err := smr.NewPipeline(tr, m.All(), m.FPlusOne(), uint64(self),
 			200*time.Millisecond, 1,
-			smr.WithPipelineRequestEncoder(minbft.EncodeRequestEnvelope),
-			smr.WithPipelineReadEncoder(minbft.EncodeReadRequestEnvelope),
-			smr.WithPipelineReadBatchEncoder(minbft.EncodeReadBatchEnvelope),
-			smr.WithReadQuorum(m.FPlusOne()))
+			smr.WithPipelineRequestEncoder(enc.Request),
+			smr.WithPipelineReadEncoder(enc.Read),
+			smr.WithPipelineReadBatchEncoder(enc.ReadBatch),
+			smr.WithReadQuorum(spec.ReadQuorum(m)))
 		if err != nil {
 			return err
 		}
@@ -280,7 +324,7 @@ func runClient(m types.Membership, self types.ProcessID, cfg tcpnet.Config, args
 	}
 
 	base, err := smr.NewClient(tr, m.All(), m.FPlusOne(), uint64(self), 200*time.Millisecond,
-		smr.WithRequestEncoder(minbft.EncodeRequestEnvelope))
+		smr.WithRequestEncoder(enc.Request))
 	if err != nil {
 		return err
 	}

@@ -12,11 +12,10 @@ import (
 	"math/rand"
 	"time"
 
+	"unidir/internal/cluster"
 	"unidir/internal/kvstore"
-	"unidir/internal/minbft"
 	"unidir/internal/obs"
 	"unidir/internal/obs/tracing"
-	"unidir/internal/pbft"
 	"unidir/internal/rounds"
 	"unidir/internal/sig"
 	"unidir/internal/simnet"
@@ -26,6 +25,7 @@ import (
 	"unidir/internal/srb/bracha"
 	"unidir/internal/srb/trincsrb"
 	"unidir/internal/srb/uniround"
+	"unidir/internal/transport"
 	"unidir/internal/trusted/a2m"
 	"unidir/internal/trusted/swmr"
 	"unidir/internal/trusted/trinc"
@@ -251,11 +251,43 @@ func BuildMinBFTScheme(f int, scheme sig.Scheme) (*SMRCluster, error) {
 
 // BuildMinBFTCfg builds a MinBFT deployment from an SMRConfig.
 func BuildMinBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
-	n := 2*cfg.F + 1
-	m, err := types.NewMembership(n, cfg.F)
+	return buildSMR(cluster.MinBFT, cfg)
+}
+
+// smrSpec translates the harness-level SMRConfig into the group-agnostic
+// cluster.Spec shared with cmd/minbft-kv and sharded deployments.
+func smrSpec(p cluster.Protocol, cfg SMRConfig) cluster.Spec {
+	spec := cluster.Spec{
+		Protocol:         p,
+		F:                cfg.F,
+		Scheme:           cfg.Scheme,
+		Batch:            cfg.Batch,
+		Ckpt:             cfg.Ckpt,
+		BatchDeadline:    cfg.BatchDeadline,
+		FixedBatchWindow: cfg.FixedBatchWindow,
+		Admission:        cfg.Admission,
+		PaceDepth:        cfg.PaceDepth,
+		LeaseTerm:        cfg.LeaseTerm,
+		Metrics:          cfg.Metrics,
+	}
+	if p == cluster.MinBFT {
+		// The harness has always run MinBFT with a long view-change fuse so
+		// in-process benchmark pauses don't trigger spurious view changes.
+		spec.Timeout = 5 * time.Second
+	}
+	return spec
+}
+
+// buildSMR builds one consensus group over a fresh simnet with the
+// configured clients attached — the single-group deployment every
+// experiment before sharding used.
+func buildSMR(p cluster.Protocol, cfg SMRConfig) (*SMRCluster, error) {
+	spec := smrSpec(p, cfg)
+	m, err := spec.Membership()
 	if err != nil {
 		return nil, err
 	}
+	n := m.N
 	// Extra endpoints: the closed-loop client and the pipeline(s).
 	netM, err := types.NewMembership(n+1+pipeCount(cfg), cfg.F)
 	if err != nil {
@@ -265,60 +297,20 @@ func BuildMinBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	tu, err := trinc.NewUniverse(m, cfg.Scheme, rand.New(rand.NewSource(3)))
+	tracers, pipeTracer, spanBufs := smrTracers(cfg, n)
+	group, err := cluster.NewGroup(spec, m,
+		func(id types.ProcessID) transport.Transport { return net.Endpoint(id) },
+		func() smr.StateMachine { return kvstore.New() }, tracers)
 	if err != nil {
 		net.Close()
 		return nil, err
 	}
-	opts := []minbft.Option{minbft.WithRequestTimeout(5 * time.Second)}
-	if cfg.Batch > 0 {
-		opts = append(opts, minbft.WithBatchSize(cfg.Batch))
-	}
-	if cfg.Ckpt != 0 {
-		opts = append(opts, minbft.WithCheckpointInterval(cfg.Ckpt))
-	}
-	if cfg.BatchDeadline != 0 {
-		opts = append(opts, minbft.WithBatchDeadline(cfg.BatchDeadline))
-	}
-	if cfg.FixedBatchWindow {
-		opts = append(opts, minbft.WithFixedBatchWindow())
-	}
-	if cfg.Admission != nil {
-		opts = append(opts, minbft.WithAdmission(*cfg.Admission))
-	}
-	if cfg.PaceDepth != 0 {
-		opts = append(opts, minbft.WithProposalPacing(cfg.PaceDepth))
-	}
-	if cfg.LeaseTerm != 0 {
-		opts = append(opts, minbft.WithLeaseTerm(cfg.LeaseTerm))
-	}
-	if cfg.Metrics != nil {
-		opts = append(opts, minbft.WithMetrics(cfg.Metrics))
-		tu.Verifier.FastPath().AttachMetrics(cfg.Metrics)
-	}
-	tracers, pipeTracer, spanBufs := smrTracers(cfg, n)
-	replicas := make([]*minbft.Replica, n)
-	for i := 0; i < n; i++ {
-		ropts := opts
-		if tracers != nil {
-			ropts = append(append([]minbft.Option(nil), opts...), minbft.WithTracer(tracers[i]))
-		}
-		replicas[i], err = minbft.New(m, net.Endpoint(types.ProcessID(i)), tu.Devices[i], tu.Verifier,
-			kvstore.New(), ropts...)
-		if err != nil {
-			net.Close()
-			return nil, err
-		}
-	}
 	stopReplicas := func() {
-		for _, r := range replicas {
-			_ = r.Close()
-		}
+		group.Close()
 		net.Close()
 	}
-	kv, pipes, closeClients, err := buildClients(net, m, cfg, pipeTracer,
-		minbft.EncodeRequestEnvelope, minbft.EncodeReadRequestEnvelope,
-		minbft.EncodeReadBatchEnvelope, m.FPlusOne())
+	kv, pipes, closeClients, err := buildClients(net, group.M, cfg, pipeTracer,
+		spec.Encoders(), spec.ReadQuorum(group.M))
 	if err != nil {
 		stopReplicas()
 		return nil, err
@@ -343,79 +335,7 @@ func BuildPBFTScheme(f int, scheme sig.Scheme) (*SMRCluster, error) {
 
 // BuildPBFTCfg builds a PBFT deployment from an SMRConfig.
 func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
-	n := 3*cfg.F + 1
-	m, err := types.NewMembership(n, cfg.F)
-	if err != nil {
-		return nil, err
-	}
-	netM, err := types.NewMembership(n+1+pipeCount(cfg), cfg.F)
-	if err != nil {
-		return nil, err
-	}
-	net, err := simnet.New(netM)
-	if err != nil {
-		return nil, err
-	}
-	rings, err := sig.NewKeyrings(m, cfg.Scheme, rand.New(rand.NewSource(4)))
-	if err != nil {
-		net.Close()
-		return nil, err
-	}
-	var opts []pbft.Option
-	if cfg.Batch > 0 {
-		opts = append(opts, pbft.WithBatchSize(cfg.Batch))
-	}
-	if cfg.Ckpt != 0 {
-		opts = append(opts, pbft.WithCheckpointInterval(cfg.Ckpt))
-	}
-	if cfg.BatchDeadline != 0 {
-		opts = append(opts, pbft.WithBatchDeadline(cfg.BatchDeadline))
-	}
-	if cfg.FixedBatchWindow {
-		opts = append(opts, pbft.WithFixedBatchWindow())
-	}
-	if cfg.Admission != nil {
-		opts = append(opts, pbft.WithAdmission(*cfg.Admission))
-	}
-	if cfg.PaceDepth != 0 {
-		opts = append(opts, pbft.WithProposalPacing(cfg.PaceDepth))
-	}
-	if cfg.LeaseTerm != 0 {
-		opts = append(opts, pbft.WithLeaseTerm(cfg.LeaseTerm))
-	}
-	if cfg.Metrics != nil {
-		opts = append(opts, pbft.WithMetrics(cfg.Metrics))
-	}
-	tracers, pipeTracer, spanBufs := smrTracers(cfg, n)
-	replicas := make([]*pbft.Replica, n)
-	for i := 0; i < n; i++ {
-		ropts := opts
-		if tracers != nil {
-			ropts = append(append([]pbft.Option(nil), opts...), pbft.WithTracer(tracers[i]))
-		}
-		replicas[i], err = pbft.New(m, net.Endpoint(types.ProcessID(i)), rings[i], kvstore.New(), ropts...)
-		if err != nil {
-			net.Close()
-			return nil, err
-		}
-	}
-	stopReplicas := func() {
-		for _, r := range replicas {
-			_ = r.Close()
-		}
-		net.Close()
-	}
-	kv, pipes, closeClients, err := buildClients(net, m, cfg, pipeTracer,
-		pbft.EncodeRequestEnvelope, pbft.EncodeReadRequestEnvelope,
-		pbft.EncodeReadBatchEnvelope, m.Quorum())
-	if err != nil {
-		stopReplicas()
-		return nil, err
-	}
-	return &SMRCluster{KV: kv, Pipe: pipes[0], Pipes: pipes, Metrics: cfg.Metrics, spanBufs: spanBufs, Stop: func() {
-		closeClients()
-		stopReplicas()
-	}}, nil
+	return buildSMR(cluster.PBFT, cfg)
 }
 
 // buildClients connects the closed-loop client (endpoint n) and the
@@ -423,15 +343,14 @@ func BuildPBFTCfg(cfg SMRConfig) (*SMRCluster, error) {
 // fallback-read vote quorum — f+1 for MinBFT, 2f+1 for PBFT (one more than
 // the possible equivocators among the repliers; see DESIGN.md §8).
 func buildClients(net *simnet.Network, m types.Membership, cfg SMRConfig, tracer *tracing.Tracer,
-	encode func(smr.Request) []byte, readEncode func(smr.ReadRequest) []byte,
-	readBatchEncode func([][]byte) []byte, readNeed int) (*kvstore.Client, []*kvstore.PipeClient, func(), error) {
+	enc cluster.Encoders, readNeed int) (*kvstore.Client, []*kvstore.PipeClient, func(), error) {
 	window, reg := cfg.Window, cfg.Metrics
 	if window <= 0 {
 		window = defaultPipeWindow
 	}
 	closedID := types.ProcessID(m.N)
 	base, err := smr.NewClient(net.Endpoint(closedID), m.All(), m.FPlusOne(), uint64(closedID),
-		time.Second, smr.WithRequestEncoder(encode))
+		time.Second, smr.WithRequestEncoder(enc.Request))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -447,9 +366,9 @@ func buildClients(net *simnet.Network, m types.Membership, cfg SMRConfig, tracer
 	for i := range pipes {
 		pipeID := types.ProcessID(m.N + 1 + i)
 		pipeOpts := []smr.PipelineOption{
-			smr.WithPipelineRequestEncoder(encode),
-			smr.WithPipelineReadEncoder(readEncode),
-			smr.WithPipelineReadBatchEncoder(readBatchEncode),
+			smr.WithPipelineRequestEncoder(enc.Request),
+			smr.WithPipelineReadEncoder(enc.Read),
+			smr.WithPipelineReadBatchEncoder(enc.ReadBatch),
 			smr.WithReadQuorum(readNeed),
 		}
 		if cfg.ReadWindow > 0 {

@@ -154,17 +154,17 @@ func Handler(r *Registry, opts ...HandlerOption) http.Handler {
 		}
 		out := make(map[string][]Event)
 		if r != nil {
-			r.mu.Lock()
-			names := make([]string, 0, len(r.traces))
-			for name := range r.traces {
-				names = append(names, name)
+			r.store.mu.Lock()
+			rings := make(map[string]*Trace, len(r.store.traces))
+			for name, tr := range r.store.traces {
+				rings[name] = tr
 			}
-			r.mu.Unlock()
-			for _, name := range names {
+			r.store.mu.Unlock()
+			for name, tr := range rings {
 				if want != "" && name != want {
 					continue
 				}
-				events := r.Trace(name, 1).Events()
+				events := tr.Events()
 				if limit >= 0 && len(events) > limit {
 					events = events[len(events)-limit:]
 				}

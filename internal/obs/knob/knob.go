@@ -1,0 +1,118 @@
+// Package knob centralizes UNIDIR_* environment-knob parsing. Every knob
+// follows the same contract: unset means the built-in default, a handful of
+// enumerated aliases ("on", "off", "0") select special values, and anything
+// else is parsed as the knob's native type. A malformed value — previously
+// swallowed silently by each call site — now falls back to the default AND
+// logs one slog warning naming the knob and the bad value, so a typo'd
+// deployment manifest is visible in the logs instead of silently running
+// with defaults.
+//
+// The package is a leaf (stdlib only) so every layer can use it: internal/smr
+// and internal/sig/fastverify import internal/obs, while internal/obs/tracing
+// is imported BY internal/obs — a helper living in either of those packages
+// would be unreachable from the other side without a cycle.
+package knob
+
+import (
+	"log/slog"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// logger is swappable so tests can capture warnings; nil means
+// slog.Default() at call time (respecting later slog.SetDefault calls).
+var logger atomic.Pointer[slog.Logger]
+
+// SetLogger redirects the package's malformed-knob warnings to l and
+// returns a function restoring the previous destination. Passing nil
+// restores the default (slog.Default at warn time).
+func SetLogger(l *slog.Logger) (restore func()) {
+	prev := logger.Swap(l)
+	return func() { logger.Store(prev) }
+}
+
+func warn(name, raw string, def any) {
+	l := logger.Load()
+	if l == nil {
+		l = slog.Default()
+	}
+	l.Warn("ignoring malformed env knob", "knob", name, "value", raw, "using", def)
+}
+
+// Int reads the named knob as an integer: def when unset, aliases[v] when v
+// matches an alias exactly, k when it parses as an integer >= min, and def
+// with a logged warning otherwise.
+func Int(name string, def, min int, aliases map[string]int) int {
+	return ParseInt(name, os.Getenv(name), def, min, aliases)
+}
+
+// ParseInt is Int over an already-read raw value, for knobs that normalize
+// their value before parsing (UNIDIR_TRACE's "1/N" form).
+func ParseInt(name, v string, def, min int, aliases map[string]int) int {
+	if v == "" {
+		return def
+	}
+	if k, ok := aliases[v]; ok {
+		return k
+	}
+	if k, err := strconv.Atoi(v); err == nil && k >= min {
+		return k
+	}
+	warn(name, v, def)
+	return def
+}
+
+// Float reads the named knob as a float: def when unset, aliases[v] when v
+// matches an alias exactly, f when it parses as a float > min, and def with
+// a logged warning otherwise.
+func Float(name string, def, min float64, aliases map[string]float64) float64 {
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	if f, ok := aliases[v]; ok {
+		return f
+	}
+	if f, err := strconv.ParseFloat(v, 64); err == nil && f > min {
+		return f
+	}
+	warn(name, v, def)
+	return def
+}
+
+// Duration reads the named knob as a time.Duration: def when unset,
+// aliases[v] when v matches an alias exactly, d when it parses as a
+// non-negative duration string ("250us", "1ms"), and def with a logged
+// warning otherwise.
+func Duration(name string, def time.Duration, aliases map[string]time.Duration) time.Duration {
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	if d, ok := aliases[v]; ok {
+		return d
+	}
+	if d, err := time.ParseDuration(v); err == nil && d >= 0 {
+		return d
+	}
+	warn(name, v, def)
+	return def
+}
+
+// Choice reads the named knob as an enumerated string: def when unset, v
+// when it is one of allowed, and def with a logged warning otherwise.
+func Choice(name, def string, allowed ...string) string {
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	for _, a := range allowed {
+		if v == a {
+			return v
+		}
+	}
+	warn(name, v, def)
+	return def
+}

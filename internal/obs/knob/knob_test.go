@@ -1,0 +1,154 @@
+package knob
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// capture redirects the package logger to a buffer for the duration of the
+// test and returns it.
+func capture(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	restore := SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
+	t.Cleanup(restore)
+	return &buf
+}
+
+func TestIntParsesAliasesAndWarns(t *testing.T) {
+	aliases := map[string]int{"on": 64, "off": 1, "0": 1}
+	cases := []struct {
+		env  string
+		want int
+		warn bool
+	}{
+		{"", 64, false},
+		{"on", 64, false},
+		{"off", 1, false},
+		{"0", 1, false},
+		{"16", 16, false},
+		{"-3", 64, true},  // below min
+		{"1.5", 64, true}, // not an integer
+		{"bogus", 64, true},
+	}
+	for _, tc := range cases {
+		buf := capture(t)
+		t.Setenv("UNIDIR_TEST_INT", tc.env)
+		if got := Int("UNIDIR_TEST_INT", 64, 1, aliases); got != tc.want {
+			t.Errorf("Int(%q) = %d, want %d", tc.env, got, tc.want)
+		}
+		if warned := buf.Len() > 0; warned != tc.warn {
+			t.Errorf("Int(%q): warned=%v, want %v (log: %s)", tc.env, warned, tc.warn, buf)
+		}
+	}
+}
+
+func TestFloatParsesAliasesAndWarns(t *testing.T) {
+	aliases := map[string]float64{"off": 0, "0": 0}
+	cases := []struct {
+		env  string
+		want float64
+		warn bool
+	}{
+		{"", 0, false},
+		{"off", 0, false},
+		{"0", 0, false},
+		{"5000", 5000, false},
+		{"2.5", 2.5, false},
+		{"-1", 0, true},
+		{"fast", 0, true},
+	}
+	for _, tc := range cases {
+		buf := capture(t)
+		t.Setenv("UNIDIR_TEST_FLOAT", tc.env)
+		if got := Float("UNIDIR_TEST_FLOAT", 0, 0, aliases); got != tc.want {
+			t.Errorf("Float(%q) = %g, want %g", tc.env, got, tc.want)
+		}
+		if warned := buf.Len() > 0; warned != tc.warn {
+			t.Errorf("Float(%q): warned=%v, want %v (log: %s)", tc.env, warned, tc.warn, buf)
+		}
+	}
+}
+
+func TestDurationParsesAliasesAndWarns(t *testing.T) {
+	const def = 100 * time.Microsecond
+	aliases := map[string]time.Duration{"on": def, "off": 0, "0": 0}
+	cases := []struct {
+		env  string
+		want time.Duration
+		warn bool
+	}{
+		{"", def, false},
+		{"on", def, false},
+		{"off", 0, false},
+		{"250us", 250 * time.Microsecond, false},
+		{"1ms", time.Millisecond, false},
+		{"-1ms", def, true}, // negative durations rejected
+		{"100", def, true},  // bare number is not a duration
+		{"soon", def, true},
+	}
+	for _, tc := range cases {
+		buf := capture(t)
+		t.Setenv("UNIDIR_TEST_DUR", tc.env)
+		if got := Duration("UNIDIR_TEST_DUR", def, aliases); got != tc.want {
+			t.Errorf("Duration(%q) = %v, want %v", tc.env, got, tc.want)
+		}
+		if warned := buf.Len() > 0; warned != tc.warn {
+			t.Errorf("Duration(%q): warned=%v, want %v (log: %s)", tc.env, warned, tc.warn, buf)
+		}
+	}
+}
+
+func TestChoiceWarnsOnUnknown(t *testing.T) {
+	cases := []struct {
+		env  string
+		want string
+		warn bool
+	}{
+		{"", "min", false},
+		{"full", "full", false},
+		{"min", "min", false},
+		{"partial", "min", true},
+	}
+	for _, tc := range cases {
+		buf := capture(t)
+		t.Setenv("UNIDIR_TEST_CHOICE", tc.env)
+		if got := Choice("UNIDIR_TEST_CHOICE", "min", "full", "min"); got != tc.want {
+			t.Errorf("Choice(%q) = %q, want %q", tc.env, got, tc.want)
+		}
+		if warned := buf.Len() > 0; warned != tc.warn {
+			t.Errorf("Choice(%q): warned=%v, want %v (log: %s)", tc.env, warned, tc.warn, buf)
+		}
+	}
+}
+
+func TestWarningNamesKnobAndValue(t *testing.T) {
+	buf := capture(t)
+	t.Setenv("UNIDIR_TEST_NAMED", "banana")
+	Int("UNIDIR_TEST_NAMED", 7, 1, nil)
+	for _, want := range []string{"UNIDIR_TEST_NAMED", "banana", "7"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("warning %q does not mention %q", buf.String(), want)
+		}
+	}
+}
+
+func TestSetLoggerRestores(t *testing.T) {
+	var a, b bytes.Buffer
+	restoreA := SetLogger(slog.New(slog.NewTextHandler(&a, nil)))
+	restoreB := SetLogger(slog.New(slog.NewTextHandler(&b, nil)))
+	t.Setenv("UNIDIR_TEST_RESTORE", "nope")
+	Int("UNIDIR_TEST_RESTORE", 1, 1, nil)
+	if b.Len() == 0 || a.Len() != 0 {
+		t.Fatalf("warning went to wrong logger (a=%d bytes, b=%d bytes)", a.Len(), b.Len())
+	}
+	restoreB()
+	Int("UNIDIR_TEST_RESTORE", 1, 1, nil)
+	if a.Len() == 0 {
+		t.Fatal("restore did not reinstate the previous logger")
+	}
+	restoreA()
+}

@@ -19,11 +19,12 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"unidir/internal/obs/knob"
 )
 
 // TraceID names one end-to-end request or batch.
@@ -372,22 +373,13 @@ func (b *SpanBuffer) Total() uint64 {
 
 // DefaultSampleRate reads the UNIDIR_TRACE knob: unset means 1-in-64,
 // "off"/"0" disables, "on"/"1" samples everything, "1/N" or a bare integer N
-// samples 1-in-N. Unparseable values fall back to the default.
+// samples 1-in-N. Unparseable values fall back to the default with a logged
+// warning (see internal/obs/knob).
 func DefaultSampleRate() int {
-	v := strings.TrimSpace(os.Getenv("UNIDIR_TRACE"))
-	switch strings.ToLower(v) {
-	case "":
-		return 64
-	case "off", "0":
-		return 0
-	case "on", "1":
-		return 1
-	}
+	v := strings.ToLower(strings.TrimSpace(os.Getenv("UNIDIR_TRACE")))
 	if rest, ok := strings.CutPrefix(v, "1/"); ok {
 		v = rest
 	}
-	if n, err := strconv.Atoi(v); err == nil && n >= 0 {
-		return n
-	}
-	return 64
+	return knob.ParseInt("UNIDIR_TRACE", v, 64, 0,
+		map[string]int{"off": 0, "on": 1})
 }

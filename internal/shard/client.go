@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"unidir/internal/kvstore"
+	"unidir/internal/smr"
+)
+
+// Client is the sharded kvstore client: one pipelined client per consensus
+// group, multiplexed behind the router. Every operation routes its key and
+// delegates to that group's client unchanged, so a key keeps exactly the
+// single-group guarantees it had before sharding (linearizable writes,
+// leased or quorum-voted reads).
+//
+// Isolation is structural: each group has its own smr.Pipeline, and a
+// pipeline's flow control — in-flight window, AIMD adaptation, submit
+// deadline — is private to it. A wedged or overloaded group collapses only
+// its own window; submissions to healthy groups never queue behind it.
+// (The harness test wedges one group and proves the others progress.)
+type Client struct {
+	router *Router
+	groups []*kvstore.PipeClient
+}
+
+// NewClient wires one pipelined client per group, in group order. The
+// count must match the router's view: resharding (changing the group count
+// under a live client) is out of scope with single-key routing — a view
+// update that preserves the count is allowed, one that changes it needs
+// client rewiring.
+func NewClient(r *Router, groups []*kvstore.PipeClient) (*Client, error) {
+	if got, want := len(groups), r.View().Groups(); got != want {
+		return nil, fmt.Errorf("shard: %d group clients for a %d-group view", got, want)
+	}
+	return &Client{router: r, groups: groups}, nil
+}
+
+// Groups returns the number of groups the client multiplexes.
+func (c *Client) Groups() int { return len(c.groups) }
+
+// Group routes a key under the current view.
+func (c *Client) Group(key string) int { return c.router.Group(key) }
+
+// GroupClient returns group g's pipelined client, for callers that need
+// per-group operations (draining one group's async calls, reading its
+// window).
+func (c *Client) GroupClient(g int) *kvstore.PipeClient { return c.groups[g] }
+
+// Router returns the client's router (view inspection, updates).
+func (c *Client) Router() *Router { return c.router }
+
+// Put stores a key through its group's ordering path.
+func (c *Client) Put(ctx context.Context, key string, value []byte) error {
+	return c.groups[c.Group(key)].Put(ctx, key, value)
+}
+
+// PutAsync submits a PUT to the key's group and returns without waiting;
+// it blocks only while that group's in-flight window is full — never on
+// another group's.
+func (c *Client) PutAsync(ctx context.Context, key string, value []byte) (*smr.Call, error) {
+	return c.groups[c.Group(key)].PutAsync(ctx, key, value)
+}
+
+// Get fetches a key's value through its group's ordering path (the
+// consensus-read baseline).
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	return c.groups[c.Group(key)].Get(ctx, key)
+}
+
+// RGet fetches a key's value on its group's read fast path: one leased
+// reply from that group's leader, or a quorum of matching fallback votes
+// (see smr/read.go). Leases are per group — each group's leader attests
+// its own lease.
+func (c *Client) RGet(ctx context.Context, key string) ([]byte, error) {
+	return c.groups[c.Group(key)].GetFast(ctx, key)
+}
+
+// RGetAsync submits a fast-path read to the key's group and returns
+// without waiting; it blocks only while that group's read window is full.
+func (c *Client) RGetAsync(ctx context.Context, key string) (*smr.ReadCall, error) {
+	return c.groups[c.Group(key)].GetAsync(ctx, key)
+}
+
+// Del removes a key through its group's ordering path.
+func (c *Client) Del(ctx context.Context, key string) error {
+	return c.groups[c.Group(key)].Del(ctx, key)
+}
+
+// Windows reports each group's current effective write window — the
+// per-group AIMD state the isolation property is about.
+func (c *Client) Windows() []int {
+	out := make([]int, len(c.groups))
+	for g, pc := range c.groups {
+		out[g] = pc.Window()
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+// Package shard partitions the kvstore keyspace across independent
+// consensus groups behind a deterministic router.
+//
+// One consensus group orders one log through one primary, which caps a
+// deployment at a single primary's throughput no matter how many clients
+// push. Sharding runs N groups side by side — each its own MinBFT or PBFT
+// replica set built via internal/cluster, with its own primary, batches,
+// leases, and checkpoints — and routes every single-key operation to the
+// group owning the key. Aggregate write throughput then scales with the
+// number of groups until some shared resource (CPU, network) saturates.
+//
+// Routing is a hash-range map carried in a versioned View: group g owns
+// the 64-bit hash values in [starts[g], starts[g+1]), with the last range
+// wrapping to 2^64. The hash (FNV-1a) and the view contents alone
+// determine placement — no process-local state — so every client and every
+// restart of every client routes a key identically, which is what makes a
+// key's per-group linearizable history globally meaningful.
+//
+// Consistency model (DESIGN.md §9): operations on a single key are
+// linearizable — a key lives in exactly one group and inherits that group's
+// ordering and read-lease guarantees unchanged. Operations on different
+// keys in different groups are independently ordered; there is no
+// cross-group transaction. The router API keeps a deliberate seam for one
+// (SameGroup / ErrCrossGroup): a future two-phase-commit coordinator slots
+// in where ErrCrossGroup is returned today, without changing single-key
+// routing.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+
+	"unidir/internal/obs/knob"
+	"unidir/internal/wire"
+)
+
+// ErrCrossGroup reports a multi-key operation whose keys live in different
+// groups. This is the two-phase-commit seam: single-key operations never
+// see it, and a future cross-group coordinator replaces the error with a
+// 2PC round over the groups SameGroup identified.
+var ErrCrossGroup = errors.New("shard: keys span multiple groups (cross-group transactions not supported)")
+
+// maxGroups bounds decoded views (defensive).
+const maxGroups = 1 << 12
+
+// DefaultShards returns the deployment's shard (group) count, controlled
+// by the UNIDIR_SHARDS environment variable: unset means 1 (the unsharded
+// single-group deployment), an integer k >= 1 runs k groups. Malformed
+// values fall back to 1 with a logged warning (see internal/obs/knob).
+func DefaultShards() int {
+	return knob.Int("UNIDIR_SHARDS", 1, 1, nil)
+}
+
+// View is an immutable, versioned hash-range routing table. Group g owns
+// hash values in [starts[g], starts[g+1]), the last group wrapping to
+// 2^64: every 64-bit hash value belongs to exactly one group (no gaps, no
+// overlaps — NewView validates, the tests prove the boundaries).
+type View struct {
+	version uint64
+	starts  []uint64
+}
+
+// NewView builds a view from explicit range starts. starts must begin at 0
+// and be strictly increasing — exactly the shape that covers the full hash
+// space with disjoint ranges.
+func NewView(version uint64, starts []uint64) (*View, error) {
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("shard: view needs at least one group")
+	}
+	if len(starts) > maxGroups {
+		return nil, fmt.Errorf("shard: view with %d groups (max %d)", len(starts), maxGroups)
+	}
+	if starts[0] != 0 {
+		return nil, fmt.Errorf("shard: first range must start at 0, got %d", starts[0])
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			return nil, fmt.Errorf("shard: range starts must strictly increase (starts[%d]=%d <= starts[%d]=%d)",
+				i, starts[i], i-1, starts[i-1])
+		}
+	}
+	return &View{version: version, starts: append([]uint64(nil), starts...)}, nil
+}
+
+// NewUniformView builds a view splitting the hash space into `groups`
+// equal ranges.
+func NewUniformView(version uint64, groups int) (*View, error) {
+	if groups < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 group, got %d", groups)
+	}
+	if groups > maxGroups {
+		return nil, fmt.Errorf("shard: %d groups (max %d)", groups, maxGroups)
+	}
+	starts := make([]uint64, groups)
+	width := ^uint64(0)/uint64(groups) + 1 // 2^64 / groups, rounding the last range up
+	for g := 1; g < groups; g++ {
+		starts[g] = uint64(g) * width
+	}
+	return &View{version: version, starts: starts}, nil
+}
+
+// Version returns the view's version. Routers only accept strictly newer
+// views, so a client that saw version k never regresses to k-1's placement.
+func (v *View) Version() uint64 { return v.version }
+
+// Groups returns the number of groups the view routes across.
+func (v *View) Groups() int { return len(v.starts) }
+
+// Hash is the routing hash: FNV-1a over the key bytes. Exported so tests
+// (and future rebalancing tools) can reason about boundary placement.
+func Hash(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// GroupOf returns the group owning hash value h: the last range whose
+// start is <= h.
+func (v *View) GroupOf(h uint64) int {
+	// sort.Search finds the first start > h; the owner is the range before.
+	return sort.Search(len(v.starts), func(i int) bool { return v.starts[i] > h }) - 1
+}
+
+// Group routes a key.
+func (v *View) Group(key string) int { return v.GroupOf(Hash(key)) }
+
+// Encode returns the canonical wire form (version, then range starts),
+// what a control plane would gossip to move every client to a new
+// placement.
+func (v *View) Encode() []byte {
+	e := wire.NewEncoder(24 + 8*len(v.starts))
+	e.Uint64(v.version)
+	e.Int(len(v.starts))
+	for _, s := range v.starts {
+		e.Uint64(s)
+	}
+	return e.Bytes()
+}
+
+// DecodeView parses a view encoded by Encode, revalidating its shape: a
+// view from the wire gets no more trust than one built locally.
+func DecodeView(b []byte) (*View, error) {
+	d := wire.NewDecoder(b)
+	version := d.Uint64()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("shard: decode view: %w", err)
+	}
+	if n < 1 || n > maxGroups {
+		return nil, fmt.Errorf("shard: decode view: %d groups", n)
+	}
+	starts := make([]uint64, n)
+	for i := range starts {
+		starts[i] = d.Uint64()
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("shard: decode view: %w", err)
+	}
+	return NewView(version, starts)
+}
+
+// Router holds the current routing view and swaps it atomically. Reads
+// (every operation) are lock-free; updates (rare, control-plane driven)
+// must carry a strictly newer version.
+type Router struct {
+	view atomic.Pointer[View]
+}
+
+// NewRouter starts routing with view v.
+func NewRouter(v *View) *Router {
+	r := &Router{}
+	r.view.Store(v)
+	return r
+}
+
+// View returns the current view.
+func (r *Router) View() *View { return r.view.Load() }
+
+// Group routes a key under the current view.
+func (r *Router) Group(key string) int { return r.View().Group(key) }
+
+// Update installs a strictly newer view. A same-or-older version is
+// rejected: updates may race in from multiple control-plane messages, and
+// placement must never move backward.
+func (r *Router) Update(v *View) error {
+	for {
+		cur := r.view.Load()
+		if v.version <= cur.version {
+			return fmt.Errorf("shard: stale view version %d (current %d)", v.version, cur.version)
+		}
+		if r.view.CompareAndSwap(cur, v) {
+			return nil
+		}
+	}
+}
+
+// SameGroup reports the single group all keys route to under the current
+// view, or ErrCrossGroup when they span groups — the seam a future
+// two-phase-commit coordinator replaces.
+func (r *Router) SameGroup(keys ...string) (int, error) {
+	if len(keys) == 0 {
+		return 0, fmt.Errorf("shard: no keys")
+	}
+	v := r.View()
+	g := v.Group(keys[0])
+	for _, k := range keys[1:] {
+		if v.Group(k) != g {
+			return -1, ErrCrossGroup
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,209 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Routing must be a pure function of (key, view contents): two views built
+// independently — as two client processes, or one process before and after
+// a restart, would — route every key identically.
+func TestRoutingDeterministicAcrossRestarts(t *testing.T) {
+	for _, groups := range []int{1, 2, 3, 4, 7, 16} {
+		a, err := NewUniformView(1, groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewUniformView(1, groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2048; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			if a.Group(key) != b.Group(key) {
+				t.Fatalf("groups=%d key %q: %d vs %d", groups, key, a.Group(key), b.Group(key))
+			}
+		}
+	}
+}
+
+// The wire round trip must preserve routing: a client that learned the
+// view from the control plane places keys exactly like the one that built
+// it.
+func TestViewEncodeDecodeRoundTrip(t *testing.T) {
+	v, err := NewView(7, []uint64{0, 1 << 20, 1 << 40, 1 << 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeView(v.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version() != 7 || got.Groups() != 4 {
+		t.Fatalf("round trip: version=%d groups=%d", got.Version(), got.Groups())
+	}
+	for i := 0; i < 1024; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if v.Group(key) != got.Group(key) {
+			t.Fatalf("key %q routes to %d before encode, %d after", key, v.Group(key), got.Group(key))
+		}
+	}
+}
+
+// Every 64-bit hash value must belong to exactly one group, including the
+// exact range boundaries: hash start-1 belongs to the previous group, hash
+// start to the next, and the extremes 0 and 2^64-1 are owned.
+func TestFullKeyspaceCoverageAtBoundaries(t *testing.T) {
+	views := []*View{}
+	for _, groups := range []int{1, 2, 3, 4, 5, 16, 333} {
+		v, err := NewUniformView(1, groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, v)
+	}
+	custom, err := NewView(1, []uint64{0, 17, 1 << 30, 1<<63 + 12345})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views = append(views, custom)
+
+	for _, v := range views {
+		if g := v.GroupOf(0); g != 0 {
+			t.Errorf("%d groups: hash 0 -> group %d, want 0", v.Groups(), g)
+		}
+		if g := v.GroupOf(^uint64(0)); g != v.Groups()-1 {
+			t.Errorf("%d groups: hash 2^64-1 -> group %d, want %d", v.Groups(), g, v.Groups()-1)
+		}
+		for g := 1; g < v.Groups(); g++ {
+			start := v.starts[g]
+			if got := v.GroupOf(start); got != g {
+				t.Errorf("%d groups: boundary hash %d -> group %d, want %d (gap)", v.Groups(), start, got, g)
+			}
+			if got := v.GroupOf(start - 1); got != g-1 {
+				t.Errorf("%d groups: boundary hash %d -> group %d, want %d (overlap)", v.Groups(), start-1, got, g-1)
+			}
+		}
+	}
+}
+
+// N=1 must degenerate to the unsharded deployment: every key routes to the
+// single group.
+func TestSingleGroupDegenerate(t *testing.T) {
+	v, err := NewUniformView(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		if g := v.Group(fmt.Sprintf("key-%d", i)); g != 0 {
+			t.Fatalf("key-%d -> group %d in a 1-group view", i, g)
+		}
+	}
+	if v.GroupOf(0) != 0 || v.GroupOf(^uint64(0)) != 0 {
+		t.Fatal("1-group view must own the whole hash space")
+	}
+}
+
+// A uniform multi-group view must actually spread keys: with thousands of
+// distinct keys, no group stays empty (a constant-hash regression would
+// pass determinism and boundaries but collapse every key into one group).
+func TestKeysSpreadAcrossGroups(t *testing.T) {
+	v, err := NewUniformView(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for i := 0; i < 4096; i++ {
+		counts[v.Group(fmt.Sprintf("key-%d", i))]++
+	}
+	for g, n := range counts {
+		if n == 0 {
+			t.Fatalf("group %d received no keys: %v", g, counts)
+		}
+	}
+}
+
+func TestNewViewValidation(t *testing.T) {
+	cases := [][]uint64{
+		{},        // no groups
+		{1},       // does not start at 0
+		{0, 5, 5}, // duplicate start (overlap)
+		{0, 9, 4}, // decreasing (gap/overlap)
+	}
+	for _, starts := range cases {
+		if _, err := NewView(1, starts); err == nil {
+			t.Errorf("NewView(%v) accepted an invalid shape", starts)
+		}
+	}
+	if _, err := NewUniformView(1, 0); err == nil {
+		t.Error("NewUniformView(0) accepted")
+	}
+}
+
+func TestRouterRejectsStaleViews(t *testing.T) {
+	v1, _ := NewUniformView(1, 2)
+	v2, _ := NewUniformView(2, 2)
+	r := NewRouter(v1)
+	if err := r.Update(v2); err != nil {
+		t.Fatalf("newer view rejected: %v", err)
+	}
+	if r.View().Version() != 2 {
+		t.Fatalf("version = %d after update", r.View().Version())
+	}
+	stale, _ := NewUniformView(2, 2)
+	if err := r.Update(stale); err == nil {
+		t.Fatal("same-version view accepted")
+	}
+	older, _ := NewUniformView(1, 2)
+	if err := r.Update(older); err == nil {
+		t.Fatal("older view accepted")
+	}
+}
+
+func TestSameGroupSeam(t *testing.T) {
+	v, _ := NewUniformView(1, 8)
+	r := NewRouter(v)
+
+	// A key agrees with itself, whatever the group count.
+	if g, err := r.SameGroup("alpha", "alpha", "alpha"); err != nil || g != v.Group("alpha") {
+		t.Fatalf("SameGroup(same key x3) = %d, %v", g, err)
+	}
+	// Find two keys in different groups and assert the seam error.
+	base := v.Group("key-0")
+	for i := 1; ; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if v.Group(key) != base {
+			if _, err := r.SameGroup("key-0", key); !errors.Is(err, ErrCrossGroup) {
+				t.Fatalf("cross-group keys: err = %v, want ErrCrossGroup", err)
+			}
+			break
+		}
+		if i > 1<<16 {
+			t.Fatal("could not find keys in different groups")
+		}
+	}
+	if _, err := r.SameGroup(); err == nil {
+		t.Fatal("SameGroup() with no keys accepted")
+	}
+}
+
+func TestDefaultShardsKnob(t *testing.T) {
+	cases := []struct {
+		env  string
+		want int
+	}{
+		{"", 1},
+		{"1", 1},
+		{"4", 4},
+		{"0", 1},      // below min: warn, default
+		{"-2", 1},     // below min: warn, default
+		{"banana", 1}, // malformed: warn, default
+	}
+	for _, tc := range cases {
+		t.Setenv("UNIDIR_SHARDS", tc.env)
+		if got := DefaultShards(); got != tc.want {
+			t.Errorf("UNIDIR_SHARDS=%q: DefaultShards() = %d, want %d", tc.env, got, tc.want)
+		}
+	}
+}

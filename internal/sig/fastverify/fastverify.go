@@ -37,12 +37,12 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
-	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"unidir/internal/obs"
+	"unidir/internal/obs/knob"
 	"unidir/internal/sig"
 	"unidir/internal/types"
 )
@@ -141,7 +141,7 @@ func New(inner sig.Verifier, opts ...Option) *Verifier {
 	for _, opt := range opts {
 		opt(v)
 	}
-	switch os.Getenv("UNIDIR_FASTVERIFY") {
+	switch knob.Choice("UNIDIR_FASTVERIFY", "on", "on", "1", "off", "0") {
 	case "off", "0":
 		v.disabled = true
 	}

@@ -7,7 +7,9 @@
 //
 //   - Auto mode (default): messages are delivered immediately, or after a
 //     per-link delay / seeded random jitter if configured. This is the fast
-//     path for benchmarks and liveness tests.
+//     path for benchmarks and liveness tests. Delayed links preserve send
+//     order (an ordered per-link queue, like a TCP stream) — delay models
+//     latency, not reordering; reordering schedules belong to manual mode.
 //   - Blocked links: Block(from, to) holds all messages on a link in a
 //     per-link buffer; Heal releases them in order. This models "arbitrarily
 //     delayed" — exactly what the separation argument (§4.1) needs.
@@ -112,6 +114,15 @@ type linkState struct {
 	buffered []heldMsg // messages held while blocked, FIFO
 	dropRate float64
 	delay    time.Duration
+	delayQ   []delayedMsg // delayed messages awaiting delivery, FIFO
+	draining bool         // a drainLink goroutine owns delayQ's head
+}
+
+// delayedMsg is one message sitting in a link's ordered delay queue.
+type delayedMsg struct {
+	deliverAt time.Time
+	payload   []byte
+	tc        tracing.Context
 }
 
 // heldMsg is one buffered message with the trace context that rode with it.
@@ -446,20 +457,87 @@ func (n *Network) send(from, to types.ProcessID, payload []byte, tc tracing.Cont
 		delay += time.Duration(n.rng.Int63n(int64(n.jitterMax)))
 	}
 	if delay > 0 {
-		var timer *time.Timer
-		timer = time.AfterFunc(delay, func() {
-			n.mu.Lock()
-			delete(n.timers, timer)
-			n.mu.Unlock()
-			n.inject(from, to, payload, tc)
-		})
-		n.timers[timer] = struct{}{}
+		// Delayed links are order-preserving, like a TCP stream: each
+		// message's delivery time is clamped to be no earlier than its
+		// predecessor's, and one per-link queue delivers in send order. A
+		// timer per message would race the scheduler instead — under load,
+		// timer goroutines fire out of order and adjacent messages swap,
+		// which is a reordering adversary the caller didn't ask for (tests
+		// that want reordering use Hold/Release). Jitter stretches latency
+		// per message but never reorders within a link either.
+		deliverAt := time.Now().Add(delay)
+		if k := len(ls.delayQ); k > 0 && ls.delayQ[k-1].deliverAt.After(deliverAt) {
+			deliverAt = ls.delayQ[k-1].deliverAt
+		}
+		ls.delayQ = append(ls.delayQ, delayedMsg{deliverAt: deliverAt, payload: payload, tc: tc})
+		if !ls.draining && len(ls.delayQ) == 1 {
+			n.armLinkTimerLocked(from, to, ls)
+		}
 		n.mu.Unlock()
 		return nil
 	}
 	n.mu.Unlock()
 	n.inject(from, to, payload, tc)
 	return nil
+}
+
+// armLinkTimerLocked schedules a drain of from→to's delay queue when its
+// head comes due. Caller holds n.mu; the queue must be non-empty and not
+// currently draining. Invariant: a non-empty, non-draining queue always has
+// exactly one timer armed for its head.
+func (n *Network) armLinkTimerLocked(from, to types.ProcessID, ls *linkState) {
+	d := time.Until(ls.delayQ[0].deliverAt)
+	var timer *time.Timer
+	timer = time.AfterFunc(d, func() {
+		n.mu.Lock()
+		delete(n.timers, timer)
+		if n.closed || ls.draining {
+			n.mu.Unlock()
+			return
+		}
+		ls.draining = true
+		n.mu.Unlock()
+		n.drainLink(from, to, ls)
+	})
+	n.timers[timer] = struct{}{}
+}
+
+// drainLink delivers every due message on from→to's delay queue in send
+// order, then either re-arms the head timer (future messages remain) or
+// goes idle. One drainer owns the queue head at a time (ls.draining), so
+// deliveries from consecutive timer firings cannot interleave out of order.
+func (n *Network) drainLink(from, to types.ProcessID, ls *linkState) {
+	for {
+		n.mu.Lock()
+		if n.closed {
+			ls.draining = false
+			n.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		due := 0
+		for due < len(ls.delayQ) && !ls.delayQ[due].deliverAt.After(now) {
+			due++
+		}
+		batch := ls.delayQ[:due:due]
+		if rest := ls.delayQ[due:]; len(rest) > 0 {
+			ls.delayQ = append([]delayedMsg(nil), rest...)
+		} else {
+			ls.delayQ = nil
+		}
+		if len(batch) == 0 {
+			ls.draining = false
+			if len(ls.delayQ) > 0 {
+				n.armLinkTimerLocked(from, to, ls)
+			}
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Unlock()
+		for _, dm := range batch {
+			n.inject(from, to, dm.payload, dm.tc)
+		}
+	}
 }
 
 // inject delivers a message to the destination mailbox, bypassing all link

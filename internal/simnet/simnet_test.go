@@ -207,6 +207,45 @@ func TestLinkDelay(t *testing.T) {
 	}
 }
 
+// TestDelayedLinkPreservesOrder pins the ordered-link guarantee: a per-link
+// delay (with or without jitter) stretches latency but never reorders
+// messages within a link. The former timer-per-message delivery broke this
+// under scheduler load — adjacent messages swapped whenever their timer
+// goroutines ran out of order — which read as a reordering adversary nobody
+// configured (and, end to end, as spurious replica-side sheds of pipelined
+// client requests).
+func TestDelayedLinkPreservesOrder(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+		prep func(*Network)
+	}{
+		{name: "delay", prep: func(n *Network) { n.SetLinkDelay(0, 1, 2*time.Millisecond) }},
+		{name: "jitter", opts: []Option{WithJitter(2*time.Millisecond, 11)}},
+		{name: "delay+jitter", opts: []Option{WithJitter(time.Millisecond, 5)},
+			prep: func(n *Network) { n.SetLinkDelay(0, 1, time.Millisecond) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net := newNet(t, 2, tc.opts...)
+			if tc.prep != nil {
+				tc.prep(net)
+			}
+			const msgs = 500
+			for i := 0; i < msgs; i++ {
+				if err := net.Endpoint(0).Send(1, []byte{byte(i >> 8), byte(i)}); err != nil {
+					t.Fatalf("send %d: %v", i, err)
+				}
+			}
+			for i := 0; i < msgs; i++ {
+				env := recvOne(t, net.Endpoint(1), 5*time.Second)
+				if got := int(env.Payload[0])<<8 | int(env.Payload[1]); got != i {
+					t.Fatalf("message %d delivered in position %d", got, i)
+				}
+			}
+		})
+	}
+}
+
 func TestJitterDelivers(t *testing.T) {
 	net := newNet(t, 2, WithJitter(5*time.Millisecond, 3))
 	for i := 0; i < 20; i++ {

@@ -2,9 +2,9 @@ package smr
 
 import (
 	"errors"
-	"os"
-	"strconv"
 	"time"
+
+	"unidir/internal/obs/knob"
 )
 
 // ErrOverloaded is the typed, retryable overload signal. Replicas return it
@@ -34,20 +34,12 @@ const defaultBatchDeadline = 100 * time.Microsecond
 //	"off" or "0"    -> 0     (disabled: cut immediately, pre-adaptive behavior)
 //	duration string -> parsed (e.g. "250us", "1ms")
 //
-// Protocol options (minbft.WithBatchDeadline, pbft.WithBatchDeadline)
-// override it per replica.
+// Malformed values fall back to the default with a logged warning. Protocol
+// options (minbft.WithBatchDeadline, pbft.WithBatchDeadline) override it
+// per replica.
 func DefaultBatchDeadline() time.Duration {
-	switch v := os.Getenv("UNIDIR_BATCH_DEADLINE"); v {
-	case "", "on":
-		return defaultBatchDeadline
-	case "off", "0":
-		return 0
-	default:
-		if d, err := time.ParseDuration(v); err == nil && d >= 0 {
-			return d
-		}
-		return defaultBatchDeadline
-	}
+	return knob.Duration("UNIDIR_BATCH_DEADLINE", defaultBatchDeadline,
+		map[string]time.Duration{"on": defaultBatchDeadline, "off": 0, "0": 0})
 }
 
 // defaultPaceDepth is the proposal-pacing bound when UNIDIR_PACE_DEPTH is
@@ -64,19 +56,11 @@ const defaultPaceDepth = 4096
 //	integer k > 0 -> k
 //
 // Pacing only takes effect on transports that expose queue depths
-// (transport.QueueDepther — tcpnet does, simnet does not).
+// (transport.QueueDepther — tcpnet does, simnet does not). Malformed values
+// fall back to the default with a logged warning.
 func DefaultPaceDepth() int {
-	switch v := os.Getenv("UNIDIR_PACE_DEPTH"); v {
-	case "", "on":
-		return defaultPaceDepth
-	case "off", "0":
-		return 0
-	default:
-		if k, err := strconv.Atoi(v); err == nil && k > 0 {
-			return k
-		}
-		return defaultPaceDepth
-	}
+	return knob.Int("UNIDIR_PACE_DEPTH", defaultPaceDepth, 1,
+		map[string]int{"on": defaultPaceDepth, "off": 0, "0": 0})
 }
 
 // minBatchGain is the expected number of arrivals within the deadline below
@@ -209,28 +193,18 @@ type AdmissionConfig struct {
 //	UNIDIR_ADMIT_PENDING  unset -> 4096; "off"/"0" -> unbounded; k > 0 -> k
 //	UNIDIR_ADMIT_RATE     unset/"off"/"0" -> no per-client rate limit; r > 0 -> r req/s
 //	UNIDIR_ADMIT_BURST    unset -> Rate/10 (min 1); k > 0 -> k
+//
+// Malformed values fall back to the respective defaults with a logged
+// warning.
 func DefaultAdmissionConfig() AdmissionConfig {
-	cfg := AdmissionConfig{MaxPending: 4096}
-	switch v := os.Getenv("UNIDIR_ADMIT_PENDING"); v {
-	case "", "on":
-	case "off", "0":
-		cfg.MaxPending = 0
-	default:
-		if k, err := strconv.Atoi(v); err == nil && k > 0 {
-			cfg.MaxPending = k
-		}
+	const defaultMaxPending = 4096
+	return AdmissionConfig{
+		MaxPending: knob.Int("UNIDIR_ADMIT_PENDING", defaultMaxPending, 1,
+			map[string]int{"on": defaultMaxPending, "off": 0, "0": 0}),
+		Rate: knob.Float("UNIDIR_ADMIT_RATE", 0, 0,
+			map[string]float64{"off": 0, "0": 0}),
+		Burst: knob.Int("UNIDIR_ADMIT_BURST", 0, 1, nil),
 	}
-	if v := os.Getenv("UNIDIR_ADMIT_RATE"); v != "" && v != "off" && v != "0" {
-		if r, err := strconv.ParseFloat(v, 64); err == nil && r > 0 {
-			cfg.Rate = r
-		}
-	}
-	if v := os.Getenv("UNIDIR_ADMIT_BURST"); v != "" {
-		if k, err := strconv.Atoi(v); err == nil && k > 0 {
-			cfg.Burst = k
-		}
-	}
-	return cfg
 }
 
 // Admission is a replica's admission controller: a global pending-queue

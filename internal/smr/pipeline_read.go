@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"unidir/internal/syncx"
 	"unidir/internal/transport"
 	"unidir/internal/types"
 )
@@ -280,6 +281,11 @@ func (p *Pipeline) escalateReadLocked(num uint64, rc *readCall) {
 // blocks on the write window, and an overloaded window is retried rather
 // than failing a read the caller already holds a ReadCall for.
 func (p *Pipeline) orderRead(num uint64, op []byte) {
+	// One reused timer for the whole retry loop: time.After here allocated a
+	// fresh runtime timer per tick, and under sustained overload (the only
+	// time this loop spins) that garbage arrived exactly when the system
+	// could least afford it.
+	tm := syncx.NewStoppedTimer()
 	for {
 		call, err := p.Submit(p.ctx, op)
 		if err == nil {
@@ -291,9 +297,7 @@ func (p *Pipeline) orderRead(num uint64, op []byte) {
 			p.completeRead(num, nil, err)
 			return
 		}
-		select {
-		case <-time.After(p.retry):
-		case <-p.ctx.Done():
+		if syncx.SleepTimer(p.ctx, tm, p.retry) != nil {
 			p.completeRead(num, nil, ErrClientClosed)
 			return
 		}

@@ -21,9 +21,9 @@ package smr
 
 import (
 	"fmt"
-	"os"
 	"time"
 
+	"unidir/internal/obs/knob"
 	"unidir/internal/types"
 	"unidir/internal/wire"
 )
@@ -151,22 +151,14 @@ const defaultLeaseTerm = 250 * time.Millisecond
 //	"off" or "0"    -> 0     (leases disabled; every read quorum-reads)
 //	duration string -> parsed (e.g. "100ms", "1s")
 //
-// Protocol options (minbft.WithLeaseTerm, pbft.WithLeaseTerm) override it
-// per replica. The term is the grantor's promise horizon; the holder
-// renews at half the term and treats its lease as expired one eighth of a
-// term early, so clock rate skew below ~12% cannot open a stale window.
+// Malformed values fall back to the default with a logged warning. Protocol
+// options (minbft.WithLeaseTerm, pbft.WithLeaseTerm) override it per
+// replica. The term is the grantor's promise horizon; the holder renews at
+// half the term and treats its lease as expired one eighth of a term early,
+// so clock rate skew below ~12% cannot open a stale window.
 func DefaultLeaseTerm() time.Duration {
-	switch v := os.Getenv("UNIDIR_LEASE"); v {
-	case "", "on":
-		return defaultLeaseTerm
-	case "off", "0":
-		return 0
-	default:
-		if d, err := time.ParseDuration(v); err == nil && d >= 0 {
-			return d
-		}
-		return defaultLeaseTerm
-	}
+	return knob.Duration("UNIDIR_LEASE", defaultLeaseTerm,
+		map[string]time.Duration{"on": defaultLeaseTerm, "off": 0, "0": 0})
 }
 
 // LeaseQuorumFull reports whether leases require a full (all-n) grant
@@ -175,7 +167,8 @@ func DefaultLeaseTerm() time.Duration {
 //
 //	"full"           -> all n replicas
 //	"min" / "fplus1" -> the protocol minimum (f+1 MinBFT, 2f+1 PBFT)
-//	unset / other    -> the protocol's Byzantine-safe default
+//	unset            -> the protocol's Byzantine-safe default
+//	other            -> the default, with a logged warning
 //
 // minIsByzantineSafe tells the knob what the caller's minimum already
 // guarantees. PBFT's 2f+1-of-3f+1 grant quorum intersects every view-change
@@ -190,7 +183,7 @@ func DefaultLeaseTerm() time.Duration {
 // to quorum-read fallbacks otherwise, never to wrong answers). See
 // DESIGN.md §8.
 func LeaseQuorumFull(minIsByzantineSafe bool) bool {
-	switch os.Getenv("UNIDIR_LEASE_QUORUM") {
+	switch knob.Choice("UNIDIR_LEASE_QUORUM", "", "full", "min", "fplus1") {
 	case "full":
 		return true
 	case "min", "fplus1":
@@ -205,15 +198,13 @@ func LeaseQuorumFull(minIsByzantineSafe bool) bool {
 // controlled by the UNIDIR_READ_WINDOW environment variable:
 //
 //	unset / ""    -> 0 (follow the write window)
+//	"off" or "0"  -> 0 (same: follow the write window)
 //	integer k > 0 -> k
+//
+// Malformed values fall back to the default with a logged warning.
 func DefaultReadWindow() int {
-	if v := os.Getenv("UNIDIR_READ_WINDOW"); v != "" {
-		var k int
-		if _, err := fmt.Sscanf(v, "%d", &k); err == nil && k > 0 {
-			return k
-		}
-	}
-	return 0
+	return knob.Int("UNIDIR_READ_WINDOW", 0, 1,
+		map[string]int{"off": 0, "0": 0})
 }
 
 // readBatchSentinel opens a coalesced read-reply frame. Every Reply and

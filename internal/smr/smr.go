@@ -10,12 +10,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 
+	"unidir/internal/obs/knob"
 	"unidir/internal/transport"
 	"unidir/internal/types"
 	"unidir/internal/wire"
@@ -32,21 +31,14 @@ const defaultBatchSize = 64
 //	"off" or "0"  -> 1  (batching disabled; one request per consensus slot)
 //	integer k > 0 -> k
 //
-// Protocol options (minbft.WithBatchSize, pbft.WithBatchSize) override it
-// per replica. Batching is semantically transparent either way; the knob
-// exists for honest A/B measurement and as an operational escape hatch.
+// Malformed values fall back to the default with a logged warning (see
+// internal/obs/knob). Protocol options (minbft.WithBatchSize,
+// pbft.WithBatchSize) override it per replica. Batching is semantically
+// transparent either way; the knob exists for honest A/B measurement and as
+// an operational escape hatch.
 func DefaultBatchSize() int {
-	switch v := os.Getenv("UNIDIR_BATCH"); v {
-	case "", "on":
-		return defaultBatchSize
-	case "off", "0":
-		return 1
-	default:
-		if k, err := strconv.Atoi(v); err == nil && k > 0 {
-			return k
-		}
-		return defaultBatchSize
-	}
+	return knob.Int("UNIDIR_BATCH", defaultBatchSize, 1,
+		map[string]int{"on": defaultBatchSize, "off": 1, "0": 1})
 }
 
 // StateMachine is the deterministic application replicated by the

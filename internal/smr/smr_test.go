@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"log/slog"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"unidir/internal/obs/knob"
 	"unidir/internal/simnet"
 	"unidir/internal/types"
 )
@@ -260,5 +263,33 @@ func TestDefaultBatchSizeKnob(t *testing.T) {
 		if got := DefaultBatchSize(); got != tc.want {
 			t.Errorf("UNIDIR_BATCH=%q: DefaultBatchSize() = %d, want %d", tc.env, got, tc.want)
 		}
+	}
+}
+
+// A malformed UNIDIR_BATCH must fall back to the default AND leave a trace
+// in the logs — silent fallback is exactly the bug the shared knob helper
+// fixes.
+func TestDefaultBatchSizeWarnsOnMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	restore := knob.SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
+	defer restore()
+
+	t.Setenv("UNIDIR_BATCH", "banana")
+	if got := DefaultBatchSize(); got != defaultBatchSize {
+		t.Fatalf("malformed UNIDIR_BATCH: got %d, want default %d", got, defaultBatchSize)
+	}
+	log := buf.String()
+	if !strings.Contains(log, "UNIDIR_BATCH") || !strings.Contains(log, "banana") {
+		t.Fatalf("warning must name the knob and the bad value, got %q", log)
+	}
+
+	// A well-formed value must stay quiet.
+	buf.Reset()
+	t.Setenv("UNIDIR_BATCH", "16")
+	if got := DefaultBatchSize(); got != 16 {
+		t.Fatalf("UNIDIR_BATCH=16: got %d", got)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("valid value logged a warning: %q", buf.String())
 	}
 }

@@ -9,10 +9,9 @@ package smr
 
 import (
 	"fmt"
-	"os"
 	"sort"
-	"strconv"
 
+	"unidir/internal/obs/knob"
 	"unidir/internal/wire"
 )
 
@@ -40,20 +39,12 @@ const defaultCheckpointInterval = 128
 //	"off" or "0"  -> 0   (checkpointing disabled; logs grow without bound)
 //	integer k > 0 -> k
 //
-// Protocol options (minbft.WithCheckpointInterval, pbft.WithCheckpointInterval)
+// Malformed values fall back to the default with a logged warning. Protocol
+// options (minbft.WithCheckpointInterval, pbft.WithCheckpointInterval)
 // override it per replica.
 func DefaultCheckpointInterval() int {
-	switch v := os.Getenv("UNIDIR_CKPT"); v {
-	case "", "on":
-		return defaultCheckpointInterval
-	case "off", "0":
-		return 0
-	default:
-		if k, err := strconv.Atoi(v); err == nil && k > 0 {
-			return k
-		}
-		return defaultCheckpointInterval
-	}
+	return knob.Int("UNIDIR_CKPT", defaultCheckpointInterval, 1,
+		map[string]int{"on": defaultCheckpointInterval, "off": 0, "0": 0})
 }
 
 // maxTableClients bounds decoded client tables (defensive).

@@ -1,0 +1,53 @@
+package syncx
+
+import (
+	"context"
+	"time"
+)
+
+// Timer reuse helpers. `case <-time.After(d):` inside a loop allocates a new
+// timer (and its runtime bookkeeping) on every iteration, and each one stays
+// live until it fires even when the select already moved on — a retry loop
+// waiting 10ms per tick keeps churning garbage at the exact moment the
+// system is struggling. The pattern here is: allocate one stopped timer
+// outside the loop with NewStoppedTimer, then SleepTimer on it each
+// iteration.
+
+// NewStoppedTimer returns a timer that is stopped with its channel drained,
+// the state SleepTimer expects between waits. The initial duration is never
+// observable: the timer is stopped before it can fire.
+func NewStoppedTimer() *time.Timer {
+	tm := time.NewTimer(time.Hour)
+	stopDrain(tm)
+	return tm
+}
+
+// SleepTimer blocks for d using the reused timer tm, or until ctx is done,
+// in which case it returns ctx.Err() early. tm must be stopped and drained
+// on entry (NewStoppedTimer, or a previous SleepTimer return) and is left in
+// that state on return, so one timer serves every wait in a loop with zero
+// per-iteration allocation.
+func SleepTimer(ctx context.Context, tm *time.Timer, d time.Duration) error {
+	tm.Reset(d)
+	select {
+	case <-ctx.Done():
+		stopDrain(tm)
+		return ctx.Err()
+	case <-tm.C:
+		return nil
+	}
+}
+
+// stopDrain stops tm and clears any value already in its channel. The drain
+// is non-blocking so the idiom is correct under both timer-channel
+// semantics: pre-go1.23 modules (like this one) see a buffered channel that
+// may hold an undelivered fire, while go1.23+ modules drop unreceived fires
+// on Stop and would deadlock a blocking drain.
+func stopDrain(tm *time.Timer) {
+	if !tm.Stop() {
+		select {
+		case <-tm.C:
+		default:
+		}
+	}
+}

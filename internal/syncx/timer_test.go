@@ -1,0 +1,64 @@
+package syncx
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSleepTimerSleeps(t *testing.T) {
+	tm := NewStoppedTimer()
+	start := time.Now()
+	if err := SleepTimer(context.Background(), tm, 20*time.Millisecond); err != nil {
+		t.Fatalf("SleepTimer: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("returned after %v, want >= 20ms", d)
+	}
+}
+
+func TestSleepTimerHonorsContext(t *testing.T) {
+	tm := NewStoppedTimer()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := SleepTimer(ctx, tm, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SleepTimer on canceled ctx: %v", err)
+	}
+	// The timer must come back stopped and drained: an immediate reuse must
+	// wait its full duration, not return early off a stale fire.
+	start := time.Now()
+	if err := SleepTimer(context.Background(), tm, 20*time.Millisecond); err != nil {
+		t.Fatalf("reuse after cancel: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("reused timer returned after %v, want >= 20ms (stale fire?)", d)
+	}
+}
+
+// Regression test for the time.After-in-a-loop churn this helper replaced
+// (smr's escalated-read retry loop, tcpnet's redial backoff): waiting on a
+// reused timer must not allocate per iteration. time.After allocates a
+// fresh runtime timer every call; a retry loop spinning at 10ms per tick
+// was creating garbage exactly when the system was already overloaded.
+func TestSleepTimerNoAllocsPerWait(t *testing.T) {
+	tm := NewStoppedTimer()
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := SleepTimer(ctx, tm, time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SleepTimer allocates %.1f objects per wait, want 0", allocs)
+	}
+}
+
+func TestSleepTimerReuseAcrossManyWaits(t *testing.T) {
+	tm := NewStoppedTimer()
+	for i := 0; i < 100; i++ {
+		if err := SleepTimer(context.Background(), tm, time.Microsecond); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+	}
+}

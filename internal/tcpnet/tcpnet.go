@@ -488,6 +488,10 @@ func (s *sender) run() {
 		s.net.trace.Record("conn-drop", "peer %v (%s): write failed, redialing", s.to, s.addr)
 	}
 	backoff := 10 * time.Millisecond
+	// Reused across every redial wait: time.After in this loop allocated a
+	// timer per attempt, and a sender stuck redialing a down peer ticks for
+	// as long as the outage lasts.
+	redial := syncx.NewStoppedTimer()
 	for {
 		batch, err := s.queue.PopAll(s.net.ctx)
 		if err != nil {
@@ -502,10 +506,8 @@ func (s *sender) run() {
 					// would otherwise redial a still-down peer in lockstep
 					// at identical deterministic intervals.
 					wait := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
-					select {
-					case <-s.net.ctx.Done():
+					if syncx.SleepTimer(s.net.ctx, redial, wait) != nil {
 						return
-					case <-time.After(wait):
 					}
 					if backoff < time.Second {
 						backoff *= 2
