@@ -5,7 +5,7 @@ BENCH_JSON ?= bench.json
 BENCH_OPS ?= 300
 BENCH_MSGS ?= 100
 
-.PHONY: check vet staticcheck logcheck build test race soak bench-smoke bench-json bench-regress trace-check
+.PHONY: check vet staticcheck logcheck build test race soak doctor bench-smoke bench-json bench-regress trace-check
 
 # check is the full local gate: static checks, build, the race-enabled
 # test suite, and a one-iteration smoke run of the signature fast-path
@@ -47,14 +47,24 @@ test:
 # detector with caching disabled.
 race:
 	$(GO) test -race -count=5 \
-		-run 'TestSelfSend|TestConcurrentSendClose|TestSendCloseRaceWindow|TestHelloWriteDeadline|TestQueue|TestSnapshotConsistentUnderConcurrentWriters' \
+		-run 'TestSelfSend|TestConcurrentSendClose|TestSendCloseRaceWindow|TestHelloWriteDeadline|TestQueue|TestSnapshotConsistentUnderConcurrentWriters|TestLabeledConcurrentScrape' \
 		./internal/tcpnet/ ./internal/syncx/ ./internal/obs/
 
 # soak repeats the fault-injection soak (lossy links, rolling partitions,
-# a Byzantine spammer against batched checkpointing MinBFT) under the race
-# detector; -count disables caching so each run reshuffles the schedule.
+# a Byzantine spammer against batched checkpointing MinBFT, with the watch
+# safety auditor scraping throughout) under the race detector; -count
+# disables caching so each run reshuffles the schedule. A doctor one-shot
+# against a live 2-shard cluster closes the run.
 soak:
 	$(GO) test -race -count=3 -run 'TestSoak' ./internal/minbft/
+	$(GO) run ./cmd/unidir-doctor -cluster minbft -shards 2
+
+# doctor runs the cluster safety auditor one-shot against a self-driven
+# 2-shard MinBFT cluster (exit 0 healthy, 1 on violation) plus its test
+# surface, including the forged-checkpoint-digest detection case.
+doctor:
+	$(GO) test -race -count=1 ./internal/watch/ ./cmd/unidir-doctor/
+	$(GO) run ./cmd/unidir-doctor -cluster minbft -shards 2
 
 # trace-check re-runs the distributed-tracing test surface (context
 # propagation on the wire, span lifecycle, cross-node collection, the
@@ -67,15 +77,15 @@ trace-check:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSigVerify' -benchtime 1x .
 
-# bench-json reruns the B1/B2/B9/B10 experiment tables and writes every row as
+# bench-json reruns the B1/B2/B9/B10/B11/B12 experiment tables and writes every row as
 # JSON to $(BENCH_JSON) for dashboards/regression tracking.
 bench-json:
-	$(GO) run ./cmd/benchharness -exp b1,b2,b9,b10,b11 -msgs $(BENCH_MSGS) -ops $(BENCH_OPS) -json $(BENCH_JSON)
+	$(GO) run ./cmd/benchharness -exp b1,b2,b9,b10,b11,b12 -msgs $(BENCH_MSGS) -ops $(BENCH_OPS) -json $(BENCH_JSON)
 
 # bench-regress reruns bench-json into a scratch file and compares every
 # row's ops_per_sec against the newest checked-in BENCH_*.json; a drop of
 # more than 20% on any matching row fails. With no baseline checked in the
 # comparison is skipped (exits zero).
 bench-regress:
-	$(GO) run ./cmd/benchharness -exp b1,b2,b9,b10,b11 -msgs $(BENCH_MSGS) -ops $(BENCH_OPS) -json /tmp/bench-regress.json
+	$(GO) run ./cmd/benchharness -exp b1,b2,b9,b10,b11,b12 -msgs $(BENCH_MSGS) -ops $(BENCH_OPS) -json /tmp/bench-regress.json
 	$(GO) run ./cmd/benchregress -current /tmp/bench-regress.json

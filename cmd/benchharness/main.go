@@ -15,6 +15,8 @@
 //	B11 sharded multi-group SMR: aggregate write throughput across 1/2/4
 //	    shards in a latency-bound regime, plus router overhead on the
 //	    leased-read path
+//	B12 introspection overhead: B11's 2-shard write point with and without
+//	    the watch safety auditor polling every replica at 1s
 //
 // Usage:
 //
@@ -33,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"unidir/internal/obs"
 )
 
 // benchRow is one machine-readable measurement (B1/B2), emitted via -json.
@@ -86,7 +90,7 @@ func (r *report) write(path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: all, or a comma-separated subset of f1,e1,b1,b2,b3,b4,b8,b9,b10,b11")
+	exp := flag.String("exp", "all", "experiments to run: all, or a comma-separated subset of f1,e1,b1,b2,b3,b4,b8,b9,b10,b11,b12")
 	msgs := flag.Int("msgs", 200, "broadcasts per configuration (B1)")
 	ops := flag.Int("ops", 500, "client operations per configuration (B2)")
 	iters := flag.Int("iters", 5000, "iterations per microbenchmark (B3)")
@@ -96,6 +100,7 @@ func main() {
 	readRatio := flag.Float64("read-ratio", -1, "B10 read fraction in [0,1] (-1 sweeps 0.9 and 1.0)")
 	flag.Parse()
 
+	fmt.Fprintln(os.Stderr, obs.BuildInfoLine("benchharness"))
 	if err := run(strings.ToLower(*exp), *msgs, *ops, *iters, *roundsN, *readRatio, *jsonPath, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchharness:", err)
 		os.Exit(1)
@@ -120,6 +125,7 @@ func run(exp string, msgs, ops, iters, roundsN int, readRatio float64, jsonPath,
 		{"b9", func() error { return expB9(ops, rep) }, true},
 		{"b10", func() error { return expB10(ops, readRatio, rep) }, true},
 		{"b11", func() error { return expB11(ops, rep) }, true},
+		{"b12", func() error { return expB12(ops, rep) }, true},
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(exp, ",") {

@@ -28,6 +28,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"unidir/internal/obs"
 )
 
 // row mirrors the benchharness benchRow fields that form the key plus the
@@ -99,6 +101,7 @@ func main() {
 	readP99 := flag.Float64("read-p99-threshold", 1.0, "fail when a lease-mode row's read_p99_us rises more than this fraction above baseline")
 	flag.Parse()
 
+	fmt.Fprintln(os.Stderr, obs.BuildInfoLine("benchregress"))
 	if err := run(*baseline, *current, *dir, *threshold, *readP99); err != nil {
 		fmt.Fprintln(os.Stderr, "benchregress:", err)
 		os.Exit(1)

@@ -47,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -92,7 +93,7 @@ func main() {
 	checkpoint := flag.Int("checkpoint", 0, "checkpoint interval in executed batches (0 = UNIDIR_CKPT default, negative disables)")
 	dialTimeout := flag.Duration("dial-timeout", 0, "TCP dial timeout per connection attempt (0 = 2s default)")
 	writeTimeout := flag.Duration("write-timeout", 0, "TCP write deadline per coalesced batch (0 = 15s default)")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/trace, /debug/spans, /healthz, /readyz, and pprof on this host:port (replicas; empty disables)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/trace, /debug/spans, /debug/status, /healthz, /readyz, and pprof on this host:port (replicas; empty disables)")
 	batchDeadline := flag.Duration("batch-deadline", 0, "adaptive batch deadline (0 = UNIDIR_BATCH_DEADLINE default of 100µs, negative disables)")
 	admitPending := flag.Int("admit-pending", -1, "shed requests past this pending-queue depth (-1 = UNIDIR_ADMIT_PENDING default of 4096, 0 unbounded)")
 	admitRate := flag.Float64("admit-rate", -1, "per-client admission rate in req/s (-1 = UNIDIR_ADMIT_RATE default, 0 unlimited)")
@@ -149,7 +150,7 @@ func run(role string, id, n, f, shards int, config string, seed int64, ro replic
 		// Each group derives its own trusted-hardware universe: same seed
 		// convention, offset by group, so all processes of a group agree
 		// and distinct groups hold distinct keys.
-		return runReplica(m, local, shardConfig(addrs, n, shards, g), seed+int64(g), ro)
+		return runReplica(m, local, g, shardConfig(addrs, n, shards, g), seed+int64(g), ro)
 	case "client":
 		if id < shards*n {
 			return fmt.Errorf("client id %d must be >= shards*n (%d)", id, shards*n)
@@ -207,7 +208,7 @@ func replicaSpec(m types.Membership, seed int64, ro replicaOpts) cluster.Spec {
 	return spec
 }
 
-func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, seed int64, ro replicaOpts) error {
+func runReplica(m types.Membership, self types.ProcessID, g int, cfg tcpnet.Config, seed int64, ro replicaOpts) error {
 	if !m.Contains(self) {
 		return fmt.Errorf("replica id %v out of range [0, %d)", self, m.N)
 	}
@@ -217,6 +218,7 @@ func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, see
 	var tracer *tracing.Tracer
 	if ro.debugAddr != "" {
 		reg = obs.NewRegistry()
+		obs.SetBuildInfo(reg, "protocol", spec.Protocol.String(), "binary", "minbft-kv")
 		spec.Metrics = reg
 		if rate := tracing.DefaultSampleRate(); rate > 0 {
 			spans = tracing.NewSpanBuffer(4096)
@@ -259,7 +261,14 @@ func runReplica(m types.Membership, self types.ProcessID, cfg tcpnet.Config, see
 	}
 	fmt.Printf("replica %v serving on %s (n=%d, f=%d)\n", self, tr.Addr(), m.N, m.F)
 	if reg != nil {
-		handler := obs.Handler(reg, obs.WithSpans(spans), obs.WithReadiness(cluster.Readiness(rep)))
+		opts := []obs.HandlerOption{
+			obs.WithSpans(spans),
+			obs.WithReadinessDetail(cluster.ReadinessDetail(rep)),
+		}
+		if sp := cluster.StatusProvider(rep); sp != nil {
+			opts = append(opts, obs.WithStatus(strconv.Itoa(g), sp))
+		}
+		handler := obs.Handler(reg, opts...)
 		go func() {
 			fmt.Printf("debug server on http://%s/metrics\n", ro.debugAddr)
 			if err := http.ListenAndServe(ro.debugAddr, handler); err != nil {

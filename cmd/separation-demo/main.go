@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"unidir/internal/obs"
 	"unidir/internal/separation"
 	"unidir/internal/types"
 )
@@ -25,6 +26,7 @@ func main() {
 	control := flag.Int("control", 5, "randomized schedules for the SWMR control arm")
 	flag.Parse()
 
+	fmt.Fprintln(os.Stderr, obs.BuildInfoLine("separation-demo"))
 	if err := run(*n, *f, *timeout, *control); err != nil {
 		fmt.Fprintln(os.Stderr, "separation-demo:", err)
 		os.Exit(1)

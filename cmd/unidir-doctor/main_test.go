@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDoctorHealthyCluster is the acceptance run: a one-shot doctor against
+// a self-driven 2-shard MinBFT cluster reports healthy and exits 0.
+func TestDoctorHealthyCluster(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-cluster", "minbft", "-shards", "2", "-ops", "24"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "healthy: no violations") {
+		t.Fatalf("missing healthy verdict: %s", out.String())
+	}
+	for _, shard := range []string{"shard 0:", "shard 1:"} {
+		if !strings.Contains(out.String(), shard) {
+			t.Fatalf("missing %q in report: %s", shard, out.String())
+		}
+	}
+}
+
+// TestDoctorForgedDigestExitsNonzero: with shard-0 replica 1 forging its
+// checkpoint digest, the doctor must exit 1 and print evidence naming it.
+func TestDoctorForgedDigestExitsNonzero(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-cluster", "minbft", "-shards", "2", "-ops", "24", "-forge-digest", "1"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "VIOLATION [checkpoint-divergence]") {
+		t.Fatalf("missing divergence violation: %s", s)
+	}
+	if !strings.Contains(s, `"diverging":[1]`) {
+		t.Fatalf("evidence does not name replica 1: %s", s)
+	}
+}
+
+// TestDoctorPBFTCluster: the untrusted protocol works too, with empty
+// trusted-counter maps (the hybrid-trust distinction).
+func TestDoctorPBFTCluster(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-cluster", "pbft", "-shards", "1", "-ops", "16"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+func TestDoctorUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no-args exit = %d, want 2", code)
+	}
+	if code := run([]string{"-cluster", "raft"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad-protocol exit = %d, want 2", code)
+	}
+	if code := run([]string{"-cluster", "minbft", "-targets", "http://x"}, &out, &errOut); code != 2 {
+		t.Fatalf("conflicting-modes exit = %d, want 2", code)
+	}
+}

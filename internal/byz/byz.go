@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"unidir/internal/obs"
 	"unidir/internal/rounds"
 	"unidir/internal/sig"
 	"unidir/internal/transport"
@@ -199,4 +200,52 @@ func (e *RoundEquivocator) Keyring() *sig.Keyring { return e.ring }
 // Call it with different payloads for different peers to equivocate.
 func (e *RoundEquivocator) SendRound(to types.ProcessID, r types.Round, payload []byte) error {
 	return e.tr.Send(to, rounds.EncodeMessage(r, payload))
+}
+
+// StatusForger wraps a replica's introspection surface and forges its
+// checkpoint digest: the wrapped Status is reported verbatim except that
+// the stable-checkpoint digest is bit-flipped. This models a Byzantine
+// replica lying to the monitoring plane about its state — the exact
+// equivocation the watch auditor's checkpoint-divergence rule must turn
+// into evidence naming this replica. (A real Byzantine replica could not
+// get such a digest past its peers' vote verification; it can absolutely
+// serve one on its own /debug/status.)
+type StatusForger struct {
+	inner obs.StatusProvider
+}
+
+// ForgeCheckpointDigest wraps p so every reported stable checkpoint
+// carries a corrupted digest.
+func ForgeCheckpointDigest(p obs.StatusProvider) *StatusForger {
+	return &StatusForger{inner: p}
+}
+
+// Status implements obs.StatusProvider.
+func (f *StatusForger) Status() obs.Status {
+	st := f.inner.Status()
+	if st.Checkpoint != nil {
+		ck := *st.Checkpoint
+		ck.Digest = flipDigest(ck.Digest)
+		st.Checkpoint = &ck
+	}
+	return st
+}
+
+// flipDigest deterministically corrupts a hex digest (first nibble XOR 0x8,
+// so the result is still well-formed hex of the same length).
+func flipDigest(d string) string {
+	if d == "" {
+		return "00"
+	}
+	b := []byte(d)
+	switch c := b[0]; {
+	case c >= '0' && c <= '7':
+		b[0] = c + 8 // '0'-'7' -> '8'-'f' range via hex offset below
+		if b[0] > '9' {
+			b[0] = 'a' + (b[0] - '9' - 1)
+		}
+	default:
+		b[0] = '0'
+	}
+	return string(b)
 }

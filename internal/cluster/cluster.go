@@ -243,6 +243,35 @@ func Readiness(r Replica) func() bool {
 	return func() bool { return true }
 }
 
+// ReadinessDetail returns r's readiness probe with the failing-probe name
+// (for /readyz reason bodies): MinBFT replicas distinguish view changes
+// from state transfers; protocols with only a boolean probe report a
+// generic reason; protocols without one report always ready.
+func ReadinessDetail(r Replica) func() (bool, string) {
+	type detailed interface{ ReadyReason() (bool, string) }
+	if rr, ok := r.(detailed); ok {
+		return rr.ReadyReason
+	}
+	if probe := Readiness(r); probe != nil {
+		return func() (bool, string) {
+			if !probe() {
+				return false, "replica not ready"
+			}
+			return true, ""
+		}
+	}
+	return func() (bool, string) { return true, "" }
+}
+
+// StatusProvider returns r as an obs.StatusProvider when the protocol
+// implements one (both minbft and pbft do), or nil.
+func StatusProvider(r Replica) obs.StatusProvider {
+	if sp, ok := r.(obs.StatusProvider); ok {
+		return sp
+	}
+	return nil
+}
+
 // minbftOptions assembles the MinBFT option list a Spec describes.
 func (s Spec) minbftOptions(tracer *tracing.Tracer) []minbft.Option {
 	var opts []minbft.Option

@@ -273,6 +273,12 @@ type Replica struct {
 	proposed map[pendingKey]bool // requests inside an in-flight batch (leader, current view)
 	inFlight int                 // batches this leader proposed but not yet executed
 
+	// Introspection counters (status.go). Run-goroutine-owned, plain so
+	// Status works without WithMetrics. Process-lifetime: reset on restart,
+	// unlike execCount, which state transfer restores.
+	proposedCount    uint64 // batches this replica proposed as leader
+	executedReqCount uint64 // requests executed (including view-change replays)
+
 	vcVotes map[types.View]map[types.ProcessID]signedVC
 
 	// Leader leases for the read fast path (lease.go). Run-goroutine-owned.
@@ -356,8 +362,9 @@ type peerMsg struct {
 }
 
 type event struct {
-	env   *transport.Envelope
-	timer *timerEvent
+	env    *transport.Envelope
+	timer  *timerEvent
+	status chan obs.Status // introspection request; answered on the run goroutine (status.go)
 }
 
 type timerEvent struct {
@@ -586,6 +593,8 @@ func (r *Replica) run(ctx context.Context) {
 				r.handleEnvelope(*ev.env)
 			case ev.timer != nil:
 				r.handleTimer(*ev.timer)
+			case ev.status != nil:
+				ev.status <- r.buildStatus()
 			}
 		}
 		r.flushReadReplies()
@@ -896,6 +905,7 @@ func (r *Replica) maybePropose() {
 			return // attest/broadcast failure; the watchdogs drive recovery
 		}
 		r.inFlight++
+		r.proposedCount++
 		r.mx.proposedBatches.Inc()
 		r.mx.batchSize.Observe(float64(len(batch)))
 		r.mx.inFlight.Set(int64(r.inFlight))
@@ -1169,6 +1179,7 @@ func (r *Replica) tryExecute() {
 		if en.mine && r.inFlight > 0 {
 			r.inFlight--
 		}
+		r.executedReqCount += uint64(len(en.reqs))
 		r.observeExecuted(en)
 		if fresh {
 			r.countExecuted()

@@ -3,6 +3,8 @@ package minbft_test
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"testing"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"unidir/internal/minbft"
 	"unidir/internal/obs"
 	"unidir/internal/types"
+	"unidir/internal/watch"
 )
 
 // checkLogsMutuallyOrdered verifies pairwise that commands present in two
@@ -71,6 +74,32 @@ func TestSoak(t *testing.T) {
 	spam := byz.NewSpammer(h.net.Endpoint(types.ProcessID(n+1)),
 		h.m.All(), 97, 2*time.Millisecond)
 	defer spam.Stop()
+
+	// The safety auditor scrapes the replicas throughout the whole run —
+	// view changes, state transfers, and Byzantine garbage included — and
+	// must see zero violations: the churn may make replicas slow or stale,
+	// never inconsistent.
+	providers := make([]obs.StatusProvider, n)
+	for i, rep := range h.replicas {
+		providers[i] = rep
+	}
+	auditor := watch.New(watch.Config{
+		Sources: []watch.Source{watch.Local("0", providers...)},
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	auditCtx, auditCancel := context.WithCancel(ctx)
+	auditDone := make(chan struct{})
+	go func() {
+		defer close(auditDone)
+		auditor.Run(auditCtx, 50*time.Millisecond)
+	}()
+	defer func() {
+		auditCancel()
+		<-auditDone
+		if vs := auditor.Violations(); len(vs) != 0 {
+			t.Errorf("auditor recorded %d safety violations during the soak: %+v", len(vs), vs)
+		}
+	}()
 
 	// Rolling churn: block one replica-replica link at a time, briefly, so
 	// a quorum always remains connected while every replica takes turns

@@ -1,0 +1,100 @@
+package minbft
+
+import (
+	"encoding/hex"
+	"time"
+
+	"unidir/internal/obs"
+)
+
+// statusTimeout bounds how long Status waits for the run goroutine. A
+// healthy replica answers in microseconds; a wedged one must not wedge its
+// monitors too, so past the deadline Status degrades to a stale snapshot.
+const statusTimeout = 2 * time.Second
+
+// Status implements obs.StatusProvider. The snapshot is assembled on the
+// run goroutine — a status request rides the ordinary event queue — so
+// every field belongs to one consistent cut of protocol state: the view,
+// checkpoint, and watermarks can never be torn across a concurrent view
+// change. When the replica is closed or does not answer within
+// statusTimeout, a degraded snapshot (Stale: true, counters zero) built
+// from the concurrency-safe mirrors is returned instead; the watch
+// auditor's monotonicity rules skip stale samples.
+func (r *Replica) Status() obs.Status {
+	ch := make(chan obs.Status, 1)
+	if r.events.Push(event{status: ch}) {
+		select {
+		case st := <-ch:
+			return st
+		case <-time.After(statusTimeout):
+		}
+	}
+	ready, reason := r.ReadyReason()
+	return obs.Status{
+		Protocol:    "minbft",
+		Replica:     int(r.Self()),
+		View:        uint64(r.View()),
+		Ready:       ready,
+		ReadyReason: reason,
+		Stale:       true,
+		TrustedCounters: map[string]uint64{
+			"usig": uint64(r.dev.LastAttested(usigCounter)),
+		},
+	}
+}
+
+// ReadyReason is Ready with the name of the failing probe, for /readyz
+// bodies. Safe from any goroutine (atomic mirrors of inVC / stateTarget).
+func (r *Replica) ReadyReason() (bool, string) {
+	switch {
+	case r.rdyVC.Load():
+		return false, "view change in progress"
+	case r.rdyST.Load():
+		return false, "state transfer in progress"
+	}
+	return true, ""
+}
+
+// buildStatus runs on the run goroutine (the ev.status case in run).
+func (r *Replica) buildStatus() obs.Status {
+	now := time.Now()
+	st := obs.Status{
+		Protocol:         "minbft",
+		Replica:          int(r.Self()),
+		View:             uint64(r.view),
+		ExecCount:        r.execCount,
+		ProposedBatches:  r.proposedCount,
+		ExecutedRequests: r.executedReqCount,
+		PendingRequests:  len(r.pending),
+		OpenSlots:        len(r.prepOrder) - r.execIdx,
+		InFlightBatches:  r.inFlight,
+		QueuedReads:      len(r.leaseReads),
+		TrustedCounters: map[string]uint64{
+			"usig": uint64(r.dev.LastAttested(usigCounter)),
+		},
+	}
+	switch {
+	case r.inVC:
+		st.ReadyReason = "view change in progress"
+	case r.stateTarget != 0:
+		st.ReadyReason = "state transfer in progress"
+	default:
+		st.Ready = true
+	}
+	if r.stable.Count > 0 {
+		st.Checkpoint = &obs.CheckpointStatus{
+			Count:  r.stable.Count,
+			Digest: hex.EncodeToString(r.stable.Digest[:]),
+		}
+	}
+	// Only the holder reports a lease: a grantor's promise is not mutual
+	// exclusion, and the auditor counts holders per (shard, term).
+	if r.leaseValid(now) {
+		st.Lease = &obs.LeaseStatus{
+			Holder:      int(r.Self()),
+			Term:        uint64(r.view),
+			ExpiresInMS: r.leaseUntil.Sub(now).Milliseconds(),
+		}
+	}
+	return st
+}

@@ -89,8 +89,17 @@ func sortedKeys[V any](m map[string]V) []string {
 type HandlerOption func(*handlerConfig)
 
 type handlerConfig struct {
-	spans *tracing.SpanBuffer
-	ready func() bool
+	spans       *tracing.SpanBuffer
+	ready       func() bool
+	readyDetail func() (bool, string)
+	status      []statusSource
+}
+
+// statusSource is one shard's worth of status providers; the shard label is
+// stamped onto every Status whose own Shard field is empty.
+type statusSource struct {
+	shard     string
+	providers []StatusProvider
 }
 
 // WithSpans serves the buffer's completed distributed-tracing spans at
@@ -106,6 +115,25 @@ func WithReadiness(ready func() bool) HandlerOption {
 	return func(c *handlerConfig) { c.ready = ready }
 }
 
+// WithReadinessDetail is WithReadiness with a reason: while probe reports
+// false, /readyz answers 503 with "not ready: <reason>" so operators can tell
+// a view change from a state transfer without grepping logs. Takes precedence
+// over WithReadiness when both are given.
+func WithReadinessDetail(probe func() (bool, string)) HandlerOption {
+	return func(c *handlerConfig) { c.readyDetail = probe }
+}
+
+// WithStatus serves the providers' snapshots at /debug/status as a JSON
+// object {"replicas": [...]}. The shard label is stamped onto each Status
+// that does not already carry one (replicas don't know their shard; the
+// process hosting them does). The option accumulates: call it once per shard
+// in multi-group processes.
+func WithStatus(shard string, providers ...StatusProvider) HandlerOption {
+	return func(c *handlerConfig) {
+		c.status = append(c.status, statusSource{shard: shard, providers: providers})
+	}
+}
+
 // Handler returns an http.Handler exposing the registry:
 //
 //	/metrics       Prometheus text exposition
@@ -114,9 +142,14 @@ func WithReadiness(ready func() bool) HandlerOption {
 //	               older ?name=) selects one ring, ?n=<limit> keeps only the
 //	               most recent limit events per ring
 //	/debug/spans   completed tracing spans (with WithSpans)
+//	/debug/status  per-replica protocol status (with WithStatus): JSON
+//	               {"replicas": [...]} of obs.Status snapshots
 //	/healthz       liveness: always 200 while the process serves
-//	/readyz        readiness: 503 until the WithReadiness probe passes
+//	/readyz        readiness: 503 until the WithReadiness probe passes;
+//	               with WithReadinessDetail the 503 body names the failing
+//	               probe ("not ready: <reason>")
 //	/debug/pprof/  the standard runtime profiles
+//	/              plain-text index of the endpoints above
 //
 // Unlike the expvar package it does not touch global state, so any number of
 // registries can be served by one process.
@@ -189,17 +222,64 @@ func Handler(r *Registry, opts ...HandlerOption) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(body)
 	})
+	if len(cfg.status) > 0 {
+		mux.HandleFunc("/debug/status", func(w http.ResponseWriter, _ *http.Request) {
+			var body struct {
+				Replicas []Status `json:"replicas"`
+			}
+			for _, src := range cfg.status {
+				for _, p := range src.providers {
+					st := p.Status()
+					if st.Shard == "" {
+						st.Shard = src.shard
+					}
+					body.Replicas = append(body.Replicas, st)
+				}
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(body)
+		})
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
-		if cfg.ready != nil && !cfg.ready() {
+		switch {
+		case cfg.readyDetail != nil:
+			if ok, reason := cfg.readyDetail(); !ok {
+				if reason == "" {
+					reason = "probe failed"
+				}
+				http.Error(w, "not ready: "+reason, http.StatusServiceUnavailable)
+				return
+			}
+		case cfg.ready != nil && !cfg.ready():
 			http.Error(w, "not ready", http.StatusServiceUnavailable)
 			return
 		}
 		w.WriteHeader(http.StatusOK)
 		_, _ = io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		endpoints := []string{"/metrics", "/debug/vars", "/debug/trace"}
+		if cfg.spans != nil {
+			endpoints = append(endpoints, "/debug/spans")
+		}
+		if len(cfg.status) > 0 {
+			endpoints = append(endpoints, "/debug/status")
+		}
+		endpoints = append(endpoints, "/healthz", "/readyz", "/debug/pprof/")
+		for _, e := range endpoints {
+			fmt.Fprintln(w, e)
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

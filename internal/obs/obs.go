@@ -390,3 +390,84 @@ func (s Snapshot) HistogramCount(base string) uint64 {
 	}
 	return sum
 }
+
+// HistogramQuantile estimates the q-quantile (q in [0, 1]) across every
+// histogram series of the given base name, Prometheus-style: the target
+// rank is located in the merged cumulative bucket counts and linearly
+// interpolated within its bucket. Series are merged by summing per-bucket
+// counts (label variants of one base share bucket bounds by construction;
+// a series whose bounds differ from the first is skipped). Quantiles that
+// land in the +Inf bucket return the largest finite bound — the histogram
+// cannot resolve beyond it. ok is false when no series of the base holds
+// any observations.
+func (s Snapshot) HistogramQuantile(base string, q float64) (v float64, ok bool) {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	var bounds []float64
+	var counts []uint64
+	for name, h := range s.Histograms {
+		if baseOf(name) != base {
+			continue
+		}
+		if bounds == nil {
+			bounds = h.Bounds
+			counts = append([]uint64(nil), h.Counts...)
+			continue
+		}
+		if len(h.Bounds) != len(bounds) {
+			continue
+		}
+		same := true
+		for i := range bounds {
+			if h.Bounds[i] != bounds[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue
+		}
+		for i := range counts {
+			counts[i] += h.Counts[i]
+		}
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: unresolvable past the largest finite bound.
+			if len(bounds) == 0 {
+				return 0, true
+			}
+			return bounds[len(bounds)-1], true
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		if c == 0 {
+			return hi, true
+		}
+		frac := (rank - (cum - float64(c))) / float64(c)
+		return lo + (hi-lo)*frac, true
+	}
+	if len(bounds) == 0 {
+		return 0, true
+	}
+	return bounds[len(bounds)-1], true
+}

@@ -101,6 +101,11 @@ type Replica struct {
 	proposed  map[pendingKey]bool        // requests inside an assigned slot
 	proposing bool                       // re-entrancy guard for maybePropose
 
+	// Introspection counters (status.go). Run-goroutine-owned, plain so
+	// Status works without WithMetrics. Process-lifetime (reset on restart).
+	proposedCount    uint64 // batches this primary assigned
+	executedReqCount uint64 // requests executed
+
 	// Leader leases for the read fast path (lease.go). Run-goroutine-owned.
 	// With the view fixed at 0 the primary is the unique proposer forever,
 	// so the 2f+1-grant lease here proves liveness agreement rather than
@@ -149,8 +154,9 @@ type pendingKey struct {
 // an expired timer (pbft grew timers with the adaptive batch deadline;
 // minbft has had the same union shape since its view-change watchdogs).
 type event struct {
-	env   *transport.Envelope
-	timer *timerEvent
+	env    *transport.Envelope
+	timer  *timerEvent
+	status chan obs.Status // introspection request; answered on the run goroutine (status.go)
 }
 
 type timerEvent struct {
@@ -429,6 +435,8 @@ func (r *Replica) run(ctx context.Context) {
 				r.handle(*ev.env)
 			case ev.timer != nil:
 				r.handleTimer(*ev.timer)
+			case ev.status != nil:
+				ev.status <- r.buildStatus()
 			}
 		}
 		r.flushReadReplies()
@@ -694,6 +702,7 @@ func (r *Replica) maybePropose() {
 		n := r.nextSeq
 		payload := smr.EncodeRequests(batch)
 		digest := sha256.Sum256(payload)
+		r.proposedCount++
 		r.mx.proposedBatches.Inc()
 		r.mx.batchSize.Observe(float64(len(batch)))
 		span := r.startProposeSpan(batch)
@@ -860,6 +869,7 @@ func (r *Replica) progress(n types.SeqNum, sl *slot) {
 		}
 		execSpan.End()
 		r.flushReplies()
+		r.executedReqCount += uint64(len(next.reqs))
 		r.mx.executedBatches.Inc()
 		r.mx.executedReqs.Add(uint64(len(next.reqs)))
 		if r.ckptEnabled() && uint64(seq)%uint64(r.ckptInterval) == 0 {

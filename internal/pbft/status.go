@@ -1,0 +1,78 @@
+package pbft
+
+import (
+	"encoding/hex"
+	"time"
+
+	"unidir/internal/obs"
+)
+
+// statusTimeout bounds how long Status waits for the run goroutine before
+// degrading to a stale snapshot (see minbft/status.go for rationale).
+const statusTimeout = 2 * time.Second
+
+// Status implements obs.StatusProvider: a consistent cut of protocol state
+// assembled on the run goroutine, or a degraded Stale snapshot when the
+// replica is closed or wedged.
+//
+// TrustedCounters is deliberately empty: PBFT replicas have no trusted
+// hardware, which is exactly the signal the hybrid-trust auditor needs —
+// their checkpoint claims rest on 2f+1 signatures alone, never on
+// attestation-backed counters.
+func (r *Replica) Status() obs.Status {
+	ch := make(chan obs.Status, 1)
+	if r.events.Push(event{status: ch}) {
+		select {
+		case st := <-ch:
+			return st
+		case <-time.After(statusTimeout):
+		}
+	}
+	return obs.Status{
+		Protocol: "pbft",
+		Replica:  int(r.Self()),
+		Ready:    true, // with the view fixed at 0 there is nothing to wait out
+		Stale:    true,
+	}
+}
+
+// Ready reports readiness for /readyz probes. This PBFT runs with the view
+// fixed at 0 and synchronous state transfer inside slot handling, so a live
+// replica is always ready.
+func (r *Replica) Ready() bool { return true }
+
+// buildStatus runs on the run goroutine (the ev.status case in run).
+func (r *Replica) buildStatus() obs.Status {
+	now := time.Now()
+	inflight := int(r.nextSeq) - int(r.execNext) + 1
+	if inflight < 0 {
+		inflight = 0
+	}
+	st := obs.Status{
+		Protocol:         "pbft",
+		Replica:          int(r.Self()),
+		View:             uint64(r.view),
+		Ready:            true,
+		ExecCount:        uint64(r.execNext) - 1,
+		ProposedBatches:  r.proposedCount,
+		ExecutedRequests: r.executedReqCount,
+		PendingRequests:  len(r.pending),
+		OpenSlots:        len(r.slots),
+		InFlightBatches:  inflight,
+		QueuedReads:      len(r.leaseReads),
+	}
+	if r.stable.Seq > 0 {
+		st.Checkpoint = &obs.CheckpointStatus{
+			Count:  uint64(r.stable.Seq),
+			Digest: hex.EncodeToString(r.stable.Digest[:]),
+		}
+	}
+	if r.leaseValid(now) {
+		st.Lease = &obs.LeaseStatus{
+			Holder:      int(r.Self()),
+			Term:        uint64(r.view),
+			ExpiresInMS: r.leaseUntil.Sub(now).Milliseconds(),
+		}
+	}
+	return st
+}
